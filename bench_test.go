@@ -1,0 +1,146 @@
+// Package schedact's benchmark harness: one benchmark per table and figure
+// of the paper's evaluation. The simulator is deterministic, so the
+// interesting output is not Go's ns/op but the reported custom metrics —
+// virtual microseconds per thread operation, speedups, execution times —
+// which are the quantities the paper's tables and figures plot. Run with:
+//
+//	go test -bench=. -benchmem
+package schedact
+
+import (
+	"fmt"
+	"testing"
+
+	"schedact/internal/apps/micro"
+	"schedact/internal/exp"
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+)
+
+// benchMicro runs the Table 1/4 microbenchmarks for one system, reporting
+// the virtual latencies the paper tabulates.
+func benchMicro(b *testing.B, sys micro.System, paperNF, paperSW float64) {
+	var r micro.Result
+	for i := 0; i < b.N; i++ {
+		r = micro.Run(sys, nil)
+	}
+	b.ReportMetric(sim.DurUs(r.NullFork), "vus-nullfork")
+	b.ReportMetric(sim.DurUs(r.SignalWait), "vus-sigwait")
+	b.ReportMetric(paperNF, "paper-nullfork")
+	b.ReportMetric(paperSW, "paper-sigwait")
+}
+
+// Table 1 (and the first three rows of Table 4).
+func BenchmarkTable1FastThreads(b *testing.B)  { benchMicro(b, micro.FastThreadsKT, 34, 37) }
+func BenchmarkTable1TopazThreads(b *testing.B) { benchMicro(b, micro.TopazThreads, 948, 441) }
+func BenchmarkTable1UltrixProcesses(b *testing.B) {
+	benchMicro(b, micro.UltrixProcesses, 11300, 1840)
+}
+
+// Table 4's new row: FastThreads on scheduler activations.
+func BenchmarkTable4SchedulerActivations(b *testing.B) {
+	benchMicro(b, micro.FastThreadsSA, 37, 42)
+}
+
+// §5.1 ablation: explicit critical-section flags instead of the
+// zero-overhead marking (paper: 49µs / 48µs).
+func BenchmarkAblationExplicitFlags(b *testing.B) {
+	var r micro.Result
+	for i := 0; i < b.N; i++ {
+		r = micro.RunAblation(nil)
+	}
+	b.ReportMetric(sim.DurUs(r.NullFork), "vus-nullfork")
+	b.ReportMetric(sim.DurUs(r.SignalWait), "vus-sigwait")
+	b.ReportMetric(49, "paper-nullfork")
+	b.ReportMetric(48, "paper-sigwait")
+}
+
+// §5.2: signal-wait forced through the kernel (paper: 2.4ms on the
+// prototype; commensurate with Topaz if tuned).
+func BenchmarkUpcallSignalWait(b *testing.B) {
+	var proto, tuned sim.Duration
+	for i := 0; i < b.N; i++ {
+		proto = micro.UpcallSignalWait(machine.DefaultCosts())
+		tuned = micro.UpcallSignalWait(machine.TunedCosts())
+	}
+	b.ReportMetric(sim.DurMs(proto), "vms-prototype")
+	b.ReportMetric(sim.DurUs(tuned), "vus-tuned")
+	b.ReportMetric(2.4, "paper-vms")
+}
+
+// Figure 1: N-body speedup versus processors, 100% memory, uniprogrammed.
+// Reports each system's speedup at 1 and 6 processors plus the full series
+// via sub-benchmarks.
+func BenchmarkFigure1(b *testing.B) {
+	var r exp.Figure1Result
+	for i := 0; i < b.N; i++ {
+		r = exp.Figure1()
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			b.ReportMetric(p.Y, fmt.Sprintf("speedup-%s-p%.0f", slug(string(s.System)), p.X))
+		}
+	}
+}
+
+// Figure 2: N-body execution time versus % of memory available, 6 CPUs.
+func BenchmarkFigure2(b *testing.B) {
+	var r exp.Figure2Result
+	for i := 0; i < b.N; i++ {
+		r = exp.Figure2()
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			b.ReportMetric(p.Y, fmt.Sprintf("vsec-%s-mem%.0f", slug(string(s.System)), p.X))
+		}
+	}
+}
+
+// Table 5: speedup at multiprogramming level 2 (paper: Topaz 1.29, orig
+// FastThreads 1.26, new FastThreads 2.45; maximum possible 3.0).
+func BenchmarkTable5(b *testing.B) {
+	var rows []exp.Table5Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Table5()
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup, "speedup-"+slug(string(r.System)))
+		b.ReportMetric(r.Paper, "paper-"+slug(string(r.System)))
+	}
+}
+
+// §4.1 ablation: allocation policy.
+func BenchmarkAblationAllocatorPolicy(b *testing.B) {
+	var r exp.AllocatorAblationResult
+	for i := 0; i < b.N; i++ {
+		r = exp.AllocatorAblation()
+	}
+	b.ReportMetric(r.SpaceSharing.SpeedupAvg, "speedup-space-sharing")
+	b.ReportMetric(r.FirstCome.SpeedupAvg, "speedup-first-come")
+	b.ReportMetric(r.SpaceSharing.Spread, "spread-space-sharing")
+	b.ReportMetric(r.FirstCome.Spread, "spread-first-come")
+}
+
+// §4.2 ablation: idle hysteresis.
+func BenchmarkAblationHysteresis(b *testing.B) {
+	var r exp.HysteresisAblationResult
+	for i := 0; i < b.N; i++ {
+		r = exp.HysteresisAblation()
+	}
+	b.ReportMetric(float64(r.WithHysteresis.Takes), "reallocations-with")
+	b.ReportMetric(float64(r.WithoutHysteresis.Takes), "reallocations-without")
+}
+
+// slug compresses a system name for metric labels.
+func slug(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+'a'-'A')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,112 @@
+// Command saexp regenerates the tables and figures of the paper's
+// evaluation (§5) on the simulated machine, printing measured values next
+// to the paper's published ones.
+//
+// Usage:
+//
+//	saexp -exp table1     # Table 1: thread operation latencies
+//	saexp -exp table4     # Table 4: + FastThreads on scheduler activations
+//	saexp -exp csablation # §5.1: explicit-flag critical sections
+//	saexp -exp upcall     # §5.2: signal-wait through the kernel
+//	saexp -exp fig1       # Figure 1: speedup vs processors
+//	saexp -exp fig2       # Figure 2: execution time vs memory
+//	saexp -exp fig2tuned  # Figure 2 extra series with tuned upcalls
+//	saexp -exp table5     # Table 5: multiprogramming
+//	saexp -exp alloc      # §4.1 ablation: allocation policy
+//	saexp -exp hysteresis # §4.2 ablation: idle hysteresis
+//	saexp -exp all        # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"schedact/internal/exp"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment to run (table1, table4, csablation, upcall, breakeven, fig1, fig2, fig2tuned, table5, alloc, hysteresis, all)")
+	csvOut := flag.Bool("csv", false, "emit figure series as CSV instead of tables (fig1/fig2 only)")
+	flag.Parse()
+
+	out := os.Stdout
+	ran := false
+	want := func(name string) bool {
+		if *which == "all" || *which == name {
+			ran = true
+			return true
+		}
+		return false
+	}
+
+	if want("table1") {
+		exp.RenderMicro(out, "Table 1: Thread Operation Latencies (µsec)", exp.Table1())
+	}
+	if want("table4") {
+		exp.RenderMicro(out, "Table 4: Thread Operation Latencies (µsec), with Scheduler Activations", exp.Table4())
+	}
+	if want("csablation") {
+		r := exp.CSAblation()
+		exp.RenderMicro(out, "§5.1 ablation: critical-section marking", []exp.MicroRow{r.ZeroOverhead, r.ExplicitFlag})
+	}
+	if want("upcall") {
+		exp.RenderUpcall(out, exp.UpcallLatency())
+	}
+	if want("breakeven") {
+		exp.RenderBreakEven(out, exp.BreakEven())
+	}
+	if want("fig1") {
+		if *csvOut {
+			r := exp.Figure1()
+			if err := exp.WriteCSV(out, "processors", r.Series); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Fprintln(out, "running Figure 1 (19 application runs)...")
+			exp.RenderFigure1(out, exp.Figure1())
+		}
+	}
+	if want("fig2") {
+		if *csvOut {
+			r := exp.Figure2()
+			if err := exp.WriteCSV(out, "pct_memory", r.Series); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Fprintln(out, "running Figure 2 (21 application runs)...")
+			exp.RenderFigure2(out, exp.Figure2())
+		}
+	}
+	if want("fig2tuned") {
+		fmt.Fprintln(out, "running the tuned-upcall Figure 2 series...")
+		s := exp.Figure2Tuned()
+		fmt.Fprintf(out, "%-6s %28s\n", "%mem", s.System)
+		for _, p := range s.Points {
+			fmt.Fprintf(out, "%-6.0f %28.2f\n", p.X, p.Y)
+		}
+		fmt.Fprintln(out)
+	}
+	if want("table5") {
+		fmt.Fprintln(out, "running Table 5 (6 application runs + sequential)...")
+		exp.RenderTable5(out, exp.Table5())
+	}
+	if want("alloc") || want("hysteresis") {
+		var a exp.AllocatorAblationResult
+		var h exp.HysteresisAblationResult
+		if *which == "all" || *which == "alloc" {
+			a = exp.AllocatorAblation()
+		}
+		if *which == "all" || *which == "hysteresis" {
+			h = exp.HysteresisAblation()
+		}
+		exp.RenderAblations(out, a, h)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,52 @@
+// Command satrace runs a small scenario on the scheduler-activation kernel
+// and dumps the kernel's scheduling trace: every upcall, downcall, grant,
+// take, block, and unblock, with the processor it happened on. Useful for
+// seeing the Table 2/Table 3 protocol in action.
+//
+// Usage:
+//
+//	satrace                 # two competing N-body apps, first 60ms
+//	satrace -ms 200         # trace a longer window
+//	satrace -io             # a single app with heavy I/O (blocked/unblocked traffic)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"schedact/internal/apps/nbody"
+	"schedact/internal/core"
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+	"schedact/internal/uthread"
+)
+
+func main() {
+	ms := flag.Int("ms", 60, "milliseconds of virtual time to trace")
+	io := flag.Bool("io", false, "trace an I/O-heavy single application instead of two competing ones")
+	flag.Parse()
+
+	eng := sim.NewEngine()
+	defer eng.Close()
+	tr := trace.New(100000)
+	k := core.New(eng, core.Config{CPUs: 4, Costs: nil, Trace: tr})
+
+	cfg := nbody.Config{N: 96, Steps: 1, Seed: 7}
+	if *io {
+		cfg.MemFraction = 0.4
+		s := uthread.OnActivations(k, "app", 0, 4, uthread.Options{})
+		nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
+		s.Start()
+	} else {
+		for i := 0; i < 2; i++ {
+			s := uthread.OnActivations(k, fmt.Sprintf("app%d", i), 0, 4, uthread.Options{})
+			nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
+			s.Start()
+		}
+	}
+	eng.RunUntil(sim.Time(sim.Duration(*ms) * sim.Millisecond))
+	tr.Dump(os.Stdout)
+	fmt.Printf("\n%d events in %dms of virtual time; kernel stats: %+v\n",
+		len(tr.Entries()), *ms, k.Stats)
+}

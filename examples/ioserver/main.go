@@ -1,0 +1,76 @@
+// I/O server example: why a blocking thread must not take its processor
+// with it.
+//
+// A request-serving application handles a stream of requests, each needing
+// a little computation and one disk read. On original FastThreads (virtual
+// processors = kernel threads), every disk read blocks a virtual processor:
+// with all of them blocked the machine sits idle under a pile of pending
+// requests. On scheduler activations the kernel hands the processor back at
+// every block, so computation and I/O overlap and throughput tracks the
+// disk, not the thread system.
+package main
+
+import (
+	"fmt"
+
+	"schedact/internal/core"
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+	"schedact/internal/uthread"
+)
+
+const (
+	cpus     = 2
+	requests = 60
+	compute  = 2 * sim.Millisecond // per-request CPU work
+)
+
+// serve runs the request loop on the given scheduler and reports the
+// completion time of the last request.
+func serve(eng *sim.Engine, s *uthread.Sched) (finish *sim.Time, served *int) {
+	count := new(int)
+	finish = new(sim.Time)
+	s.Spawn("listener", func(t *uthread.Thread) {
+		var handlers []*uthread.Thread
+		for i := 0; i < requests; i++ {
+			handlers = append(handlers, t.Fork(fmt.Sprintf("req%d", i), func(h *uthread.Thread) {
+				h.Exec(compute / 2)
+				h.BlockIO() // fetch the record: 50ms disk read
+				h.Exec(compute / 2)
+				*count++
+			}))
+		}
+		for _, h := range handlers {
+			t.Join(h)
+		}
+		*finish = t.Now()
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(5 * 60 * sim.Second))
+	return finish, count
+}
+
+func main() {
+	fmt.Printf("%d requests, %v compute + one 50ms disk read each, %d processors\n\n",
+		requests, compute, cpus)
+
+	{
+		eng := sim.NewEngine()
+		k := kernel.New(eng, kernel.Config{CPUs: cpus})
+		s := uthread.OnKernelThreads(k, k.NewSpace("server", false), cpus, uthread.Options{})
+		finish, count := serve(eng, s)
+		fmt.Printf("orig FastThreads:  %3d served, done at %8.3fs  (each blocked VP idles a processor)\n",
+			*count, finish.Seconds())
+		eng.Close()
+	}
+	{
+		eng := sim.NewEngine()
+		k := core.New(eng, core.Config{CPUs: cpus})
+		s := uthread.OnActivations(k, "server", 0, cpus, uthread.Options{})
+		finish, count := serve(eng, s)
+		fmt.Printf("new FastThreads:   %3d served, done at %8.3fs  (blocked activations return their processors)\n",
+			*count, finish.Seconds())
+		eng.Close()
+	}
+	fmt.Println("\nlower bound: 60 overlapped 50ms reads ≈ 0.05s + compute; serialized reads ≈ 60×50ms/VPs")
+}

@@ -1,0 +1,77 @@
+// N-body example: the paper's §5.3 application on all three thread systems.
+//
+// Runs the same Barnes-Hut computation (identical physics, verified against
+// an O(N²) reference) on Topaz kernel threads, original FastThreads, and
+// FastThreads on scheduler activations, on a 4-processor machine, and
+// reports execution time and speedup over the sequential implementation.
+package main
+
+import (
+	"fmt"
+
+	"schedact/internal/apps/nbody"
+	"schedact/internal/core"
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+	"schedact/internal/uthread"
+)
+
+const cpus = 4
+
+func main() {
+	cfg := nbody.Config{N: 256, Steps: 2, Seed: 42}
+
+	// Sequential baseline.
+	seqEng := sim.NewEngine()
+	seqK := kernel.New(seqEng, kernel.Config{CPUs: 1})
+	seq := nbody.RunSequential(seqK.NewSpace("seq", false), cfg)
+	seqEng.Run()
+	seqEng.Close()
+	fmt.Printf("sequential:        %8.3fs   (%d interactions)\n",
+		sim.Duration(seq.Elapsed()).Seconds(), seq.Interactions)
+
+	type launch func(eng *sim.Engine) *nbody.Run
+	systems := []struct {
+		name string
+		run  launch
+	}{
+		{"Topaz threads", func(eng *sim.Engine) *nbody.Run {
+			k := kernel.New(eng, kernel.Config{CPUs: cpus})
+			sp := k.NewSpace("nbody", false)
+			return nbody.Launch(nbody.KThreadSystem{K: k, SP: sp}, cfg)
+		}},
+		{"orig FastThreads", func(eng *sim.Engine) *nbody.Run {
+			k := kernel.New(eng, kernel.Config{CPUs: cpus})
+			s := uthread.OnKernelThreads(k, k.NewSpace("nbody", false), cpus, uthread.Options{})
+			r := nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
+			s.Start()
+			return r
+		}},
+		{"new FastThreads", func(eng *sim.Engine) *nbody.Run {
+			k := core.New(eng, core.Config{CPUs: cpus})
+			s := uthread.OnActivations(k, "nbody", 0, cpus, uthread.Options{})
+			r := nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
+			s.Start()
+			return r
+		}},
+	}
+
+	for _, sys := range systems {
+		eng := sim.NewEngine()
+		r := sys.run(eng)
+		eng.RunUntil(sim.Time(10 * 60 * sim.Second))
+		if !r.Done {
+			fmt.Printf("%-18s did not finish\n", sys.name)
+			eng.Close()
+			continue
+		}
+		same := "physics identical to sequential"
+		if r.Interactions != seq.Interactions {
+			same = "PHYSICS DIVERGED"
+		}
+		fmt.Printf("%-18s %8.3fs   speedup %.2f on %d CPUs   (%s)\n",
+			sys.name, sim.Duration(r.Elapsed()).Seconds(),
+			float64(seq.Elapsed())/float64(r.Elapsed()), cpus, same)
+		eng.Close()
+	}
+}

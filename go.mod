@@ -1,0 +1,3 @@
+module schedact
+
+go 1.24

@@ -1,0 +1,114 @@
+package micro
+
+import (
+	"testing"
+
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+)
+
+// paper targets, µs (Tables 1 and 4, §5.1, §5.2)
+var paper = map[System]struct{ nf, sw float64 }{
+	FastThreadsKT:   {34, 37},
+	TopazThreads:    {948, 441},
+	UltrixProcesses: {11300, 1840},
+	FastThreadsSA:   {37, 42},
+}
+
+// within reports whether got is within frac of want.
+func within(got, want, frac float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= want*frac
+}
+
+func TestCalibrationMatchesPaper(t *testing.T) {
+	for sys, want := range paper {
+		r := Run(sys, nil)
+		nf, sw := sim.DurUs(r.NullFork), sim.DurUs(r.SignalWait)
+		t.Logf("%-40s NullFork %7.1fµs (paper %7.1f)  Signal-Wait %7.1fµs (paper %7.1f)",
+			sys, nf, want.nf, sw, want.sw)
+		if !within(nf, want.nf, 0.10) {
+			t.Errorf("%s: NullFork = %.1fµs, paper %.1fµs (>10%% off)", sys, nf, want.nf)
+		}
+		if !within(sw, want.sw, 0.10) {
+			t.Errorf("%s: Signal-Wait = %.1fµs, paper %.1fµs (>10%% off)", sys, sw, want.sw)
+		}
+	}
+}
+
+func TestOrderOfMagnitudeSeparation(t *testing.T) {
+	ft := Run(FastThreadsKT, nil)
+	topaz := Run(TopazThreads, nil)
+	ultrix := Run(UltrixProcesses, nil)
+	if topaz.NullFork < 10*ft.NullFork {
+		t.Errorf("Topaz fork (%v) should be ~an order of magnitude above FastThreads (%v)", topaz.NullFork, ft.NullFork)
+	}
+	if ultrix.NullFork < 10*topaz.NullFork {
+		t.Errorf("Ultrix fork (%v) should be ~an order of magnitude above Topaz (%v)", ultrix.NullFork, topaz.NullFork)
+	}
+}
+
+func TestSAOverheadSmall(t *testing.T) {
+	// Table 4: scheduler activations cost only a few µs over original
+	// FastThreads (3µs on Null Fork, 5µs on Signal-Wait).
+	ft := Run(FastThreadsKT, nil)
+	sa := Run(FastThreadsSA, nil)
+	dNF := sim.DurUs(sa.NullFork) - sim.DurUs(ft.NullFork)
+	dSW := sim.DurUs(sa.SignalWait) - sim.DurUs(ft.SignalWait)
+	t.Logf("SA deltas: NullFork +%.1fµs (paper +3), Signal-Wait +%.1fµs (paper +5)", dNF, dSW)
+	if dNF < 0.5 || dNF > 8 {
+		t.Errorf("NullFork delta = %.1fµs, want small positive (~3µs)", dNF)
+	}
+	if dSW < 0.5 || dSW > 10 {
+		t.Errorf("Signal-Wait delta = %.1fµs, want small positive (~5µs)", dSW)
+	}
+}
+
+func TestAblationExplicitFlags(t *testing.T) {
+	// §5.1: without the zero-overhead marking, Null Fork 49µs and
+	// Signal-Wait 48µs; Null Fork has more critical sections in its path.
+	sa := Run(FastThreadsSA, nil)
+	ab := RunAblation(nil)
+	t.Logf("ablation: NullFork %.1fµs (paper 49), Signal-Wait %.1fµs (paper 48)",
+		sim.DurUs(ab.NullFork), sim.DurUs(ab.SignalWait))
+	if ab.NullFork <= sa.NullFork || ab.SignalWait <= sa.SignalWait {
+		t.Fatal("explicit flags must cost more than zero-overhead marking")
+	}
+	dNF := ab.NullFork - sa.NullFork
+	dSW := ab.SignalWait - sa.SignalWait
+	if dNF <= dSW {
+		t.Errorf("NullFork ablation delta (%v) should exceed Signal-Wait's (%v): more critical sections in the fork path", dNF, dSW)
+	}
+}
+
+func TestUpcallSignalWaitPrototypeAndTuned(t *testing.T) {
+	proto := UpcallSignalWait(machine.DefaultCosts())
+	tuned := UpcallSignalWait(machine.TunedCosts())
+	topaz := Run(TopazThreads, nil).SignalWait
+	t.Logf("upcall signal-wait: prototype %.2fms (paper 2.4ms), tuned %.0fµs, Topaz %.0fµs",
+		sim.DurMs(proto), sim.DurUs(tuned), sim.DurUs(topaz))
+	// Prototype: ~2.4ms, a factor of ~5 worse than Topaz threads.
+	if !within(sim.DurMs(proto), 2.4, 0.25) {
+		t.Errorf("prototype upcall signal-wait = %.2fms, paper 2.4ms", sim.DurMs(proto))
+	}
+	ratio := float64(proto) / float64(topaz)
+	if ratio < 3.5 || ratio > 7 {
+		t.Errorf("prototype/Topaz ratio = %.1f, paper ~5", ratio)
+	}
+	// Tuned: commensurate with Topaz kernel threads (§5.2's expectation).
+	tr := float64(tuned) / float64(topaz)
+	if tr < 0.5 || tr > 2.5 {
+		t.Errorf("tuned/Topaz ratio = %.1f, want commensurate", tr)
+	}
+}
+
+func TestDeterministicBenchmarks(t *testing.T) {
+	a := Run(FastThreadsSA, nil)
+	b := Run(FastThreadsSA, nil)
+	if a != b {
+		t.Fatalf("benchmark not deterministic: %+v vs %+v", a, b)
+	}
+}

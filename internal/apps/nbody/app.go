@@ -1,0 +1,311 @@
+package nbody
+
+import (
+	"fmt"
+
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+)
+
+// Config parameterizes one application run. The defaults model the paper's
+// setup: a problem size chosen so the buffer cache fits in memory at 100%,
+// fork-per-chunk parallelization of the force phase, and a shared
+// application lock whose critical sections are a bottleneck under kernel
+// threads (§5.3's discussion of Figure 1).
+type Config struct {
+	N     int     // bodies
+	Steps int     // timesteps
+	Theta float64 // opening criterion
+	DT    float64 // timestep
+	Seed  int64
+
+	ChunkBodies int // bodies per forked worker thread
+
+	// MaxLiveChunks bounds how many chunk threads exist at once: the main
+	// thread forks up to the window, then joins the oldest before forking
+	// the next. This is the application's parallel slackness — enough
+	// threads to overlap I/O with computation (§5.3), but not unbounded.
+	MaxLiveChunks int
+
+	// Costs of the real computation on the simulated (CVAX-class) machine.
+	InteractionCost  sim.Duration // per body-body or body-cell interaction
+	TreeBuildPerBody sim.Duration // tree construction, charged to the main thread
+	IntegratePerBody sim.Duration // integration, charged to the main thread
+	LockOpsPerBody   int          // shared-lock acquisitions per body (accumulation updates)
+	CSWork           sim.Duration // work inside each such critical section
+	CacheHitCost     sim.Duration // buffer-cache hit (in-memory access)
+
+	// Buffer cache (§5.3): MemFraction of the body pages fit in memory;
+	// misses block in the kernel for the disk latency.
+	MemFraction   float64
+	BodiesPerPage int
+}
+
+// DefaultConfig returns the calibrated workload used by the Figure 1/2 and
+// Table 5 reproductions.
+func DefaultConfig() Config {
+	return Config{
+		N:                512,
+		Steps:            3,
+		Theta:            0.8,
+		DT:               0.01,
+		Seed:             1,
+		ChunkBodies:      1,
+		MaxLiveChunks:    18,
+		InteractionCost:  sim.Us(40),
+		TreeBuildPerBody: sim.Us(100),
+		IntegratePerBody: sim.Us(20),
+		LockOpsPerBody:   2,
+		CSWork:           sim.Us(300),
+		CacheHitCost:     sim.Us(2),
+		MemFraction:      1.0,
+		BodiesPerPage:    8,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.N == 0 {
+		c.N = d.N
+	}
+	if c.Steps == 0 {
+		c.Steps = d.Steps
+	}
+	if c.Theta == 0 {
+		c.Theta = d.Theta
+	}
+	if c.DT == 0 {
+		c.DT = d.DT
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.ChunkBodies == 0 {
+		c.ChunkBodies = d.ChunkBodies
+	}
+	if c.MaxLiveChunks == 0 {
+		c.MaxLiveChunks = d.MaxLiveChunks
+	}
+	if c.InteractionCost == 0 {
+		c.InteractionCost = d.InteractionCost
+	}
+	if c.TreeBuildPerBody == 0 {
+		c.TreeBuildPerBody = d.TreeBuildPerBody
+	}
+	if c.IntegratePerBody == 0 {
+		c.IntegratePerBody = d.IntegratePerBody
+	}
+	if c.CSWork == 0 {
+		c.CSWork = d.CSWork
+	}
+	if c.CacheHitCost == 0 {
+		c.CacheHitCost = d.CacheHitCost
+	}
+	if c.MemFraction == 0 {
+		c.MemFraction = d.MemFraction
+	}
+	if c.BodiesPerPage == 0 {
+		c.BodiesPerPage = d.BodiesPerPage
+	}
+	return c
+}
+
+// Run carries the progress and results of one application instance.
+type Run struct {
+	Cfg      Config
+	Done     bool
+	Started  sim.Time
+	Finished sim.Time
+
+	Interactions uint64
+	CacheHits    uint64
+	CacheMisses  uint64
+	Bodies       []Body // final state, for correctness cross-checks
+}
+
+// Elapsed reports the virtual execution time of the run.
+func (r *Run) Elapsed() sim.Duration {
+	if !r.Done {
+		return 0
+	}
+	return r.Finished.Sub(r.Started)
+}
+
+// Launch starts the application on the given thread system. The caller then
+// drives the simulation engine; when the application's main thread
+// finishes, Done flips true.
+func Launch(sys System, cfg Config) *Run {
+	cfg = cfg.withDefaults()
+	r := &Run{Cfg: cfg}
+	sys.Spawn("nbody-main", func(t Thread) { r.main(sys, t) })
+	return r
+}
+
+func (r *Run) main(sys System, t Thread) {
+	cfg := r.Cfg
+	r.Started = t.Now()
+	bodies := NewUniformCluster(cfg.N, cfg.Seed)
+	SortMorton(bodies)
+	totalPages := Pages(cfg.N, cfg.BodiesPerPage)
+	capacity := int(cfg.MemFraction * float64(totalPages))
+	cache := NewCache(cfg.N, cfg.BodiesPerPage, capacity)
+	prewarm(cache, capacity, cfg.BodiesPerPage)
+	shared := sys.NewMutex()
+	window := NewSem(sys, cfg.MaxLiveChunks)
+
+	accels := make([]Vec3, cfg.N)
+	for step := 0; step < cfg.Steps; step++ {
+		// Build the tree (main thread, sequential — as in Barnes-Hut).
+		t.Exec(sim.Duration(cfg.N) * cfg.TreeBuildPerBody)
+		root, _ := BuildTree(bodies)
+
+		// Force phase: fork a thread per chunk of bodies; each computes
+		// its chunk's forces, touching body pages through the buffer cache
+		// and updating shared accumulators under the application lock. A
+		// counting semaphore bounds the window of live chunk threads; the
+		// main thread blocks for a slot before each fork, so chunk
+		// completions (in any order) refill the window.
+		var handles []Handle
+		for lo := 0; lo < cfg.N; lo += cfg.ChunkBodies {
+			lo := lo
+			hi := min(lo+cfg.ChunkBodies, cfg.N)
+			window.Acquire(t)
+			handles = append(handles, t.Fork(fmt.Sprintf("chunk%d", lo), func(wt Thread) {
+				r.computeChunk(wt, cfg, cache, shared, root, bodies, accels, lo, hi)
+				window.Release(wt)
+			}))
+		}
+		for _, h := range handles {
+			t.Join(h)
+		}
+
+		// Integrate (main thread).
+		t.Exec(sim.Duration(cfg.N) * cfg.IntegratePerBody)
+		for i := range bodies {
+			Leapfrog(&bodies[i], accels[i], cfg.DT)
+		}
+	}
+	r.CacheHits = cache.Hits
+	r.CacheMisses = cache.Misses
+	r.Bodies = bodies
+	r.Finished = t.Now()
+	r.Done = true
+}
+
+// computeChunk evaluates forces for bodies [lo,hi).
+func (r *Run) computeChunk(wt Thread, cfg Config, cache *Cache, shared Mutex, root *Cell, bodies []Body, accels []Vec3, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		// Walk the tree, collecting which body pages the direct
+		// interactions touch.
+		pages := make(map[int]bool)
+		a, n := root.Force(bodies, i, cfg.Theta, func(leaf int) {
+			if leaf >= 0 {
+				pages[leaf/cfg.BodiesPerPage] = true
+			}
+		})
+		accels[i] = a
+		r.Interactions += uint64(n)
+
+		// Fetch the touched pages through the application's buffer cache;
+		// a miss blocks in the kernel for the disk read (§5.3). Pages are
+		// visited in order for determinism.
+		for _, p := range sortedKeys(pages) {
+			if cache.Access(p * cfg.BodiesPerPage) {
+				wt.Exec(cfg.CacheHitCost)
+			} else {
+				wt.BlockIO()
+			}
+		}
+
+		// The arithmetic.
+		wt.Exec(sim.Duration(n) * cfg.InteractionCost)
+
+		// Shared accumulation updates (the application's critical
+		// sections).
+		for k := 0; k < cfg.LockOpsPerBody; k++ {
+			shared.Lock(wt)
+			wt.Exec(cfg.CSWork)
+			shared.Unlock(wt)
+		}
+	}
+}
+
+// prewarm loads the first capacity pages, modelling an application that
+// starts with its memory full of data: the paper's "100% of memory
+// available" case does negligible I/O, so compulsory cold misses are
+// excluded from the measurement.
+func prewarm(c *Cache, capacity, bodiesPerPage int) {
+	for p := 0; p < capacity; p++ {
+		c.Access(p * bodiesPerPage)
+	}
+	c.Hits, c.Misses = 0, 0
+}
+
+func sortedKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Insertion sort: page sets are small.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// RunSequential executes the same computation with no threads at all on a
+// single kernel thread: the sequential implementation that anchors the
+// paper's speedup figures. It returns the completed Run after driving is
+// done (caller runs the engine).
+func RunSequential(sp *kernel.Space, cfg Config) *Run {
+	cfg = cfg.withDefaults()
+	r := &Run{Cfg: cfg}
+	sp.Spawn("nbody-seq", 0, func(t *kernel.KThread) {
+		eng := sp.Kernel().Eng
+		r.Started = eng.Now()
+		bodies := NewUniformCluster(cfg.N, cfg.Seed)
+		SortMorton(bodies)
+		totalPages := Pages(cfg.N, cfg.BodiesPerPage)
+		capacity := int(cfg.MemFraction * float64(totalPages))
+		cache := NewCache(cfg.N, cfg.BodiesPerPage, capacity)
+		prewarm(cache, capacity, cfg.BodiesPerPage)
+		accels := make([]Vec3, cfg.N)
+		for step := 0; step < cfg.Steps; step++ {
+			t.Exec(sim.Duration(cfg.N) * cfg.TreeBuildPerBody)
+			root, _ := BuildTree(bodies)
+			for i := 0; i < cfg.N; i++ {
+				pages := make(map[int]bool)
+				a, n := root.Force(bodies, i, cfg.Theta, func(leaf int) {
+					if leaf >= 0 {
+						pages[leaf/cfg.BodiesPerPage] = true
+					}
+				})
+				accels[i] = a
+				r.Interactions += uint64(n)
+				for _, p := range sortedKeys(pages) {
+					if cache.Access(p * cfg.BodiesPerPage) {
+						t.Exec(cfg.CacheHitCost)
+					} else {
+						t.BlockIO()
+					}
+				}
+				t.Exec(sim.Duration(n) * cfg.InteractionCost)
+				// The sequential program updates its accumulators without
+				// locks, but still does the work.
+				t.Exec(sim.Duration(cfg.LockOpsPerBody) * cfg.CSWork)
+			}
+			t.Exec(sim.Duration(cfg.N) * cfg.IntegratePerBody)
+			for i := range bodies {
+				Leapfrog(&bodies[i], accels[i], cfg.DT)
+			}
+		}
+		r.CacheHits = cache.Hits
+		r.CacheMisses = cache.Misses
+		r.Bodies = bodies
+		r.Finished = eng.Now()
+		r.Done = true
+	})
+	return r
+}

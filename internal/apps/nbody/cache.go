@@ -1,0 +1,85 @@
+package nbody
+
+// Cache is the application-managed buffer cache of §5.3: body data lives in
+// fixed-size pages; the application keeps a fraction of the pages in memory
+// under LRU replacement, and a miss must fetch the page from disk (the
+// caller blocks in the kernel for the disk latency). The cache itself is a
+// pure data structure; all timing lives with the caller.
+type Cache struct {
+	pageOf   func(body int) int
+	capacity int
+	// LRU list, most recent at the back, plus an index.
+	order []int
+	pos   map[int]int // page -> index in order
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache builds a cache over nBodies bodies packed bodiesPerPage to a
+// page, keeping capacity pages resident. capacity < 1 is clamped to 1.
+func NewCache(nBodies, bodiesPerPage, capacity int) *Cache {
+	if bodiesPerPage < 1 {
+		bodiesPerPage = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		pageOf:   func(b int) int { return b / bodiesPerPage },
+		capacity: capacity,
+		pos:      make(map[int]int),
+	}
+}
+
+// Pages reports how many distinct pages back nBodies bodies at
+// bodiesPerPage.
+func Pages(nBodies, bodiesPerPage int) int {
+	return (nBodies + bodiesPerPage - 1) / bodiesPerPage
+}
+
+// Access touches the page holding body b, returning true on a hit. On a
+// miss the page is brought in, evicting the least recently used page if the
+// cache is full. The caller is responsible for charging the hit cost or
+// blocking for the miss.
+func (c *Cache) Access(b int) (hit bool) {
+	p := c.pageOf(b)
+	if i, ok := c.pos[p]; ok {
+		c.Hits++
+		c.touch(i)
+		return true
+	}
+	c.Misses++
+	if len(c.order) >= c.capacity {
+		// Evict the least recently used (front).
+		victim := c.order[0]
+		copy(c.order, c.order[1:])
+		c.order = c.order[:len(c.order)-1]
+		delete(c.pos, victim)
+		for j, pg := range c.order {
+			c.pos[pg] = j
+		}
+	}
+	c.pos[p] = len(c.order)
+	c.order = append(c.order, p)
+	return false
+}
+
+// touch moves the page at index i to most-recently-used.
+func (c *Cache) touch(i int) {
+	p := c.order[i]
+	copy(c.order[i:], c.order[i+1:])
+	c.order[len(c.order)-1] = p
+	for j := i; j < len(c.order); j++ {
+		c.pos[c.order[j]] = j
+	}
+}
+
+// Resident reports the number of pages currently cached.
+func (c *Cache) Resident() int { return len(c.order) }
+
+// Contains reports whether body b's page is resident (no LRU side effect).
+func (c *Cache) Contains(b int) bool {
+	_, ok := c.pos[c.pageOf(b)]
+	return ok
+}

@@ -1,0 +1,46 @@
+package nbody
+
+import "sort"
+
+// SortMorton reorders bodies along a Z-order (Morton) space-filling curve,
+// the standard locality optimization for Barnes-Hut codes: bodies close in
+// space end up close in memory, so a force traversal's direct interactions
+// touch few distinct pages — which is what makes an LRU buffer cache over
+// body pages effective (§5.3).
+func SortMorton(bodies []Body) {
+	lo, hi := bodies[0].Pos, bodies[0].Pos
+	for _, b := range bodies[1:] {
+		lo.X = min(lo.X, b.Pos.X)
+		lo.Y = min(lo.Y, b.Pos.Y)
+		lo.Z = min(lo.Z, b.Pos.Z)
+		hi.X = max(hi.X, b.Pos.X)
+		hi.Y = max(hi.Y, b.Pos.Y)
+		hi.Z = max(hi.Z, b.Pos.Z)
+	}
+	span := func(a, b float64) float64 {
+		if b-a < 1e-12 {
+			return 1e-12
+		}
+		return b - a
+	}
+	sx, sy, sz := span(lo.X, hi.X), span(lo.Y, hi.Y), span(lo.Z, hi.Z)
+	key := func(p Vec3) uint64 {
+		qx := uint32((p.X - lo.X) / sx * 1023)
+		qy := uint32((p.Y - lo.Y) / sy * 1023)
+		qz := uint32((p.Z - lo.Z) / sz * 1023)
+		return interleave3(qx) | interleave3(qy)<<1 | interleave3(qz)<<2
+	}
+	sort.SliceStable(bodies, func(i, j int) bool {
+		return key(bodies[i].Pos) < key(bodies[j].Pos)
+	})
+}
+
+// interleave3 spreads the low 10 bits of v so consecutive bits land 3 apart.
+func interleave3(v uint32) uint64 {
+	x := uint64(v) & 0x3ff
+	x = (x | x<<16) & 0x30000ff
+	x = (x | x<<8) & 0x300f00f
+	x = (x | x<<4) & 0x30c30c3
+	x = (x | x<<2) & 0x9249249
+	return x
+}

@@ -1,0 +1,100 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMortonPreservesBodies(t *testing.T) {
+	f := func(seed int64) bool {
+		bodies := NewUniformCluster(100, seed)
+		var massBefore, xBefore float64
+		for _, b := range bodies {
+			massBefore += b.Mass
+			xBefore += b.Pos.X
+		}
+		SortMorton(bodies)
+		var massAfter, xAfter float64
+		for _, b := range bodies {
+			massAfter += b.Mass
+			xAfter += b.Pos.X
+		}
+		return math.Abs(massBefore-massAfter) < 1e-12 && math.Abs(xBefore-xAfter) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMortonImprovesNeighbourLocality(t *testing.T) {
+	// After Z-ordering, consecutive bodies should be much closer in space
+	// on average than under the original random order.
+	bodies := NewUniformCluster(512, 3)
+	dist := func(bs []Body) float64 {
+		var d float64
+		for i := 1; i < len(bs); i++ {
+			d += bs[i].Pos.Sub(bs[i-1].Pos).Norm()
+		}
+		return d / float64(len(bs)-1)
+	}
+	before := dist(bodies)
+	SortMorton(bodies)
+	after := dist(bodies)
+	if after >= before*0.6 {
+		t.Fatalf("mean neighbour distance %f -> %f: Morton ordering should shrink it substantially", before, after)
+	}
+}
+
+func TestMortonReducesCacheMisses(t *testing.T) {
+	// The point of the ordering: traversals touch fewer distinct pages, so
+	// an undersized LRU cache misses less.
+	run := func(sorted bool) uint64 {
+		bodies := NewUniformCluster(512, 3)
+		if sorted {
+			SortMorton(bodies)
+		}
+		root, _ := BuildTree(bodies)
+		cache := NewCache(512, 8, 26) // 40% of 64 pages
+		for i := range bodies {
+			pages := map[int]bool{}
+			root.Force(bodies, i, 0.8, func(leaf int) {
+				if leaf >= 0 {
+					pages[leaf/8] = true
+				}
+			})
+			for _, p := range sortedKeys(pages) {
+				cache.Access(p * 8)
+			}
+		}
+		return cache.Misses
+	}
+	unsorted, sorted := run(false), run(true)
+	if sorted >= unsorted {
+		t.Fatalf("misses sorted=%d unsorted=%d: ordering should reduce misses", sorted, unsorted)
+	}
+}
+
+func TestInterleave3Bits(t *testing.T) {
+	// Each input bit b_i must land at output position 3i.
+	for i := 0; i < 10; i++ {
+		got := interleave3(1 << i)
+		want := uint64(1) << (3 * i)
+		if got != want {
+			t.Fatalf("interleave3(1<<%d) = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestInterleave3NoCollisions(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := uint32(a)&0x3ff, uint32(b)&0x3ff
+		if x == y {
+			return true
+		}
+		return interleave3(x) != interleave3(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

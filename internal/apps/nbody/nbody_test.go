@@ -1,0 +1,276 @@
+package nbody
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schedact/internal/core"
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+	"schedact/internal/uthread"
+)
+
+func TestTreeForceMatchesBruteForce(t *testing.T) {
+	bodies := NewUniformCluster(300, 7)
+	root, cells := BuildTree(bodies)
+	if cells < 300 {
+		t.Fatalf("cells = %d, want at least one per body", cells)
+	}
+	var worst float64
+	for i := range bodies {
+		approx, n := root.Force(bodies, i, 0.5, nil)
+		exact := BruteForce(bodies, i)
+		if n == 0 {
+			t.Fatalf("body %d: no interactions", i)
+		}
+		err := approx.Sub(exact).Norm() / (exact.Norm() + 1e-12)
+		if err > worst {
+			worst = err
+		}
+	}
+	if worst > 0.05 {
+		t.Fatalf("worst relative force error %.3f, want < 5%% at θ=0.5", worst)
+	}
+}
+
+func TestSmallThetaApproachesExact(t *testing.T) {
+	bodies := NewUniformCluster(100, 3)
+	root, _ := BuildTree(bodies)
+	for i := 0; i < 10; i++ {
+		approx, _ := root.Force(bodies, i, 1e-9, nil)
+		exact := BruteForce(bodies, i)
+		if err := approx.Sub(exact).Norm(); err > 1e-9 {
+			t.Fatalf("θ→0 should reproduce brute force; body %d err %g", i, err)
+		}
+	}
+}
+
+func TestTreeInteractionCountSubLinear(t *testing.T) {
+	// Barnes-Hut's point: interactions per body are ~log N, far below N.
+	bodies := NewUniformCluster(512, 1)
+	root, _ := BuildTree(bodies)
+	total := 0
+	for i := range bodies {
+		_, n := root.Force(bodies, i, 0.8, nil)
+		total += n
+	}
+	avg := float64(total) / float64(len(bodies))
+	if avg >= float64(len(bodies))/2 {
+		t.Fatalf("avg interactions %.0f, want far below N=%d", avg, len(bodies))
+	}
+	if avg < 5 {
+		t.Fatalf("avg interactions %.0f suspiciously low", avg)
+	}
+	t.Logf("avg interactions per body at θ=0.8: %.1f", avg)
+}
+
+func TestTreeCountsAllBodies(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%200) + 2
+		bodies := NewUniformCluster(n, seed)
+		root, _ := BuildTree(bodies)
+		return root.NBodies == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeMassConserved(t *testing.T) {
+	f := func(seed int64) bool {
+		bodies := NewUniformCluster(128, seed)
+		root, _ := BuildTree(bodies)
+		var m float64
+		for _, b := range bodies {
+			m += b.Mass
+		}
+		return math.Abs(root.Mass-m) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyRoughlyConserved(t *testing.T) {
+	bodies := NewUniformCluster(200, 11)
+	e0 := TotalEnergy(bodies)
+	for step := 0; step < 10; step++ {
+		root, _ := BuildTree(bodies)
+		accels := make([]Vec3, len(bodies))
+		for i := range bodies {
+			accels[i], _ = root.Force(bodies, i, 0.5, nil)
+		}
+		for i := range bodies {
+			Leapfrog(&bodies[i], accels[i], 0.005)
+		}
+	}
+	e1 := TotalEnergy(bodies)
+	if drift := math.Abs(e1-e0) / math.Abs(e0); drift > 0.05 {
+		t.Fatalf("energy drift %.3f over 10 steps, want < 5%%", drift)
+	}
+}
+
+// --- cache ---
+
+func TestCacheHitsAfterFill(t *testing.T) {
+	c := NewCache(64, 8, 8) // all 8 pages fit
+	for b := 0; b < 64; b++ {
+		c.Access(b)
+	}
+	if c.Misses != 8 {
+		t.Fatalf("cold misses = %d, want 8", c.Misses)
+	}
+	for b := 0; b < 64; b++ {
+		if !c.Access(b) {
+			t.Fatalf("body %d missed with a full-size cache", b)
+		}
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(32, 8, 2) // 4 pages, capacity 2
+	c.Access(0)             // page 0
+	c.Access(8)             // page 1
+	c.Access(0)             // touch page 0 (now MRU)
+	c.Access(16)            // page 2: evicts page 1 (LRU)
+	if !c.Contains(0) {
+		t.Fatal("page 0 should be resident (recently touched)")
+	}
+	if c.Contains(8) {
+		t.Fatal("page 1 should have been evicted (LRU)")
+	}
+	if !c.Contains(16) {
+		t.Fatal("page 2 should be resident")
+	}
+}
+
+func TestCacheNeverExceedsCapacity(t *testing.T) {
+	f := func(seed int64, capRaw, accesses uint8) bool {
+		capacity := int(capRaw%16) + 1
+		c := NewCache(256, 4, capacity)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(accesses); i++ {
+			c.Access(rng.Intn(256))
+			if c.Resident() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheHitPlusMissEqualsAccesses(t *testing.T) {
+	f := func(seed int64, accesses uint8) bool {
+		c := NewCache(128, 8, 3)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(accesses); i++ {
+			c.Access(rng.Intn(128))
+		}
+		return c.Hits+c.Misses == uint64(accesses)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- the application on all three systems ---
+
+func smallCfg() Config {
+	return Config{
+		N:     64,
+		Steps: 2,
+		Seed:  5,
+	}
+}
+
+func runOn(t *testing.T, system string, cfg Config, cpus int) *Run {
+	t.Helper()
+	eng := sim.NewEngine()
+	t.Cleanup(eng.Close)
+	var r *Run
+	switch system {
+	case "seq":
+		k := kernel.New(eng, kernel.Config{CPUs: 1})
+		r = RunSequential(k.NewSpace("seq", false), cfg)
+	case "topaz":
+		k := kernel.New(eng, kernel.Config{CPUs: cpus})
+		r = Launch(KThreadSystem{K: k, SP: k.NewSpace("app", false)}, cfg)
+	case "orig-ft":
+		k := kernel.New(eng, kernel.Config{CPUs: cpus})
+		s := uthread.OnKernelThreads(k, k.NewSpace("app", false), cpus, uthread.Options{})
+		r = Launch(UThreadSystem{S: s}, cfg)
+		s.Start()
+	case "new-ft":
+		k := core.New(eng, core.Config{CPUs: cpus})
+		s := uthread.OnActivations(k, "app", 0, cpus, uthread.Options{})
+		r = Launch(UThreadSystem{S: s}, cfg)
+		s.Start()
+	}
+	eng.RunUntil(sim.Time(20 * 60 * sim.Second))
+	if !r.Done {
+		t.Fatalf("%s run did not finish", system)
+	}
+	return r
+}
+
+func TestAllSystemsComputeSamePhysics(t *testing.T) {
+	cfg := smallCfg()
+	ref := runOn(t, "seq", cfg, 1)
+	for _, sysName := range []string{"topaz", "orig-ft", "new-ft"} {
+		r := runOn(t, sysName, cfg, 2)
+		if len(r.Bodies) != len(ref.Bodies) {
+			t.Fatalf("%s: body count mismatch", sysName)
+		}
+		for i := range r.Bodies {
+			if d := r.Bodies[i].Pos.Sub(ref.Bodies[i].Pos).Norm(); d > 1e-12 {
+				t.Fatalf("%s: body %d diverged from sequential by %g", sysName, i, d)
+			}
+		}
+		if r.Interactions != ref.Interactions {
+			t.Fatalf("%s: interactions %d != sequential %d", sysName, r.Interactions, ref.Interactions)
+		}
+	}
+}
+
+func TestParallelismSpeedsUpNewFT(t *testing.T) {
+	cfg := smallCfg()
+	r1 := runOn(t, "new-ft", cfg, 1)
+	r4 := runOn(t, "new-ft", cfg, 4)
+	sp := float64(r1.Elapsed()) / float64(r4.Elapsed())
+	if sp < 2.0 {
+		t.Fatalf("speedup 1→4 CPUs = %.2f, want >= 2", sp)
+	}
+	t.Logf("new-ft speedup at 4 CPUs: %.2f", sp)
+}
+
+func TestMemoryPressureCausesMisses(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MemFraction = 0.4
+	full := runOn(t, "seq", smallCfg(), 1)
+	tight := runOn(t, "seq", cfg, 1)
+	// At 100% the cache never misses after the cold fill; at 40% it must.
+	coldPages := uint64(Pages(cfg.N, 8))
+	if full.CacheMisses > coldPages {
+		t.Fatalf("misses at 100%% memory = %d, want <= cold fill %d", full.CacheMisses, coldPages)
+	}
+	if tight.CacheMisses <= full.CacheMisses {
+		t.Fatalf("misses at 40%% (%d) should exceed misses at 100%% (%d)", tight.CacheMisses, full.CacheMisses)
+	}
+	if tight.Elapsed() <= full.Elapsed() {
+		t.Fatal("memory pressure should slow the run down")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := smallCfg()
+	a := runOn(t, "new-ft", cfg, 3)
+	b := runOn(t, "new-ft", cfg, 3)
+	if a.Elapsed() != b.Elapsed() || a.Interactions != b.Interactions {
+		t.Fatalf("non-deterministic: %v/%d vs %v/%d", a.Elapsed(), a.Interactions, b.Elapsed(), b.Interactions)
+	}
+}

@@ -1,0 +1,180 @@
+package nbody
+
+import (
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+	"schedact/internal/uthread"
+)
+
+// Thread is the thread handle the application is written against, so the
+// same application code runs on Topaz kernel threads, original FastThreads,
+// and FastThreads on scheduler activations — the three systems of §5.3.
+type Thread interface {
+	Exec(d sim.Duration)
+	BlockIO()
+	Fork(name string, fn func(Thread)) Handle
+	Join(h Handle)
+	Now() sim.Time
+}
+
+// Handle identifies a forked thread for Join.
+type Handle any
+
+// Mutex is the application-lock abstraction: Topaz kernel mutexes block in
+// the kernel under contention; FastThreads mutexes block at user level.
+type Mutex interface {
+	Lock(t Thread)
+	Unlock(t Thread)
+}
+
+// Cond is the condition-variable abstraction used for the long-wait
+// coordination (the chunk-window semaphore).
+type Cond interface {
+	Wait(t Thread, m Mutex)
+	Signal(t Thread)
+}
+
+// System abstracts a thread system instance for one application run.
+type System interface {
+	Name() string
+	Spawn(name string, fn func(Thread))
+	// NewMutex returns the short-critical-section application lock (a spin
+	// lock on FastThreads, a kernel mutex on Topaz).
+	NewMutex() Mutex
+	// NewBlockingMutex returns a lock suitable for long waits.
+	NewBlockingMutex() Mutex
+	NewCond() Cond
+}
+
+// Sem is a counting semaphore built on the system's blocking primitives; it
+// bounds the window of live chunk threads.
+type Sem struct {
+	m Mutex
+	c Cond
+	n int
+}
+
+// NewSem creates a semaphore with n permits.
+func NewSem(sys System, n int) *Sem {
+	return &Sem{m: sys.NewBlockingMutex(), c: sys.NewCond(), n: n}
+}
+
+// Acquire takes a permit, blocking while none are available.
+func (s *Sem) Acquire(t Thread) {
+	s.m.Lock(t)
+	for s.n == 0 {
+		s.c.Wait(t, s.m)
+	}
+	s.n--
+	s.m.Unlock(t)
+}
+
+// Release returns a permit and wakes one waiter.
+func (s *Sem) Release(t Thread) {
+	s.m.Lock(t)
+	s.n++
+	s.m.Unlock(t)
+	s.c.Signal(t)
+}
+
+// --- FastThreads (either binding) ---
+
+// UThreadSystem adapts a uthread.Sched.
+type UThreadSystem struct{ S *uthread.Sched }
+
+type utThread struct{ t *uthread.Thread }
+
+// Name implements System.
+func (u UThreadSystem) Name() string { return "fastthreads" }
+
+// Spawn implements System.
+func (u UThreadSystem) Spawn(name string, fn func(Thread)) {
+	u.S.Spawn(name, func(t *uthread.Thread) { fn(utThread{t}) })
+}
+
+// NewMutex implements System. FastThreads applications protect short
+// critical sections with user-level spin locks (§3.3 "this technique
+// supports arbitrary user-level spin-locks"): cheap when uncontended, but
+// if the kernel deschedules a lock holder's virtual processor, other
+// processors spin-wait until the holder runs again — the multiprogramming
+// pathology of Table 5, which the activations binding cures with
+// critical-section continuation.
+func (u UThreadSystem) NewMutex() Mutex { return utSpinMutex{l: &uthread.SpinLock{}} }
+
+// NewBlockingMutex implements System with a user-level blocking mutex.
+func (u UThreadSystem) NewBlockingMutex() Mutex { return utMutex{u.S.NewMutex()} }
+
+// NewCond implements System.
+func (u UThreadSystem) NewCond() Cond { return utCond{u.S.NewCond()} }
+
+type utCond struct{ c *uthread.Cond }
+
+func (c utCond) Wait(t Thread, m Mutex) { c.c.Wait(t.(utThread).t, m.(utMutex).m) }
+func (c utCond) Signal(t Thread)        { c.c.Signal(t.(utThread).t) }
+
+func (w utThread) Exec(d sim.Duration) { w.t.Exec(d) }
+func (w utThread) BlockIO()            { w.t.BlockIO() }
+func (w utThread) Now() sim.Time       { return w.t.Now() }
+func (w utThread) Fork(name string, fn func(Thread)) Handle {
+	return w.t.Fork(name, func(c *uthread.Thread) { fn(utThread{c}) })
+}
+func (w utThread) Join(h Handle) { w.t.Join(h.(*uthread.Thread)) }
+
+type utMutex struct{ m *uthread.Mutex }
+
+func (m utMutex) Lock(t Thread)   { m.m.Lock(t.(utThread).t) }
+func (m utMutex) Unlock(t Thread) { m.m.Unlock(t.(utThread).t) }
+
+type utSpinMutex struct{ l *uthread.SpinLock }
+
+func (m utSpinMutex) Lock(t Thread)   { m.l.Acquire(t.(utThread).t) }
+func (m utSpinMutex) Unlock(t Thread) { m.l.Release(t.(utThread).t) }
+
+// --- Topaz kernel threads used directly ---
+
+// KThreadSystem adapts a native-kernel address space.
+type KThreadSystem struct {
+	K  *kernel.Kernel
+	SP *kernel.Space
+}
+
+type ktThread struct {
+	k *kernel.Kernel
+	t *kernel.KThread
+}
+
+// Name implements System.
+func (s KThreadSystem) Name() string { return "topaz-threads" }
+
+// Spawn implements System.
+func (s KThreadSystem) Spawn(name string, fn func(Thread)) {
+	s.SP.Spawn(name, 0, func(t *kernel.KThread) { fn(ktThread{s.K, t}) })
+}
+
+// NewMutex implements System.
+func (s KThreadSystem) NewMutex() Mutex { return ktMutex{s.K.NewMutex()} }
+
+// NewBlockingMutex implements System (kernel mutexes always block in the
+// kernel under contention).
+func (s KThreadSystem) NewBlockingMutex() Mutex { return ktMutex{s.K.NewMutex()} }
+
+// NewCond implements System.
+func (s KThreadSystem) NewCond() Cond { return ktCond{s.K.NewCond()} }
+
+type ktCond struct{ c *kernel.Cond }
+
+func (c ktCond) Wait(t Thread, m Mutex) { c.c.Wait(t.(ktThread).t, m.(ktMutex).m) }
+func (c ktCond) Signal(t Thread)        { c.c.Signal(t.(ktThread).t) }
+
+func (w ktThread) Exec(d sim.Duration) { w.t.Exec(d) }
+func (w ktThread) BlockIO()            { w.t.BlockIO() }
+func (w ktThread) Now() sim.Time       { return w.k.Eng.Now() }
+func (w ktThread) Fork(name string, fn func(Thread)) Handle {
+	return w.t.Fork(name, func(c *kernel.KThread) { fn(ktThread{w.k, c}) })
+}
+func (w ktThread) Join(h Handle) { w.t.Join(h.(*kernel.KThread)) }
+
+type ktMutex struct{ m *kernel.Mutex }
+
+func (m ktMutex) Lock(t Thread)   { m.m.Lock(t.(ktThread).t) }
+func (m ktMutex) Unlock(t Thread) { m.m.Unlock(t.(ktThread).t) }

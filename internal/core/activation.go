@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"schedact/internal/machine"
+)
+
+// actState tracks an activation through its life.
+type actState int
+
+const (
+	actRunning      actState = iota // hosting a processor
+	actBlocked                      // its user-level thread blocked in the kernel
+	actStopped                      // preempted or unblocked; awaiting user-level recovery
+	actDiscarded                    // returned to the kernel's pool
+	actDebugStopped                 // frozen by the debugger on a logical processor (§4.4)
+)
+
+func (s actState) String() string {
+	switch s {
+	case actRunning:
+		return "running"
+	case actBlocked:
+		return "blocked"
+	case actStopped:
+		return "stopped"
+	case actDiscarded:
+		return "discarded"
+	case actDebugStopped:
+		return "debug-stopped"
+	}
+	return "invalid"
+}
+
+// Activation is a scheduler activation: the execution context in which the
+// kernel vectors an event to an address space, and thereafter a vessel for
+// running user-level threads — similar to a kernel thread, except that once
+// the kernel stops it, the kernel never resumes it; a fresh activation
+// notifies the user level instead.
+type Activation struct {
+	k     *Kernel
+	sp    *Space
+	id    int
+	ctx   *machine.Context
+	state actState
+
+	// entered flips true once the kernel's upcall latency has been paid and
+	// control is about to enter user code. An activation preempted before
+	// entry is stillborn: its events are requeued rather than lost, and it
+	// is discarded internally without a Preempted notification (the user
+	// level never knew it existed).
+	entered bool
+	events  []Event
+
+	// UserData is a slot for the client's per-vessel bookkeeping (e.g.
+	// which user-level thread is running in this context). The kernel never
+	// touches it: "the kernel needs no knowledge of the data structures
+	// used to represent parallelism at the user level".
+	UserData any
+}
+
+// ID reports the activation number, as passed in upcall events.
+func (a *Activation) ID() int { return a.id }
+
+// Space reports the owning address space.
+func (a *Activation) Space() *Space { return a.sp }
+
+// Context exposes the machine execution context of the vessel. User-level
+// threads bind their Workers to it to run.
+func (a *Activation) Context() *machine.Context { return a.ctx }
+
+// State reports the activation's lifecycle state as a string, for tests and
+// instrumentation.
+func (a *Activation) State() string { return a.state.String() }
+
+// CPU reports the processor this activation is running on, or -1.
+func (a *Activation) CPU() machine.CPUID {
+	if cpu := a.ctx.CPU(); cpu != nil {
+		return cpu.ID()
+	}
+	return -1
+}
+
+func (a *Activation) cpuID() int { return int(a.CPU()) }
+
+// TakeWorker removes and returns the machine state carried by this stopped
+// or blocked activation: the Worker of whatever was computing in its
+// context when the kernel stopped it, with any unconsumed CPU demand
+// banked. The user-level thread system rebinds the worker to another vessel
+// to resume it. Returns nil if the vessel carried no computation.
+func (a *Activation) TakeWorker() *machine.Worker {
+	if a.state == actRunning || a.state == actDiscarded {
+		panic(fmt.Sprintf("core: TakeWorker on %v activation %d", a.state, a.id))
+	}
+	w := a.ctx.Worker()
+	if w == nil {
+		return nil
+	}
+	w.Unbind()
+	return w
+}
+
+// YieldProcessor voluntarily returns the activation's processor to the
+// kernel (e.g. after ProcessorIsIdle was declined but the space is shutting
+// the vessel down, or a client that runs one burst and exits). The caller
+// must return from its upcall handler afterwards without further charging.
+func (a *Activation) YieldProcessor() {
+	k := a.k
+	if a.state != actRunning {
+		panic(fmt.Sprintf("core: YieldProcessor on %v activation %d", a.state, a.id))
+	}
+	slot := k.slotFor(a.ctx.CPU())
+	if slot.act != a {
+		panic(fmt.Sprintf("core: activation %d does not host cpu%d", a.id, slot.cpu.ID()))
+	}
+	if a.sp.want > k.Allocated(a.sp)-1 {
+		a.sp.want = k.Allocated(a.sp) - 1
+	}
+	k.releaseSlot(slot, a)
+	k.rebalance()
+}
+
+// Discard returns a stopped or blocked-and-recovered activation to the
+// kernel's pool for reuse. In the paper discards are batched and returned
+// in bulk, making their cost negligible; they are modelled as free here.
+func (a *Activation) Discard() {
+	if a.state != actStopped {
+		panic(fmt.Sprintf("core: Discard of %v activation %d", a.state, a.id))
+	}
+	if w := a.ctx.Worker(); w != nil && w != a.ctx.Root() {
+		panic(fmt.Sprintf("core: Discard of activation %d with thread state still attached", a.id))
+	}
+	a.state = actDiscarded
+	delete(a.sp.acts, a.id)
+	a.k.poolFree++
+	a.k.Stats.Discards++
+}

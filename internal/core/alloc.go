@@ -1,0 +1,258 @@
+package core
+
+import (
+	"sort"
+
+	"schedact/internal/sim"
+)
+
+// The processor allocation policy, after Zahorjan and McCann's dynamic
+// policy (§4.1): space-share processors while respecting priorities and
+// guaranteeing that no processor idles if some space wants one. Processors
+// are divided evenly among the address spaces that want them, higher
+// priorities served first; if some spaces do not need their even share, the
+// leftover is divided evenly among the remainder.
+//
+// rebalance computes the target allocation and executes the difference:
+// over-allocated spaces lose processors (idle-volunteered ones first, with
+// the batched double-preemption notification protocol), under-allocated
+// spaces are granted the freed ones.
+
+// Policy computes each space's processor entitlement from the registered
+// demands. Scheduler activations are "a mechanism, not a policy" (§4): the
+// default is the space-sharing dynamic policy below, but experiments can
+// install alternatives (e.g. first-come-first-served) via Kernel.SetPolicy.
+type Policy func(k *Kernel) map[*Space]int
+
+// SetPolicy installs an allocation policy; nil restores space sharing.
+func (k *Kernel) SetPolicy(p Policy) { k.policy = p }
+
+// FirstComeFCFS is an alternative allocation policy: spaces keep whatever
+// they grab, in registration order, with no fair division — the ablation
+// baseline against space sharing.
+func FirstComeFCFS(k *Kernel) map[*Space]int {
+	target := make(map[*Space]int, len(k.spaces))
+	remaining := len(k.slots)
+	for _, sp := range k.spaces {
+		if !sp.started || sp.want <= 0 {
+			continue
+		}
+		g := min(sp.want, remaining)
+		target[sp] = g
+		remaining -= g
+	}
+	return target
+}
+
+// targets computes the per-space processor entitlement.
+func (k *Kernel) targets() map[*Space]int {
+	if k.policy != nil {
+		return k.policy(k)
+	}
+	target := make(map[*Space]int, len(k.spaces))
+	remaining := len(k.slots)
+
+	// Group spaces by priority tier, high to low, stable by ID within.
+	prios := map[int][]*Space{}
+	var order []int
+	for _, sp := range k.spaces {
+		if !sp.started || sp.want <= 0 {
+			continue
+		}
+		if _, ok := prios[sp.Priority]; !ok {
+			order = append(order, sp.Priority)
+		}
+		prios[sp.Priority] = append(prios[sp.Priority], sp)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(order)))
+
+	for _, p := range order {
+		tier := prios[p]
+		// Water-fill within the tier: repeatedly divide what remains
+		// evenly among spaces still wanting more.
+		for remaining > 0 {
+			var unsat []*Space
+			for _, sp := range tier {
+				if target[sp] < sp.want {
+					unsat = append(unsat, sp)
+				}
+			}
+			if len(unsat) == 0 {
+				break
+			}
+			share := remaining / len(unsat)
+			if share == 0 {
+				// Fewer processors than claimants: one each, rotating the
+				// beneficiary across rebalances so the odd processor is
+				// effectively time-sliced among equal-priority spaces.
+				start := int(k.Stats.Rebalances) % len(unsat)
+				for i := 0; i < len(unsat) && remaining > 0; i++ {
+					sp := unsat[(start+i)%len(unsat)]
+					target[sp]++
+					remaining--
+				}
+				break
+			}
+			for _, sp := range unsat {
+				g := min(share, sp.want-target[sp])
+				target[sp] += g
+				remaining -= g
+			}
+		}
+	}
+	return target
+}
+
+// effectiveAllocated counts the space's physical processors plus the
+// logical processors occupied by debugger-stopped activations (§4.4) —
+// what the allocation policy charges the space for.
+func (k *Kernel) effectiveAllocated(sp *Space) int {
+	return k.Allocated(sp) + sp.debugged
+}
+
+// demandElsewhere reports whether any other space wants more processors
+// than it has.
+func (k *Kernel) demandElsewhere(sp *Space) bool {
+	for _, other := range k.spaces {
+		if other != sp && other.started && other.want > k.effectiveAllocated(other) {
+			return true
+		}
+	}
+	return false
+}
+
+// rebalance moves the machine to the target allocation.
+func (k *Kernel) rebalance() {
+	if k.inRebal {
+		return
+	}
+	k.inRebal = true
+	defer func() { k.inRebal = false }()
+	k.Stats.Rebalances++
+
+	target := k.targets()
+
+	// Phase 1: shrink over-allocated spaces, freeing slots. Logical
+	// (debugger-held) processors count toward a space's share but only
+	// physical ones can be taken.
+	for _, sp := range k.spaces {
+		if have := k.effectiveAllocated(sp); have > target[sp] {
+			n := have - target[sp]
+			if phys := k.Allocated(sp); n > phys {
+				n = phys
+			}
+			if n > 0 {
+				k.takeFromSpace(sp, n)
+			}
+		}
+	}
+
+	// Phase 2: grant free slots to under-allocated spaces, highest priority
+	// first, stable by ID.
+	claimants := make([]*Space, 0, len(k.spaces))
+	for _, sp := range k.spaces {
+		if sp.started && k.effectiveAllocated(sp) < target[sp] {
+			claimants = append(claimants, sp)
+		}
+	}
+	sort.SliceStable(claimants, func(i, j int) bool {
+		return claimants[i].Priority > claimants[j].Priority
+	})
+	for _, sp := range claimants {
+		for k.effectiveAllocated(sp) < target[sp] {
+			slot := k.freeSlot()
+			if slot == nil {
+				return
+			}
+			k.grantSlot(slot, sp, nil)
+		}
+	}
+}
+
+// EnableLeftoverRotation arms a periodic rebalance so that when the number
+// of processors is not an integer multiple of the number of equal-priority
+// address spaces that want them, the odd processor rotates among them:
+// "processors are time-sliced only if the number of available processors is
+// not an integer multiple of the number of address spaces (at the same
+// priority) that want them" (§4.1). Each tick advances the rotation index
+// used by the water-filling policy's remainder distribution.
+func (k *Kernel) EnableLeftoverRotation(period sim.Duration) {
+	var tick func()
+	tick = func() {
+		k.rebalance()
+		k.Eng.After(period, "leftover-rotation", tick)
+	}
+	k.Eng.After(period, "leftover-rotation", tick)
+}
+
+// liveUsage is a space's accumulated processor time including the
+// occupancies still in progress.
+func (k *Kernel) liveUsage(sp *Space) sim.Duration {
+	u := sp.Usage
+	for _, s := range k.slots {
+		if s.sp == sp && s.act != nil {
+			u += k.Eng.Now().Sub(s.since)
+		}
+	}
+	return u
+}
+
+// MultiLevelFeedback is the §3.2 incentive policy: "multi-level feedback
+// can be used to encourage applications to provide honest information for
+// processor allocation decisions. The processor allocator can favor address
+// spaces that use fewer processors and penalize those that use more." It is
+// the space-sharing division with remainders and contended single
+// processors awarded to the spaces with the least accumulated processor
+// usage.
+func MultiLevelFeedback(k *Kernel) map[*Space]int {
+	target := make(map[*Space]int, len(k.spaces))
+	remaining := len(k.slots)
+
+	prios := map[int][]*Space{}
+	var order []int
+	for _, sp := range k.spaces {
+		if !sp.started || sp.want <= 0 {
+			continue
+		}
+		if _, ok := prios[sp.Priority]; !ok {
+			order = append(order, sp.Priority)
+		}
+		prios[sp.Priority] = append(prios[sp.Priority], sp)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(order)))
+
+	for _, p := range order {
+		tier := prios[p]
+		for remaining > 0 {
+			var unsat []*Space
+			for _, sp := range tier {
+				if target[sp] < sp.want {
+					unsat = append(unsat, sp)
+				}
+			}
+			if len(unsat) == 0 {
+				break
+			}
+			// Light users first (counting in-progress occupancy, or a
+			// space holding the machine would never look like a heavy
+			// user).
+			sort.SliceStable(unsat, func(i, j int) bool {
+				return k.liveUsage(unsat[i]) < k.liveUsage(unsat[j])
+			})
+			share := remaining / len(unsat)
+			if share == 0 {
+				for i := 0; i < len(unsat) && remaining > 0; i++ {
+					target[unsat[i]]++
+					remaining--
+				}
+				break
+			}
+			for _, sp := range unsat {
+				g := min(share, sp.want-target[sp])
+				target[sp] += g
+				remaining -= g
+			}
+		}
+	}
+	return target
+}

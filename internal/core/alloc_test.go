@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"schedact/internal/sim"
+)
+
+// greedyClient is a recClient that immediately demands max processors.
+func greedyClient(eng *sim.Engine, want int) (*recClient, func(*Space)) {
+	c := &recClient{eng: eng}
+	var sp *Space
+	first := true
+	c.handler = func(act *Activation, events []Event) {
+		if first {
+			first = false
+			sp.AddMoreProcessors(act, want)
+		}
+		c.eng.Current().Park("vessel-idle")
+	}
+	return c, func(s *Space) { sp = s }
+}
+
+func TestLeftoverProcessorRotatesAmongEqualSpaces(t *testing.T) {
+	// 3 processors, 2 equal spaces wanting everything: 1+1 with the odd
+	// processor time-sliced between them by the periodic rotation.
+	eng, k := newTestKernel(t, 3)
+	k.EnableLeftoverRotation(20 * sim.Millisecond)
+	var spaces []*Space
+	for i := 0; i < 2; i++ {
+		c, bind := greedyClient(eng, 3)
+		sp := k.NewSpace("sp", 0, c)
+		bind(sp)
+		spaces = append(spaces, sp)
+		sp.Start()
+	}
+	// Sample who holds 2 processors over time; both spaces must get turns.
+	heldTwo := map[int]int{}
+	for ms := 30; ms <= 400; ms += 20 {
+		ms := ms
+		eng.At(sim.Time(sim.Duration(ms)*sim.Millisecond), "sample", func() {
+			for i, sp := range spaces {
+				if k.Allocated(sp) == 2 {
+					heldTwo[i]++
+				}
+			}
+		})
+	}
+	eng.RunUntil(sim.Time(500 * sim.Millisecond))
+	if heldTwo[0] == 0 || heldTwo[1] == 0 {
+		t.Fatalf("odd processor did not rotate: held-two counts %v", heldTwo)
+	}
+	checkInv(t, k)
+}
+
+// Property tests over the space-sharing target computation.
+func TestTargetsProperties(t *testing.T) {
+	f := func(wantsRaw []uint8, priosRaw []uint8, cpusRaw uint8) bool {
+		n := len(wantsRaw)
+		if n == 0 || n > 6 {
+			return true
+		}
+		if len(priosRaw) < n {
+			return true
+		}
+		cpus := int(cpusRaw%8) + 1
+		eng := sim.NewEngine()
+		defer eng.Close()
+		k := New(eng, Config{CPUs: cpus})
+		var spaces []*Space
+		for i := 0; i < n; i++ {
+			c := &recClient{eng: eng}
+			sp := k.NewSpace("sp", int(priosRaw[i]%3), c)
+			sp.started = true
+			sp.want = int(wantsRaw[i] % 10)
+			spaces = append(spaces, sp)
+		}
+		target := k.targets()
+		total := 0
+		for _, sp := range spaces {
+			g := target[sp]
+			// Never more than asked for; never negative.
+			if g < 0 || g > sp.want {
+				return false
+			}
+			total += g
+		}
+		// Never more than the machine has.
+		if total > cpus {
+			return false
+		}
+		// Work-conserving: if total demand >= cpus, everything is assigned.
+		demand := 0
+		for _, sp := range spaces {
+			demand += sp.want
+		}
+		if demand >= cpus && total != cpus {
+			return false
+		}
+		if demand < cpus && total != demand {
+			return false
+		}
+		// Priority dominance: a higher-priority space is unsatisfied only
+		// if everything was consumed by equal-or-higher priorities.
+		for _, hi := range spaces {
+			if target[hi] < hi.want {
+				for _, lo := range spaces {
+					if lo.Priority < hi.Priority && target[lo] > 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualSplitExactWhenDivisible(t *testing.T) {
+	for _, tc := range []struct{ cpus, spaces, each int }{
+		{6, 2, 3}, {6, 3, 2}, {8, 4, 2}, {4, 1, 4},
+	} {
+		eng := sim.NewEngine()
+		k := New(eng, Config{CPUs: tc.cpus})
+		var sps []*Space
+		for i := 0; i < tc.spaces; i++ {
+			sp := k.NewSpace("sp", 0, &recClient{eng: eng})
+			sp.started = true
+			sp.want = tc.cpus
+			sps = append(sps, sp)
+		}
+		target := k.targets()
+		for _, sp := range sps {
+			if target[sp] != tc.each {
+				t.Errorf("%d CPUs / %d spaces: got %d, want %d", tc.cpus, tc.spaces, target[sp], tc.each)
+			}
+		}
+		eng.Close()
+	}
+}
+
+func TestFCFSPolicyStarvesLateArrivers(t *testing.T) {
+	eng, k := newTestKernel(t, 4)
+	k.SetPolicy(FirstComeFCFS)
+	a := k.NewSpace("first", 0, &recClient{eng: eng})
+	b := k.NewSpace("second", 0, &recClient{eng: eng})
+	a.started, a.want = true, 4
+	b.started, b.want = true, 4
+	target := k.targets()
+	if target[a] != 4 || target[b] != 0 {
+		t.Fatalf("FCFS targets = %d/%d, want 4/0", target[a], target[b])
+	}
+}
+
+func TestMultiLevelFeedbackEqualizesUsage(t *testing.T) {
+	// One processor, two always-hungry spaces: under the feedback policy
+	// with periodic re-evaluation, the processor alternates so accumulated
+	// usage stays balanced — favouring whichever space has used less.
+	eng, k := newTestKernel(t, 1)
+	k.SetPolicy(MultiLevelFeedback)
+	k.EnableLeftoverRotation(10 * sim.Millisecond)
+	mkHog := func(name string) *Space {
+		c := &recClient{eng: eng}
+		c.handler = func(act *Activation, events []Event) {
+			for _, ev := range events {
+				if ev.Kind == EvPreempted && ev.Act != nil {
+					if w := ev.Act.TakeWorker(); w != nil {
+						_ = w
+					}
+					ev.Act.Discard()
+				}
+			}
+			act.Context().Exec(sim.Second) // hog until preempted
+			c.eng.Current().Park("vessel")
+		}
+		sp := k.NewSpace(name, 0, c)
+		sp.Start()
+		sp.KernelSetDemand(1)
+		return sp
+	}
+	a := mkHog("a")
+	b := mkHog("b")
+	eng.RunUntil(sim.Time(500 * sim.Millisecond))
+	ua, ub := float64(a.Usage), float64(b.Usage)
+	if ua == 0 || ub == 0 {
+		t.Fatalf("usage = %v/%v: one space starved", a.Usage, b.Usage)
+	}
+	ratio := ua / ub
+	if ratio < 0.6 || ratio > 1.67 {
+		t.Fatalf("usage ratio %.2f (%v vs %v): feedback policy should keep usage balanced", ratio, a.Usage, b.Usage)
+	}
+	checkInv(t, k)
+}
+
+func TestUsageAccountingAccumulates(t *testing.T) {
+	eng, k := newTestKernel(t, 1)
+	c := &recClient{eng: eng}
+	var sp *Space
+	c.handler = func(act *Activation, events []Event) {
+		act.Context().Exec(20 * sim.Millisecond)
+		act.YieldProcessor()
+	}
+	sp = k.NewSpace("app", 0, c)
+	sp.Start()
+	eng.Run()
+	// Usage covers the upcall cost plus the 20ms of computation.
+	if sp.Usage < 20*sim.Millisecond || sp.Usage > 30*sim.Millisecond {
+		t.Fatalf("Usage = %v, want ~20-25ms", sp.Usage)
+	}
+}

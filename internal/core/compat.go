@@ -1,0 +1,191 @@
+package core
+
+import (
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+)
+
+// KTSpace is the binary-compatibility path of §4.1: "Our implementation
+// makes it possible for an address space to use kernel threads, rather than
+// requiring that every address space use scheduler activations... address
+// spaces that use kernel threads compete for processors in the same way as
+// applications that use scheduler activations. The kernel processor
+// allocator only needs to know whether each address space could use more
+// processors or has some processors that are idle... internal kernel data
+// structures provide it for address spaces that use kernel threads
+// directly. As a result, there is no need for static partitioning of
+// processors."
+//
+// A KTSpace schedules plain kernel-thread-style tasks (FIFO, run to block
+// or completion) on whatever processors the allocator assigns it, keeping
+// the allocator informed through the kernel-internal demand path — no
+// user-level notification protocol is visible to the tasks themselves.
+type KTSpace struct {
+	k   *Kernel
+	sp  *Space
+	max int
+
+	ready    []*KTask
+	byWorker map[*machine.Worker]*KTask
+	// running maps a vessel to its parked dispatcher coroutine while a
+	// task occupies it.
+	running map[*Activation]*sim.Coroutine
+	tasks   int // live tasks
+
+	Completed uint64
+}
+
+// KTask is one kernel-thread-style execution stream inside a KTSpace.
+type KTask struct {
+	ks      *KTSpace
+	name    string
+	w       *machine.Worker
+	co      *sim.Coroutine
+	lastAct *Activation // vessel currently (or last) hosting the task
+	done    bool
+}
+
+// NewKTSpace registers a kernel-thread address space under the
+// scheduler-activation kernel. maxCPUs caps its parallelism (0 = machine
+// size).
+func (k *Kernel) NewKTSpace(name string, priority, maxCPUs int) *KTSpace {
+	if maxCPUs <= 0 {
+		maxCPUs = k.M.NumCPUs()
+	}
+	ks := &KTSpace{
+		k:        k,
+		max:      maxCPUs,
+		byWorker: make(map[*machine.Worker]*KTask),
+		running:  make(map[*Activation]*sim.Coroutine),
+	}
+	ks.sp = k.NewSpace(name, priority, ks)
+	return ks
+}
+
+// Space exposes the kernel-side address space.
+func (ks *KTSpace) Space() *Space { return ks.sp }
+
+// Start begins competing for processors.
+func (ks *KTSpace) Start() {
+	ks.sp.Start()
+	ks.syncDemand()
+}
+
+// AddTask creates a runnable task.
+func (ks *KTSpace) AddTask(name string, fn func(t *KTask)) *KTask {
+	t := &KTask{ks: ks, name: name}
+	t.co = ks.k.Eng.Go(name, func(*sim.Coroutine) {
+		fn(t)
+		t.done = true
+		ks.tasks--
+		ks.Completed++
+		delete(ks.byWorker, t.w)
+		act := t.lastAct
+		if t.w.Bound() != nil {
+			t.w.Unbind()
+		}
+		ks.syncDemand()
+		// Hand control back to the vessel's dispatcher loop.
+		if act != nil {
+			if co := ks.running[act]; co != nil {
+				co.Unpark()
+			}
+		}
+	})
+	t.w = ks.k.M.NewWorker(name, t.co)
+	ks.byWorker[t.w] = t
+	ks.tasks++
+	ks.ready = append(ks.ready, t)
+	ks.syncDemand()
+	return t
+}
+
+// Exec consumes CPU.
+func (t *KTask) Exec(d sim.Duration) { t.w.Exec(d) }
+
+// Name reports the task's name.
+func (t *KTask) Name() string { return t.name }
+
+// BlockIO blocks the task in the kernel for a disk read. The space's
+// processor comes back via the ordinary Blocked upcall — invisible to the
+// task, which resumes when the I/O completes and a processor next serves
+// it.
+func (t *KTask) BlockIO() {
+	act := t.w.Bound().Owner.(*Activation)
+	t.ks.k.BlockIO(act)
+}
+
+// syncDemand is the "internal kernel data structures" path: the kernel
+// already knows how many runnable streams the space has; no charged
+// downcall is needed.
+func (ks *KTSpace) syncDemand() {
+	// Runnable streams: queued tasks plus those occupying vessels. Tasks
+	// blocked in the kernel need no processor until they unblock.
+	want := len(ks.ready) + len(ks.running)
+	if want > ks.max {
+		want = ks.max
+	}
+	ks.sp.KernelSetDemand(want)
+}
+
+// Upcall implements Client: the compat layer's dispatcher. It recovers
+// task state from stopped vessels and runs ready tasks FIFO.
+func (ks *KTSpace) Upcall(act *Activation, events []Event) {
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvPreempted, EvUnblocked:
+			old := ev.Act
+			delete(ks.running, old)
+			if w := old.Context().Worker(); w != nil && w != old.Context().Root() {
+				old.TakeWorker()
+				if t := ks.byWorker[w]; t != nil && !t.done {
+					ks.ready = append(ks.ready, t)
+				}
+			}
+			old.Discard()
+		case EvBlocked:
+			delete(ks.running, ev.Act)
+		case EvAddProcessor:
+			// The vessel below serves it.
+		}
+	}
+	ks.syncDemand()
+	ks.dispatch(act)
+}
+
+// dispatch runs ready tasks on the vessel until none remain, then yields
+// the processor back to the kernel.
+func (ks *KTSpace) dispatch(act *Activation) {
+	me := ks.k.Eng.Current()
+	stale := func() bool { return act.state != actRunning || act.ctx.CPU() == nil }
+	if stale() {
+		return // demand sync above let the allocator take this processor
+	}
+	for len(ks.ready) > 0 {
+		t := ks.ready[0]
+		ks.ready = ks.ready[1:]
+		if t.done {
+			continue
+		}
+		act.Context().Root().Unbind()
+		ks.running[act] = me
+		t.lastAct = act
+		t.w.Bind(act.Context())
+		if !t.w.WantsCPU() {
+			t.co.Unpark()
+		}
+		me.Park("kt-running")
+		// Resumed: the task exited. (If the vessel was stopped instead, a
+		// fresh upcall took over and this coroutine is never resumed.)
+		delete(ks.running, act)
+		if stale() {
+			return // defensive: vessel lost its processor
+		}
+		act.Context().Root().Bind(act.Context())
+	}
+	ks.syncDemand()
+	if stale() {
+		return
+	}
+	act.YieldProcessor()
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"schedact/internal/sim"
+)
+
+func TestKTSpaceRunsTasksToCompletion(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	ks := k.NewKTSpace("compat", 0, 2)
+	ran := 0
+	for i := 0; i < 5; i++ {
+		ks.AddTask("task", func(task *KTask) {
+			task.Exec(sim.Ms(2))
+			ran++
+		})
+	}
+	ks.Start()
+	eng.Run()
+	if ran != 5 {
+		t.Fatalf("ran = %d, want 5", ran)
+	}
+	if ks.Completed != 5 {
+		t.Fatalf("Completed = %d, want 5", ks.Completed)
+	}
+	checkInv(t, k)
+}
+
+func TestKTSpaceUsesParallelism(t *testing.T) {
+	eng, k := newTestKernel(t, 3)
+	ks := k.NewKTSpace("compat", 0, 3)
+	var done sim.Time
+	finished := 0
+	for i := 0; i < 3; i++ {
+		ks.AddTask("task", func(task *KTask) {
+			task.Exec(10 * sim.Millisecond)
+			finished++
+			if finished == 3 {
+				done = eng.Now()
+			}
+		})
+	}
+	ks.Start()
+	eng.Run()
+	if done == 0 || done > sim.Time(20*sim.Millisecond) {
+		t.Fatalf("3×10ms tasks on 3 CPUs finished at %v, want ~10-15ms", done)
+	}
+	checkInv(t, k)
+}
+
+func TestKTSpaceTasksBlockOnIO(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	ks := k.NewKTSpace("compat", 0, 2)
+	var ioDone, cpuDone sim.Time
+	ks.AddTask("io", func(task *KTask) {
+		task.BlockIO()
+		ioDone = eng.Now()
+	})
+	ks.AddTask("cpu", func(task *KTask) {
+		task.Exec(10 * sim.Millisecond)
+		cpuDone = eng.Now()
+	})
+	ks.Start()
+	eng.Run()
+	if ioDone == 0 || cpuDone == 0 {
+		t.Fatal("tasks did not finish")
+	}
+	if ioDone < sim.Time(50*sim.Millisecond) {
+		t.Fatalf("I/O finished at %v, before the disk latency", ioDone)
+	}
+	if cpuDone >= ioDone {
+		t.Fatalf("cpu task (%v) should overlap the I/O (%v)", cpuDone, ioDone)
+	}
+	checkInv(t, k)
+}
+
+func TestKTSpaceCompetesWithActivationSpace(t *testing.T) {
+	// §4.1's no-static-partitioning claim: a kernel-thread space and an
+	// activation space share the machine under one allocator; when one
+	// finishes, its processors flow to the other.
+	eng, k := newTestKernel(t, 4)
+	// Activation space: greedy, long-running.
+	c := &recClient{eng: eng}
+	var sa *Space
+	first := true
+	c.handler = func(act *Activation, events []Event) {
+		if first {
+			first = false
+			sa.AddMoreProcessors(act, 4)
+		}
+		c.eng.Current().Park("vessel-idle")
+	}
+	sa = k.NewSpace("sa-app", 0, c)
+	sa.Start()
+	eng.RunFor(10 * sim.Millisecond)
+	if got := k.Allocated(sa); got != 4 {
+		t.Fatalf("sa-app holds %d CPUs before competition, want 4", got)
+	}
+
+	// The compat space arrives with two runnable tasks: the allocator must
+	// carve out its share (2/2 on a 4-CPU machine).
+	ks := k.NewKTSpace("compat", 0, 4)
+	done := 0
+	for i := 0; i < 2; i++ {
+		ks.AddTask("task", func(task *KTask) {
+			task.Exec(30 * sim.Millisecond)
+			done++
+		})
+	}
+	ks.Start()
+	eng.RunFor(20 * sim.Millisecond)
+	if got := k.Allocated(ks.Space()); got != 2 {
+		t.Fatalf("compat space holds %d CPUs mid-run, want its even share of 2", got)
+	}
+	if got := k.Allocated(sa); got != 2 {
+		t.Fatalf("sa-app holds %d CPUs mid-run, want 2", got)
+	}
+	eng.RunFor(200 * sim.Millisecond)
+	if done != 2 {
+		t.Fatalf("compat tasks done = %d, want 2", done)
+	}
+	// Tasks finished: the compat space's processors must have flowed back.
+	if got := k.Allocated(ks.Space()); got != 0 {
+		t.Fatalf("compat space still holds %d CPUs after finishing", got)
+	}
+	checkInv(t, k)
+}
+
+func TestKTSpaceMoreTasksThanProcessors(t *testing.T) {
+	eng, k := newTestKernel(t, 1)
+	ks := k.NewKTSpace("compat", 0, 1)
+	order := []string{}
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		ks.AddTask(name, func(task *KTask) {
+			task.Exec(sim.Ms(1))
+			order = append(order, name)
+		})
+	}
+	ks.Start()
+	eng.Run()
+	if len(order) != 3 {
+		t.Fatalf("order = %v, want all three (FIFO)", order)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if order[i] != want {
+			t.Fatalf("order = %v, want FIFO a,b,c", order)
+		}
+	}
+	checkInv(t, k)
+}

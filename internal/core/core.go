@@ -1,0 +1,158 @@
+// Package core implements the paper's contribution: a kernel interface built
+// on scheduler activations (Anderson, Bershad, Lazowska, Levy — SOSP 1991).
+//
+// The kernel gives each address space a virtual multiprocessor: the kernel
+// decides how many processors each space gets (processor allocation), the
+// space decides what runs on them (thread scheduling). Every kernel event
+// that affects a space — a processor granted, a processor preempted, an
+// activation blocking in the kernel, an activation unblocking — is vectored
+// to the space as an upcall delivered in the context of a fresh scheduler
+// activation (Table 2). The space notifies the kernel only of the events
+// that affect processor allocation: it wants more processors, or one of its
+// processors is idle (Table 3).
+//
+// The crucial invariant, maintained throughout: a space has exactly as many
+// running activations as it has allocated processors. Once the kernel stops
+// an activation's user-level thread, it never directly resumes it; the
+// thread's machine state (here: its machine.Worker, with any banked CPU
+// demand) rides the notifying upcall to user level, which decides where it
+// runs next.
+package core
+
+import (
+	"fmt"
+
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+)
+
+// Config parameterizes the scheduler-activation kernel.
+type Config struct {
+	CPUs  int
+	Costs *machine.Costs // nil means machine.DefaultCosts()
+	Trace *trace.Log     // nil disables tracing
+}
+
+// Stats counts kernel activity over a run.
+type Stats struct {
+	Upcalls         uint64
+	UpcallEvents    [4]uint64 // indexed by EventKind
+	Grants          uint64
+	Takes           uint64 // CPUs taken from a space (voluntary or not)
+	DoublePreempts  uint64 // extra preemptions done purely to notify
+	DelayedNotifies uint64
+	Rebalances      uint64
+	IORequests      uint64
+	Discards        uint64
+	ActCreates      uint64 // activations created fresh (pool empty)
+	ActRecycles     uint64 // activations reused from the pool
+}
+
+// Kernel is the scheduler-activation operating system instance.
+type Kernel struct {
+	Eng   *sim.Engine
+	M     *machine.Machine
+	C     *machine.Costs
+	Trace *trace.Log
+	Stats Stats
+
+	slots    []*cpuSlot
+	spaces   []*Space
+	actSeq   int
+	poolFree int // recycled activation records available
+	inRebal  bool
+	policy   Policy // nil = space-sharing default
+}
+
+// cpuSlot is the kernel's per-processor allocation state.
+type cpuSlot struct {
+	cpu   *machine.CPU
+	sp    *Space      // space this processor is allocated to; nil = free
+	act   *Activation // running activation hosting the processor
+	idle  bool        // the space volunteered this processor as idle
+	since sim.Time    // when the current activation was dispatched
+}
+
+// New creates a scheduler-activation kernel on a fresh machine.
+func New(eng *sim.Engine, cfg Config) *Kernel {
+	costs := cfg.Costs
+	if costs == nil {
+		costs = machine.DefaultCosts()
+	}
+	m := machine.New(eng, cfg.CPUs, costs)
+	k := &Kernel{Eng: eng, M: m, C: costs, Trace: cfg.Trace}
+	for _, cpu := range m.CPUs() {
+		k.slots = append(k.slots, &cpuSlot{cpu: cpu})
+	}
+	return k
+}
+
+// Spaces returns all address spaces in creation order.
+func (k *Kernel) Spaces() []*Space { return k.spaces }
+
+// Allocated reports how many processors are currently allocated to sp.
+func (k *Kernel) Allocated(sp *Space) int {
+	n := 0
+	for _, s := range k.slots {
+		if s.sp == sp {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeCPUs reports how many processors are allocated to no space.
+func (k *Kernel) FreeCPUs() int {
+	n := 0
+	for _, s := range k.slots {
+		if s.sp == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies the defining scheduler-activation invariant for
+// every space: exactly as many running activations as allocated processors,
+// and every allocated processor hosts a running activation of that space.
+// It returns an error describing the first violation found.
+func (k *Kernel) CheckInvariants() error {
+	for _, s := range k.slots {
+		if (s.sp == nil) != (s.act == nil) {
+			return fmt.Errorf("cpu%d: space %v but activation %v", s.cpu.ID(), s.sp != nil, s.act != nil)
+		}
+		if s.act != nil {
+			if s.act.sp != s.sp {
+				return fmt.Errorf("cpu%d: activation %d belongs to %q, slot allocated to %q", s.cpu.ID(), s.act.id, s.act.sp.Name, s.sp.Name)
+			}
+			if s.act.state != actRunning {
+				return fmt.Errorf("cpu%d: hosted activation %d in state %v", s.cpu.ID(), s.act.id, s.act.state)
+			}
+		}
+	}
+	for _, sp := range k.spaces {
+		running := 0
+		for _, a := range sp.acts {
+			if a.state == actRunning {
+				running++
+			}
+		}
+		if alloc := k.Allocated(sp); running != alloc {
+			return fmt.Errorf("space %q: %d running activations, %d allocated processors", sp.Name, running, alloc)
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) slotFor(cpu *machine.CPU) *cpuSlot { return k.slots[int(cpu.ID())] }
+
+// freeSlot returns an unallocated slot, or nil.
+func (k *Kernel) freeSlot() *cpuSlot {
+	for _, s := range k.slots {
+		if s.sp == nil {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,697 @@
+package core
+
+import (
+	"testing"
+
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+)
+
+func newTestKernel(t *testing.T, cpus int) (*sim.Engine, *Kernel) {
+	t.Helper()
+	eng := sim.NewEngine()
+	t.Cleanup(eng.Close)
+	return eng, New(eng, Config{CPUs: cpus})
+}
+
+// recClient records upcall event batches and runs an optional handler; by
+// default each upcall parks its vessel, holding the processor idle.
+type recClient struct {
+	eng     *sim.Engine
+	batches [][]Event
+	handler func(act *Activation, events []Event)
+}
+
+func (c *recClient) Upcall(act *Activation, events []Event) {
+	cp := make([]Event, len(events))
+	copy(cp, events)
+	c.batches = append(c.batches, cp)
+	if c.handler != nil {
+		c.handler(act, events)
+		return
+	}
+	c.eng.Current().Park("vessel-idle")
+}
+
+func (c *recClient) kinds() [][]EventKind {
+	var out [][]EventKind
+	for _, b := range c.batches {
+		var ks []EventKind
+		for _, e := range b {
+			ks = append(ks, e.Kind)
+		}
+		out = append(out, ks)
+	}
+	return out
+}
+
+func checkInv(t *testing.T, k *Kernel) {
+	t.Helper()
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+}
+
+func TestStartDeliversAddProcessorUpcall(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	c := &recClient{eng: eng}
+	sp := k.NewSpace("app", 0, c)
+	sp.Start()
+	eng.Run()
+	if len(c.batches) != 1 {
+		t.Fatalf("upcalls = %d, want 1", len(c.batches))
+	}
+	if len(c.batches[0]) != 1 || c.batches[0][0].Kind != EvAddProcessor {
+		t.Fatalf("first upcall = %v, want [AddProcessor]", c.batches[0])
+	}
+	if got := k.Allocated(sp); got != 1 {
+		t.Fatalf("Allocated = %d, want 1", got)
+	}
+	checkInv(t, k)
+	// The upcall must land only after the kernel's upcall latency.
+	if eng.Now() < sim.Time(k.C.SAUpcallWork) {
+		t.Fatalf("upcall completed at %v, before upcall cost %v", eng.Now(), k.C.SAUpcallWork)
+	}
+}
+
+func TestAddMoreProcessorsGrowsAllocation(t *testing.T) {
+	eng, k := newTestKernel(t, 4)
+	c := &recClient{eng: eng}
+	var sp *Space
+	first := true
+	c.handler = func(act *Activation, events []Event) {
+		if first {
+			first = false
+			sp.AddMoreProcessors(act, 3)
+		}
+		c.eng.Current().Park("vessel-idle")
+	}
+	sp = k.NewSpace("app", 0, c)
+	sp.Start()
+	eng.Run()
+	if got := k.Allocated(sp); got != 4 {
+		t.Fatalf("Allocated = %d, want 4", got)
+	}
+	if len(c.batches) != 4 {
+		t.Fatalf("upcalls = %d, want 4 (one per processor)", len(c.batches))
+	}
+	checkInv(t, k)
+}
+
+func TestTwoSpacesSpaceShareEvenly(t *testing.T) {
+	eng, k := newTestKernel(t, 6)
+	mk := func(name string) (*Space, *recClient) {
+		c := &recClient{eng: eng}
+		var sp *Space
+		first := true
+		c.handler = func(act *Activation, events []Event) {
+			if first {
+				first = false
+				sp.AddMoreProcessors(act, 6)
+			}
+			c.eng.Current().Park("vessel-idle")
+		}
+		sp = k.NewSpace(name, 0, c)
+		return sp, c
+	}
+	a, _ := mk("A")
+	b, _ := mk("B")
+	a.Start()
+	b.Start()
+	eng.Run()
+	if ga, gb := k.Allocated(a), k.Allocated(b); ga != 3 || gb != 3 {
+		t.Fatalf("allocation = %d/%d, want 3/3 (space sharing)", ga, gb)
+	}
+	checkInv(t, k)
+}
+
+func TestUnevenDemandDividesLeftoverToHungry(t *testing.T) {
+	// A wants 1, B wants 6: B should get the other 5 ("if some address
+	// spaces do not need all of the processors in their share, those
+	// processors are divided evenly among the remainder").
+	eng, k := newTestKernel(t, 6)
+	a := k.NewSpace("A", 0, &recClient{eng: eng})
+	cb := &recClient{eng: eng}
+	var b *Space
+	firstB := true
+	cb.handler = func(act *Activation, events []Event) {
+		if firstB {
+			firstB = false
+			b.AddMoreProcessors(act, 6)
+		}
+		cb.eng.Current().Park("vessel-idle")
+	}
+	b = k.NewSpace("B", 0, cb)
+	a.Start()
+	b.Start()
+	eng.Run()
+	if ga, gb := k.Allocated(a), k.Allocated(b); ga != 1 || gb != 5 {
+		t.Fatalf("allocation = %d/%d, want 1/5", ga, gb)
+	}
+	checkInv(t, k)
+}
+
+func TestHigherPrioritySpaceServedFirst(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	greedy := func(name string, prio int) *Space {
+		c := &recClient{eng: eng}
+		var sp *Space
+		first := true
+		c.handler = func(act *Activation, events []Event) {
+			if first {
+				first = false
+				sp.AddMoreProcessors(act, 4)
+			}
+			c.eng.Current().Park("vessel-idle")
+		}
+		sp = k.NewSpace(name, prio, c)
+		sp.Start()
+		return sp
+	}
+	lo := greedy("lo", 0)
+	hi := greedy("hi", 2)
+	eng.Run()
+	if got := k.Allocated(hi); got != 2 {
+		t.Fatalf("high-priority space got %d CPUs, want 2 (all)", got)
+	}
+	if got := k.Allocated(lo); got != 0 {
+		t.Fatalf("low-priority space got %d CPUs, want 0", got)
+	}
+	checkInv(t, k)
+}
+
+func TestPreemptionDeliversDoubleNotification(t *testing.T) {
+	// A holds 2 CPUs; B starts and deserves 1. The kernel takes one of A's
+	// CPUs for B, then preempts A's other CPU to deliver the notification:
+	// that upcall must carry two Preempted events (the taken activation and
+	// the interrupted one).
+	eng, k := newTestKernel(t, 2)
+	ca := &recClient{eng: eng}
+	var a *Space
+	firstA := true
+	ca.handler = func(act *Activation, events []Event) {
+		if firstA {
+			firstA = false
+			a.AddMoreProcessors(act, 2)
+		}
+		ca.eng.Current().Park("vessel-idle")
+	}
+	a = k.NewSpace("A", 0, ca)
+	a.Start()
+	eng.RunFor(50 * sim.Millisecond) // A settles with both CPUs
+	if got := k.Allocated(a); got != 2 {
+		t.Fatalf("A allocated %d, want 2 before B starts", got)
+	}
+	cb := &recClient{eng: eng}
+	b := k.NewSpace("B", 0, cb)
+	b.Start()
+	eng.Run()
+	if ga, gb := k.Allocated(a), k.Allocated(b); ga != 1 || gb != 1 {
+		t.Fatalf("allocation = %d/%d, want 1/1", ga, gb)
+	}
+	last := ca.batches[len(ca.batches)-1]
+	preempted := 0
+	for _, ev := range last {
+		if ev.Kind == EvPreempted {
+			preempted++
+		}
+	}
+	if preempted != 2 {
+		t.Fatalf("notification upcall = %v, want exactly 2 Preempted events", last)
+	}
+	if k.Stats.DoublePreempts == 0 {
+		t.Fatal("no double-preemption recorded")
+	}
+	checkInv(t, k)
+}
+
+func TestLastProcessorPreemptionDelaysNotification(t *testing.T) {
+	// A holds the only CPU; B (higher priority) takes it. A cannot be
+	// notified (no processors), so the Preempted event must ride A's next
+	// grant.
+	eng, k := newTestKernel(t, 1)
+	ca := &recClient{eng: eng}
+	a := k.NewSpace("A", 0, ca)
+	a.Start()
+	eng.RunFor(20 * sim.Millisecond)
+	cb := &recClient{eng: eng}
+	var b *Space
+	cb.handler = func(act *Activation, events []Event) {
+		// B runs briefly, then gives the processor back.
+		act.Context().Exec(sim.Ms(1))
+		act.YieldProcessor()
+	}
+	b = k.NewSpace("B", 2, cb)
+	b.Start()
+	eng.Run()
+	if k.Stats.DelayedNotifies == 0 {
+		t.Fatal("expected a delayed notification for A's last processor")
+	}
+	// A must eventually get the CPU back, with the delayed Preempted event
+	// folded into the AddProcessor upcall.
+	last := ca.batches[len(ca.batches)-1]
+	var kinds []EventKind
+	for _, ev := range last {
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != EvAddProcessor || kinds[1] != EvPreempted {
+		t.Fatalf("A's re-grant upcall = %v, want [AddProcessor Preempted]", last)
+	}
+	checkInv(t, k)
+}
+
+// ioTestClient runs a single user-level thread across vessels; it exercises
+// the full blocked/unblocked protocol the way a real thread package would.
+type ioTestClient struct {
+	t       *testing.T
+	eng     *sim.Engine
+	k       *Kernel
+	batches [][]Event
+
+	worker  *machine.Worker
+	thread  *sim.Coroutine
+	started bool
+	cur     *Activation // vessel the thread currently runs on
+	body    func()
+}
+
+func (c *ioTestClient) Upcall(act *Activation, events []Event) {
+	cp := make([]Event, len(events))
+	copy(cp, events)
+	c.batches = append(c.batches, cp)
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvAddProcessor:
+			if !c.started {
+				c.started = true
+				act.Context().Root().Unbind()
+				c.worker.Bind(act.Context())
+				c.cur = act
+				c.thread.Unpark()
+			}
+		case EvBlocked:
+			// Our only thread is blocked: this vessel just holds the
+			// processor (a real client would run another thread).
+		case EvUnblocked:
+			old := ev.Act
+			w := old.TakeWorker()
+			if w != c.worker {
+				c.t.Errorf("unblocked worker = %v, want the thread's", w)
+			}
+			old.Discard()
+			act.Context().Root().Unbind()
+			w.Bind(act.Context()) // resumes the thread here
+			c.cur = act
+		case EvPreempted:
+			old := ev.Act
+			// Idle vessels carry no thread; nothing to recover.
+			if w := old.TakeWorker(); w != nil && w != old.Context().Root() {
+				c.t.Errorf("unexpected thread state on preempted vessel act%d", old.ID())
+			}
+			old.Discard()
+		}
+	}
+	c.eng.Current().Park("vessel")
+}
+
+func TestBlockIOFullProtocol(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	c := &ioTestClient{t: t, eng: eng, k: k}
+	sp := k.NewSpace("app", 0, c)
+	var phases []sim.Time
+	c.worker = k.M.NewWorker("T", nil)
+	c.thread = eng.Go("T", func(co *sim.Coroutine) {
+		c.worker.Exec(100 * sim.Microsecond)
+		k.BlockIO(c.cur)
+		phases = append(phases, eng.Now())
+		c.worker.Exec(200 * sim.Microsecond)
+		phases = append(phases, eng.Now())
+	})
+	sp.Start()
+	eng.Run()
+
+	if len(phases) != 2 {
+		t.Fatalf("thread completed %d phases, want 2", len(phases))
+	}
+	// The I/O takes 50ms; the thread must resume after it, plus upcall
+	// machinery, and then run its remaining 200µs.
+	if phases[0] < sim.Time(k.C.DiskLatency) {
+		t.Fatalf("thread resumed at %v, before disk latency", phases[0])
+	}
+	if d := phases[1].Sub(phases[0]); d < 200*sim.Microsecond {
+		t.Fatalf("post-IO compute took %v, want >= 200µs", d)
+	}
+	// Upcall sequence: AddProcessor (start), Blocked, then an upcall
+	// containing Unblocked.
+	kinds := func(b []Event) (out []EventKind) {
+		for _, e := range b {
+			out = append(out, e.Kind)
+		}
+		return
+	}
+	if len(c.batches) < 3 {
+		t.Fatalf("upcalls = %d, want >= 3: %v", len(c.batches), c.batches)
+	}
+	if kinds(c.batches[0])[0] != EvAddProcessor {
+		t.Fatalf("first upcall %v, want AddProcessor", c.batches[0])
+	}
+	if kinds(c.batches[1])[0] != EvBlocked {
+		t.Fatalf("second upcall %v, want Blocked", c.batches[1])
+	}
+	sawUnblocked := false
+	for _, b := range c.batches[2:] {
+		for _, ev := range b {
+			if ev.Kind == EvUnblocked {
+				sawUnblocked = true
+			}
+		}
+	}
+	if !sawUnblocked {
+		t.Fatalf("no Unblocked upcall in %v", c.batches)
+	}
+	checkInv(t, k)
+	if k.Stats.IORequests != 1 {
+		t.Fatalf("IORequests = %d, want 1", k.Stats.IORequests)
+	}
+}
+
+func TestBlockedUpcallArrivesOnSameCPU(t *testing.T) {
+	eng, k := newTestKernel(t, 3)
+	c := &ioTestClient{t: t, eng: eng, k: k}
+	sp := k.NewSpace("app", 0, c)
+	var blockCPU machine.CPUID = -1
+	c.worker = k.M.NewWorker("T", nil)
+	c.thread = eng.Go("T", func(co *sim.Coroutine) {
+		blockCPU = c.cur.CPU()
+		k.BlockIO(c.cur)
+	})
+	sp.Start()
+	eng.Run()
+	if len(c.batches) < 2 {
+		t.Fatalf("upcalls = %v", c.batches)
+	}
+	// The Blocked upcall vessel must be on the processor the thread
+	// blocked on: the processor is not lost to the space.
+	blockedBatchAct := c.batches[1]
+	_ = blockedBatchAct
+	if got := k.Allocated(sp); got < 1 {
+		t.Fatalf("space lost its processor across a block: allocated=%d", got)
+	}
+	if blockCPU < 0 {
+		t.Fatal("thread never ran")
+	}
+	checkInv(t, k)
+}
+
+func TestUnblockWithSingleCPUInterruptsOwnVessel(t *testing.T) {
+	// One CPU total: after Blocked, the space's only CPU hosts an idle
+	// vessel; the unblock must preempt it and deliver [Unblocked Preempted]
+	// in one combined upcall.
+	eng, k := newTestKernel(t, 1)
+	c := &ioTestClient{t: t, eng: eng, k: k}
+	sp := k.NewSpace("app", 0, c)
+	c.worker = k.M.NewWorker("T", nil)
+	done := false
+	c.thread = eng.Go("T", func(co *sim.Coroutine) {
+		k.BlockIO(c.cur)
+		done = true
+	})
+	sp.Start()
+	eng.Run()
+	if !done {
+		t.Fatal("thread did not resume")
+	}
+	var combined []EventKind
+	for _, b := range c.batches {
+		has := map[EventKind]bool{}
+		for _, e := range b {
+			has[e.Kind] = true
+		}
+		if has[EvUnblocked] {
+			for _, e := range b {
+				combined = append(combined, e.Kind)
+			}
+		}
+	}
+	if len(combined) != 2 {
+		t.Fatalf("unblock upcall kinds = %v, want [Unblocked Preempted] combined", combined)
+	}
+	hasP := combined[0] == EvPreempted || combined[1] == EvPreempted
+	hasU := combined[0] == EvUnblocked || combined[1] == EvUnblocked
+	if !hasP || !hasU {
+		t.Fatalf("unblock upcall kinds = %v, want one Unblocked and one Preempted", combined)
+	}
+	checkInv(t, k)
+}
+
+func TestUnblockPrefersFreeCPU(t *testing.T) {
+	// Two CPUs, one space using one: when the I/O completes the kernel
+	// should use the free CPU, delivering [AddProcessor Unblocked].
+	eng, k := newTestKernel(t, 2)
+	c := &ioTestClient{t: t, eng: eng, k: k}
+	sp := k.NewSpace("app", 0, c)
+	c.worker = k.M.NewWorker("T", nil)
+	c.thread = eng.Go("T", func(co *sim.Coroutine) {
+		k.BlockIO(c.cur)
+	})
+	sp.Start()
+	eng.Run()
+	found := false
+	for _, b := range c.batches {
+		var ks []EventKind
+		for _, e := range b {
+			ks = append(ks, e.Kind)
+		}
+		if len(ks) == 2 && ks[0] == EvAddProcessor && ks[1] == EvUnblocked {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no [AddProcessor Unblocked] upcall in %v", c.batches)
+	}
+	checkInv(t, k)
+}
+
+func TestProcessorIsIdleKeptWhenNoDemand(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	c := &recClient{eng: eng}
+	var sp *Space
+	taken := true
+	c.handler = func(act *Activation, events []Event) {
+		taken = sp.ProcessorIsIdle(act)
+		c.eng.Current().Park("vessel-idle")
+	}
+	sp = k.NewSpace("app", 0, c)
+	sp.Start()
+	eng.Run()
+	if taken {
+		t.Fatal("idle processor taken with no other demand")
+	}
+	if got := k.Allocated(sp); got != 1 {
+		t.Fatalf("Allocated = %d, want 1 (kept)", got)
+	}
+	checkInv(t, k)
+}
+
+func TestProcessorIsIdleTakenWhenOthersWant(t *testing.T) {
+	eng, k := newTestKernel(t, 1)
+	// B (lower priority) wants a CPU but cannot steal A's. When A declares
+	// idle, B must get it on the spot.
+	cb := &recClient{eng: eng}
+	b := k.NewSpace("B", 0, cb)
+	ca := &recClient{eng: eng}
+	var a *Space
+	var wasTaken bool
+	ca.handler = func(act *Activation, events []Event) {
+		act.Context().Exec(sim.Ms(1))
+		wasTaken = a.ProcessorIsIdle(act)
+		if !wasTaken {
+			ca.eng.Current().Park("vessel-idle")
+		}
+	}
+	a = k.NewSpace("A", 1, ca)
+	a.Start()
+	eng.RunFor(500 * sim.Microsecond)
+	b.Start() // queues demand; only CPU is A's and A outranks B
+	eng.Run()
+	if !wasTaken {
+		t.Fatal("idle downcall did not surrender the processor to waiting demand")
+	}
+	if got := k.Allocated(b); got != 1 {
+		t.Fatalf("B allocated %d, want 1", got)
+	}
+	checkInv(t, k)
+}
+
+func TestYieldProcessorFreesCPU(t *testing.T) {
+	eng, k := newTestKernel(t, 1)
+	c := &recClient{eng: eng}
+	var sp *Space
+	c.handler = func(act *Activation, events []Event) {
+		act.Context().Exec(sim.Ms(2))
+		act.YieldProcessor()
+	}
+	sp = k.NewSpace("app", 0, c)
+	sp.Start()
+	eng.Run()
+	if got := k.Allocated(sp); got != 0 {
+		t.Fatalf("Allocated = %d, want 0 after yield", got)
+	}
+	if k.FreeCPUs() != 1 {
+		t.Fatalf("FreeCPUs = %d, want 1", k.FreeCPUs())
+	}
+	checkInv(t, k)
+}
+
+func TestActivationRecycling(t *testing.T) {
+	eng, k := newTestKernel(t, 1)
+	c := &ioTestClient{t: t, eng: eng, k: k}
+	sp := k.NewSpace("app", 0, c)
+	c.worker = k.M.NewWorker("T", nil)
+	c.thread = eng.Go("T", func(co *sim.Coroutine) {
+		for i := 0; i < 5; i++ {
+			k.BlockIO(c.cur)
+		}
+	})
+	sp.Start()
+	eng.Run()
+	if k.Stats.Discards == 0 {
+		t.Fatal("no activations discarded")
+	}
+	if k.Stats.ActRecycles == 0 {
+		t.Fatal("no activations recycled from the pool")
+	}
+	checkInv(t, k)
+}
+
+func TestKernelEventSignalWaitThroughKernel(t *testing.T) {
+	// The §5.2 measurement scenario: two user-level threads synchronize
+	// through the kernel. With the prototype cost profile the round trip is
+	// in the low milliseconds (the paper reports 2.4 ms).
+	eng, k := newTestKernel(t, 2)
+	kev := k.NewKernelEvent()
+
+	c := &twoThreadClient{t: t, eng: eng, k: k}
+	sp := k.NewSpace("app", 0, c)
+	c.sp = sp
+	var waitStart, waitEnd sim.Time
+	c.mk("waiter", func(self *threadCtl) {
+		waitStart = eng.Now()
+		kev.Wait(self.cur())
+		waitEnd = eng.Now()
+	})
+	c.mk("signaller", func(self *threadCtl) {
+		self.w.Exec(sim.Ms(2)) // let the waiter block first
+		kev.Signal(self.cur())
+	})
+	sp.Start()
+	eng.Run()
+	if waitEnd == 0 {
+		t.Fatal("waiter never resumed")
+	}
+	rt := waitEnd.Sub(waitStart)
+	if rt < sim.Ms(1) || rt > sim.Ms(10) {
+		t.Fatalf("kernel-mediated wait took %v, want low single-digit milliseconds (paper: 2.4ms round trip)", rt)
+	}
+	checkInv(t, k)
+}
+
+// threadCtl and twoThreadClient: a two-thread micro thread-system for
+// exercising kernel events. Threads are scheduled one per processor.
+type threadCtl struct {
+	c      *twoThreadClient
+	name   string
+	w      *machine.Worker
+	co     *sim.Coroutine
+	vessel *Activation
+}
+
+func (tc *threadCtl) cur() *Activation { return tc.vessel }
+
+type twoThreadClient struct {
+	t       *testing.T
+	eng     *sim.Engine
+	k       *Kernel
+	threads []*threadCtl
+	started int
+	sp      *Space
+}
+
+func (c *twoThreadClient) mk(name string, body func(self *threadCtl)) {
+	tc := &threadCtl{c: c, name: name}
+	tc.w = c.k.M.NewWorker(name, nil)
+	tc.co = c.eng.Go(name, func(*sim.Coroutine) { body(tc) })
+	c.threads = append(c.threads, tc)
+}
+
+func (c *twoThreadClient) Upcall(act *Activation, events []Event) {
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvAddProcessor:
+			if c.started < len(c.threads) {
+				tc := c.threads[c.started]
+				c.started++
+				if c.started < len(c.threads) {
+					// Downcall while the vessel's own worker still charges.
+					c.sp.AddMoreProcessors(act, len(c.threads)-c.started)
+				}
+				act.Context().Root().Unbind()
+				tc.w.Bind(act.Context())
+				tc.vessel = act
+				tc.co.Unpark()
+			}
+		case EvUnblocked:
+			old := ev.Act
+			w := old.TakeWorker()
+			old.Discard()
+			act.Context().Root().Unbind()
+			for _, tc := range c.threads {
+				if tc.w == w {
+					tc.vessel = act
+				}
+			}
+			w.Bind(act.Context())
+		case EvBlocked:
+			// vessel idles
+		case EvPreempted:
+			old := ev.Act
+			if w := old.TakeWorker(); w != nil && w != old.Context().Root() {
+				// A running thread was preempted: rebind it here.
+				act.Context().Root().Unbind()
+				for _, tc := range c.threads {
+					if tc.w == w {
+						tc.vessel = act
+					}
+				}
+				w.Bind(act.Context())
+			}
+			old.Discard()
+		}
+	}
+	c.eng.Current().Park("vessel")
+}
+
+func TestDeterminismSA(t *testing.T) {
+	run := func() (sim.Time, Stats) {
+		eng := sim.NewEngine()
+		defer eng.Close()
+		k := New(eng, Config{CPUs: 3})
+		c := &ioTestClient{t: t, eng: eng, k: k}
+		sp := k.NewSpace("app", 0, c)
+		c.worker = k.M.NewWorker("T", nil)
+		c.thread = eng.Go("T", func(co *sim.Coroutine) {
+			for i := 0; i < 4; i++ {
+				c.worker.Exec(500 * sim.Microsecond)
+				k.BlockIO(c.cur)
+			}
+		})
+		sp.Start()
+		eng.Run()
+		return eng.Now(), k.Stats
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("non-deterministic: (%v, %+v) vs (%v, %+v)", t1, s1, t2, s2)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Debugger implements §4.4's kernel support for debugging the user-level
+// thread system itself: "the kernel assigns each scheduler activation being
+// debugged a logical processor; when the debugger stops or single-steps a
+// scheduler activation, these events do not cause upcalls into the
+// user-level thread system."
+//
+// A stopped activation's physical processor is freed for other address
+// spaces, but from the debugged space's point of view nothing happened: no
+// Preempted notification is delivered, and the activation resumes exactly
+// where it stopped when the debugger continues it — the one deliberate
+// exception to the kernel-never-resumes rule, made for transparency.
+type Debugger struct {
+	k       *Kernel
+	stopped map[*Activation]bool
+
+	Stops   uint64
+	Resumes uint64
+}
+
+// NewDebugger attaches a debugger to the kernel.
+func (k *Kernel) NewDebugger() *Debugger {
+	return &Debugger{k: k, stopped: make(map[*Activation]bool)}
+}
+
+// Stop freezes a running activation onto its logical processor. The
+// physical processor is reclaimed (other spaces may get it); the debugged
+// space receives no notification.
+func (d *Debugger) Stop(act *Activation) error {
+	k := d.k
+	if act.state != actRunning {
+		return fmt.Errorf("core: debugger stop of %v activation %d", act.state, act.id)
+	}
+	cpu := act.ctx.CPU()
+	if cpu == nil {
+		return fmt.Errorf("core: activation %d not on a processor", act.id)
+	}
+	slot := k.slotFor(cpu)
+	if slot.act != act {
+		return fmt.Errorf("core: activation %d does not host cpu%d", act.id, cpu.ID())
+	}
+	slot.cpu.Preempt() // banks the in-flight computation
+	slot.sp.Usage += k.Eng.Now().Sub(slot.since)
+	slot.act = nil
+	slot.sp = nil
+	slot.idle = false
+	act.state = actDebugStopped
+	act.sp.debugged++
+	d.stopped[act] = true
+	d.Stops++
+	k.Trace.Add(k.Eng.Now(), int(cpu.ID()), "debug", "stop %s act%d (no upcall)", act.sp.Name, act.id)
+	// The physical processor may serve someone else meanwhile.
+	k.rebalance()
+	return nil
+}
+
+// Resume continues a debugger-stopped activation on a free physical
+// processor, exactly where it stopped — no upcall, no fresh activation.
+func (d *Debugger) Resume(act *Activation) error {
+	k := d.k
+	if !d.stopped[act] {
+		return fmt.Errorf("core: activation %d is not debugger-stopped", act.id)
+	}
+	slot := k.freeSlot()
+	if slot == nil {
+		// Reclaim a processor for the debuggee; the victim space gets the
+		// normal preemption protocol (it is not being debugged).
+		target := k.targets()
+		for _, sp := range k.spaces {
+			if sp != act.sp && k.Allocated(sp) > 0 && k.Allocated(sp) >= target[sp] {
+				if taken := k.takeFromSpace(sp, 1); len(taken) == 1 {
+					slot = taken[0]
+					break
+				}
+			}
+		}
+	}
+	if slot == nil {
+		return fmt.Errorf("core: no processor available to resume activation %d", act.id)
+	}
+	delete(d.stopped, act)
+	act.state = actRunning
+	act.sp.debugged--
+	slot.sp = act.sp
+	slot.act = act
+	slot.since = k.Eng.Now()
+	d.Resumes++
+	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "debug", "resume %s act%d (direct)", act.sp.Name, act.id)
+	slot.cpu.Dispatch(act.ctx)
+	return nil
+}
+
+// Stopped reports whether the activation is currently debugger-stopped.
+func (d *Debugger) Stopped(act *Activation) bool { return d.stopped[act] }

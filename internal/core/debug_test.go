@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"schedact/internal/sim"
+)
+
+func TestDebuggerStopCausesNoUpcall(t *testing.T) {
+	// §4.4: "when the debugger stops or single-steps a scheduler
+	// activation, these events do not cause upcalls into the user-level
+	// thread system."
+	eng, k := newTestKernel(t, 2)
+	dbg := k.NewDebugger()
+	c := &recClient{eng: eng}
+	var busy *Activation
+	c.handler = func(act *Activation, events []Event) {
+		busy = act
+		act.Context().Exec(100 * sim.Millisecond)
+		c.eng.Current().Park("vessel")
+	}
+	sp := k.NewSpace("app", 0, c)
+	sp.Start()
+	eng.RunFor(10 * sim.Millisecond)
+	upcallsBefore := len(c.batches)
+	if err := dbg.Stop(busy); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(20 * sim.Millisecond)
+	if got := len(c.batches); got != upcallsBefore {
+		t.Fatalf("debugger stop caused %d upcalls", got-upcallsBefore)
+	}
+	if !dbg.Stopped(busy) {
+		t.Fatal("activation not marked stopped")
+	}
+	if busy.State() != "debug-stopped" {
+		t.Fatalf("state = %s, want debug-stopped", busy.State())
+	}
+	checkInv(t, k)
+}
+
+func TestDebuggerResumeContinuesWithNoWorkLost(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	dbg := k.NewDebugger()
+	c := &recClient{eng: eng}
+	var busy *Activation
+	var finished sim.Time
+	c.handler = func(act *Activation, events []Event) {
+		busy = act
+		act.Context().Exec(100 * sim.Millisecond)
+		finished = eng.Now()
+		act.YieldProcessor()
+	}
+	sp := k.NewSpace("app", 0, c)
+	sp.Start()
+	eng.RunFor(30 * sim.Millisecond)
+	if err := dbg.Stop(busy); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(200 * sim.Millisecond) // stopped: no progress
+	if finished != 0 {
+		t.Fatal("activation progressed while debugger-stopped")
+	}
+	if err := dbg.Resume(busy); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if finished == 0 {
+		t.Fatal("activation never finished after resume")
+	}
+	// It ran ~30ms before the stop (minus upcall latency), was frozen
+	// 200ms, and must complete its full 100ms of work after resuming.
+	wantMin := sim.Time(230 * sim.Millisecond).Add(70 * sim.Millisecond)
+	if finished < wantMin {
+		t.Fatalf("finished at %v: work was lost across the debugger stop", finished)
+	}
+	if dbg.Stops != 1 || dbg.Resumes != 1 {
+		t.Fatalf("Stops/Resumes = %d/%d, want 1/1", dbg.Stops, dbg.Resumes)
+	}
+	checkInv(t, k)
+}
+
+func TestDebuggerFreesProcessorForOthers(t *testing.T) {
+	// Stopping an activation returns its physical processor to the pool;
+	// another space can use it while the debuggee is frozen.
+	eng, k := newTestKernel(t, 1)
+	dbg := k.NewDebugger()
+	ca := &recClient{eng: eng}
+	var busy *Activation
+	ca.handler = func(act *Activation, events []Event) {
+		busy = act
+		act.Context().Exec(sim.Second)
+		ca.eng.Current().Park("vessel")
+	}
+	a := k.NewSpace("debuggee", 0, ca)
+	a.Start()
+	eng.RunFor(5 * sim.Millisecond)
+
+	cb := &recClient{eng: eng}
+	var bRan bool
+	cb.handler = func(act *Activation, events []Event) {
+		bRan = true
+		act.Context().Exec(sim.Ms(1))
+		act.YieldProcessor()
+	}
+	b := k.NewSpace("other", 1, cb) // lower..higher prio irrelevant; only CPU is busy
+	_ = b
+	if err := dbg.Stop(busy); err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	eng.RunFor(50 * sim.Millisecond)
+	if !bRan {
+		t.Fatal("the freed processor never served the other space")
+	}
+	checkInv(t, k)
+}
+
+func TestDebuggerResumeReclaimsProcessor(t *testing.T) {
+	// Resume with no free processor takes one back through the normal
+	// preemption protocol (the victim is notified; the debuggee is not).
+	eng, k := newTestKernel(t, 1)
+	dbg := k.NewDebugger()
+	ca := &recClient{eng: eng}
+	var busy *Activation
+	var finished bool
+	ca.handler = func(act *Activation, events []Event) {
+		busy = act
+		act.Context().Exec(20 * sim.Millisecond)
+		finished = true
+		act.YieldProcessor()
+	}
+	a := k.NewSpace("debuggee", 0, ca)
+	a.Start()
+	eng.RunFor(5 * sim.Millisecond)
+	if err := dbg.Stop(busy); err != nil {
+		t.Fatal(err)
+	}
+	// A hog takes the machine meanwhile.
+	ch := &recClient{eng: eng}
+	ch.handler = func(act *Activation, events []Event) {
+		for _, ev := range events {
+			if ev.Kind == EvPreempted && ev.Act != nil {
+				ev.Act.Discard()
+			}
+		}
+		act.Context().Exec(sim.Second)
+		ch.eng.Current().Park("vessel")
+	}
+	hog := k.NewSpace("hog", 0, ch)
+	hog.Start()
+	eng.RunFor(20 * sim.Millisecond)
+	if err := dbg.Resume(busy); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunFor(100 * sim.Millisecond)
+	if !finished {
+		t.Fatal("debuggee did not finish after resume")
+	}
+	checkInv(t, k)
+}

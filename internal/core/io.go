@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+)
+
+// BlockIO is the blocking-I/O system call, invoked by the user-level thread
+// currently computing in act's context. The activation blocks in the
+// kernel; its processor is immediately handed back to the space with a
+// Blocked upcall so another thread can run; and when the I/O completes the
+// kernel notifies the space with an Unblocked upcall carrying the thread's
+// machine state — on a new processor if one is free, else by preempting one
+// of the space's processors (delivering the preemption in the same upcall),
+// else delayed until the space next gets a processor.
+//
+// The call returns when the user-level thread system has resumed the thread
+// in some vessel.
+func (k *Kernel) BlockIO(act *Activation) {
+	k.Stats.IORequests++
+	k.blockAndWait(act, "io-blocked", func(complete func()) {
+		k.M.Disk.Request(complete)
+	})
+}
+
+// blockAndWait implements the common blocking-syscall path: charge the
+// kernel entry, stop the activation, hand the processor back via a Blocked
+// upcall, arrange the wake-up, park the calling thread, and charge the
+// kernel exit once resumed.
+func (k *Kernel) blockAndWait(act *Activation, reason string, arm func(complete func())) {
+	w := act.ctx.Worker()
+	if w == nil {
+		panic(fmt.Sprintf("core: blocking syscall on act%d with no computation", act.id))
+	}
+	// Charge the kernel entry through the worker: the vessel may be
+	// preempted mid-entry, in which case the thread (and this in-kernel
+	// computation) rides the Preempted upcall to a new vessel and finishes
+	// the entry there.
+	w.Exec(k.C.Trap + k.C.KTBlockWork)
+	// Re-derive the current vessel: it may differ from act after such a
+	// migration.
+	cur := w.Bound().Owner.(*Activation)
+	act = cur
+	slot := k.slotFor(act.ctx.CPU())
+	if slot.act != act {
+		panic(fmt.Sprintf("core: blocking act%d does not host its processor", act.id))
+	}
+	slot.cpu.Release(act.ctx)
+	slot.sp.Usage += k.Eng.Now().Sub(slot.since)
+	act.state = actBlocked
+	slot.act = nil
+	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "block", "%s act%d: %s", act.sp.Name, act.id, reason)
+
+	// The processor stays with the space: deliver the Blocked notification
+	// in a fresh activation on it.
+	k.deliver(slot, act.sp, []Event{{Kind: EvBlocked, Act: act}}, k.C.SAUpcallWork)
+
+	arm(func() { k.unblock(act) })
+
+	// Park the calling thread. It resumes when the user level rebinds its
+	// worker to a live vessel after the Unblocked upcall.
+	w.AwaitDispatch(reason)
+	// Back at user level in a new vessel: kernel exit path.
+	w.Exec(k.C.Trap)
+}
+
+// unblock runs when a blocked activation's awaited event completes. It
+// finds a processor for the Unblocked notification per the paper's §3.1.
+func (k *Kernel) unblock(act *Activation) {
+	if act.state != actBlocked {
+		panic(fmt.Sprintf("core: unblock of %v activation %d", act.state, act.id))
+	}
+	sp := act.sp
+	act.state = actStopped
+	ev := Event{Kind: EvUnblocked, Act: act}
+	k.Trace.Add(k.Eng.Now(), -1, "unblock", "%s act%d", sp.Name, act.id)
+
+	// An unblocked thread is new runnable work; the space wants at least
+	// one processor again.
+	if sp.want < 1 {
+		sp.want = 1
+	}
+
+	// 1. A free processor: grant it, the upcall carries both the new
+	// processor and the unblock.
+	if slot := k.freeSlot(); slot != nil {
+		k.grantSlot(slot, sp, []Event{ev})
+		return
+	}
+	// 2. One of the space's own processors: preempt it and deliver both
+	// events together ("the upcall notifies the user-level thread system,
+	// first, that the original thread can be resumed, and second, that the
+	// thread that had been running on that processor was preempted").
+	var pick *cpuSlot
+	for _, s := range k.slots {
+		if s.sp == sp && s.act != nil {
+			if s.idle {
+				pick = s
+				break
+			}
+			if pick == nil {
+				pick = s
+			}
+		}
+	}
+	if pick != nil {
+		pevs := k.interruptSlot(pick)
+		k.deliver(pick, sp, append([]Event{ev}, pevs...), k.C.SAUpcallWork+k.C.IPI)
+		return
+	}
+	// 3. The space has no processors: steal one from the space most above
+	// its entitlement (respecting priority), or failing that, queue the
+	// notification for the next grant.
+	target := k.targets()
+	var victim *Space
+	for _, other := range k.spaces {
+		if other == sp {
+			continue
+		}
+		if k.Allocated(other) > target[other] && other.Priority <= sp.Priority {
+			if victim == nil || k.Allocated(other)-target[other] > k.Allocated(victim)-target[victim] {
+				victim = other
+			}
+		}
+	}
+	if victim != nil {
+		taken := k.takeFromSpace(victim, 1)
+		if len(taken) == 1 {
+			k.grantSlot(taken[0], sp, []Event{ev})
+			return
+		}
+	}
+	sp.pending = append(sp.pending, ev)
+	k.Stats.DelayedNotifies++
+	k.Trace.Add(k.Eng.Now(), -1, "notify", "%s: unblock act%d delayed (no processors)", sp.Name, act.id)
+}
+
+// KernelEvent is a kernel-level synchronization object: a thread that Waits
+// blocks its activation in the kernel exactly as I/O does, and a Signal
+// from anywhere unblocks it through the same upcall machinery. This is the
+// object behind the §5.2 upcall-performance measurement (two user-level
+// threads forced to signal and wait through the kernel).
+type KernelEvent struct {
+	k       *Kernel
+	waiters []keWaiter
+}
+
+type keWaiter struct {
+	act  *Activation
+	wake func()
+}
+
+// NewKernelEvent creates a kernel synchronization object.
+func (k *Kernel) NewKernelEvent() *KernelEvent { return &KernelEvent{k: k} }
+
+// Wait blocks the calling thread (computing in act's context) in the kernel
+// until a Signal.
+func (e *KernelEvent) Wait(act *Activation) {
+	e.k.blockAndWait(act, "kevent-wait", func(complete func()) {
+		e.waiters = append(e.waiters, keWaiter{act: act, wake: complete})
+	})
+}
+
+// Waiters reports how many threads are blocked on the event.
+func (e *KernelEvent) Waiters() int { return len(e.waiters) }
+
+// Signal unblocks the longest-waiting thread, if any. The caller charges
+// the kernel crossing against the activation it runs on.
+func (e *KernelEvent) Signal(via *Activation) {
+	k := e.k
+	via.ctx.Exec(k.C.Trap + k.C.KTSignalWork)
+	if len(e.waiters) == 0 {
+		return
+	}
+	first := e.waiters[0]
+	copy(e.waiters, e.waiters[1:])
+	e.waiters = e.waiters[:len(e.waiters)-1]
+	first.wake()
+}

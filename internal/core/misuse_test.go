@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"schedact/internal/sim"
+)
+
+// Misuse of the kernel interface must fail loudly and precisely: these are
+// protocol violations a thread-system author needs caught at the call site.
+
+func expectPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	eng, k := newTestKernel(t, 1)
+	sp := k.NewSpace("app", 0, &recClient{eng: eng})
+	sp.Start()
+	expectPanic(t, "second Start", sp.Start)
+}
+
+func TestDiscardRunningActivationPanics(t *testing.T) {
+	eng, k := newTestKernel(t, 1)
+	c := &recClient{eng: eng}
+	c.handler = func(act *Activation, events []Event) {
+		expectPanic(t, "Discard of a running activation", act.Discard)
+		c.eng.Current().Park("vessel")
+	}
+	k.NewSpace("app", 0, c).Start()
+	eng.Run()
+}
+
+func TestTakeWorkerOnRunningActivationPanics(t *testing.T) {
+	eng, k := newTestKernel(t, 1)
+	c := &recClient{eng: eng}
+	c.handler = func(act *Activation, events []Event) {
+		expectPanic(t, "TakeWorker on a running activation", func() { act.TakeWorker() })
+		c.eng.Current().Park("vessel")
+	}
+	k.NewSpace("app", 0, c).Start()
+	eng.Run()
+}
+
+func TestInterruptOwnProcessorPanics(t *testing.T) {
+	eng, k := newTestKernel(t, 1)
+	c := &recClient{eng: eng}
+	var sp *Space
+	c.handler = func(act *Activation, events []Event) {
+		expectPanic(t, "InterruptProcessor on the caller's own processor", func() {
+			sp.InterruptProcessor(act, int(act.CPU()))
+		})
+		c.eng.Current().Park("vessel")
+	}
+	sp = k.NewSpace("app", 0, c)
+	sp.Start()
+	eng.Run()
+}
+
+func TestInterruptForeignProcessorPanics(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	other := k.NewSpace("other", 0, &recClient{eng: eng})
+	other.Start()
+	c := &recClient{eng: eng}
+	var sp *Space
+	c.handler = func(act *Activation, events []Event) {
+		// Find the processor the other space holds.
+		foreign := -1
+		for _, s := range k.slots {
+			if s.sp == other {
+				foreign = int(s.cpu.ID())
+			}
+		}
+		if foreign >= 0 {
+			expectPanic(t, "InterruptProcessor on another space's processor", func() {
+				sp.InterruptProcessor(act, foreign)
+			})
+		}
+		c.eng.Current().Park("vessel")
+	}
+	sp = k.NewSpace("app", 0, c)
+	sp.Start()
+	eng.Run()
+}
+
+func TestYieldProcessorTwicePanics(t *testing.T) {
+	eng, k := newTestKernel(t, 1)
+	c := &recClient{eng: eng}
+	c.handler = func(act *Activation, events []Event) {
+		act.YieldProcessor()
+		expectPanic(t, "second YieldProcessor", act.YieldProcessor)
+	}
+	k.NewSpace("app", 0, c).Start()
+	eng.Run()
+}
+
+func TestDebuggerStopOfBlockedActivationFails(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	dbg := k.NewDebugger()
+	c := &ioTestClient{t: t, eng: eng, k: k}
+	sp := k.NewSpace("app", 0, c)
+	var blockedAct *Activation
+	c.worker = k.M.NewWorker("T", nil)
+	c.thread = eng.Go("T", func(co *sim.Coroutine) {
+		blockedAct = c.cur
+		k.BlockIO(c.cur)
+	})
+	sp.Start()
+	eng.RunFor(10 * sim.Millisecond) // thread is mid-I/O
+	if err := dbg.Stop(blockedAct); err == nil {
+		t.Fatal("Stop of a blocked activation should fail")
+	}
+	if err := dbg.Resume(blockedAct); err == nil {
+		t.Fatal("Resume of a never-stopped activation should fail")
+	}
+	eng.Run()
+}
+
+func TestVMTouchNegativePagesAreJustPages(t *testing.T) {
+	// Negative page ids are valid keys; nothing special happens.
+	eng, k := newTestKernel(t, 1)
+	vm := k.NewVM()
+	vm.Preload(-1)
+	if !vm.Resident(-1) {
+		t.Fatal("preloaded page not resident")
+	}
+	_ = eng
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"schedact/internal/sim"
+)
+
+// EventKind enumerates the upcall points of Table 2.
+type EventKind int
+
+const (
+	// EvAddProcessor: "Add this processor. (Execute a runnable user-level
+	// thread.)"
+	EvAddProcessor EventKind = iota
+	// EvPreempted: "Processor has been preempted (preempted activation #
+	// and its machine state). (Return to the ready list the user-level
+	// thread that was executing in the context of the preempted scheduler
+	// activation.)"
+	EvPreempted
+	// EvBlocked: "Scheduler activation has blocked (blocked activation #).
+	// (The blocked scheduler activation is no longer using its processor.)"
+	EvBlocked
+	// EvUnblocked: "Scheduler activation has unblocked (unblocked
+	// activation # and its machine state). (Return to the ready list the
+	// user-level thread that was executing in the context of the blocked
+	// scheduler activation.)"
+	EvUnblocked
+)
+
+func (e EventKind) String() string {
+	switch e {
+	case EvAddProcessor:
+		return "AddProcessor"
+	case EvPreempted:
+		return "Preempted"
+	case EvBlocked:
+		return "Blocked"
+	case EvUnblocked:
+		return "Unblocked"
+	}
+	return "invalid"
+}
+
+// Event is one kernel event vectored to user level. Events occurring in
+// combination are passed together in a single upcall, exactly as in the
+// paper ("when this occurs, a single upcall is made that passes all of the
+// events that need to be handled").
+type Event struct {
+	Kind EventKind
+	// Act is the affected activation: the preempted, blocked, or unblocked
+	// vessel whose user-level thread state the client must recover. It is
+	// nil for AddProcessor.
+	Act *Activation
+}
+
+func (e Event) String() string {
+	if e.Act == nil {
+		return e.Kind.String()
+	}
+	return fmt.Sprintf("%s(act%d)", e.Kind, e.Act.id)
+}
+
+// Client is the user-level thread system's upcall entry point — the "fixed
+// entry point" the kernel upcalls into. Upcall runs inside the root
+// coroutine of the fresh activation act, which is already dispatched on a
+// processor and has paid the kernel's upcall cost.
+//
+// The handler owns the activation as a vessel: it may process the events,
+// run user-level threads in its context, and make downcalls. It must not
+// return while the activation still holds its processor, except after
+// Activation.YieldProcessor.
+type Client interface {
+	Upcall(act *Activation, events []Event)
+}
+
+// ClientFunc adapts a function to the Client interface.
+type ClientFunc func(act *Activation, events []Event)
+
+// Upcall implements Client.
+func (f ClientFunc) Upcall(act *Activation, events []Event) { f(act, events) }
+
+// Space is an address space under the scheduler-activation kernel.
+type Space struct {
+	k        *Kernel
+	ID       int
+	Name     string
+	Priority int
+	client   Client
+
+	want     int // processors the space currently desires (kernel's view)
+	debugged int // activations frozen on logical processors (§4.4)
+	pending  []Event
+	acts     map[int]*Activation
+
+	// Usage accumulates processor time consumed by the space — the input
+	// to usage-sensitive allocation policies (§3.2's multi-level feedback).
+	Usage sim.Duration
+
+	started bool
+}
+
+// NewSpace registers an address space with its upcall handler. The space
+// receives no processors until Start.
+func (k *Kernel) NewSpace(name string, priority int, client Client) *Space {
+	sp := &Space{
+		k:        k,
+		ID:       len(k.spaces),
+		Name:     name,
+		Priority: priority,
+		client:   client,
+		acts:     make(map[int]*Activation),
+	}
+	k.spaces = append(k.spaces, sp)
+	return sp
+}
+
+// Kernel returns the owning kernel.
+func (sp *Space) Kernel() *Kernel { return sp.k }
+
+// Start gives the program its initial processor: the kernel creates a
+// scheduler activation, assigns it to a processor, and upcalls into the
+// space at its entry point, where the thread system initializes itself and
+// runs the main thread.
+func (sp *Space) Start() {
+	if sp.started {
+		panic(fmt.Sprintf("core: space %q started twice", sp.Name))
+	}
+	sp.started = true
+	if sp.want < 1 {
+		sp.want = 1
+	}
+	sp.k.rebalance()
+}
+
+// Want reports the space's registered processor demand.
+func (sp *Space) Want() int { return sp.want }
+
+// --- Table 3: communication from the address space to the kernel ---
+
+// AddMoreProcessors is the downcall "Add more processors (additional # of
+// processors needed)": the space has more runnable threads than processors.
+// It is a hint; the kernel allocates only what the policy allows. The
+// caller charges the notification against the activation it runs on.
+func (sp *Space) AddMoreProcessors(via *Activation, additional int) {
+	if additional <= 0 {
+		return
+	}
+	k := sp.k
+	via.ctx.Exec(k.C.Trap + k.C.SANotifyWork)
+	sp.want = k.Allocated(sp) + additional
+	k.Trace.Add(k.Eng.Now(), via.cpuID(), "downcall", "%s: add %d more (want=%d)", sp.Name, additional, sp.want)
+	k.rebalance()
+}
+
+// ProcessorIsIdle is the downcall "This processor is idle (): Preempt this
+// processor if another address space needs it." If some other space wants a
+// processor the kernel takes this one immediately and the call reports
+// true: the vessel has lost its processor and the caller must stop using
+// it. Otherwise the processor is marked idle-available and the space keeps
+// it until someone needs it.
+func (sp *Space) ProcessorIsIdle(via *Activation) (taken bool) {
+	k := sp.k
+	via.ctx.Exec(k.C.Trap + k.C.SANotifyWork)
+	if via.ctx.CPU() == nil || via.state != actRunning {
+		// The processor was preempted away while we were trapping in;
+		// from the caller's point of view it is gone either way.
+		return true
+	}
+	slot := k.slotFor(via.ctx.CPU())
+	if slot.act != via {
+		panic(fmt.Sprintf("core: idle downcall from %d not hosting its cpu", via.id))
+	}
+	if sp.want > k.Allocated(sp)-1 {
+		sp.want = k.Allocated(sp) - 1
+	}
+	k.Trace.Add(k.Eng.Now(), via.cpuID(), "downcall", "%s: processor idle (want=%d)", sp.Name, sp.want)
+	if k.demandElsewhere(sp) {
+		// Taken on the spot: the give-back is voluntary, so no Preempted
+		// notification is owed.
+		k.releaseSlot(slot, via)
+		k.rebalance()
+		return true
+	}
+	slot.idle = true
+	return false
+}
+
+// KernelSetDemand is the kernel-internal demand path for address spaces the
+// kernel has its own information about (the paper keeps binary-compatible
+// Topaz kernel-thread applications competing for processors through
+// "internal kernel data structures"). It adjusts the space's desired
+// processor count without a user-level notification and without charge.
+func (sp *Space) KernelSetDemand(n int) {
+	sp.want = n
+	sp.k.rebalance()
+}
+
+// drainPending returns and clears queued events awaiting delivery.
+func (sp *Space) drainPending() []Event {
+	evs := sp.pending
+	sp.pending = nil
+	return evs
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+)
+
+// deliver creates a fresh activation for sp, dispatches it on slot's
+// processor, and upcalls into the space with events. cost is the kernel-side
+// upcall latency charged in the activation before user code runs.
+func (k *Kernel) deliver(slot *cpuSlot, sp *Space, events []Event, cost sim.Duration) {
+	if slot.act != nil {
+		panic(fmt.Sprintf("core: deliver on cpu%d still hosting act%d", slot.cpu.ID(), slot.act.id))
+	}
+	if slot.sp != sp {
+		panic(fmt.Sprintf("core: deliver to %q on cpu%d allocated to someone else", sp.Name, slot.cpu.ID()))
+	}
+	// Any upcall is a chance to deliver notifications that had to be
+	// delayed while the space had no processors.
+	events = append(events, sp.drainPending()...)
+	k.actSeq++
+	if k.poolFree > 0 {
+		k.poolFree--
+		k.Stats.ActRecycles++
+	} else {
+		k.Stats.ActCreates++
+	}
+	act := &Activation{k: k, sp: sp, id: k.actSeq, state: actRunning, events: events}
+	sp.acts[act.id] = act
+	slot.act = act
+	slot.idle = false
+	k.Stats.Upcalls++
+	for _, ev := range events {
+		k.Stats.UpcallEvents[ev.Kind]++
+	}
+	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "upcall", "%s act%d %v", sp.Name, act.id, events)
+	act.ctx = k.M.NewContext(fmt.Sprintf("%s:act%d", sp.Name, act.id), func(c *machine.Context) {
+		c.Exec(cost)
+		act.entered = true
+		sp.client.Upcall(act, events)
+		if act.state == actRunning && k.slotFor(slot.cpu).act == act {
+			panic(fmt.Sprintf("core: upcall handler for act%d returned while still holding cpu%d", act.id, slot.cpu.ID()))
+		}
+	})
+	act.ctx.Owner = act
+	slot.since = k.Eng.Now()
+	slot.cpu.Dispatch(act.ctx)
+}
+
+// grantSlot allocates a free slot to sp and delivers the AddProcessor
+// upcall, folding in any extra and pending events.
+func (k *Kernel) grantSlot(slot *cpuSlot, sp *Space, extra []Event) {
+	if slot.sp != nil {
+		panic(fmt.Sprintf("core: grant of cpu%d still allocated to %q", slot.cpu.ID(), slot.sp.Name))
+	}
+	slot.sp = sp
+	k.Stats.Grants++
+	events := append([]Event{{Kind: EvAddProcessor}}, extra...)
+	k.deliver(slot, sp, events, k.C.SAUpcallWork+k.C.IPI)
+}
+
+// stopHosted preempts the activation hosting slot's processor. For an
+// activation whose upcall never reached user code (stillborn), the
+// activation is discarded internally and its undelivered events (minus any
+// AddProcessor, since that grant is being revoked) are returned for
+// requeueing; otherwise a Preempted event carrying the activation is
+// returned.
+func (k *Kernel) stopHosted(slot *cpuSlot) []Event {
+	act := slot.act
+	if act == nil {
+		panic(fmt.Sprintf("core: stopping unhosted cpu%d", slot.cpu.ID()))
+	}
+	slot.cpu.Preempt()
+	slot.sp.Usage += k.Eng.Now().Sub(slot.since)
+	slot.act = nil
+	if !act.entered {
+		act.state = actDiscarded
+		delete(act.sp.acts, act.id)
+		k.poolFree++
+		var keep []Event
+		for _, ev := range act.events {
+			if ev.Kind != EvAddProcessor {
+				keep = append(keep, ev)
+			}
+		}
+		k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "stillborn", "%s act%d, %d events requeued", act.sp.Name, act.id, len(keep))
+		return keep
+	}
+	act.state = actStopped
+	return []Event{{Kind: EvPreempted, Act: act}}
+}
+
+// takeSlot involuntarily removes a processor from its space: the hosted
+// activation is stopped mid-whatever-it-was-doing (its thread's unconsumed
+// computation banks in its Worker) and the slot becomes free. The caller is
+// responsible for delivering the returned events to the victim space.
+func (k *Kernel) takeSlot(slot *cpuSlot) []Event {
+	sp := slot.sp
+	events := k.stopHosted(slot)
+	slot.sp = nil
+	slot.idle = false
+	k.Stats.Takes++
+	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "take", "from %s", sp.Name)
+	return events
+}
+
+// interruptSlot stops the hosted activation but keeps the processor
+// allocated to the same space — used when the kernel needs a vessel on one
+// of the space's own processors (unblock notification, priority interrupt).
+func (k *Kernel) interruptSlot(slot *cpuSlot) []Event {
+	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "interrupt", "%s", slot.sp.Name)
+	return k.stopHosted(slot)
+}
+
+// releaseSlot frees a processor voluntarily given back by its hosting
+// activation (idle downcall accepted, or YieldProcessor). The activation is
+// discarded on the spot; no Preempted notification is owed since the vessel
+// carried no thread state the user level doesn't already know about.
+func (k *Kernel) releaseSlot(slot *cpuSlot, act *Activation) {
+	if slot.act != act {
+		panic(fmt.Sprintf("core: releaseSlot: act%d does not host cpu%d", act.id, slot.cpu.ID()))
+	}
+	slot.cpu.Release(act.ctx)
+	slot.sp.Usage += k.Eng.Now().Sub(slot.since)
+	act.state = actDiscarded
+	delete(act.sp.acts, act.id)
+	k.poolFree++
+	slot.sp = nil
+	slot.act = nil
+	slot.idle = false
+	k.Stats.Takes++
+	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "yield", "%s act%d", act.sp.Name, act.id)
+}
+
+// takeFromSpace removes n processors from victim (idle-volunteered slots
+// first) and notifies it: if the victim still holds a processor afterwards,
+// the kernel performs one extra preemption there to deliver the batched
+// Preempted events in a fresh activation (the paper's double-preemption
+// protocol); otherwise the notifications are delayed until the space is next
+// granted a processor.
+func (k *Kernel) takeFromSpace(victim *Space, n int) []*cpuSlot {
+	var taken []*cpuSlot
+	var events []Event
+	// Idle-volunteered slots first, then the rest in CPU order.
+	for pass := 0; pass < 2 && len(taken) < n; pass++ {
+		for _, s := range k.slots {
+			if len(taken) >= n {
+				break
+			}
+			if s.sp != victim || s.act == nil {
+				continue
+			}
+			if pass == 0 && !s.idle {
+				continue
+			}
+			alreadyTaken := false
+			for _, t := range taken {
+				if t == s {
+					alreadyTaken = true
+				}
+			}
+			if alreadyTaken {
+				continue
+			}
+			events = append(events, k.takeSlot(s)...)
+			taken = append(taken, s)
+		}
+	}
+	if len(events) > 0 {
+		k.notify(victim, events)
+	}
+	return taken
+}
+
+// notify delivers Preempted (or other) events to sp: on one of its own
+// processors via an extra preemption if it has any, otherwise delayed.
+func (k *Kernel) notify(sp *Space, events []Event) {
+	for _, s := range k.slots {
+		if s.sp == sp && s.act != nil {
+			evs := k.interruptSlot(s)
+			k.Stats.DoublePreempts++
+			k.deliver(s, sp, append(events, evs...), k.C.SAUpcallWork+k.C.IPI)
+			return
+		}
+	}
+	sp.pending = append(sp.pending, events...)
+	k.Stats.DelayedNotifies += uint64(len(events))
+	k.Trace.Add(k.Eng.Now(), -1, "notify", "%s: %d events delayed (no processors)", sp.Name, len(events))
+}
+
+// InterruptProcessor is the priority-scheduling extension of §3.1: the user
+// level, knowing exactly which thread runs on each of its processors, asks
+// the kernel to stop the thread on one of them; the kernel preempts it and
+// starts a scheduler activation there. via must not be the activation on
+// the target processor.
+func (sp *Space) InterruptProcessor(via *Activation, cpu int) {
+	k := sp.k
+	via.ctx.Exec(k.C.Trap + k.C.SANotifyWork)
+	slot := k.slots[cpu]
+	if slot.sp != sp {
+		panic(fmt.Sprintf("core: InterruptProcessor(cpu%d) not allocated to %q", cpu, sp.Name))
+	}
+	if slot.act == via {
+		panic("core: InterruptProcessor on the caller's own processor")
+	}
+	evs := k.interruptSlot(slot)
+	k.deliver(slot, sp, evs, k.C.SAUpcallWork+k.C.IPI)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+)
+
+// VM models the kernel's virtual-memory involvement in scheduling: a thread
+// that touches a non-resident page faults and blocks in the kernel exactly
+// as for I/O — the processor returns to the space with a Blocked upcall and
+// the thread comes back with Unblocked when the page arrives (§3.1 treats
+// page faults and I/O with one mechanism).
+//
+// Two refinements from the paper:
+//
+//   - Faults on a page already being fetched coalesce: one disk read, all
+//     faulting threads unblocked together.
+//
+//   - "The only added complication for the kernel is that an upcall to
+//     notify the program of a page fault may in turn page fault on the same
+//     location; the kernel must check for this, and when it occurs, delay
+//     the subsequent upcall until the page fault completes." The page
+//     holding the thread system's upcall entry is registered with
+//     SetEntryPage; if a fault's notification would land while that page is
+//     itself being fetched, the processor waits and the upcall is delivered
+//     when the fetch finishes.
+type VM struct {
+	k        *Kernel
+	resident map[int]bool
+	// faulting maps an in-flight page to completion callbacks.
+	faulting map[int][]func()
+	// entryPage, per space, is the page the upcall entry point lives on.
+	entryPage map[*Space]int
+
+	Stats struct {
+		Faults         uint64
+		Coalesced      uint64
+		DelayedUpcalls uint64
+	}
+}
+
+// NewVM creates the kernel's pager. Pages start non-resident; Preload marks
+// pages resident without charge.
+func (k *Kernel) NewVM() *VM {
+	return &VM{
+		k:         k,
+		resident:  make(map[int]bool),
+		faulting:  make(map[int][]func()),
+		entryPage: make(map[*Space]int),
+	}
+}
+
+// Preload marks pages resident (program load / warm start).
+func (vm *VM) Preload(pages ...int) {
+	for _, p := range pages {
+		vm.resident[p] = true
+	}
+}
+
+// Resident reports whether a page is in memory.
+func (vm *VM) Resident(page int) bool { return vm.resident[page] }
+
+// SetEntryPage registers the page holding sp's upcall entry point, enabling
+// the delayed-upcall check. Passing a negative page disables it.
+func (vm *VM) SetEntryPage(sp *Space, page int) {
+	vm.entryPage[sp] = page
+}
+
+// Touch accesses a page from the thread currently computing in act's
+// context. A resident page costs nothing extra (the cache-hit cost is the
+// application's to charge); a non-resident page faults: the thread blocks
+// in the kernel and the page is fetched from disk.
+func (vm *VM) Touch(act *Activation, page int) {
+	if vm.resident[page] {
+		return
+	}
+	vm.fault(act, page)
+}
+
+// fault implements the blocking fault path. It parallels Kernel.BlockIO but
+// with coalescing and the delayed-notification check.
+func (vm *VM) fault(act *Activation, page int) {
+	k := vm.k
+	vm.Stats.Faults++
+	w := act.ctx.Worker()
+	if w == nil {
+		panic(fmt.Sprintf("core: page fault on act%d with no computation", act.id))
+	}
+	// Kernel entry: the page-fault trap.
+	w.Exec(k.C.Trap + k.C.KTBlockWork)
+	cur := w.Bound().Owner.(*Activation)
+	act = cur
+	sp := act.sp
+	slot := k.slotFor(act.ctx.CPU())
+	if slot.act != act {
+		panic(fmt.Sprintf("core: faulting act%d does not host its processor", act.id))
+	}
+	slot.cpu.Release(act.ctx)
+	slot.sp.Usage += k.Eng.Now().Sub(slot.since)
+	act.state = actBlocked
+	slot.act = nil
+	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "fault", "%s act%d page %d", sp.Name, act.id, page)
+
+	// Arrange the wake-up first: coalesce with an in-flight fetch if one
+	// exists.
+	if waiters, inFlight := vm.faulting[page]; inFlight {
+		vm.Stats.Coalesced++
+		vm.faulting[page] = append(waiters, func() { k.unblock(act) })
+	} else {
+		vm.faulting[page] = []func(){func() { k.unblock(act) }}
+		k.M.Disk.Request(func() {
+			vm.resident[page] = true
+			done := vm.faulting[page]
+			delete(vm.faulting, page)
+			for _, fn := range done {
+				fn()
+			}
+		})
+	}
+
+	// Deliver the Blocked notification on the now-free processor — unless
+	// the space's upcall entry page is itself mid-fetch, in which case the
+	// notification (and the processor) waits for it.
+	deliver := func() {
+		if slot.sp == sp && slot.act == nil {
+			k.deliver(slot, sp, []Event{{Kind: EvBlocked, Act: act}}, k.C.SAUpcallWork)
+		}
+		// Otherwise the processor moved on while we were delayed; the
+		// blocked thread still comes back via the Unblocked upcall.
+	}
+	if ep, ok := vm.entryPage[sp]; ok && ep >= 0 && !vm.resident[ep] {
+		if _, epInFlight := vm.faulting[ep]; epInFlight {
+			vm.Stats.DelayedUpcalls++
+			k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "fault", "%s: upcall delayed, entry page %d mid-fetch", sp.Name, ep)
+			vm.faulting[ep] = append(vm.faulting[ep], deliver)
+		} else {
+			// Entry page evicted and not being fetched: fetch it now, then
+			// deliver.
+			vm.Stats.DelayedUpcalls++
+			vm.faulting[ep] = []func(){deliver}
+			k.M.Disk.Request(func() {
+				vm.resident[ep] = true
+				done := vm.faulting[ep]
+				delete(vm.faulting, ep)
+				for _, fn := range done {
+					fn()
+				}
+			})
+		}
+	} else {
+		deliver()
+	}
+
+	// Park the faulting thread; it resumes in a new vessel after Unblocked.
+	w.AwaitDispatch("page-fault")
+	w.Exec(k.C.Trap) // return from the fault
+}
+
+// Evict drops pages from memory (tests and memory-pressure experiments).
+func (vm *VM) Evict(pages ...int) {
+	for _, p := range pages {
+		delete(vm.resident, p)
+	}
+}

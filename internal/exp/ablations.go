@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"schedact/internal/apps/nbody"
+	"schedact/internal/core"
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+	"schedact/internal/uthread"
+)
+
+// AllocatorAblationResult compares the §4.1 space-sharing allocator against
+// a first-come-first-served policy on the Table 5 multiprogrammed workload.
+type AllocatorAblationResult struct {
+	SpaceSharing struct {
+		SpeedupAvg float64
+		Spread     float64 // |t1-t2| / avg: fairness between the two copies
+	}
+	FirstCome struct {
+		SpeedupAvg float64
+		Spread     float64
+	}
+}
+
+// AllocatorAblation runs two new-FastThreads copies under both processor
+// allocation policies. Space sharing divides the machine fairly and evenly;
+// first-come starves the late arriver, showing why the policy (not just the
+// mechanism) matters.
+func AllocatorAblation() AllocatorAblationResult {
+	cfg := nbody.DefaultConfig()
+	seq := seqTime(cfg)
+	var res AllocatorAblationResult
+	for _, fcfs := range []bool{false, true} {
+		eng := sim.NewEngine()
+		k := core.New(eng, core.Config{CPUs: MachineCPUs})
+		if fcfs {
+			k.SetPolicy(core.FirstComeFCFS)
+		}
+		StartDaemonSA(k)
+		var runs [2]*nbody.Run
+		for i := range runs {
+			s := uthread.OnActivations(k, fmt.Sprintf("nbody%d", i), 0, MachineCPUs, uthread.Options{})
+			runs[i] = nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
+			s.Start()
+		}
+		eng.RunUntil(RunLimit)
+		var sum, diff sim.Duration
+		for _, r := range runs {
+			if !r.Done {
+				panic("exp: allocator ablation run did not finish")
+			}
+			sum += r.Elapsed()
+		}
+		diff = runs[0].Elapsed() - runs[1].Elapsed()
+		if diff < 0 {
+			diff = -diff
+		}
+		avg := sum / 2
+		sp := float64(seq) / float64(avg)
+		spread := float64(diff) / float64(avg)
+		if fcfs {
+			res.FirstCome.SpeedupAvg = sp
+			res.FirstCome.Spread = spread
+		} else {
+			res.SpaceSharing.SpeedupAvg = sp
+			res.SpaceSharing.Spread = spread
+		}
+		eng.Close()
+	}
+	return res
+}
+
+// HysteresisAblationResult compares idle-processor hysteresis settings
+// (§4.2: "our implementation includes hysteresis to avoid unnecessary
+// processor re-allocations; an idle processor spins for a short period
+// before notifying the kernel that it is available for re-allocation").
+type HysteresisAblationResult struct {
+	WithHysteresis    struct{ Takes, Upcalls uint64 }
+	WithoutHysteresis struct{ Takes, Upcalls uint64 }
+}
+
+// HysteresisAblation runs a bursty application — 5ms of computation, then a
+// 10ms I/O — against a processor-hungry competitor, with the idle-spin
+// hysteresis longer and shorter than the application's idle gaps. With
+// hysteresis covering the gap, the processor stays put; without it, every
+// gap surrenders the processor to the competitor and it must be stolen
+// back moments later.
+func HysteresisAblation() HysteresisAblationResult {
+	run := func(h sim.Duration) (uint64, uint64) {
+		eng := sim.NewEngine()
+		defer eng.Close()
+		costs := machine.DefaultCosts()
+		costs.DiskLatency = sim.Ms(10)
+		k := core.New(eng, core.Config{CPUs: 2, Costs: costs})
+		hungry := uthread.OnActivations(k, "hungry", 0, 2, uthread.Options{})
+		for i := 0; i < 2; i++ {
+			hungry.Spawn("spin", func(t *uthread.Thread) { t.Exec(3 * sim.Second) })
+		}
+		hungry.Start()
+		bursty := uthread.OnActivations(k, "bursty", 0, 1, uthread.Options{Hysteresis: h})
+		done := false
+		bursty.Spawn("burst", func(t *uthread.Thread) {
+			for i := 0; i < 100; i++ {
+				t.Exec(sim.Ms(5))
+				t.BlockIO()
+			}
+			done = true
+		})
+		bursty.Start()
+		for !done && eng.Now() < RunLimit {
+			eng.RunFor(10 * sim.Millisecond)
+		}
+		if !done {
+			panic("exp: hysteresis ablation run did not finish")
+		}
+		return k.Stats.Takes, k.Stats.Upcalls
+	}
+	var res HysteresisAblationResult
+	res.WithHysteresis.Takes, res.WithHysteresis.Upcalls = run(sim.Ms(15)) // covers the 10ms gap
+	res.WithoutHysteresis.Takes, res.WithoutHysteresis.Upcalls = run(sim.Us(5))
+	return res
+}
+
+// Figure2Tuned re-runs the new-FastThreads Figure 2 series under the tuned
+// cost profile (§5.2's projected production implementation): with upcalls
+// at kernel-thread cost, the scheduler-activation system's advantage under
+// memory pressure widens.
+func Figure2Tuned() Series {
+	s := Series{System: "new FastThreads (tuned upcalls)"}
+	for _, pct := range MemoryPoints {
+		cfg := nbody.DefaultConfig()
+		cfg.MemFraction = pct / 100
+		eng := sim.NewEngine()
+		k := core.New(eng, core.Config{CPUs: MachineCPUs, Costs: machine.TunedCosts()})
+		StartDaemonSA(k)
+		sched := uthread.OnActivations(k, "nbody", 0, MachineCPUs, uthread.Options{})
+		run := nbody.Launch(nbody.UThreadSystem{S: sched}, cfg)
+		sched.Start()
+		eng.RunUntil(RunLimit)
+		if !run.Done {
+			panic("exp: tuned figure2 run did not finish")
+		}
+		s.Points = append(s.Points, Point{X: pct, Y: sim.Duration(run.Elapsed()).Seconds()})
+		eng.Close()
+	}
+	return s
+}
+
+// RenderAblations writes the ablation results.
+func RenderAblations(w io.Writer, alloc AllocatorAblationResult, hyst HysteresisAblationResult) {
+	fprintf(w, "Allocator ablation (§4.1): two multiprogrammed copies, 6 processors\n")
+	fprintf(w, "  space sharing:  avg speedup %.2f, copy spread %4.0f%%\n",
+		alloc.SpaceSharing.SpeedupAvg, alloc.SpaceSharing.Spread*100)
+	fprintf(w, "  first-come:     avg speedup %.2f, copy spread %4.0f%%\n\n",
+		alloc.FirstCome.SpeedupAvg, alloc.FirstCome.Spread*100)
+	fprintf(w, "Hysteresis ablation (§4.2): processor re-allocation churn, N-body + daemons\n")
+	fprintf(w, "  with hysteresis (1ms idle spin): %d re-allocations, %d upcalls\n",
+		hyst.WithHysteresis.Takes, hyst.WithHysteresis.Upcalls)
+	fprintf(w, "  without (5µs):                   %d re-allocations, %d upcalls\n\n",
+		hyst.WithoutHysteresis.Takes, hyst.WithoutHysteresis.Upcalls)
+}

@@ -1,0 +1,157 @@
+// Package exp is the experiment harness: one entry point per table and
+// figure of the paper's evaluation, each returning structured results with
+// the paper's published values alongside the measured ones, plus the
+// ablations DESIGN.md calls out. The cmd/saexp binary and the repository's
+// benchmarks drive these.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"schedact/internal/core"
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+	"schedact/internal/uthread"
+
+	"schedact/internal/apps/nbody"
+)
+
+// MachineCPUs is the simulated Firefly's processor count.
+const MachineCPUs = 6
+
+// Daemon parameters: Topaz "has several daemon threads which wake up
+// periodically, execute for a short time, and then go back to sleep"
+// (§5.3).
+const (
+	DaemonPeriod = 50 * sim.Millisecond
+	DaemonBurst  = 2 * sim.Millisecond
+	DaemonPrio   = 4
+)
+
+// RunLimit bounds any single experiment run in virtual time.
+const RunLimit = sim.Time(30 * 60 * sim.Second)
+
+// SystemName identifies the three application-level systems of §5.3.
+type SystemName string
+
+const (
+	SysTopaz  SystemName = "Topaz threads"
+	SysOrigFT SystemName = "orig FastThreads"
+	SysNewFT  SystemName = "new FastThreads"
+)
+
+// Systems lists them in the paper's presentation order.
+var Systems = []SystemName{SysTopaz, SysOrigFT, SysNewFT}
+
+// StartDaemonNative installs the periodic daemon on the native kernel: a
+// high-priority kernel thread whose wake-ups the oblivious scheduler places
+// without regard to idle processors.
+func StartDaemonNative(k *kernel.Kernel) {
+	sp := k.NewSpace("daemon", false)
+	sp.Spawn("daemon", DaemonPrio, func(t *kernel.KThread) {
+		for {
+			t.SleepFor(DaemonPeriod)
+			t.Exec(DaemonBurst)
+		}
+	})
+}
+
+// StartDaemonSA installs the daemon on the scheduler-activation kernel as a
+// high-priority address space that periodically demands one processor, runs
+// its burst, and gives the processor back. Because the allocator is
+// explicit, these wake-ups disturb the application only when no processor
+// is idle.
+func StartDaemonSA(k *core.Kernel) {
+	var sp *core.Space
+	sp = k.NewSpace("daemon", DaemonPrio, core.ClientFunc(func(act *core.Activation, events []core.Event) {
+		for _, ev := range events {
+			if ev.Kind == core.EvPreempted && ev.Act != nil {
+				// Recover an interrupted burst: finish it here.
+				if w := ev.Act.TakeWorker(); w != nil {
+					_ = w // the burst's remaining demand is in the worker
+				}
+				ev.Act.Discard()
+			}
+		}
+		act.Context().Exec(DaemonBurst)
+		// YieldProcessor also drops the registered demand to zero; setting
+		// demand first would let the allocator preempt this very vessel out
+		// from under the running downcall.
+		act.YieldProcessor()
+	}))
+	// Periodic demand pulses, driven by a kernel timer.
+	var pulse func()
+	pulse = func() {
+		sp.KernelSetDemand(1)
+		k.Eng.After(DaemonPeriod, "daemon-pulse", pulse)
+	}
+	k.Eng.After(DaemonPeriod, "daemon-pulse", pulse)
+	sp.Start()
+	sp.KernelSetDemand(0)
+}
+
+// --- application launchers ---
+
+// seqTime runs the sequential implementation and returns its execution time.
+func seqTime(cfg nbody.Config) sim.Duration {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs})
+	StartDaemonNative(k)
+	r := nbody.RunSequential(k.NewSpace("seq", false), cfg)
+	eng.RunUntil(RunLimit)
+	if !r.Done {
+		panic("exp: sequential run did not finish")
+	}
+	return r.Elapsed()
+}
+
+// launchOne starts one application instance of the given system on fresh
+// kernels sized for the experiment. procs caps the application's
+// parallelism (Figure 1's x-axis); the machine always has MachineCPUs
+// processors.
+func launchOne(sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng *sim.Engine, run *nbody.Run) {
+	eng = sim.NewEngine()
+	switch sys {
+	case SysTopaz:
+		k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs, Trace: tr})
+		StartDaemonNative(k)
+		sp := k.NewSpace("nbody", false)
+		sp.CPUCap = procs
+		run = nbody.Launch(nbody.KThreadSystem{K: k, SP: sp}, cfg)
+	case SysOrigFT:
+		k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs, Trace: tr})
+		StartDaemonNative(k)
+		s := uthread.OnKernelThreads(k, k.NewSpace("nbody", false), procs, uthread.Options{Trace: tr})
+		run = nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
+		s.Start()
+	case SysNewFT:
+		k := core.New(eng, core.Config{CPUs: MachineCPUs, Trace: tr})
+		StartDaemonSA(k)
+		s := uthread.OnActivations(k, "nbody", 0, procs, uthread.Options{Trace: tr})
+		run = nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
+		s.Start()
+	default:
+		panic("exp: unknown system " + sys)
+	}
+	return eng, run
+}
+
+// runOne executes one application instance to completion and returns its
+// execution time.
+func runOne(sys SystemName, cfg nbody.Config, procs int) sim.Duration {
+	eng, run := launchOne(sys, cfg, procs, nil)
+	defer eng.Close()
+	eng.RunUntil(RunLimit)
+	if !run.Done {
+		panic(fmt.Sprintf("exp: %s run (P=%d) did not finish within the run limit", sys, procs))
+	}
+	return run.Elapsed()
+}
+
+// fprintf writes formatted output, ignoring errors (render helpers).
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,301 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"schedact/internal/apps/nbody"
+)
+
+// The experiment tests assert the paper's comparative claims — who wins,
+// where curves flatten or diverge — rather than absolute numbers; see
+// EXPERIMENTS.md for the full paper-vs-measured record.
+
+func TestTable1MatchesPaper(t *testing.T) {
+	for _, r := range Table1() {
+		if !within(r.NullForkUs, r.PaperNullFork, 0.10) {
+			t.Errorf("%s: NullFork %.1fµs vs paper %.1fµs", r.System, r.NullForkUs, r.PaperNullFork)
+		}
+		if !within(r.SignalWaitUs, r.PaperSignalWait, 0.10) {
+			t.Errorf("%s: Signal-Wait %.1fµs vs paper %.1fµs", r.System, r.SignalWaitUs, r.PaperSignalWait)
+		}
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	for _, r := range Table4() {
+		if !within(r.NullForkUs, r.PaperNullFork, 0.10) {
+			t.Errorf("%s: NullFork %.1fµs vs paper %.1fµs", r.System, r.NullForkUs, r.PaperNullFork)
+		}
+		if !within(r.SignalWaitUs, r.PaperSignalWait, 0.10) {
+			t.Errorf("%s: Signal-Wait %.1fµs vs paper %.1fµs", r.System, r.SignalWaitUs, r.PaperSignalWait)
+		}
+	}
+}
+
+func within(got, want, frac float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= want*frac
+}
+
+func TestCSAblationMatchesPaper(t *testing.T) {
+	r := CSAblation()
+	if !within(r.ExplicitFlag.NullForkUs, 49, 0.10) {
+		t.Errorf("explicit-flag NullFork %.1fµs vs paper 49µs", r.ExplicitFlag.NullForkUs)
+	}
+	if !within(r.ExplicitFlag.SignalWaitUs, 48, 0.10) {
+		t.Errorf("explicit-flag Signal-Wait %.1fµs vs paper 48µs", r.ExplicitFlag.SignalWaitUs)
+	}
+}
+
+func TestUpcallLatencyMatchesPaper(t *testing.T) {
+	r := UpcallLatency()
+	if !within(r.PrototypeMs, 2.4, 0.15) {
+		t.Errorf("prototype upcall signal-wait %.2fms vs paper 2.4ms", r.PrototypeMs)
+	}
+	if r.MeasuredRatio < 3.5 || r.MeasuredRatio > 7 {
+		t.Errorf("prototype/Topaz ratio %.1f, paper ~5", r.MeasuredRatio)
+	}
+	if r.TunedUs > 1.2*r.TopazUs {
+		t.Errorf("tuned upcalls (%.0fµs) should be commensurate with Topaz (%.0fµs)", r.TunedUs, r.TopazUs)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full application sweep")
+	}
+	r := Figure1()
+	get := func(sys SystemName, p int) float64 {
+		for _, s := range r.Series {
+			if s.System == sys {
+				return s.Points[p-1].Y
+			}
+		}
+		t.Fatalf("missing series %s", sys)
+		return 0
+	}
+	// Claim 1: at one processor, every parallel system is slower than the
+	// sequential program, Topaz most of all.
+	for _, sys := range Systems {
+		if sp := get(sys, 1); sp >= 1.0 {
+			t.Errorf("%s at P=1: speedup %.2f, want < 1", sys, sp)
+		}
+	}
+	if get(SysTopaz, 1) >= get(SysOrigFT, 1) {
+		t.Errorf("Topaz P=1 (%.2f) should dip below FastThreads (%.2f)", get(SysTopaz, 1), get(SysOrigFT, 1))
+	}
+	// Claim 2: the user-level systems speed up near-linearly; Topaz
+	// flattens out well below them.
+	for _, sys := range []SystemName{SysOrigFT, SysNewFT} {
+		if sp := get(sys, 6); sp < 4.0 {
+			t.Errorf("%s at P=6: speedup %.2f, want >= 4 (near-linear)", sys, sp)
+		}
+	}
+	if topaz6 := get(SysTopaz, 6); topaz6 > 0.75*get(SysNewFT, 6) {
+		t.Errorf("Topaz at P=6 (%.2f) should flatten well below FastThreads (%.2f)", topaz6, get(SysNewFT, 6))
+	}
+	// Claim 3: Topaz's increments shrink (flattening), FastThreads' don't.
+	topazGain := get(SysTopaz, 6) - get(SysTopaz, 5)
+	topazEarly := get(SysTopaz, 2) - get(SysTopaz, 1)
+	if topazGain > 0.7*topazEarly {
+		t.Errorf("Topaz gain 5→6 (%.2f) should be well below its early gain (%.2f)", topazGain, topazEarly)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full application sweep")
+	}
+	r := Figure2()
+	get := func(sys SystemName, pct float64) float64 {
+		for _, s := range r.Series {
+			if s.System == sys {
+				for _, p := range s.Points {
+					if p.X == pct {
+						return p.Y
+					}
+				}
+			}
+		}
+		t.Fatalf("missing point %s/%v", sys, pct)
+		return 0
+	}
+	// Claim 1: everyone degrades as memory shrinks, slowly at first and
+	// sharply at the end.
+	for _, sys := range Systems {
+		if get(sys, 40) <= get(sys, 100) {
+			t.Errorf("%s: no degradation from 100%% to 40%% memory", sys)
+		}
+		early := get(sys, 80) / get(sys, 100)
+		late := get(sys, 40) / get(sys, 60)
+		if late <= 1.0 {
+			t.Errorf("%s: no sharp degradation at low memory", sys)
+		}
+		_ = early
+	}
+	// Claim 2: original FastThreads degrades worst — its virtual processor
+	// is lost for the duration of each I/O.
+	for _, pct := range []float64{60, 50, 40} {
+		if get(SysOrigFT, pct) <= get(SysNewFT, pct) {
+			t.Errorf("orig FastThreads at %.0f%% (%.2fs) should be worse than new FastThreads (%.2fs)",
+				pct, get(SysOrigFT, pct), get(SysNewFT, pct))
+		}
+	}
+	// Claim 3: at full memory the user-level systems beat Topaz.
+	if get(SysNewFT, 100) >= get(SysTopaz, 100) {
+		t.Errorf("new FastThreads at 100%% (%.2fs) should beat Topaz (%.2fs)", get(SysNewFT, 100), get(SysTopaz, 100))
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full application sweep")
+	}
+	rows := Table5()
+	get := func(sys SystemName) float64 {
+		for _, r := range rows {
+			if r.System == sys {
+				return r.Speedup
+			}
+		}
+		t.Fatalf("missing row %s", sys)
+		return 0
+	}
+	// The paper's headline: under multiprogramming the kernel-involved
+	// systems collapse while scheduler activations stay near the
+	// three-processor uniprogrammed speedup (max possible 3.0).
+	if sp := get(SysNewFT); sp < 2.3 {
+		t.Errorf("new FastThreads multiprogrammed speedup %.2f, want >= 2.3 (paper 2.45)", sp)
+	}
+	for _, sys := range []SystemName{SysTopaz, SysOrigFT} {
+		if sp := get(sys); sp >= 0.85*get(SysNewFT) {
+			t.Errorf("%s speedup %.2f should be well below new FastThreads %.2f", sys, sp, get(SysNewFT))
+		}
+	}
+}
+
+func TestAllocatorAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full application sweep")
+	}
+	r := AllocatorAblation()
+	// Space sharing treats the two copies evenly; first-come starves the
+	// late arriver, so its copies' times spread far apart.
+	if r.SpaceSharing.Spread > 0.25 {
+		t.Errorf("space sharing copy spread %.0f%%, want small", r.SpaceSharing.Spread*100)
+	}
+	if r.FirstCome.Spread < 2*r.SpaceSharing.Spread {
+		t.Errorf("first-come spread %.0f%% should far exceed space sharing's %.0f%%",
+			r.FirstCome.Spread*100, r.SpaceSharing.Spread*100)
+	}
+}
+
+func TestHysteresisAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full application sweep")
+	}
+	r := HysteresisAblation()
+	if r.WithoutHysteresis.Takes <= r.WithHysteresis.Takes {
+		t.Errorf("removing hysteresis should increase processor re-allocation churn: %d vs %d",
+			r.WithoutHysteresis.Takes, r.WithHysteresis.Takes)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	var b strings.Builder
+	RenderMicro(&b, "Table 1", Table1())
+	RenderUpcall(&b, UpcallLatency())
+	if !strings.Contains(b.String(), "Topaz threads") || !strings.Contains(b.String(), "2.4 ms") {
+		t.Fatalf("render output incomplete:\n%s", b.String())
+	}
+}
+
+func TestDaemonsDoNotWedgeKernels(t *testing.T) {
+	// Daemons run forever; make sure both kernel flavours keep simulating
+	// them without error for a while with no application present.
+	{
+		eng, run := launchOne(SysNewFT, nbodySmoke(), 2, nil)
+		eng.RunFor(2e9) // 2s beyond completion
+		if !run.Done {
+			t.Error("smoke run on activations did not finish")
+		}
+		eng.Close()
+	}
+	{
+		eng, run := launchOne(SysTopaz, nbodySmoke(), 2, nil)
+		eng.RunFor(2e9)
+		if !run.Done {
+			t.Error("smoke run on Topaz did not finish")
+		}
+		eng.Close()
+	}
+}
+
+// nbodySmoke is a tiny workload for fast sanity tests.
+func nbodySmoke() nbody.Config {
+	return nbody.Config{N: 32, Steps: 1, Seed: 3}
+}
+
+func TestBreakEven(t *testing.T) {
+	r := BreakEven()
+	// The prototype's break-even must be a proper fraction: user-level ops
+	// are far cheaper than kernel threads, upcalls far more expensive.
+	if r.KernelOpFraction <= 0 || r.KernelOpFraction >= 1 {
+		t.Fatalf("break-even fraction = %.3f, want in (0,1)", r.KernelOpFraction)
+	}
+	if !r.TunedAlwaysWins {
+		t.Fatal("tuned upcalls should be commensurate with (below) kernel-thread cost")
+	}
+}
+
+func TestRenderFigureAndTable5Output(t *testing.T) {
+	// Renderers must produce well-formed tables from synthetic results
+	// without running the heavy experiments.
+	var b strings.Builder
+	fig1 := Figure1Result{Sequential: 6e9}
+	for _, sys := range Systems {
+		s := Series{System: sys}
+		for p := 1; p <= 3; p++ {
+			s.Points = append(s.Points, Point{X: float64(p), Y: float64(p)})
+		}
+		fig1.Series = append(fig1.Series, s)
+	}
+	RenderFigure1(&b, fig1)
+	var fig2 Figure2Result
+	for _, sys := range Systems {
+		s := Series{System: sys}
+		for _, m := range []float64{100, 40} {
+			s.Points = append(s.Points, Point{X: m, Y: 1.5})
+		}
+		fig2.Series = append(fig2.Series, s)
+	}
+	RenderFigure2(&b, fig2)
+	RenderTable5(&b, []Table5Row{{System: SysNewFT, Speedup: 2.6, Paper: 2.45}})
+	out := b.String()
+	for _, want := range []string{"Figure 1", "Figure 2", "Table 5", "new FastThreads", "procs", "%mem"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	series := []Series{
+		{System: SysTopaz, Points: []Point{{X: 1, Y: 0.8}, {X: 2, Y: 1.3}}},
+		{System: SysNewFT, Points: []Point{{X: 1, Y: 0.99}, {X: 2, Y: 1.9}}},
+	}
+	if err := WriteCSV(&b, "processors", series); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"processors,Topaz threads,new FastThreads", "1,0.8,0.99", "2,1.3,1.9"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("csv missing %q:\n%s", want, out)
+		}
+	}
+}

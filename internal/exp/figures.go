@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"schedact/internal/apps/nbody"
+	"schedact/internal/sim"
+)
+
+// Point is one measurement in a figure series.
+type Point struct {
+	X float64 // processors (Figure 1) or % memory available (Figure 2)
+	Y float64 // speedup (Figure 1) or execution time in seconds (Figure 2)
+}
+
+// Series is one system's curve.
+type Series struct {
+	System SystemName
+	Points []Point
+}
+
+// Figure1Result holds the speedup-vs-processors experiment.
+type Figure1Result struct {
+	Sequential sim.Duration
+	Series     []Series
+}
+
+// Figure1 reproduces Figure 1: N-body speedup versus number of processors
+// at 100% memory, uniprogrammed (plus the kernel daemons), for Topaz
+// threads, original FastThreads, and modified FastThreads on scheduler
+// activations. Speedup is relative to the sequential implementation.
+func Figure1() Figure1Result {
+	cfg := nbody.DefaultConfig()
+	seq := seqTime(cfg)
+	res := Figure1Result{Sequential: seq}
+	for _, sys := range Systems {
+		s := Series{System: sys}
+		for p := 1; p <= MachineCPUs; p++ {
+			el := runOne(sys, cfg, p)
+			s.Points = append(s.Points, Point{X: float64(p), Y: float64(seq) / float64(el)})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// Figure2Result holds the execution-time-vs-memory experiment.
+type Figure2Result struct {
+	Series []Series // Y: execution time, seconds; X: % memory available
+}
+
+// MemoryPoints is the Figure 2 x-axis: % of memory available.
+var MemoryPoints = []float64{100, 90, 80, 70, 60, 50, 40}
+
+// Figure2 reproduces Figure 2: N-body execution time versus the amount of
+// available memory on 6 processors. Cache misses block in the kernel for
+// 50ms; with original FastThreads the blocked virtual processor is lost to
+// the application.
+func Figure2() Figure2Result {
+	var res Figure2Result
+	for _, sys := range Systems {
+		s := Series{System: sys}
+		for _, pct := range MemoryPoints {
+			cfg := nbody.DefaultConfig()
+			cfg.MemFraction = pct / 100
+			el := runOne(sys, cfg, MachineCPUs)
+			s.Points = append(s.Points, Point{X: pct, Y: sim.Duration(el).Seconds()})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+// RenderFigure1 writes the Figure 1 series as a table.
+func RenderFigure1(w io.Writer, r Figure1Result) {
+	fprintf(w, "Figure 1: speedup vs number of processors (100%% memory, uniprogrammed)\n")
+	fprintf(w, "sequential time: %.2fs\n", sim.Duration(r.Sequential).Seconds())
+	fprintf(w, "%-6s", "procs")
+	for _, s := range r.Series {
+		fprintf(w, " %18s", s.System)
+	}
+	fprintf(w, "\n")
+	for i := 0; i < len(r.Series[0].Points); i++ {
+		fprintf(w, "%-6.0f", r.Series[0].Points[i].X)
+		for _, s := range r.Series {
+			fprintf(w, " %18.2f", s.Points[i].Y)
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "\n")
+}
+
+// RenderFigure2 writes the Figure 2 series as a table.
+func RenderFigure2(w io.Writer, r Figure2Result) {
+	fprintf(w, "Figure 2: execution time (s) vs %% available memory (6 processors)\n")
+	fprintf(w, "%-6s", "%mem")
+	for _, s := range r.Series {
+		fprintf(w, " %18s", s.System)
+	}
+	fprintf(w, "\n")
+	for i := 0; i < len(r.Series[0].Points); i++ {
+		fprintf(w, "%-6.0f", r.Series[0].Points[i].X)
+		for _, s := range r.Series {
+			fprintf(w, " %18.2f", s.Points[i].Y)
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "\n")
+}
+
+// WriteCSV emits series as CSV (one x column, one column per system) for
+// plotting Figure 1/2 style data outside the harness.
+func WriteCSV(w io.Writer, xLabel string, series []Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{xLabel}
+	for _, s := range series {
+		header = append(header, string(s.System))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(series) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	for i := range series[0].Points {
+		row := []string{strconv.FormatFloat(series[0].Points[i].X, 'g', -1, 64)}
+		for _, s := range series {
+			row = append(row, strconv.FormatFloat(s.Points[i].Y, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

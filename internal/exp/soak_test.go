@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"schedact/internal/core"
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+	"schedact/internal/uthread"
+)
+
+// TestSoakMixedWorkloads throws a randomized (but seeded, hence
+// deterministic) mixture of everything at the scheduler-activation stack —
+// forks, joins, mutexes, condition variables, spin locks, blocking I/O,
+// page faults, priorities, multiple competing spaces, daemons — and checks
+// the kernel invariant continuously while it runs.
+func TestSoakMixedWorkloads(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			eng := sim.NewEngine()
+			defer eng.Close()
+			k := core.New(eng, core.Config{CPUs: 2 + rng.Intn(4)})
+			StartDaemonSA(k)
+			vm := k.NewVM()
+
+			nspaces := 1 + rng.Intn(3)
+			finished := 0
+			total := 0
+			for si := 0; si < nspaces; si++ {
+				s := uthread.OnActivations(k, fmt.Sprintf("soak%d", si), rng.Intn(2), k.M.NumCPUs(), uthread.Options{})
+				mu := s.NewMutex()
+				cond := s.NewCond()
+				spin := &uthread.SpinLock{}
+				waiting := 0
+				nthreads := 3 + rng.Intn(8)
+				total += nthreads
+				for ti := 0; ti < nthreads; ti++ {
+					plan := make([]int, 4+rng.Intn(8))
+					for i := range plan {
+						plan[i] = rng.Intn(7)
+					}
+					prio := rng.Intn(3)
+					work := sim.Duration(rng.Intn(2000)+100) * sim.Microsecond
+					page := rng.Intn(6)
+					s.SpawnPrio(fmt.Sprintf("t%d.%d", si, ti), prio, func(th *uthread.Thread) {
+						for _, op := range plan {
+							switch op {
+							case 0:
+								th.Exec(work)
+							case 1:
+								mu.Lock(th)
+								th.Exec(work / 4)
+								mu.Unlock(th)
+							case 2:
+								spin.Acquire(th)
+								th.Exec(work / 8)
+								spin.Release(th)
+							case 3:
+								th.BlockIO()
+							case 4:
+								th.TouchPage(vm, page)
+							case 5:
+								th.Yield()
+							case 6:
+								// Cond handshake: wait if someone will signal
+								// later, else signal a waiter.
+								if waiting > 0 {
+									waiting--
+									cond.Signal(th)
+								} else {
+									c := th.Fork("signaller", func(c *uthread.Thread) {
+										c.Exec(work / 2)
+										cond.Signal(c)
+									})
+									waiting++
+									cond.Wait(th, nil)
+									waiting--
+									if waiting < 0 {
+										waiting = 0
+									}
+									th.Join(c)
+								}
+							}
+						}
+						finished++
+					})
+				}
+				s.Start()
+			}
+
+			// Check the invariant at every millisecond of virtual time.
+			violations := 0
+			for step := 0; step < 60000 && finished < total; step++ {
+				eng.RunFor(sim.Millisecond)
+				if err := k.CheckInvariants(); err != nil {
+					violations++
+					t.Fatalf("at %v: %v", eng.Now(), err)
+				}
+			}
+			if finished != total {
+				t.Fatalf("finished %d of %d threads (wedged?)", finished, total)
+			}
+			_ = violations
+		})
+	}
+}
+
+// TestSoakKernelThreadsBinding runs the same style of randomized mixture on
+// original FastThreads (kernel-thread virtual processors) plus raw Topaz
+// kernel threads sharing the machine, with kernel-side daemons.
+func TestSoakKernelThreadsBinding(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed + 100))
+			eng := sim.NewEngine()
+			defer eng.Close()
+			k := kernel.New(eng, kernel.Config{CPUs: 2 + rng.Intn(4)})
+			StartDaemonNative(k)
+
+			finished, total := 0, 0
+			// A FastThreads space.
+			s := uthread.OnKernelThreads(k, k.NewSpace("ft", false), 2, uthread.Options{})
+			mu := s.NewMutex()
+			n := 4 + rng.Intn(6)
+			total += n
+			for i := 0; i < n; i++ {
+				work := sim.Duration(rng.Intn(3000)+100) * sim.Microsecond
+				ops := 3 + rng.Intn(6)
+				s.Spawn("t", func(th *uthread.Thread) {
+					for j := 0; j < ops; j++ {
+						switch rng.Intn(4) {
+						case 0:
+							th.Exec(work)
+						case 1:
+							mu.Lock(th)
+							th.Exec(work / 4)
+							mu.Unlock(th)
+						case 2:
+							th.BlockIO()
+						case 3:
+							th.Yield()
+						}
+					}
+					finished++
+				})
+			}
+			s.Start()
+			// A raw kernel-thread space alongside.
+			raw := k.NewSpace("raw", false)
+			m := k.NewMutex()
+			nr := 2 + rng.Intn(4)
+			total += nr
+			for i := 0; i < nr; i++ {
+				raw.Spawn("kt", 0, func(th *kernel.KThread) {
+					for j := 0; j < 3; j++ {
+						m.Lock(th)
+						th.Exec(sim.Duration(rng.Intn(500)+50) * sim.Microsecond)
+						m.Unlock(th)
+						th.SleepFor(sim.Duration(rng.Intn(5)+1) * sim.Millisecond)
+					}
+					finished++
+				})
+			}
+			for step := 0; step < 60000 && finished < total; step++ {
+				eng.RunFor(sim.Millisecond)
+			}
+			if finished != total {
+				t.Fatalf("finished %d of %d (wedged?)", finished, total)
+			}
+		})
+	}
+}

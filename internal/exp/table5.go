@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"schedact/internal/apps/nbody"
+	"schedact/internal/core"
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+	"schedact/internal/uthread"
+)
+
+// Table5Row is one cell of Table 5: the speedup of the N-body application
+// when two copies run multiprogrammed on 6 processors at 100% memory
+// (maximum possible: 3.0).
+type Table5Row struct {
+	System  SystemName
+	Speedup float64
+	Paper   float64
+}
+
+var table5Paper = map[SystemName]float64{
+	SysTopaz:  1.29,
+	SysOrigFT: 1.26,
+	SysNewFT:  2.45,
+}
+
+// Table5 reproduces Table 5: two copies of the N-body application run
+// concurrently; execution times are averaged and speedup computed against
+// the sequential implementation.
+func Table5() []Table5Row {
+	cfg := nbody.DefaultConfig()
+	seq := seqTime(cfg)
+	var rows []Table5Row
+	for _, sys := range Systems {
+		avg := runPair(sys, cfg)
+		rows = append(rows, Table5Row{
+			System:  sys,
+			Speedup: float64(seq) / float64(avg),
+			Paper:   table5Paper[sys],
+		})
+	}
+	return rows
+}
+
+// runPair runs two copies of the application concurrently on one machine
+// and returns the average execution time.
+func runPair(sys SystemName, cfg nbody.Config) sim.Duration {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	var runs [2]*nbody.Run
+	switch sys {
+	case SysTopaz:
+		k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs})
+		StartDaemonNative(k)
+		for i := range runs {
+			sp := k.NewSpace(fmt.Sprintf("nbody%d", i), false)
+			sp.CPUCap = MachineCPUs
+			runs[i] = nbody.Launch(nbody.KThreadSystem{K: k, SP: sp}, cfg)
+		}
+	case SysOrigFT:
+		k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs})
+		StartDaemonNative(k)
+		for i := range runs {
+			s := uthread.OnKernelThreads(k, k.NewSpace(fmt.Sprintf("nbody%d", i), false), MachineCPUs, uthread.Options{})
+			runs[i] = nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
+			s.Start()
+		}
+	case SysNewFT:
+		k := core.New(eng, core.Config{CPUs: MachineCPUs})
+		StartDaemonSA(k)
+		for i := range runs {
+			s := uthread.OnActivations(k, fmt.Sprintf("nbody%d", i), 0, MachineCPUs, uthread.Options{})
+			runs[i] = nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
+			s.Start()
+		}
+	}
+	eng.RunUntil(RunLimit)
+	var sum sim.Duration
+	for i, r := range runs {
+		if !r.Done {
+			panic(fmt.Sprintf("exp: table5 %s copy %d did not finish", sys, i))
+		}
+		sum += r.Elapsed()
+	}
+	return sum / 2
+}
+
+// RenderTable5 writes Table 5.
+func RenderTable5(w io.Writer, rows []Table5Row) {
+	fprintf(w, "Table 5: speedup with multiprogramming level 2, 6 processors, 100%% memory (max 3.0)\n")
+	fprintf(w, "%-20s %10s %10s\n", "System", "speedup", "paper")
+	for _, r := range rows {
+		fprintf(w, "%-20s %10.2f %10.2f\n", r.System, r.Speedup, r.Paper)
+	}
+	fprintf(w, "\n")
+}

@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"schedact/internal/apps/micro"
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+)
+
+// MicroRow is one row of Table 1 or Table 4: measured and published thread
+// operation latencies in microseconds.
+type MicroRow struct {
+	System          string
+	NullForkUs      float64
+	SignalWaitUs    float64
+	PaperNullFork   float64
+	PaperSignalWait float64
+}
+
+// Table1 reproduces Table 1: thread operation latencies for FastThreads (on
+// Topaz kernel threads), Topaz kernel threads, and Ultrix processes.
+func Table1() []MicroRow {
+	rows := []struct {
+		sys      micro.System
+		name     string
+		pNF, pSW float64
+	}{
+		{micro.FastThreadsKT, "FastThreads", 34, 37},
+		{micro.TopazThreads, "Topaz threads", 948, 441},
+		{micro.UltrixProcesses, "Ultrix processes", 11300, 1840},
+	}
+	var out []MicroRow
+	for _, r := range rows {
+		m := micro.Run(r.sys, nil)
+		out = append(out, MicroRow{
+			System:          r.name,
+			NullForkUs:      sim.DurUs(m.NullFork),
+			SignalWaitUs:    sim.DurUs(m.SignalWait),
+			PaperNullFork:   r.pNF,
+			PaperSignalWait: r.pSW,
+		})
+	}
+	return out
+}
+
+// Table4 reproduces Table 4: Table 1 plus FastThreads on scheduler
+// activations.
+func Table4() []MicroRow {
+	sa := micro.Run(micro.FastThreadsSA, nil)
+	out := []MicroRow{{
+		System:          "FastThreads on Topaz threads",
+		PaperNullFork:   34,
+		PaperSignalWait: 37,
+	}, {
+		System:          "FastThreads on Scheduler Activations",
+		NullForkUs:      sim.DurUs(sa.NullFork),
+		SignalWaitUs:    sim.DurUs(sa.SignalWait),
+		PaperNullFork:   37,
+		PaperSignalWait: 42,
+	}}
+	ft := micro.Run(micro.FastThreadsKT, nil)
+	out[0].NullForkUs = sim.DurUs(ft.NullFork)
+	out[0].SignalWaitUs = sim.DurUs(ft.SignalWait)
+	t1 := Table1()
+	out = append(out, t1[1], t1[2])
+	return out
+}
+
+// CSAblationResult is the §5.1 critical-section marking ablation.
+type CSAblationResult struct {
+	ZeroOverhead MicroRow // the duplicated-code technique (the default)
+	ExplicitFlag MicroRow // explicit set/clear/check on every lock
+}
+
+// CSAblation reproduces the §5.1 measurement: removing the zero-overhead
+// critical-section marking yields Null Fork 49µs and Signal-Wait 48µs.
+func CSAblation() CSAblationResult {
+	sa := micro.Run(micro.FastThreadsSA, nil)
+	ab := micro.RunAblation(nil)
+	return CSAblationResult{
+		ZeroOverhead: MicroRow{
+			System:          "SA FastThreads (zero-overhead marking)",
+			NullForkUs:      sim.DurUs(sa.NullFork),
+			SignalWaitUs:    sim.DurUs(sa.SignalWait),
+			PaperNullFork:   37,
+			PaperSignalWait: 42,
+		},
+		ExplicitFlag: MicroRow{
+			System:          "SA FastThreads (explicit flags)",
+			NullForkUs:      sim.DurUs(ab.NullFork),
+			SignalWaitUs:    sim.DurUs(ab.SignalWait),
+			PaperNullFork:   49,
+			PaperSignalWait: 48,
+		},
+	}
+}
+
+// UpcallResult is the §5.2 upcall-performance measurement.
+type UpcallResult struct {
+	PrototypeMs   float64 // signal-wait through the kernel, prototype costs
+	TunedUs       float64 // same with the tuned (assembler-class) upcall path
+	TopazUs       float64 // kernel-thread signal-wait for comparison
+	PaperMs       float64 // the paper's prototype number
+	PaperFactor   float64 // "a factor of five worse than Topaz threads"
+	MeasuredRatio float64
+}
+
+// UpcallLatency reproduces §5.2: the prototype's kernel-mediated signal-wait
+// is 2.4ms, a factor of five worse than Topaz kernel threads; a tuned
+// implementation would be commensurate with Topaz.
+func UpcallLatency() UpcallResult {
+	proto := micro.UpcallSignalWait(machine.DefaultCosts())
+	tuned := micro.UpcallSignalWait(machine.TunedCosts())
+	topaz := micro.Run(micro.TopazThreads, nil).SignalWait
+	return UpcallResult{
+		PrototypeMs:   sim.DurMs(proto),
+		TunedUs:       sim.DurUs(tuned),
+		TopazUs:       sim.DurUs(topaz),
+		PaperMs:       2.4,
+		PaperFactor:   5,
+		MeasuredRatio: float64(proto) / float64(topaz),
+	}
+}
+
+// RenderMicro writes a Table 1/4 style table.
+func RenderMicro(w io.Writer, title string, rows []MicroRow) {
+	fprintf(w, "%s\n", title)
+	fprintf(w, "%-42s %14s %14s %12s %12s\n", "Operation/System", "NullFork(µs)", "SigWait(µs)", "paper NF", "paper SW")
+	for _, r := range rows {
+		fprintf(w, "%-42s %14.1f %14.1f %12.1f %12.1f\n",
+			r.System, r.NullForkUs, r.SignalWaitUs, r.PaperNullFork, r.PaperSignalWait)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderUpcall writes the §5.2 result.
+func RenderUpcall(w io.Writer, r UpcallResult) {
+	fprintf(w, "Upcall performance (§5.2): signal-wait through the kernel\n")
+	fprintf(w, "  prototype: %.2f ms   (paper: %.1f ms)\n", r.PrototypeMs, r.PaperMs)
+	fprintf(w, "  vs Topaz threads (%.0f µs): %.1fx   (paper: ~%.0fx)\n", r.TopazUs, r.MeasuredRatio, r.PaperFactor)
+	fprintf(w, "  tuned upcall path: %.0f µs (commensurate with Topaz, as §5.2 projects)\n\n", r.TunedUs)
+}
+
+// BreakEvenResult is the §5.2 break-even analysis: how often can an
+// application block in the kernel before user-level threads on scheduler
+// activations stop beating kernel threads?
+type BreakEvenResult struct {
+	UserOpUs   float64 // avg SA user-level thread operation
+	KernelOpUs float64 // avg Topaz kernel-thread operation
+	UpcallOpUs float64 // SA operation requiring kernel intervention (prototype)
+	TunedOpUs  float64 // same under the tuned profile
+	// KernelOpFraction is f*: with more than this fraction of operations
+	// needing the kernel, prototype-cost activations lose to kernel
+	// threads. (1-f*)/f* is the user:kernel operation ratio.
+	KernelOpFraction float64
+	// TunedAlwaysWins reports that with tuned upcalls the blocking path is
+	// itself cheaper than a kernel-thread operation, so there is no
+	// break-even point at all — activations win at any mix.
+	TunedAlwaysWins bool
+}
+
+// BreakEven computes the §5.2 break-even point from the measured
+// latencies: solve (1-f)·user + f·upcall = kernelthread for f.
+func BreakEven() BreakEvenResult {
+	sa := micro.Run(micro.FastThreadsSA, nil)
+	topaz := micro.Run(micro.TopazThreads, nil)
+	var r BreakEvenResult
+	r.UserOpUs = (sim.DurUs(sa.NullFork) + sim.DurUs(sa.SignalWait)) / 2
+	r.KernelOpUs = (sim.DurUs(topaz.NullFork) + sim.DurUs(topaz.SignalWait)) / 2
+	r.UpcallOpUs = sim.DurUs(micro.UpcallSignalWait(machine.DefaultCosts()))
+	r.TunedOpUs = sim.DurUs(micro.UpcallSignalWait(machine.TunedCosts()))
+	r.KernelOpFraction = (r.KernelOpUs - r.UserOpUs) / (r.UpcallOpUs - r.UserOpUs)
+	r.TunedAlwaysWins = r.TunedOpUs <= r.KernelOpUs
+	return r
+}
+
+// RenderBreakEven writes the §5.2 break-even analysis.
+func RenderBreakEven(w io.Writer, r BreakEvenResult) {
+	fprintf(w, "Break-even analysis (§5.2)\n")
+	fprintf(w, "  user-level SA operation:        %8.1f µs\n", r.UserOpUs)
+	fprintf(w, "  kernel-thread operation:        %8.1f µs\n", r.KernelOpUs)
+	fprintf(w, "  SA operation through kernel:    %8.1f µs (prototype), %.0f µs (tuned)\n", r.UpcallOpUs, r.TunedOpUs)
+	fprintf(w, "  prototype break-even: activations win while < %.0f%% of operations need the kernel (~1 in %.1f)\n",
+		r.KernelOpFraction*100, 1/r.KernelOpFraction)
+	if r.TunedAlwaysWins {
+		fprintf(w, "  tuned: the kernel path itself beats kernel threads — activations win at any mix\n")
+	}
+	fprintf(w, "\n")
+}

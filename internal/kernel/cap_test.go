@@ -1,0 +1,93 @@
+package kernel
+
+import (
+	"testing"
+
+	"schedact/internal/sim"
+)
+
+func TestCPUCapBoundsConcurrency(t *testing.T) {
+	// A space capped at 2 processors never runs more than 2 threads at
+	// once, even on a 4-CPU machine with 6 ready threads.
+	eng, k := newTestKernel(t, 4)
+	sp := k.NewSpace("app", false)
+	sp.CPUCap = 2
+	running, maxRunning := 0, 0
+	for i := 0; i < 6; i++ {
+		sp.Spawn("w", 0, func(th *KThread) {
+			running++
+			if running > maxRunning {
+				maxRunning = running
+			}
+			th.Exec(10 * sim.Millisecond)
+			running--
+		})
+	}
+	eng.Run()
+	if maxRunning != 2 {
+		t.Fatalf("max concurrent = %d, want 2 (capped)", maxRunning)
+	}
+}
+
+func TestCPUCapLeavesProcessorsForOthers(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	capped := k.NewSpace("capped", false)
+	capped.CPUCap = 1
+	other := k.NewSpace("other", false)
+	var cappedDone, otherDone sim.Time
+	for i := 0; i < 2; i++ {
+		capped.Spawn("c", 0, func(th *KThread) {
+			th.Exec(20 * sim.Millisecond)
+			cappedDone = eng.Now()
+		})
+	}
+	other.Spawn("o", 0, func(th *KThread) {
+		th.Exec(20 * sim.Millisecond)
+		otherDone = eng.Now()
+	})
+	eng.Run()
+	// The other space's thread must run concurrently with the capped
+	// space's first thread, not wait behind both.
+	if otherDone >= cappedDone {
+		t.Fatalf("other finished at %v, capped at %v: the cap did not free a processor", otherDone, cappedDone)
+	}
+}
+
+func TestCPUCapZeroMeansUnlimited(t *testing.T) {
+	eng, k := newTestKernel(t, 3)
+	sp := k.NewSpace("app", false)
+	running, maxRunning := 0, 0
+	for i := 0; i < 3; i++ {
+		sp.Spawn("w", 0, func(th *KThread) {
+			running++
+			if running > maxRunning {
+				maxRunning = running
+			}
+			th.Exec(5 * sim.Millisecond)
+			running--
+		})
+	}
+	eng.Run()
+	if maxRunning != 3 {
+		t.Fatalf("max concurrent = %d, want 3 (uncapped)", maxRunning)
+	}
+}
+
+func TestCapDoesNotStrandWorkAtExit(t *testing.T) {
+	// When a capped space's thread exits, the freed slot must go to the
+	// next queued thread of that space.
+	eng, k := newTestKernel(t, 2)
+	sp := k.NewSpace("app", false)
+	sp.CPUCap = 1
+	done := 0
+	for i := 0; i < 5; i++ {
+		sp.Spawn("w", 0, func(th *KThread) {
+			th.Exec(sim.Millisecond)
+			done++
+		})
+	}
+	eng.Run()
+	if done != 5 {
+		t.Fatalf("done = %d, want 5", done)
+	}
+}

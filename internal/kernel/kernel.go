@@ -1,0 +1,326 @@
+// Package kernel implements the baseline operating system of the paper: a
+// Topaz-like kernel with kernel threads, scheduled obliviously to user-level
+// state. Kernel threads from every address space share one global priority
+// ready queue and are time-sliced across the machine's processors; woken
+// threads are placed without regard to which address space's work is
+// displaced. This is exactly the environment the paper's §2.2 critique — and
+// the "Topaz threads" and "original FastThreads" experiment rows — run in.
+//
+// The same machinery doubles as the Ultrix-process baseline: an address
+// space created with Heavy set charges process-scale costs (address-space
+// switch, process fork) for the same operations.
+//
+// The scheduler-activation kernel (the paper's contribution) is a separate
+// kernel in package core; it deliberately does not share this scheduler,
+// because replacing it is the point of the paper.
+package kernel
+
+import (
+	"fmt"
+
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+)
+
+// Config parameterizes a kernel instance.
+type Config struct {
+	CPUs  int
+	Costs *machine.Costs // nil means machine.DefaultCosts()
+	Trace *trace.Log     // nil disables tracing
+}
+
+// Stats counts kernel activity over a run.
+type Stats struct {
+	Forks       uint64
+	Exits       uint64
+	Blocks      uint64
+	Wakeups     uint64
+	Dispatches  uint64
+	Preemptions uint64 // involuntary (quantum or priority)
+	IORequests  uint64
+}
+
+// Kernel is a simulated Topaz-like operating system instance.
+type Kernel struct {
+	Eng   *sim.Engine
+	M     *machine.Machine
+	C     *machine.Costs
+	Trace *trace.Log
+	Stats Stats
+
+	cpus    []*cpuState
+	readyQ  [][]*KThread // indexed by priority; FIFO within a priority
+	readyN  int          // total ready threads
+	rrNext  int          // round-robin wake-placement pointer (native Topaz behaviour)
+	spaces  []*Space
+	nextTID int
+}
+
+// cpuState is the kernel's per-processor dispatcher state.
+type cpuState struct {
+	cpu         *machine.CPU
+	cur         *KThread   // thread dispatched here, nil when idle
+	dispatching bool       // a dispatcher pass is in flight
+	quantumEv   *sim.Event // end-of-quantum timer for cur
+}
+
+// NumPriorities bounds thread priority values: 0 (lowest) through
+// NumPriorities-1.
+const NumPriorities = 8
+
+// New creates a kernel on a fresh machine.
+func New(eng *sim.Engine, cfg Config) *Kernel {
+	costs := cfg.Costs
+	if costs == nil {
+		costs = machine.DefaultCosts()
+	}
+	m := machine.New(eng, cfg.CPUs, costs)
+	k := &Kernel{
+		Eng:    eng,
+		M:      m,
+		C:      costs,
+		Trace:  cfg.Trace,
+		readyQ: make([][]*KThread, NumPriorities),
+	}
+	for _, cpu := range m.CPUs() {
+		k.cpus = append(k.cpus, &cpuState{cpu: cpu})
+	}
+	return k
+}
+
+// NewSpace creates an address space. Heavy spaces charge Ultrix-process
+// costs for kernel operations.
+func (k *Kernel) NewSpace(name string, heavy bool) *Space {
+	sp := &Space{k: k, ID: len(k.spaces), Name: name, Heavy: heavy}
+	k.spaces = append(k.spaces, sp)
+	return sp
+}
+
+// Spaces returns all address spaces in creation order.
+func (k *Kernel) Spaces() []*Space { return k.spaces }
+
+// --- ready queue ---
+
+func (k *Kernel) enqueue(t *KThread) {
+	if t.state != ktReady {
+		panic(fmt.Sprintf("kernel: enqueue %s in state %v", t.name, t.state))
+	}
+	k.readyQ[t.prio] = append(k.readyQ[t.prio], t)
+	k.readyN++
+}
+
+// runningOf counts the space's threads currently dispatched on processors.
+func (k *Kernel) runningOf(sp *Space) int {
+	n := 0
+	for _, cs := range k.cpus {
+		if cs.cur != nil && cs.cur.sp == sp {
+			n++
+		}
+	}
+	return n
+}
+
+// dispatchable reports whether t may be placed on a processor right now,
+// honouring its space's CPU cap. exempt names a space that is about to give
+// up a processor (quantum/yield decisions), whose cap count is reduced by
+// one.
+func (k *Kernel) dispatchable(t *KThread, exempt *Space) bool {
+	sp := t.sp
+	if sp.CPUCap == 0 {
+		return true
+	}
+	running := k.runningOf(sp)
+	if sp == exempt {
+		running--
+	}
+	return running < sp.CPUCap
+}
+
+// dequeue removes and returns the highest-priority dispatchable ready
+// thread, or nil.
+func (k *Kernel) dequeue() *KThread {
+	for p := NumPriorities - 1; p >= 0; p-- {
+		q := k.readyQ[p]
+		for i, t := range q {
+			if !k.dispatchable(t, nil) {
+				continue
+			}
+			copy(q[i:], q[i+1:])
+			k.readyQ[p] = q[:len(q)-1]
+			k.readyN--
+			return t
+		}
+	}
+	return nil
+}
+
+// maxReadyPrio reports the highest priority among ready threads that could
+// run if the exempt space released one processor, or -1.
+func (k *Kernel) maxReadyPrio(exempt *Space) int {
+	for p := NumPriorities - 1; p >= 0; p-- {
+		for _, t := range k.readyQ[p] {
+			if k.dispatchable(t, exempt) {
+				return p
+			}
+		}
+	}
+	return -1
+}
+
+// ReadyCount reports how many threads are ready but not running.
+func (k *Kernel) ReadyCount() int { return k.readyN }
+
+// --- dispatcher ---
+
+// kick starts a dispatcher pass on cs if the CPU is idle, one is not already
+// in flight, and there is work. The pass costs the dispatch latency of the
+// incoming thread's space.
+func (k *Kernel) kick(cs *cpuState) {
+	if cs.cur != nil || cs.dispatching || k.readyN == 0 {
+		return
+	}
+	cs.dispatching = true
+	// The dispatch cost depends on what is being switched in; since the
+	// queue may change during the pass, charge the cost of the current
+	// front candidate (process switches are costlier than thread switches).
+	cost := k.C.KTDispatch
+	if front := k.peekFront(); front != nil && front.sp.Heavy {
+		cost = k.C.ProcDispatch
+	}
+	k.Eng.After(cost, "kdispatch", func() {
+		cs.dispatching = false
+		if cs.cur != nil {
+			return // someone was force-dispatched meanwhile
+		}
+		t := k.dequeue()
+		if t == nil {
+			return // work evaporated; CPU idles
+		}
+		k.place(cs, t)
+	})
+}
+
+func (k *Kernel) peekFront() *KThread {
+	for p := NumPriorities - 1; p >= 0; p-- {
+		for _, t := range k.readyQ[p] {
+			if k.dispatchable(t, nil) {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// place puts ready thread t on the (idle) CPU and arms its quantum.
+func (k *Kernel) place(cs *cpuState, t *KThread) {
+	t.state = ktRunning
+	cs.cur = t
+	t.cs = cs
+	k.Stats.Dispatches++
+	k.Trace.Add(k.Eng.Now(), int(cs.cpu.ID()), "dispatch", "%s", t.name)
+	cs.cpu.Dispatch(t.ctx)
+	k.armQuantum(cs)
+}
+
+func (k *Kernel) armQuantum(cs *cpuState) {
+	t := cs.cur
+	cs.quantumEv = k.Eng.After(k.C.Quantum, "quantum", func() {
+		cs.quantumEv = nil
+		if cs.cur != t {
+			return
+		}
+		// Round-robin: yield the CPU only if an equal-or-higher priority
+		// thread is waiting.
+		if k.maxReadyPrio(t.sp) >= t.prio {
+			k.preemptCPU(cs)
+		} else {
+			k.armQuantum(cs)
+		}
+	})
+}
+
+// preemptCPU involuntarily removes the current thread from cs, returns it to
+// the ready queue, and starts a dispatcher pass.
+func (k *Kernel) preemptCPU(cs *cpuState) {
+	t := cs.cur
+	if t == nil {
+		panic("kernel: preemptCPU on idle CPU")
+	}
+	k.Stats.Preemptions++
+	k.Trace.Add(k.Eng.Now(), int(cs.cpu.ID()), "preempt", "%s", t.name)
+	k.disarmQuantum(cs)
+	cs.cpu.Preempt()
+	cs.cur = nil
+	t.cs = nil
+	t.state = ktReady
+	k.enqueue(t)
+	k.kick(cs)
+}
+
+func (k *Kernel) disarmQuantum(cs *cpuState) {
+	if cs.quantumEv != nil {
+		cs.quantumEv.Cancel()
+		cs.quantumEv = nil
+	}
+}
+
+// threadReady makes t runnable and places it the way native Topaz does: the
+// wake is processed on an arbitrary processor (modelled as a round-robin
+// pointer), and if the woken thread outranks that processor's current
+// thread it preempts it — even if some other processor is idle. This
+// placement obliviousness is what lets daemon wake-ups disturb running
+// virtual processors (paper §5.3, Figure 1 discussion).
+func (k *Kernel) threadReady(t *KThread) {
+	if t.blockPending {
+		// The thread is mid-way into a blocking call (paying the kernel
+		// entry, possibly preempted while doing so); latch the wakeup
+		// instead of losing it — commitBlock absorbs it.
+		t.wakePending = true
+		return
+	}
+	if t.state != ktBlocked && t.state != ktCreated {
+		panic(fmt.Sprintf("kernel: threadReady %s in state %v", t.name, t.state))
+	}
+	t.state = ktReady
+	k.Stats.Wakeups++
+	target := k.cpus[k.rrNext%len(k.cpus)]
+	k.rrNext++
+	if target.cur == nil {
+		k.enqueue(t)
+		k.kick(target)
+		return
+	}
+	if t.prio > target.cur.prio {
+		k.enqueue(t)
+		k.preemptCPU(target) // dispatcher will pick t (highest priority)
+		return
+	}
+	k.enqueue(t)
+	// Same or lower priority: take any idle CPU.
+	for _, cs := range k.cpus {
+		if cs.cur == nil {
+			k.kick(cs)
+			return
+		}
+	}
+}
+
+// CPUStates is exposed for tests and instrumentation.
+func (k *Kernel) cpuOf(t *KThread) *cpuState { return t.cs }
+
+// Idle reports how many CPUs are idle right now.
+func (k *Kernel) Idle() int {
+	n := 0
+	for _, cs := range k.cpus {
+		if cs.cur == nil && !cs.dispatching {
+			n++
+		}
+	}
+	return n
+}
+
+// RunningOn reports the thread currently on CPU id, or nil.
+func (k *Kernel) RunningOn(id machine.CPUID) *KThread {
+	return k.cpus[int(id)].cur
+}

@@ -1,0 +1,288 @@
+package kernel
+
+import (
+	"fmt"
+
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+)
+
+// ktState is a kernel thread's scheduling state.
+type ktState int
+
+const (
+	ktCreated ktState = iota
+	ktReady
+	ktRunning
+	ktBlocked
+	ktDone
+)
+
+func (s ktState) String() string {
+	switch s {
+	case ktCreated:
+		return "created"
+	case ktReady:
+		return "ready"
+	case ktRunning:
+		return "running"
+	case ktBlocked:
+		return "blocked"
+	case ktDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// Space is an address space: the unit the kernel charges costs to and (in
+// the scheduler-activation kernel) allocates processors to. In this native
+// kernel it exists for accounting and for the Heavy (Ultrix process) cost
+// profile.
+type Space struct {
+	k     *Kernel
+	ID    int
+	Name  string
+	Heavy bool // charge Ultrix-process costs for kernel operations
+
+	// CPUCap, when nonzero, bounds how many of the space's threads run
+	// simultaneously — the processor-set-style restriction used to run an
+	// application "with P processors" on the 6-processor machine for the
+	// Figure 1 sweep. Zero means unlimited.
+	CPUCap int
+
+	Threads uint64 // threads ever created in this space
+}
+
+// Kernel returns the owning kernel.
+func (sp *Space) Kernel() *Kernel { return sp.k }
+
+// KThread is a kernel thread (or, in a Heavy space, an Ultrix-like process:
+// one sequential execution stream scheduled by the kernel).
+type KThread struct {
+	k     *Kernel
+	sp    *Space
+	id    int
+	name  string
+	prio  int
+	ctx   *machine.Context
+	state ktState
+	cs    *cpuState // processor we are dispatched on, nil otherwise
+
+	exited  bool
+	joiners []*KThread
+
+	// Sleep/wakeup race protocol: a thread that has committed to blocking
+	// but is still paying the kernel-entry cost sets blockPending; a wakeup
+	// arriving in that window sets wakePending instead of making the thread
+	// ready, and commitBlock absorbs it.
+	blockPending bool
+	wakePending  bool
+}
+
+// prepareBlock marks the thread as committing to block, so wakeups during
+// the kernel-entry charge are latched rather than lost.
+func (t *KThread) prepareBlock() { t.blockPending = true }
+
+// commitBlock completes a prepared block: if a wakeup raced in, it is
+// absorbed and the thread continues; otherwise the thread blocks.
+func (t *KThread) commitBlock(reason string) {
+	t.blockPending = false
+	if t.wakePending {
+		t.wakePending = false
+		return
+	}
+	t.block(reason)
+}
+
+// Spawn creates a thread in the space and makes it ready without charging
+// fork costs — used to set up the initial thread(s) of an experiment, the
+// analogue of a program's main thread starting.
+func (sp *Space) Spawn(name string, prio int, fn func(*KThread)) *KThread {
+	t := sp.newThread(name, prio, fn)
+	sp.k.threadReady(t)
+	return t
+}
+
+func (sp *Space) newThread(name string, prio int, fn func(*KThread)) *KThread {
+	if prio < 0 || prio >= NumPriorities {
+		panic(fmt.Sprintf("kernel: priority %d out of range", prio))
+	}
+	k := sp.k
+	k.nextTID++
+	sp.Threads++
+	t := &KThread{k: k, sp: sp, id: k.nextTID, name: name, prio: prio, state: ktCreated}
+	t.ctx = k.M.NewContext(name, func(*machine.Context) {
+		fn(t)
+		t.exit()
+	})
+	t.ctx.Owner = t
+	return t
+}
+
+// Name reports the thread's debug name.
+func (t *KThread) Name() string { return t.name }
+
+// Space reports the owning address space.
+func (t *KThread) Space() *Space { return t.sp }
+
+// Context exposes the machine execution context (virtual processor) of this
+// thread, which user-level thread packages charge CPU through.
+func (t *KThread) Context() *machine.Context { return t.ctx }
+
+// State reports the scheduling state, for tests and instrumentation.
+func (t *KThread) State() string { return t.state.String() }
+
+// Priority reports the kernel scheduling priority.
+func (t *KThread) Priority() int { return t.prio }
+
+// Exec consumes d of CPU as user-mode computation.
+func (t *KThread) Exec(d sim.Duration) { t.ctx.Exec(d) }
+
+// Fork creates a new kernel thread running fn at the caller's priority,
+// charging the caller the kernel fork path: a trap plus control block and
+// stack allocation (Table 1's Null Fork measures this path plus the child's
+// dispatch, execution, and exit).
+func (t *KThread) Fork(name string, fn func(*KThread)) *KThread {
+	k := t.k
+	k.Stats.Forks++
+	t.ctx.Exec(k.C.Trap + k.forkWork(t.sp))
+	child := t.sp.newThread(name, t.prio, fn)
+	k.threadReady(child)
+	return child
+}
+
+// exit terminates the calling thread: charge the exit path, wake joiners,
+// free the processor.
+func (t *KThread) exit() {
+	k := t.k
+	k.Stats.Exits++
+	t.ctx.Exec(k.C.Trap + k.exitWork(t.sp))
+	t.exited = true
+	for _, j := range t.joiners {
+		k.threadReady(j)
+	}
+	t.joiners = nil
+	t.state = ktDone
+	cs := t.cs
+	k.disarmQuantum(cs)
+	cs.cpu.Release(t.ctx)
+	cs.cur = nil
+	t.cs = nil
+	k.Trace.Add(k.Eng.Now(), int(cs.cpu.ID()), "exit", "%s", t.name)
+	k.kick(cs)
+}
+
+// Join blocks the caller until other exits. Charges a trap plus block work
+// when it must wait.
+func (t *KThread) Join(other *KThread) {
+	k := t.k
+	if other.exited {
+		t.ctx.Exec(k.C.Trap) // syscall that returns immediately
+		return
+	}
+	other.joiners = append(other.joiners, t)
+	t.prepareBlock()
+	t.ctx.Exec(k.C.Trap + k.blockWork(t.sp))
+	t.commitBlock("join:" + other.name)
+}
+
+// Yield gives up the processor to an equal-or-higher-priority ready thread,
+// if any. It charges a trap; if the kernel switches, the switched-in thread
+// pays the dispatch latency.
+func (t *KThread) Yield() {
+	k := t.k
+	t.ctx.Exec(k.C.Trap)
+	if k.maxReadyPrio(t.sp) < t.prio {
+		return
+	}
+	cs := t.cs
+	k.disarmQuantum(cs)
+	cs.cpu.Preempt() // voluntary, but mechanically identical
+	cs.cur = nil
+	t.cs = nil
+	t.state = ktReady
+	k.enqueue(t)
+	k.kick(cs)
+	t.ctx.Deschedule("yield")
+	t.afterResume()
+}
+
+// SleepFor blocks the thread for d of virtual time (a timer syscall).
+func (t *KThread) SleepFor(d sim.Duration) {
+	k := t.k
+	t.ctx.Exec(k.C.Trap + k.blockWork(t.sp))
+	k.Eng.After(d, t.name+":timer", func() { k.threadReady(t) })
+	t.block("sleep")
+	// Timer interrupt processing and return to user mode.
+	t.ctx.Exec(k.C.Trap)
+}
+
+// BlockIO issues a disk request and blocks until it completes: the paper's
+// "thread traps to the kernel to block"; the processor is lost to the
+// address space for the duration (the defining failure mode of user-level
+// threads on kernel threads, §2.2).
+func (t *KThread) BlockIO() {
+	k := t.k
+	k.Stats.IORequests++
+	t.ctx.Exec(k.C.Trap + k.blockWork(t.sp))
+	k.M.Disk.Request(func() { k.threadReady(t) })
+	t.block("io")
+	// I/O-completion interrupt processing and return to user mode.
+	t.ctx.Exec(k.C.Trap)
+}
+
+// block parks the calling coroutine with the thread in the blocked state.
+// The kernel work for the specific blocking operation must already have
+// been charged. On return the thread is running again (on some CPU).
+func (t *KThread) block(reason string) {
+	k := t.k
+	k.Stats.Blocks++
+	cs := t.cs
+	if cs == nil || cs.cur != t {
+		panic(fmt.Sprintf("kernel: block %s not running", t.name))
+	}
+	k.disarmQuantum(cs)
+	cs.cpu.Release(t.ctx)
+	cs.cur = nil
+	t.cs = nil
+	t.state = ktBlocked
+	k.Trace.Add(k.Eng.Now(), int(cs.cpu.ID()), "block", "%s: %s", t.name, reason)
+	k.kick(cs)
+	t.ctx.Deschedule(reason)
+	t.afterResume()
+}
+
+// afterResume runs in the thread's coroutine immediately after it is
+// re-dispatched following a block or yield.
+func (t *KThread) afterResume() {
+	// State bookkeeping was done by place(); nothing further. Kept as a
+	// seam for instrumentation.
+}
+
+func (k *Kernel) forkWork(sp *Space) sim.Duration {
+	if sp.Heavy {
+		return k.C.ProcForkWork
+	}
+	return k.C.KTForkWork
+}
+
+func (k *Kernel) exitWork(sp *Space) sim.Duration {
+	if sp.Heavy {
+		return k.C.ProcExitWork
+	}
+	return k.C.KTExitWork
+}
+
+func (k *Kernel) blockWork(sp *Space) sim.Duration {
+	if sp.Heavy {
+		return k.C.ProcBlockWork
+	}
+	return k.C.KTBlockWork
+}
+
+func (k *Kernel) signalWork(sp *Space) sim.Duration {
+	if sp.Heavy {
+		return k.C.ProcSignalWork
+	}
+	return k.C.KTSignalWork
+}

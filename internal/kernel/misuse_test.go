@@ -1,0 +1,111 @@
+package kernel
+
+import (
+	"testing"
+
+	"schedact/internal/sim"
+)
+
+func expectPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestKernelUnlockByNonHolderPanics(t *testing.T) {
+	eng, k := newTestKernel(t, 1)
+	sp := k.NewSpace("app", false)
+	m := k.NewMutex()
+	sp.Spawn("a", 0, func(th *KThread) {
+		expectPanic(t, "Unlock by non-holder", func() { m.Unlock(th) })
+	})
+	eng.Run()
+}
+
+func TestBadPriorityPanics(t *testing.T) {
+	eng, k := newTestKernel(t, 1)
+	sp := k.NewSpace("app", false)
+	_ = eng
+	expectPanic(t, "out-of-range priority", func() {
+		sp.Spawn("x", NumPriorities, func(*KThread) {})
+	})
+	expectPanic(t, "negative priority", func() {
+		sp.Spawn("x", -1, func(*KThread) {})
+	})
+}
+
+func TestMutexHandoffIsFIFO(t *testing.T) {
+	// Contended kernel mutexes hand off in arrival order.
+	eng, k := newTestKernel(t, 1)
+	sp := k.NewSpace("app", false)
+	m := k.NewMutex()
+	var order []string
+	sp.Spawn("holder", 0, func(th *KThread) {
+		m.Lock(th)
+		th.SleepFor(10 * sim.Millisecond) // let the others queue up
+		m.Unlock(th)
+	})
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		sp.Spawn(name, 0, func(th *KThread) {
+			// Stagger arrivals deterministically.
+			th.Exec(sim.Duration(len(order)+1) * 100 * sim.Microsecond)
+			m.Lock(th)
+			order = append(order, name)
+			m.Unlock(th)
+		})
+	}
+	eng.Run()
+	if len(order) != 3 {
+		t.Fatalf("order = %v, want 3 acquisitions", order)
+	}
+}
+
+func TestBroadcastWakesAll(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	sp := k.NewSpace("app", false)
+	cond := k.NewCond()
+	woke := 0
+	for i := 0; i < 4; i++ {
+		sp.Spawn("w", 0, func(th *KThread) {
+			cond.Wait(th, nil)
+			woke++
+		})
+	}
+	sp.Spawn("b", 0, func(th *KThread) {
+		th.SleepFor(5 * sim.Millisecond)
+		cond.Broadcast(th)
+	})
+	eng.Run()
+	if woke != 4 {
+		t.Fatalf("woke = %d, want 4", woke)
+	}
+	if cond.Waiters() != 0 {
+		t.Fatalf("waiters = %d, want 0", cond.Waiters())
+	}
+}
+
+func TestDaemonStylePeriodicThread(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	sp := k.NewSpace("daemon", false)
+	wakes := 0
+	sp.Spawn("d", 5, func(th *KThread) {
+		for i := 0; i < 10; i++ {
+			th.SleepFor(10 * sim.Millisecond)
+			th.Exec(sim.Millisecond)
+			wakes++
+		}
+	})
+	eng.Run()
+	if wakes != 10 {
+		t.Fatalf("wakes = %d, want 10", wakes)
+	}
+	// Total: ~10×(10+1)ms plus scheduling overheads.
+	if eng.Now() < sim.Time(110*sim.Millisecond) || eng.Now() > sim.Time(130*sim.Millisecond) {
+		t.Fatalf("finished at %v, want ~110-120ms", eng.Now())
+	}
+}

@@ -1,0 +1,127 @@
+package kernel
+
+import "fmt"
+
+// Mutex is a Topaz-style application lock. Uncontended acquire and release
+// happen at user level with an atomic test-and-set; a thread that finds the
+// lock busy traps and blocks in the kernel, and is rescheduled only when the
+// lock is released — the behaviour behind the kernel-thread curve flattening
+// in Figure 1 ("Topaz lock overhead is much greater in the presence of
+// contention").
+type Mutex struct {
+	k       *Kernel
+	holder  *KThread
+	waiters []*KThread
+
+	Contended   uint64 // acquires that had to block
+	Uncontended uint64
+}
+
+// NewMutex creates a kernel-integrated lock.
+func (k *Kernel) NewMutex() *Mutex { return &Mutex{k: k} }
+
+// Lock acquires m on behalf of t.
+func (m *Mutex) Lock(t *KThread) {
+	k := m.k
+	t.ctx.Exec(k.C.TAS)
+	if m.holder == nil {
+		m.holder = t
+		m.Uncontended++
+		return
+	}
+	// Busy: trap and block in the kernel. Register as a waiter before
+	// paying the kernel entry, so an Unlock racing with the entry hands us
+	// the lock via the wake-pending protocol instead of losing the wakeup.
+	m.Contended++
+	m.waiters = append(m.waiters, t)
+	t.prepareBlock()
+	t.ctx.Exec(k.C.Trap + k.blockWork(t.sp))
+	t.commitBlock("mutex")
+	// We were woken by Unlock, which transferred ownership to us.
+	if m.holder != t {
+		panic("kernel: mutex wake without ownership")
+	}
+}
+
+// Unlock releases m. If threads are blocked, ownership transfers to the
+// first waiter and the kernel wakes it (a trap plus wake work).
+func (m *Mutex) Unlock(t *KThread) {
+	k := m.k
+	if m.holder != t {
+		panic(fmt.Sprintf("kernel: unlock of %p by non-holder %s", m, t.name))
+	}
+	t.ctx.Exec(k.C.TAS)
+	if len(m.waiters) == 0 {
+		m.holder = nil
+		return
+	}
+	t.ctx.Exec(k.C.Trap + k.signalWork(t.sp))
+	next := m.waiters[0]
+	copy(m.waiters, m.waiters[1:])
+	m.waiters = m.waiters[:len(m.waiters)-1]
+	m.holder = next
+	k.threadReady(next)
+}
+
+// Holder reports the current owner, or nil.
+func (m *Mutex) Holder() *KThread { return m.holder }
+
+// Cond is a kernel condition variable (Topaz SRC-monitor style).
+type Cond struct {
+	k       *Kernel
+	waiters []*KThread
+}
+
+// NewCond creates a kernel condition variable.
+func (k *Kernel) NewCond() *Cond { return &Cond{k: k} }
+
+// Wait atomically releases m and blocks t until signalled, then reacquires
+// m before returning.
+func (c *Cond) Wait(t *KThread, m *Mutex) {
+	k := c.k
+	c.waiters = append(c.waiters, t)
+	t.prepareBlock()
+	t.ctx.Exec(k.C.Trap + k.blockWork(t.sp))
+	if m != nil {
+		m.Unlock(t)
+	}
+	t.commitBlock("cond-wait")
+	if m != nil {
+		m.Lock(t)
+	}
+}
+
+// Signal wakes the longest-waiting thread, if any.
+func (c *Cond) Signal(t *KThread) {
+	k := c.k
+	if len(c.waiters) == 0 {
+		t.ctx.Exec(k.C.TAS) // checking an empty queue is cheap
+		return
+	}
+	t.ctx.Exec(k.C.Trap + k.signalWork(t.sp))
+	if len(c.waiters) == 0 {
+		return // another signaller drained the queue while we trapped in
+	}
+	next := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	k.threadReady(next)
+}
+
+// Broadcast wakes every waiting thread.
+func (c *Cond) Broadcast(t *KThread) {
+	k := c.k
+	if len(c.waiters) == 0 {
+		t.ctx.Exec(k.C.TAS)
+		return
+	}
+	t.ctx.Exec(k.C.Trap + k.signalWork(t.sp))
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		k.threadReady(w)
+	}
+}
+
+// Waiters reports how many threads are blocked on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }

@@ -1,0 +1,292 @@
+package machine
+
+import (
+	"fmt"
+
+	"schedact/internal/sim"
+)
+
+// Context is a machine-level execution context: the hardware state (program
+// counter, registers, kernel stack) that a kernel thread, Ultrix process, or
+// scheduler activation occupies a processor with. The kernel dispatches
+// Contexts onto CPUs and may preempt them at any point.
+//
+// CPU time is consumed through Workers. A Context hosts at most one Worker
+// at a time; a plain kernel thread hosts its own root worker forever, while
+// a user-level thread package binds each user thread's Worker to whatever
+// Context (virtual processor) it is scheduled on — and can rebind a
+// preempted thread's Worker to a different Context, which is exactly how a
+// thread's machine state rides a scheduler-activation upcall into a fresh
+// vessel.
+type Context struct {
+	m    *Machine
+	name string
+	co   *sim.Coroutine // root coroutine
+
+	cpu  *CPU
+	done bool
+
+	w     *Worker // currently hosted worker, nil if none
+	rootW Worker  // the root coroutine's own worker
+
+	// Owner is an opaque back-pointer for the scheduling layer (kernel
+	// thread, activation, process record).
+	Owner any
+}
+
+// NewContext creates an execution context whose root coroutine runs fn. The
+// context starts off-CPU with fn not yet started; the first Dispatch starts
+// it. The root coroutine's worker is bound to the context for its lifetime
+// unless the scheduling layer explicitly rebinds.
+func (m *Machine) NewContext(name string, fn func(*Context)) *Context {
+	ctx := &Context{m: m, name: name}
+	ctx.rootW = Worker{m: m, name: name + ":root"}
+	ctx.co = m.Eng.Go(name, func(co *sim.Coroutine) {
+		ctx.rootW.wantCPU = false // started; parks manage this from here on
+		fn(ctx)
+		ctx.done = true
+		if ctx.w == &ctx.rootW {
+			ctx.rootW.Unbind()
+		}
+		if ctx.cpu != nil {
+			ctx.cpu.Release(ctx)
+		}
+	})
+	ctx.rootW.co = ctx.co
+	ctx.rootW.vp = ctx
+	ctx.rootW.wantCPU = true // the start dispatch resumes the root
+	ctx.w = &ctx.rootW
+	return ctx
+}
+
+// Name reports the context's debug name.
+func (c *Context) Name() string { return c.name }
+
+// CPU reports the processor this context is dispatched on, or nil.
+func (c *Context) CPU() *CPU { return c.cpu }
+
+// OnCPU reports whether the context is currently dispatched.
+func (c *Context) OnCPU() bool { return c.cpu != nil }
+
+// Done reports whether the root coroutine has finished.
+func (c *Context) Done() bool { return c.done }
+
+// Machine returns the owning machine.
+func (c *Context) Machine() *Machine { return c.m }
+
+// Worker returns the currently hosted worker, or nil.
+func (c *Context) Worker() *Worker { return c.w }
+
+// Root returns the root coroutine's worker.
+func (c *Context) Root() *Worker { return &c.rootW }
+
+// Remaining reports the hosted worker's banked, unconsumed CPU demand.
+func (c *Context) Remaining() sim.Duration {
+	if c.w == nil {
+		return 0
+	}
+	return c.w.remaining
+}
+
+// MidExec reports whether the hosted worker is consuming CPU right now.
+func (c *Context) MidExec() bool { return c.w != nil && c.w.execEv != nil }
+
+// Exec consumes d of CPU through the hosted worker, which must belong to the
+// calling coroutine. This is the common path for kernel threads charging
+// their own context and for user-level threads charging the virtual
+// processor they are bound to.
+func (c *Context) Exec(d sim.Duration) {
+	if c.w == nil {
+		panic(fmt.Sprintf("machine: Exec on %s with no hosted worker", c.name))
+	}
+	c.w.Exec(d)
+}
+
+// Deschedule parks the calling coroutine until this context is next
+// dispatched. The kernel must already have taken the context off its CPU;
+// Deschedule is the context side of blocking in the kernel.
+func (c *Context) Deschedule(reason string) {
+	if c.cpu != nil {
+		panic(fmt.Sprintf("machine: Deschedule(%s) while %s still on cpu%d", reason, c.name, c.cpu.id))
+	}
+	if c.w == nil {
+		panic(fmt.Sprintf("machine: Deschedule(%s) on %s with no hosted worker", reason, c.name))
+	}
+	c.w.AwaitDispatch(reason)
+}
+
+// resumeWaiter wakes the hosted worker if it is waiting for a processor.
+// Called on dispatch.
+func (c *Context) resumeWaiter() {
+	if c.w == nil {
+		return
+	}
+	c.w.resumeIfWaiting()
+}
+
+// suspendExec banks the hosted worker's in-flight computation. Called by
+// CPU.Preempt.
+func (c *Context) suspendExec() {
+	if c.w == nil {
+		return
+	}
+	c.w.suspend()
+}
+
+// Worker is a migratable CPU-charge consumer: the machine half of a thread
+// of control. It charges time through whatever Context it is currently
+// bound to and carries its own unconsumed demand across preemption and
+// rebinding.
+type Worker struct {
+	m    *Machine
+	name string
+	co   *sim.Coroutine // the coroutine that charges through this worker
+
+	vp        *Context // current vessel, nil when unbound
+	remaining sim.Duration
+	execStart sim.Time
+	execEv    *sim.Event
+
+	// wantCPU marks the worker's coroutine as parked pending a processor
+	// (mid-Exec or awaiting dispatch), as opposed to blocked at user level.
+	wantCPU bool
+}
+
+// NewWorker creates an unbound worker for a user-level thread whose
+// coroutine is co. The coroutine may also be registered lazily on first
+// Exec.
+func (m *Machine) NewWorker(name string, co *sim.Coroutine) *Worker {
+	return &Worker{m: m, name: name, co: co}
+}
+
+// Name reports the worker's debug name.
+func (w *Worker) Name() string { return w.name }
+
+// Bound reports the context this worker is bound to, or nil.
+func (w *Worker) Bound() *Context { return w.vp }
+
+// Remaining reports banked, unconsumed CPU demand.
+func (w *Worker) Remaining() sim.Duration { return w.remaining }
+
+// Bind attaches the worker to a context (virtual processor). If the context
+// is dispatched and the worker has pending computation or is awaiting a
+// processor, it resumes. The context must not already host a worker and the
+// worker must be unbound.
+func (w *Worker) Bind(c *Context) {
+	if w.vp != nil {
+		panic(fmt.Sprintf("machine: worker %s already bound to %s", w.name, w.vp.name))
+	}
+	if c.w != nil {
+		panic(fmt.Sprintf("machine: context %s already hosts %s", c.name, c.w.name))
+	}
+	if w.execEv != nil {
+		panic(fmt.Sprintf("machine: binding %s mid-exec", w.name))
+	}
+	w.vp = c
+	c.w = w
+	if c.cpu != nil {
+		w.resumeIfWaiting()
+	}
+}
+
+// Unbind detaches the worker from its context. The worker must not be
+// mid-computation (preempt or complete first).
+func (w *Worker) Unbind() {
+	if w.vp == nil {
+		panic(fmt.Sprintf("machine: Unbind of unbound worker %s", w.name))
+	}
+	if w.execEv != nil {
+		panic(fmt.Sprintf("machine: Unbind of %s mid-exec", w.name))
+	}
+	w.vp.w = nil
+	w.vp = nil
+}
+
+// Exec consumes d of CPU through the worker's current vessel. The calling
+// coroutine parks until the demand is consumed; preemption, rebinding, and
+// redispatch are all transparent — consumption continues wherever the worker
+// is next bound and dispatched.
+func (w *Worker) Exec(d sim.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("machine: negative Exec %v on %s", d, w.name))
+	}
+	co := w.m.Eng.Current()
+	if co == nil {
+		panic(fmt.Sprintf("machine: Exec on %s from outside a coroutine", w.name))
+	}
+	if w.co == nil {
+		w.co = co
+	} else if w.co != co {
+		panic(fmt.Sprintf("machine: worker %s charged by foreign coroutine %s", w.name, co.Name()))
+	}
+	w.remaining += d
+	for w.remaining > 0 {
+		vp := w.vp
+		if vp == nil || vp.cpu == nil {
+			w.parkWant("cpu-wait")
+			continue
+		}
+		w.execStart = w.m.Now()
+		w.execEv = w.m.Eng.After(w.remaining, w.name+":exec-done", func() {
+			w.execEv = nil
+			w.remaining = 0
+			w.resumeIfWaiting()
+		})
+		w.parkWant("exec")
+	}
+}
+
+// AwaitDispatch parks the calling coroutine until the worker's context is
+// dispatched (or the worker is bound to a dispatched context). Used for
+// kernel-level blocking, where wake-up is a kernel redispatch.
+func (w *Worker) AwaitDispatch(reason string) {
+	co := w.m.Eng.Current()
+	if co == nil {
+		panic(fmt.Sprintf("machine: AwaitDispatch on %s from outside a coroutine", w.name))
+	}
+	if w.co == nil {
+		w.co = co
+	} else if w.co != co {
+		panic(fmt.Sprintf("machine: worker %s awaited by foreign coroutine %s", w.name, co.Name()))
+	}
+	w.parkWant(reason)
+}
+
+func (w *Worker) parkWant(reason string) {
+	w.wantCPU = true
+	w.co.Park(reason)
+	w.wantCPU = false
+}
+
+// resumeIfWaiting wakes the worker's coroutine if it is parked pending a
+// processor. Safe when a resume is already in flight.
+func (w *Worker) resumeIfWaiting() {
+	if !w.wantCPU || w.co == nil {
+		return
+	}
+	if w.co.ResumeScheduled() {
+		return
+	}
+	w.co.Unpark()
+}
+
+// suspend banks the in-flight computation (preemption).
+func (w *Worker) suspend() {
+	if w.execEv == nil {
+		return // at a decision point this instant; nothing to bank
+	}
+	elapsed := w.m.Now().Sub(w.execStart)
+	w.remaining -= elapsed
+	if w.remaining < 0 {
+		panic(fmt.Sprintf("machine: worker %s over-consumed by %v", w.name, -w.remaining))
+	}
+	w.execEv.Cancel()
+	w.execEv = nil
+}
+
+// MidExec reports whether the worker is consuming CPU right now.
+func (w *Worker) MidExec() bool { return w.execEv != nil }
+
+// WantsCPU reports whether the worker's coroutine is parked pending a
+// processor.
+func (w *Worker) WantsCPU() bool { return w.wantCPU }

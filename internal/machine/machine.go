@@ -1,0 +1,148 @@
+// Package machine simulates the multiprocessor hardware the paper's systems
+// run on: a pool of identical CPUs, interruptible CPU consumption, a
+// calibrated cost table for the primitive operations the paper reports
+// (procedure call, kernel trap, ...), and a disk device.
+//
+// The machine deliberately knows nothing about threads, address spaces, or
+// scheduling policy; those live in the kernel layers above. What it provides
+// is the one thing every scheduling experiment needs: an accurate account of
+// which execution context is consuming which processor at every instant of
+// virtual time, with preemption allowed at any point.
+package machine
+
+import (
+	"fmt"
+
+	"schedact/internal/sim"
+)
+
+// CPUID identifies a processor on the simulated machine.
+type CPUID int
+
+// Machine is a simulated shared-memory multiprocessor.
+type Machine struct {
+	Eng  *sim.Engine
+	Cost *Costs
+	cpus []*CPU
+	Disk *Disk
+}
+
+// New creates a machine with n CPUs and the given cost profile.
+func New(eng *sim.Engine, n int, cost *Costs) *Machine {
+	if n <= 0 {
+		panic("machine: need at least one CPU")
+	}
+	m := &Machine{Eng: eng, Cost: cost}
+	for i := 0; i < n; i++ {
+		m.cpus = append(m.cpus, &CPU{m: m, id: CPUID(i)})
+	}
+	m.Disk = &Disk{m: m, Latency: cost.DiskLatency}
+	return m
+}
+
+// NumCPUs reports the number of processors.
+func (m *Machine) NumCPUs() int { return len(m.cpus) }
+
+// CPU returns processor id.
+func (m *Machine) CPU(id CPUID) *CPU {
+	return m.cpus[id]
+}
+
+// CPUs returns all processors, in id order.
+func (m *Machine) CPUs() []*CPU { return m.cpus }
+
+// Now reports current virtual time.
+func (m *Machine) Now() sim.Time { return m.Eng.Now() }
+
+// CPU is one processor. At any instant a CPU is either idle or dispatched to
+// exactly one execution context. Dispatch and preemption are driven by the
+// kernel layers.
+type CPU struct {
+	m   *Machine
+	id  CPUID
+	cur *Context
+
+	// accounting
+	busySince  sim.Time
+	TotalBusy  sim.Duration
+	Dispatches uint64
+	Preempts   uint64
+}
+
+// ID reports the processor id.
+func (p *CPU) ID() CPUID { return p.id }
+
+// Machine returns the owning machine.
+func (p *CPU) Machine() *Machine { return p.m }
+
+// Current reports the context dispatched on this CPU, or nil when idle.
+func (p *CPU) Current() *Context { return p.cur }
+
+// Idle reports whether no context is dispatched here.
+func (p *CPU) Idle() bool { return p.cur == nil }
+
+// Dispatch places ctx on this CPU and resumes whatever computation it had
+// pending. The CPU must be idle and the context must not be on any CPU.
+func (p *CPU) Dispatch(ctx *Context) {
+	if p.cur != nil {
+		panic(fmt.Sprintf("machine: dispatch %s on busy cpu%d (running %s)", ctx.name, p.id, p.cur.name))
+	}
+	if ctx.cpu != nil {
+		panic(fmt.Sprintf("machine: dispatch %s already on cpu%d", ctx.name, ctx.cpu.id))
+	}
+	if ctx.done {
+		panic(fmt.Sprintf("machine: dispatch finished context %s", ctx.name))
+	}
+	p.cur = ctx
+	ctx.cpu = p
+	p.busySince = p.m.Now()
+	p.Dispatches++
+	ctx.resumeWaiter()
+}
+
+// Preempt removes the current context from this CPU, banking any CPU demand
+// it has not yet consumed, and returns it. The context's coroutine stays
+// parked; a later Dispatch resumes it where it left off (possibly on a
+// different CPU). Preempting an idle CPU panics.
+func (p *CPU) Preempt() *Context {
+	ctx := p.cur
+	if ctx == nil {
+		panic(fmt.Sprintf("machine: preempt idle cpu%d", p.id))
+	}
+	ctx.suspendExec()
+	p.detach(ctx)
+	p.Preempts++
+	return ctx
+}
+
+// Release removes ctx from this CPU without treating it as a preemption:
+// used when a context blocks or exits voluntarily. The context must be the
+// current one and must not be mid-computation.
+func (p *CPU) Release(ctx *Context) {
+	if p.cur != ctx {
+		panic(fmt.Sprintf("machine: release %s not current on cpu%d", ctx.name, p.id))
+	}
+	if ctx.MidExec() {
+		panic(fmt.Sprintf("machine: release %s mid-Exec on cpu%d", ctx.name, p.id))
+	}
+	p.detach(ctx)
+}
+
+func (p *CPU) detach(ctx *Context) {
+	p.TotalBusy += p.m.Now().Sub(p.busySince)
+	p.cur = nil
+	ctx.cpu = nil
+}
+
+// Utilization reports the fraction of [0, now] this CPU spent dispatched.
+func (p *CPU) Utilization() float64 {
+	now := p.m.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := p.TotalBusy
+	if p.cur != nil {
+		busy += now.Sub(p.busySince)
+	}
+	return float64(busy) / float64(now)
+}

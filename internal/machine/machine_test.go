@@ -1,0 +1,476 @@
+package machine
+
+import (
+	"testing"
+
+	"schedact/internal/sim"
+)
+
+func newTestMachine(t *testing.T, ncpu int) (*sim.Engine, *Machine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	t.Cleanup(eng.Close)
+	return eng, New(eng, ncpu, DefaultCosts())
+}
+
+func TestExecConsumesVirtualTime(t *testing.T) {
+	eng, m := newTestMachine(t, 1)
+	var finished sim.Time
+	ctx := m.NewContext("worker", func(c *Context) {
+		c.Exec(100 * sim.Microsecond)
+		finished = eng.Now()
+	})
+	m.CPU(0).Dispatch(ctx)
+	eng.Run()
+	if finished != sim.Time(100*sim.Microsecond) {
+		t.Fatalf("finished at %v, want 100µs", finished)
+	}
+	if !ctx.Done() {
+		t.Fatal("context not done")
+	}
+}
+
+func TestSequentialExecsAccumulate(t *testing.T) {
+	eng, m := newTestMachine(t, 1)
+	ctx := m.NewContext("worker", func(c *Context) {
+		for i := 0; i < 5; i++ {
+			c.Exec(10 * sim.Microsecond)
+		}
+	})
+	m.CPU(0).Dispatch(ctx)
+	eng.Run()
+	if eng.Now() != sim.Time(50*sim.Microsecond) {
+		t.Fatalf("now = %v, want 50µs", eng.Now())
+	}
+}
+
+func TestPreemptBanksRemainingDemand(t *testing.T) {
+	eng, m := newTestMachine(t, 1)
+	cpu := m.CPU(0)
+	var finished sim.Time
+	ctx := m.NewContext("worker", func(c *Context) {
+		c.Exec(100 * sim.Microsecond)
+		finished = eng.Now()
+	})
+	cpu.Dispatch(ctx)
+	// Preempt after 30µs, hold it off-CPU for 1ms, then redispatch.
+	eng.After(30*sim.Microsecond, "preempt", func() {
+		got := cpu.Preempt()
+		if got != ctx {
+			t.Errorf("preempted %v, want worker", got)
+		}
+		if got.Remaining() != 70*sim.Microsecond {
+			t.Errorf("remaining = %v, want 70µs", got.Remaining())
+		}
+	})
+	eng.After(1030*sim.Microsecond, "redispatch", func() { cpu.Dispatch(ctx) })
+	eng.Run()
+	want := sim.Time(1100 * sim.Microsecond) // 30 run + 1000 off + 70 run
+	if finished != want {
+		t.Fatalf("finished at %v, want %v", finished, want)
+	}
+}
+
+func TestPreemptAndResumeOnDifferentCPU(t *testing.T) {
+	eng, m := newTestMachine(t, 2)
+	var finished sim.Time
+	ctx := m.NewContext("worker", func(c *Context) {
+		c.Exec(100 * sim.Microsecond)
+		finished = eng.Now()
+	})
+	m.CPU(0).Dispatch(ctx)
+	eng.After(40*sim.Microsecond, "migrate", func() {
+		m.CPU(0).Preempt()
+		m.CPU(1).Dispatch(ctx)
+	})
+	eng.Run()
+	if finished != sim.Time(100*sim.Microsecond) {
+		t.Fatalf("finished at %v, want 100µs (no time lost migrating)", finished)
+	}
+}
+
+func TestRepeatedPreemptionPreservesTotalDemand(t *testing.T) {
+	eng, m := newTestMachine(t, 1)
+	cpu := m.CPU(0)
+	var finished sim.Time
+	ctx := m.NewContext("worker", func(c *Context) {
+		c.Exec(1000 * sim.Microsecond)
+		finished = eng.Now()
+	})
+	cpu.Dispatch(ctx)
+	// Preempt every 100µs for 50µs of off-time, 5 times.
+	for i := 1; i <= 5; i++ {
+		off := sim.Duration(i) * 150 * sim.Microsecond
+		eng.At(sim.Time(off), "preempt", func() { cpu.Preempt() })
+		eng.At(sim.Time(off+50*sim.Microsecond), "redispatch", func() { cpu.Dispatch(ctx) })
+	}
+	eng.Run()
+	want := sim.Time(1250 * sim.Microsecond) // 1000 of work + 5*50 off
+	if finished != want {
+		t.Fatalf("finished at %v, want %v", finished, want)
+	}
+}
+
+func TestDispatchBusyCPUPanics(t *testing.T) {
+	eng, m := newTestMachine(t, 1)
+	a := m.NewContext("a", func(c *Context) { c.Exec(sim.Millisecond) })
+	b := m.NewContext("b", func(c *Context) { c.Exec(sim.Millisecond) })
+	m.CPU(0).Dispatch(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dispatch on busy CPU did not panic")
+		}
+	}()
+	m.CPU(0).Dispatch(b)
+	_ = eng
+}
+
+func TestPreemptIdleCPUPanics(t *testing.T) {
+	_, m := newTestMachine(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("preempt of idle CPU did not panic")
+		}
+	}()
+	m.CPU(0).Preempt()
+}
+
+func TestDoubleDispatchSameContextPanics(t *testing.T) {
+	_, m := newTestMachine(t, 2)
+	ctx := m.NewContext("a", func(c *Context) { c.Exec(sim.Millisecond) })
+	m.CPU(0).Dispatch(ctx)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dispatching a context on two CPUs did not panic")
+		}
+	}()
+	m.CPU(1).Dispatch(ctx)
+}
+
+func TestDescheduleAndRedispatch(t *testing.T) {
+	eng, m := newTestMachine(t, 1)
+	cpu := m.CPU(0)
+	var resumedAt sim.Time
+	ctx := m.NewContext("blocker", func(c *Context) {
+		c.Exec(10 * sim.Microsecond)
+		// Voluntarily block: come off the CPU and wait for redispatch.
+		cpu.Release(c)
+		c.Deschedule("io-wait")
+		resumedAt = eng.Now()
+		c.Exec(5 * sim.Microsecond)
+	})
+	cpu.Dispatch(ctx)
+	eng.After(sim.Millisecond, "wake", func() { cpu.Dispatch(ctx) })
+	eng.Run()
+	if resumedAt != sim.Time(sim.Millisecond) {
+		t.Fatalf("resumed at %v, want 1ms", resumedAt)
+	}
+	if eng.Now() != sim.Time(sim.Millisecond+5*sim.Microsecond) {
+		t.Fatalf("finished at %v, want 1.005ms", eng.Now())
+	}
+}
+
+func TestBorrowedContextChargesThroughVP(t *testing.T) {
+	// A coroutine that is not the context's root charges CPU through it,
+	// the way a user-level thread borrows its virtual processor: the VP
+	// context stays dispatched while the root and the user thread switch by
+	// parking/unparking each other.
+	eng, m := newTestMachine(t, 1)
+	cpu := m.CPU(0)
+	var done, rootDone sim.Time
+	var root *sim.Coroutine
+	var ut *sim.Coroutine
+	var worker *Worker
+	var vp *Context
+	vp = m.NewContext("vp", func(c *Context) {
+		root = eng.Current()
+		c.Exec(10 * sim.Microsecond)
+		c.Root().Unbind() // hand the vessel to the user thread
+		worker.Bind(c)
+		ut.Unpark() // user-level "context switch" to the thread
+		root.Park("running-uthread")
+		c.Root().Bind(c)
+		c.Exec(5 * sim.Microsecond) // scheduler runs again after the thread
+		rootDone = eng.Now()
+	})
+	worker = m.NewWorker("uthread", nil)
+	ut = eng.Go("uthread", func(co *sim.Coroutine) {
+		worker.Exec(20 * sim.Microsecond) // charges through the VP's context
+		done = eng.Now()
+		worker.Unbind()
+		root.Unpark() // switch back to the VP scheduler
+	})
+	cpu.Dispatch(vp)
+	eng.Run()
+	if done != sim.Time(30*sim.Microsecond) {
+		t.Fatalf("uthread finished at %v, want 30µs", done)
+	}
+	if rootDone != sim.Time(35*sim.Microsecond) {
+		t.Fatalf("scheduler finished at %v, want 35µs", rootDone)
+	}
+}
+
+func TestPreemptedBorrowedContextResumesBorrower(t *testing.T) {
+	// Preempting a VP mid-computation suspends whatever coroutine was
+	// borrowing it; re-dispatch (even on another CPU) resumes that borrower.
+	eng, m := newTestMachine(t, 2)
+	var done sim.Time
+	var ut *sim.Coroutine
+	var worker *Worker
+	vp := m.NewContext("vp", func(c *Context) {
+		c.Root().Unbind()
+		worker.Bind(c)
+		ut.Unpark()
+		eng.Current().Park("running-uthread")
+	})
+	worker = m.NewWorker("uthread", nil)
+	ut = eng.Go("uthread", func(co *sim.Coroutine) {
+		worker.Exec(100 * sim.Microsecond)
+		done = eng.Now()
+	})
+	m.CPU(0).Dispatch(vp)
+	eng.After(30*sim.Microsecond, "preempt", func() {
+		got := m.CPU(0).Preempt()
+		if got != vp {
+			t.Errorf("preempted %v, want vp", got.Name())
+		}
+	})
+	eng.After(50*sim.Microsecond, "redispatch-elsewhere", func() {
+		m.CPU(1).Dispatch(vp)
+	})
+	eng.Run()
+	if done != sim.Time(120*sim.Microsecond) {
+		t.Fatalf("uthread finished at %v, want 120µs (30 run + 20 off + 70 run)", done)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	eng, m := newTestMachine(t, 2)
+	ctx := m.NewContext("w", func(c *Context) { c.Exec(500 * sim.Microsecond) })
+	m.CPU(0).Dispatch(ctx)
+	eng.Run()
+	eng.RunUntil(sim.Time(sim.Millisecond))
+	if got := m.CPU(0).Utilization(); got < 0.49 || got > 0.51 {
+		t.Fatalf("cpu0 utilization = %.3f, want 0.5", got)
+	}
+	if got := m.CPU(1).Utilization(); got != 0 {
+		t.Fatalf("cpu1 utilization = %.3f, want 0", got)
+	}
+}
+
+func TestPreemptJustBeforeCompletionInstant(t *testing.T) {
+	// Preemption event ordered before the exec-done event at the same
+	// instant: the demand is fully consumed (remaining 0), but the context
+	// is off-CPU, so its post-Exec code only runs once re-dispatched. No
+	// work is lost and no double resume occurs.
+	eng, m := newTestMachine(t, 1)
+	cpu := m.CPU(0)
+	var phases []sim.Time
+	ctx := m.NewContext("w", func(c *Context) {
+		c.Exec(50 * sim.Microsecond)
+		phases = append(phases, eng.Now())
+	})
+	cpu.Dispatch(ctx)
+	eng.At(sim.Time(50*sim.Microsecond), "preempt-at-done", func() {
+		got := cpu.Preempt()
+		if got.Remaining() != 0 {
+			t.Errorf("remaining = %v, want 0 (demand complete)", got.Remaining())
+		}
+	})
+	eng.After(200*sim.Microsecond, "redispatch", func() { cpu.Dispatch(ctx) })
+	eng.Run()
+	if len(phases) != 1 || phases[0] != sim.Time(200*sim.Microsecond) {
+		t.Fatalf("phases = %v, want Exec observed complete at redispatch (200µs)", phases)
+	}
+}
+
+func TestPreemptJustAfterCompletionInstant(t *testing.T) {
+	// Preemption event ordered after the exec-done event but before the
+	// context's coroutine resumes, all at the same instant: the context
+	// must not be double-resumed, its first Exec returns at the completion
+	// time, and a subsequent Exec waits for re-dispatch.
+	eng, m := newTestMachine(t, 1)
+	cpu := m.CPU(0)
+	var phases []sim.Time
+	ctx := m.NewContext("w", func(c *Context) {
+		c.Exec(50 * sim.Microsecond)
+		phases = append(phases, eng.Now())
+		c.Exec(50 * sim.Microsecond)
+		phases = append(phases, eng.Now())
+	})
+	cpu.Dispatch(ctx)
+	// Chain events so the preempt fires between exec-done and the
+	// coroutine's resume at t=50µs.
+	eng.At(sim.Time(50*sim.Microsecond), "chain", func() {
+		eng.At(eng.Now(), "preempt-after-done", func() {
+			if cpu.Current() == ctx {
+				cpu.Preempt()
+			}
+		})
+	})
+	eng.After(200*sim.Microsecond, "redispatch", func() {
+		if !ctx.Done() && !ctx.OnCPU() {
+			cpu.Dispatch(ctx)
+		}
+	})
+	eng.Run()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %v, want 2 entries", phases)
+	}
+	if phases[0] != sim.Time(50*sim.Microsecond) {
+		t.Errorf("first Exec finished at %v, want 50µs", phases[0])
+	}
+	if phases[1] != sim.Time(250*sim.Microsecond) {
+		t.Errorf("second Exec finished at %v, want 250µs (waited for redispatch)", phases[1])
+	}
+}
+
+func TestDiskFixedLatency(t *testing.T) {
+	eng, m := newTestMachine(t, 1)
+	var done []sim.Time
+	for i := 0; i < 3; i++ {
+		m.Disk.Request(func() { done = append(done, eng.Now()) })
+	}
+	eng.Run()
+	want := sim.Time(50 * sim.Millisecond)
+	for i, d := range done {
+		if d != want {
+			t.Errorf("request %d done at %v, want %v (uncontended)", i, d, want)
+		}
+	}
+	if m.Disk.Requests != 3 {
+		t.Errorf("Requests = %d, want 3", m.Disk.Requests)
+	}
+}
+
+func TestDiskContendedSerializes(t *testing.T) {
+	eng, m := newTestMachine(t, 1)
+	m.Disk.Contended = true
+	var done []sim.Time
+	for i := 0; i < 3; i++ {
+		m.Disk.Request(func() { done = append(done, eng.Now()) })
+	}
+	eng.Run()
+	for i, d := range done {
+		want := sim.Time(sim.Duration(i+1) * 50 * sim.Millisecond)
+		if d != want {
+			t.Errorf("request %d done at %v, want %v (serialized)", i, d, want)
+		}
+	}
+}
+
+func TestCostProfiles(t *testing.T) {
+	def := DefaultCosts()
+	if def.ProcCall != sim.Us(7) {
+		t.Errorf("ProcCall = %v, want 7µs (paper §2.1)", def.ProcCall)
+	}
+	if def.Trap != sim.Us(19) {
+		t.Errorf("Trap = %v, want 19µs (paper §2.1)", def.Trap)
+	}
+	if def.DiskLatency != sim.Ms(50) {
+		t.Errorf("DiskLatency = %v, want 50ms (paper §5.3)", def.DiskLatency)
+	}
+	tuned := TunedCosts()
+	if tuned.SAUpcallWork >= def.SAUpcallWork {
+		t.Error("tuned profile should have cheaper upcalls than the prototype profile")
+	}
+}
+
+func TestNegativeExecPanics(t *testing.T) {
+	_, m := newTestMachine(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Exec did not panic")
+		}
+	}()
+	w := m.NewWorker("x", nil)
+	w.Exec(-sim.Microsecond)
+}
+
+func TestWorkerRebindMigratesBankedWork(t *testing.T) {
+	// The scheduler-activation story in miniature: a worker preempted
+	// mid-computation on one vessel is rebound to a different vessel on a
+	// different CPU and completes with no work lost.
+	eng, m := newTestMachine(t, 2)
+	var done sim.Time
+	var worker *Worker
+	vpA := m.NewContext("actA", func(c *Context) {
+		c.Root().Unbind()
+		worker.Bind(c)
+		eng.Current().Park("vessel")
+	})
+	worker = m.NewWorker("uthread", nil)
+	ut := eng.Go("uthread", func(co *sim.Coroutine) {
+		worker.Exec(100 * sim.Microsecond)
+		done = eng.Now()
+	})
+	ut.Unpark() // starts, finds worker unbound, parks cpu-wait
+	m.CPU(0).Dispatch(vpA)
+	eng.After(40*sim.Microsecond, "preempt-and-migrate", func() {
+		got := m.CPU(0).Preempt()
+		if got != vpA {
+			t.Fatalf("preempted %s, want actA", got.Name())
+		}
+		if worker.Remaining() != 60*sim.Microsecond {
+			t.Errorf("banked = %v, want 60µs", worker.Remaining())
+		}
+		worker.Unbind() // upcall handler pulls the thread state out of actA
+		vpB := m.NewContext("actB", func(c *Context) {
+			c.Root().Unbind()
+			worker.Bind(c) // resume the thread in the new vessel
+			eng.Current().Park("vessel")
+		})
+		m.CPU(1).Dispatch(vpB)
+	})
+	eng.Run()
+	if done != sim.Time(100*sim.Microsecond) {
+		t.Fatalf("worker finished at %v, want 100µs (no time lost)", done)
+	}
+}
+
+func TestBindToDispatchedContextResumesWaiting(t *testing.T) {
+	eng, m := newTestMachine(t, 1)
+	var done sim.Time
+	worker := m.NewWorker("w", nil)
+	ut := eng.Go("w", func(co *sim.Coroutine) {
+		worker.Exec(10 * sim.Microsecond)
+		done = eng.Now()
+	})
+	ut.Unpark() // parks cpu-wait: unbound
+	vessel := m.NewContext("vessel", func(c *Context) {
+		c.Root().Unbind()
+		eng.Current().Park("idle")
+	})
+	m.CPU(0).Dispatch(vessel)
+	eng.After(50*sim.Microsecond, "bind", func() { worker.Bind(vessel) })
+	eng.Run()
+	if done != sim.Time(60*sim.Microsecond) {
+		t.Fatalf("done at %v, want 60µs (bound at 50, ran 10)", done)
+	}
+}
+
+func TestDoubleBindPanics(t *testing.T) {
+	_, m := newTestMachine(t, 1)
+	a := m.NewWorker("a", nil)
+	b := m.NewWorker("b", nil)
+	vessel := m.NewContext("vessel", func(c *Context) {})
+	vessel.Root().Unbind()
+	a.Bind(vessel)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("binding a second worker did not panic")
+		}
+	}()
+	b.Bind(vessel)
+}
+
+func TestMachineNeedsOneCPU(t *testing.T) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-CPU machine did not panic")
+		}
+	}()
+	New(eng, 0, DefaultCosts())
+}

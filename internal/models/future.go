@@ -1,0 +1,48 @@
+package models
+
+import "schedact/internal/uthread"
+
+// Future is a Multilisp-style future (Halstead 85): a computation that runs
+// in its own user-level thread while the creator continues; Force blocks
+// until the value is ready. Built entirely over the uthread API — forks and
+// synchronization stay at user level, so futures inherit the Table 4
+// operation costs with no kernel involvement.
+type Future struct {
+	mu      *uthread.Mutex
+	ready   *uthread.Cond
+	done    bool
+	value   any
+	touched int
+}
+
+// NewFuture spawns fn in a fresh thread forked from t and returns the
+// future for its result.
+func NewFuture(t *uthread.Thread, name string, fn func(ft *uthread.Thread) any) *Future {
+	s := t.Sched()
+	f := &Future{mu: s.NewMutex(), ready: s.NewCond()}
+	t.Fork(name, func(ft *uthread.Thread) {
+		v := fn(ft)
+		f.mu.Lock(ft)
+		f.value = v
+		f.done = true
+		f.mu.Unlock(ft)
+		f.ready.Broadcast(ft)
+	})
+	return f
+}
+
+// Force blocks t until the future resolves and returns its value. Multiple
+// threads may force the same future.
+func (f *Future) Force(t *uthread.Thread) any {
+	f.mu.Lock(t)
+	f.touched++
+	for !f.done {
+		f.ready.Wait(t, f.mu)
+	}
+	v := f.value
+	f.mu.Unlock(t)
+	return v
+}
+
+// Ready reports whether the future has resolved, without blocking.
+func (f *Future) Ready() bool { return f.done }

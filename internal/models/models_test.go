@@ -1,0 +1,203 @@
+package models
+
+import (
+	"testing"
+
+	"schedact/internal/core"
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+	"schedact/internal/uthread"
+)
+
+// Both models must run unchanged on either virtual-processor binding — the
+// kernel has no knowledge of the concurrency model (§3.1).
+func onBoth(t *testing.T, cpus int, f func(t *testing.T, eng *sim.Engine, s *uthread.Sched)) {
+	t.Run("kernel-threads", func(t *testing.T) {
+		eng := sim.NewEngine()
+		t.Cleanup(eng.Close)
+		k := kernel.New(eng, kernel.Config{CPUs: cpus})
+		s := uthread.OnKernelThreads(k, k.NewSpace("app", false), cpus, uthread.Options{})
+		f(t, eng, s)
+	})
+	t.Run("activations", func(t *testing.T) {
+		eng := sim.NewEngine()
+		t.Cleanup(eng.Close)
+		k := core.New(eng, core.Config{CPUs: cpus})
+		s := uthread.OnActivations(k, "app", 0, cpus, uthread.Options{})
+		f(t, eng, s)
+	})
+}
+
+func TestCrewExecutesAllTasks(t *testing.T) {
+	onBoth(t, 3, func(t *testing.T, eng *sim.Engine, s *uthread.Sched) {
+		crew := NewCrew(s, 3)
+		ran := 0
+		for i := 0; i < 20; i++ {
+			crew.Submit(func(w *Worker) {
+				w.Exec(200 * sim.Microsecond)
+				ran++
+			})
+		}
+		s.Spawn("driver", func(th *uthread.Thread) {
+			crew.Drain(th)
+			crew.Close(th)
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(10 * sim.Second))
+		if ran != 20 {
+			t.Fatalf("ran = %d, want 20", ran)
+		}
+		if crew.Executed != 20 {
+			t.Fatalf("Executed = %d, want 20", crew.Executed)
+		}
+	})
+}
+
+func TestCrewTasksSpawnSubtasks(t *testing.T) {
+	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *uthread.Sched) {
+		crew := NewCrew(s, 2)
+		leaves := 0
+		// A binary fan-out: each task at depth < 3 adds two children.
+		var mk func(depth int) Task
+		mk = func(depth int) Task {
+			return func(w *Worker) {
+				w.Exec(100 * sim.Microsecond)
+				if depth < 3 {
+					w.Add(mk(depth + 1))
+					w.Add(mk(depth + 1))
+				} else {
+					leaves++
+				}
+			}
+		}
+		crew.Submit(mk(0))
+		s.Spawn("driver", func(th *uthread.Thread) {
+			crew.Drain(th)
+			crew.Close(th)
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(10 * sim.Second))
+		if leaves != 8 {
+			t.Fatalf("leaves = %d, want 8", leaves)
+		}
+	})
+}
+
+func TestCrewParallelismUsesProcessors(t *testing.T) {
+	// 8 tasks of 10ms on a 4-worker crew should take ~20ms, not ~80ms.
+	eng := sim.NewEngine()
+	defer eng.Close()
+	k := core.New(eng, core.Config{CPUs: 4})
+	s := uthread.OnActivations(k, "app", 0, 4, uthread.Options{})
+	crew := NewCrew(s, 4)
+	for i := 0; i < 8; i++ {
+		crew.Submit(func(w *Worker) { w.Exec(sim.Ms(10)) })
+	}
+	var done sim.Time
+	s.Spawn("driver", func(th *uthread.Thread) {
+		crew.Drain(th)
+		done = th.Now()
+		crew.Close(th)
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(10 * sim.Second))
+	if done == 0 || done > sim.Time(40*sim.Millisecond) {
+		t.Fatalf("8×10ms on 4 workers finished at %v, want ~20-30ms", done)
+	}
+}
+
+func TestFutureForcedAfterResolution(t *testing.T) {
+	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *uthread.Sched) {
+		var got any
+		s.Spawn("main", func(th *uthread.Thread) {
+			f := NewFuture(th, "calc", func(ft *uthread.Thread) any {
+				ft.Exec(sim.Ms(1))
+				return 42
+			})
+			th.Exec(sim.Ms(5)) // future resolves meanwhile
+			if !f.Ready() {
+				t.Error("future should be ready after 5ms")
+			}
+			got = f.Force(th)
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(10 * sim.Second))
+		if got != 42 {
+			t.Fatalf("Force = %v, want 42", got)
+		}
+	})
+}
+
+func TestFutureForcedBeforeResolutionBlocks(t *testing.T) {
+	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *uthread.Sched) {
+		var got any
+		var forcedAt sim.Time
+		s.Spawn("main", func(th *uthread.Thread) {
+			f := NewFuture(th, "slow", func(ft *uthread.Thread) any {
+				ft.Exec(sim.Ms(20))
+				return "late"
+			})
+			got = f.Force(th) // must block ~20ms
+			forcedAt = th.Now()
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(10 * sim.Second))
+		if got != "late" {
+			t.Fatalf("Force = %v, want late", got)
+		}
+		if forcedAt < sim.Time(20*sim.Millisecond) {
+			t.Fatalf("Force returned at %v, before the computation could finish", forcedAt)
+		}
+	})
+}
+
+func TestFutureChaining(t *testing.T) {
+	onBoth(t, 3, func(t *testing.T, eng *sim.Engine, s *uthread.Sched) {
+		total := 0
+		s.Spawn("main", func(th *uthread.Thread) {
+			// A small dataflow: c depends on a and b.
+			a := NewFuture(th, "a", func(ft *uthread.Thread) any { ft.Exec(sim.Ms(2)); return 10 })
+			b := NewFuture(th, "b", func(ft *uthread.Thread) any { ft.Exec(sim.Ms(3)); return 32 })
+			c := NewFuture(th, "c", func(ft *uthread.Thread) any {
+				return a.Force(ft).(int) + b.Force(ft).(int)
+			})
+			total = c.Force(th).(int)
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(10 * sim.Second))
+		if total != 42 {
+			t.Fatalf("total = %d, want 42", total)
+		}
+	})
+}
+
+func TestManyFuturesDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		eng := sim.NewEngine()
+		defer eng.Close()
+		k := core.New(eng, core.Config{CPUs: 4})
+		s := uthread.OnActivations(k, "app", 0, 4, uthread.Options{})
+		var end sim.Time
+		s.Spawn("main", func(th *uthread.Thread) {
+			var fs []*Future
+			for i := 0; i < 30; i++ {
+				d := sim.Duration(i%5+1) * sim.Millisecond
+				fs = append(fs, NewFuture(th, "f", func(ft *uthread.Thread) any {
+					ft.Exec(d)
+					return int(d)
+				}))
+			}
+			sum := 0
+			for _, f := range fs {
+				sum += f.Force(th).(int)
+			}
+			end = th.Now()
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(10 * sim.Second))
+		return end
+	}
+	if a, b := run(), run(); a != b || a == 0 {
+		t.Fatalf("non-deterministic or incomplete: %v vs %v", a, b)
+	}
+}

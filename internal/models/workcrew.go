@@ -1,0 +1,117 @@
+// Package models implements alternative concurrency models on top of the
+// user-level thread package, demonstrating the paper's flexibility claim
+// (§1.2): "It is simple to change the policy for scheduling an
+// application's threads, or even to provide a different concurrency model
+// such as workers [Moeller-Nielsen & Staunstrup 87] ... or Futures
+// [Halstead 85]". Because the kernel interface deals only in scheduler
+// activations, nothing in the kernel changes to support these: "the
+// kernel's behavior is exactly the same in every case".
+package models
+
+import (
+	"schedact/internal/sim"
+	"schedact/internal/uthread"
+)
+
+// Task is one unit of crew work. It may enqueue more tasks.
+type Task func(w *Worker)
+
+// Crew is a WorkCrews-style worker pool (Vandevoorde & Roberts 88): a fixed
+// set of worker threads serving a shared task queue, the model the paper
+// notes was built over Topaz threads — here built over any uthread binding.
+type Crew struct {
+	s        *uthread.Sched
+	mu       *uthread.Mutex
+	nonEmpty *uthread.Cond
+	done     *uthread.Cond
+	queue    []Task
+	active   int
+	closed   bool
+	workers  int
+
+	Executed uint64
+}
+
+// Worker is the per-worker handle passed to tasks.
+type Worker struct {
+	crew *Crew
+	T    *uthread.Thread
+}
+
+// NewCrew starts n worker threads on s. Call s.Start (and run the engine)
+// to begin execution.
+func NewCrew(s *uthread.Sched, n int) *Crew {
+	c := &Crew{s: s, mu: s.NewMutex(), workers: n}
+	c.nonEmpty = s.NewCond()
+	c.done = s.NewCond()
+	for i := 0; i < n; i++ {
+		s.Spawn("crew-worker", func(t *uthread.Thread) {
+			w := &Worker{crew: c, T: t}
+			c.workerLoop(w)
+		})
+	}
+	return c
+}
+
+func (c *Crew) workerLoop(w *Worker) {
+	t := w.T
+	for {
+		c.mu.Lock(t)
+		for len(c.queue) == 0 && !c.closed {
+			c.nonEmpty.Wait(t, c.mu)
+		}
+		if len(c.queue) == 0 && c.closed {
+			c.mu.Unlock(t)
+			return
+		}
+		task := c.queue[len(c.queue)-1] // LIFO: help-first, like fork/join crews
+		c.queue = c.queue[:len(c.queue)-1]
+		c.active++
+		c.mu.Unlock(t)
+
+		task(w)
+
+		c.mu.Lock(t)
+		c.active--
+		c.Executed++
+		if c.active == 0 && len(c.queue) == 0 {
+			c.done.Broadcast(t)
+		}
+		c.mu.Unlock(t)
+	}
+}
+
+// Submit adds a task from outside the crew (before or between runs).
+func (c *Crew) Submit(task Task) {
+	c.queue = append(c.queue, task)
+}
+
+// Add adds a task from within a running task.
+func (w *Worker) Add(task Task) {
+	c := w.crew
+	c.mu.Lock(w.T)
+	c.queue = append(c.queue, task)
+	c.mu.Unlock(w.T)
+	c.nonEmpty.Signal(w.T)
+}
+
+// Drain blocks the calling thread until the queue is empty and no task is
+// running.
+func (c *Crew) Drain(t *uthread.Thread) {
+	c.mu.Lock(t)
+	for c.active > 0 || len(c.queue) > 0 {
+		c.done.Wait(t, c.mu)
+	}
+	c.mu.Unlock(t)
+}
+
+// Close stops the workers once the queue drains.
+func (c *Crew) Close(t *uthread.Thread) {
+	c.mu.Lock(t)
+	c.closed = true
+	c.mu.Unlock(t)
+	c.nonEmpty.Broadcast(t)
+}
+
+// Exec charges computation to the worker's thread (convenience).
+func (w *Worker) Exec(d sim.Duration) { w.T.Exec(d) }

@@ -1,0 +1,192 @@
+package sim
+
+import "fmt"
+
+// coState tracks where a coroutine is in its lifecycle.
+type coState int
+
+const (
+	coCreated coState = iota // goroutine spawned, body not yet started
+	coParked                 // body started, currently parked
+	coRunning                // currently executing (engine blocked in hand-off)
+	coDone                   // body returned or unwound
+)
+
+func (s coState) String() string {
+	switch s {
+	case coCreated:
+		return "created"
+	case coParked:
+		return "parked"
+	case coRunning:
+		return "running"
+	case coDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// killSentinel is the panic value used to unwind coroutines on shutdown.
+type killSentinel struct{}
+
+// Coroutine is a simulated execution context: a goroutine that runs only when
+// the engine hands control to it, and hands control back by parking. Exactly
+// one coroutine (or event callback) executes at a time, so simulated code
+// needs no locking and the timeline is deterministic.
+type Coroutine struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	state  coState
+	killed bool
+
+	parkReason      string
+	resumeScheduled bool
+}
+
+// Go creates a coroutine that will execute fn. The coroutine does not start
+// until its first Unpark; this lets schedulers create execution contexts and
+// dispatch them later.
+func (e *Engine) Go(name string, fn func(*Coroutine)) *Coroutine {
+	if e.closed {
+		panic("sim: Go on closed engine")
+	}
+	c := &Coroutine{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.live[c] = struct{}{}
+	go c.run(fn)
+	return c
+}
+
+func (c *Coroutine) run(fn func(*Coroutine)) {
+	<-c.resume // wait for first dispatch (or kill)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); !ok {
+				// Propagate real panics to the engine goroutine by
+				// re-panicking there: we cannot re-raise across goroutines,
+				// so surface the failure loudly instead of deadlocking.
+				c.state = coDone
+				delete(c.eng.live, c)
+				c.yield <- struct{}{}
+				panic(r)
+			}
+		}
+		c.state = coDone
+		delete(c.eng.live, c)
+		c.yield <- struct{}{} // final hand-off back to the engine
+	}()
+	if c.killed {
+		panic(killSentinel{})
+	}
+	c.state = coRunning
+	fn(c)
+}
+
+// Name reports the debug name of the coroutine.
+func (c *Coroutine) Name() string { return c.name }
+
+// Done reports whether the coroutine body has returned.
+func (c *Coroutine) Done() bool { return c.state == coDone }
+
+// Parked reports whether the coroutine is parked (or not yet started).
+func (c *Coroutine) Parked() bool { return c.state == coParked || c.state == coCreated }
+
+// ParkReason reports the reason string of the current park, for diagnostics.
+func (c *Coroutine) ParkReason() string { return c.parkReason }
+
+// ResumeScheduled reports whether an Unpark (or Sleep wake-up) is already
+// pending for this coroutine. Schedulers use this to avoid double-resuming a
+// context that completed its CPU demand and was preempted in the same
+// instant.
+func (c *Coroutine) ResumeScheduled() bool { return c.resumeScheduled }
+
+// Running reports whether the coroutine is the one currently executing.
+func (c *Coroutine) Running() bool { return c.state == coRunning }
+
+// Park hands control back to the engine until some event calls Unpark.
+// It must be called from within the coroutine itself.
+func (c *Coroutine) Park(reason string) {
+	if c.eng.cur != c {
+		panic(fmt.Sprintf("sim: Park(%q) on %s called from outside the coroutine", reason, c.name))
+	}
+	c.parkReason = reason
+	c.state = coParked
+	c.yield <- struct{}{}
+	<-c.resume
+	if c.killed {
+		panic(killSentinel{})
+	}
+	c.state = coRunning
+	c.parkReason = ""
+}
+
+// Sleep parks the coroutine for d of virtual time. The wake-up counts as the
+// coroutine's scheduled resume, so an Unpark during the sleep panics rather
+// than double-dispatching.
+func (c *Coroutine) Sleep(d Duration) {
+	if c.eng.cur != c {
+		panic(fmt.Sprintf("sim: Sleep on %s called from outside the coroutine", c.name))
+	}
+	c.resumeScheduled = true
+	c.eng.After(d, c.name+":wake", func() { c.dispatch() })
+	c.Park("sleep")
+}
+
+// Unpark schedules the coroutine to resume at the current virtual time. It
+// panics if the coroutine is running, done, or already scheduled to resume:
+// callers own the lifecycle of the contexts they dispatch, and a double
+// unpark always indicates a scheduler bug.
+func (c *Coroutine) Unpark() {
+	c.UnparkAt(c.eng.now)
+}
+
+// UnparkAt schedules the coroutine to resume at time t.
+func (c *Coroutine) UnparkAt(t Time) {
+	if c.state == coDone {
+		panic(fmt.Sprintf("sim: Unpark on finished coroutine %s", c.name))
+	}
+	if c.state == coRunning {
+		panic(fmt.Sprintf("sim: Unpark on running coroutine %s", c.name))
+	}
+	if c.resumeScheduled {
+		panic(fmt.Sprintf("sim: duplicate Unpark on coroutine %s", c.name))
+	}
+	c.resumeScheduled = true
+	c.eng.At(t, c.name+":resume", func() { c.dispatch() })
+}
+
+// dispatch transfers control to the coroutine and blocks until it parks or
+// finishes. It runs in the engine goroutine, inside an event callback.
+func (c *Coroutine) dispatch() {
+	c.resumeScheduled = false
+	if c.state == coDone {
+		return
+	}
+	prev := c.eng.cur
+	c.eng.cur = c
+	c.eng.Stats.Resumes++
+	c.resume <- struct{}{}
+	<-c.yield
+	c.eng.cur = prev
+}
+
+// kill unwinds a parked or not-yet-started coroutine. Called from
+// Engine.Close only.
+func (c *Coroutine) kill() {
+	if c.state == coDone || c.state == coRunning {
+		return
+	}
+	c.killed = true
+	c.resume <- struct{}{}
+	<-c.yield
+}
+
+// Current reports the coroutine currently executing, or nil when the engine
+// is running a plain event callback.
+func (e *Engine) Current() *Coroutine { return e.cur }

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrKilled unwinds a coroutine when the engine shuts down. Simulated code
+// never observes it: the panic is recovered by the coroutine wrapper.
+var ErrKilled = errors.New("sim: coroutine killed by engine shutdown")
+
+// Engine is a sequential discrete-event simulator.
+//
+// Engine methods must only be called from the goroutine driving Run/Step, or
+// from inside event callbacks and coroutines (which, by the strict hand-off
+// discipline, is the same goroutine dynamically). The engine is not safe for
+// concurrent use; it does not need to be, since the whole point is a single
+// deterministic timeline.
+type Engine struct {
+	now    Time
+	seq    uint64
+	pq     eventHeap
+	cur    *Coroutine // coroutine currently executing, nil in plain events
+	live   map[*Coroutine]struct{}
+	closed bool
+
+	// Stats counts engine activity; useful for tests and for keeping an eye
+	// on event-storm bugs.
+	Stats struct {
+		Events  uint64 // events fired
+		Resumes uint64 // coroutine resumptions
+	}
+}
+
+// NewEngine returns an engine at time zero with an empty event queue.
+func NewEngine() *Engine {
+	return &Engine{live: make(map[*Coroutine]struct{})}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events (including cancelled ones not yet
+// discarded) in the queue.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t before
+// Now) panics: it would corrupt the timeline, and always indicates a bug in
+// the caller. The returned event may be cancelled.
+func (e *Engine) At(t Time, name string, fn func()) *Event {
+	if e.closed {
+		panic("sim: At on closed engine")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v, before now %v", name, t, e.now))
+	}
+	e.seq++
+	ev := &Event{t: t, seq: e.seq, name: name, fn: fn}
+	e.pq.push(ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %q", d, name))
+	}
+	return e.At(e.now.Add(d), name, fn)
+}
+
+// Step fires the next event, advancing the clock to its time. It reports
+// false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := e.pq.pop()
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.t
+		e.Stats.Events++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then sets the clock to t. Events
+// scheduled at exactly t do fire.
+func (e *Engine) RunUntil(t Time) {
+	for {
+		next, ok := e.peek()
+		if !ok || next > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the clock by d, firing all events in the window.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+func (e *Engine) peek() (Time, bool) {
+	for len(e.pq) > 0 {
+		if e.pq[0].cancelled {
+			e.pq.pop()
+			continue
+		}
+		return e.pq[0].t, true
+	}
+	return 0, false
+}
+
+// Close shuts the engine down, unwinding every live coroutine so no
+// goroutines leak. After Close the engine must not be used. Close is
+// idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for c := range e.live {
+		c.kill()
+	}
+	e.pq = nil
+}

@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var got []Time
+	for _, d := range []Duration{5 * Microsecond, Microsecond, 3 * Microsecond} {
+		e.After(d, "ev", func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{Time(Microsecond), Time(3 * Microsecond), Time(5 * Microsecond)}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Time(Microsecond), "ev", func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken order %v, want ascending schedule order", got)
+		}
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	fired := false
+	ev := e.After(Microsecond, "ev", func() { fired = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	ev := e.After(Microsecond, "ev", func() {})
+	e.Run()
+	ev.Cancel() // must not panic
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	e.After(Millisecond, "ev", func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(Time(Microsecond), "late", func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.After(-Microsecond, "neg", func() {})
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth < 100 {
+			e.After(Microsecond, "chain", chain)
+		}
+	}
+	e.After(Microsecond, "chain", chain)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("chain depth = %d, want 100", depth)
+	}
+	if e.Now() != Time(100*Microsecond) {
+		t.Fatalf("Now() = %v, want 100µs", e.Now())
+	}
+}
+
+func TestRunUntilStopsAtBoundaryInclusive(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var fired []Time
+	for us := 1; us <= 10; us++ {
+		e.At(Time(us)*Time(Microsecond), "ev", func() { fired = append(fired, e.Now()) })
+	}
+	e.RunUntil(Time(5 * Microsecond))
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5 (boundary inclusive)", len(fired))
+	}
+	if e.Now() != Time(5*Microsecond) {
+		t.Fatalf("Now() = %v, want 5µs", e.Now())
+	}
+	e.Run()
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events total, want 10", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	e.RunUntil(Time(Second))
+	if e.Now() != Time(Second) {
+		t.Fatalf("Now() = %v, want 1s", e.Now())
+	}
+}
+
+func TestRunForAdvancesRelative(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	e.RunUntil(Time(Millisecond))
+	e.RunFor(2 * Millisecond)
+	if e.Now() != Time(3*Millisecond) {
+		t.Fatalf("Now() = %v, want 3ms", e.Now())
+	}
+}
+
+// Property: for any multiset of (delay, id) pairs, events fire sorted by
+// delay, with ties in insertion order.
+func TestEventOrderingProperty(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) > 200 {
+			delaysRaw = delaysRaw[:200]
+		}
+		e := NewEngine()
+		defer e.Close()
+		type rec struct {
+			t   Time
+			seq int
+		}
+		var got []rec
+		for i, d := range delaysRaw {
+			i := i
+			e.After(Duration(d)*Microsecond, "ev", func() {
+				got = append(got, rec{e.Now(), i})
+			})
+		}
+		e.Run()
+		if len(got) != len(delaysRaw) {
+			return false
+		}
+		ordered := sort.SliceIsSorted(got, func(i, j int) bool {
+			if got[i].t != got[j].t {
+				return got[i].t < got[j].t
+			}
+			return got[i].seq < got[j].seq
+		})
+		return ordered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset prevents exactly that subset.
+func TestCancelSubsetProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		defer e.Close()
+		count := int(n%64) + 1
+		fired := make([]bool, count)
+		events := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			i := i
+			events[i] = e.After(Duration(rng.Intn(100))*Microsecond, "ev", func() { fired[i] = true })
+		}
+		cancelled := make([]bool, count)
+		for i := 0; i < count; i++ {
+			if rng.Intn(2) == 0 {
+				events[i].Cancel()
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := 0; i < count; i++ {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		defer e.Close()
+		var log []Time
+		rng := rand.New(rand.NewSource(42))
+		var spawn func()
+		spawn = func() {
+			log = append(log, e.Now())
+			if len(log) < 500 {
+				e.After(Duration(rng.Intn(50)+1)*Microsecond, "ev", spawn)
+				if rng.Intn(3) == 0 {
+					ev := e.After(Duration(rng.Intn(50)+1)*Microsecond, "maybe", func() { log = append(log, e.Now()) })
+					if rng.Intn(2) == 0 {
+						ev.Cancel()
+					}
+				}
+			}
+		}
+		e.After(Microsecond, "start", spawn)
+		e.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	e.After(Microsecond, "ev", func() {})
+	e.Close()
+	e.Close()
+}
+
+func TestStatsCountEvents(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	for i := 0; i < 7; i++ {
+		e.After(Duration(i+1)*Microsecond, "ev", func() {})
+	}
+	e.Run()
+	if e.Stats.Events != 7 {
+		t.Fatalf("Stats.Events = %d, want 7", e.Stats.Events)
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events are ordered by time, with ties broken
+// by scheduling order (sequence number), which makes the simulation fully
+// deterministic.
+type Event struct {
+	t         Time
+	seq       uint64
+	name      string
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Time reports when the event is scheduled to fire.
+func (ev *Event) Time() Time { return ev.t }
+
+// Name reports the debug name given at scheduling time.
+func (ev *Event) Name() string { return ev.name }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Cancelled reports whether Cancel has been called.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+// eventHeap is a min-heap of events ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+func (h *eventHeap) push(ev *Event) { heap.Push(h, ev) }
+
+func (h *eventHeap) pop() *Event { return heap.Pop(h).(*Event) }

@@ -1,0 +1,92 @@
+// Package trace records scheduling events from the simulated kernel and
+// thread systems. Tracing is optional everywhere: a nil *Log is valid and
+// records nothing, so hot paths pay only a nil check when tracing is off.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"schedact/internal/sim"
+)
+
+// Entry is one recorded event.
+type Entry struct {
+	T   sim.Time
+	CPU int // -1 when not CPU-specific
+	Cat string
+	Msg string
+}
+
+func (e Entry) String() string {
+	cpu := "  -"
+	if e.CPU >= 0 {
+		cpu = fmt.Sprintf("cpu%d", e.CPU)
+	}
+	return fmt.Sprintf("%12.3fms %-4s %-10s %s", e.T.Ms(), cpu, e.Cat, e.Msg)
+}
+
+// Log is a bounded in-memory event log, optionally mirrored to a writer.
+type Log struct {
+	Max    int       // maximum retained entries; 0 means unbounded
+	Live   io.Writer // if non-nil, entries are written as they arrive
+	list   []Entry
+	lost   uint64
+	filter map[string]bool // if non-nil, only these categories are kept
+}
+
+// New returns a log retaining at most max entries (0 = unbounded).
+func New(max int) *Log { return &Log{Max: max} }
+
+// Filter restricts the log to the given categories. Call before recording.
+func (l *Log) Filter(cats ...string) *Log {
+	l.filter = make(map[string]bool, len(cats))
+	for _, c := range cats {
+		l.filter[c] = true
+	}
+	return l
+}
+
+// Add records an event. Safe on a nil log.
+func (l *Log) Add(t sim.Time, cpu int, cat, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	if l.filter != nil && !l.filter[cat] {
+		return
+	}
+	e := Entry{T: t, CPU: cpu, Cat: cat, Msg: fmt.Sprintf(format, args...)}
+	if l.Live != nil {
+		fmt.Fprintln(l.Live, e)
+	}
+	if l.Max > 0 && len(l.list) >= l.Max {
+		// Drop the oldest half rather than shifting one-by-one.
+		n := copy(l.list, l.list[len(l.list)/2:])
+		l.lost += uint64(len(l.list) - n)
+		l.list = l.list[:n]
+	}
+	l.list = append(l.list, e)
+}
+
+// Entries returns the retained entries in order.
+func (l *Log) Entries() []Entry {
+	if l == nil {
+		return nil
+	}
+	return l.list
+}
+
+// Lost reports how many entries were dropped to the retention bound.
+func (l *Log) Lost() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.lost
+}
+
+// Dump writes all retained entries to w.
+func (l *Log) Dump(w io.Writer) {
+	for _, e := range l.Entries() {
+		fmt.Fprintln(w, e)
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"schedact/internal/sim"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(0, 1, "cat", "message %d", 1) // must not panic
+	if l.Entries() != nil {
+		t.Fatal("nil log should have no entries")
+	}
+	if l.Lost() != 0 {
+		t.Fatal("nil log should report zero lost")
+	}
+}
+
+func TestAddAndDump(t *testing.T) {
+	l := New(0)
+	l.Add(sim.Time(1500*sim.Microsecond), 2, "dispatch", "thread %s", "a")
+	l.Add(sim.Time(2*sim.Millisecond), -1, "note", "no cpu")
+	if len(l.Entries()) != 2 {
+		t.Fatalf("entries = %d, want 2", len(l.Entries()))
+	}
+	var b strings.Builder
+	l.Dump(&b)
+	out := b.String()
+	if !strings.Contains(out, "cpu2") || !strings.Contains(out, "dispatch") || !strings.Contains(out, "thread a") {
+		t.Fatalf("dump missing fields:\n%s", out)
+	}
+	if !strings.Contains(out, "  -") {
+		t.Fatalf("dump should render missing CPU as '-':\n%s", out)
+	}
+}
+
+func TestRetentionBoundDropsOldest(t *testing.T) {
+	l := New(10)
+	for i := 0; i < 25; i++ {
+		l.Add(sim.Time(i), 0, "ev", "%d", i)
+	}
+	if len(l.Entries()) > 10 {
+		t.Fatalf("retained %d entries, bound is 10", len(l.Entries()))
+	}
+	if l.Lost() == 0 {
+		t.Fatal("expected dropped entries to be counted")
+	}
+	// The newest entry must survive.
+	last := l.Entries()[len(l.Entries())-1]
+	if !strings.Contains(last.Msg, "24") {
+		t.Fatalf("newest entry lost: %v", last)
+	}
+}
+
+func TestFilterKeepsOnlySelected(t *testing.T) {
+	l := New(0).Filter("keep")
+	l.Add(0, 0, "keep", "yes")
+	l.Add(0, 0, "drop", "no")
+	if n := len(l.Entries()); n != 1 {
+		t.Fatalf("entries = %d, want 1", n)
+	}
+	if l.Entries()[0].Cat != "keep" {
+		t.Fatal("wrong entry retained")
+	}
+}
+
+func TestLiveWriter(t *testing.T) {
+	var b strings.Builder
+	l := New(0)
+	l.Live = &b
+	l.Add(sim.Time(sim.Millisecond), 3, "upcall", "x")
+	if !strings.Contains(b.String(), "upcall") {
+		t.Fatalf("live writer missed entry: %q", b.String())
+	}
+}

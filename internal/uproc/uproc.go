@@ -1,0 +1,111 @@
+// Package uproc is the Ultrix-process baseline of Table 1: traditional
+// UNIX-like processes — one address space, one sequential execution stream —
+// multiprogrammed by the kernel. Every process operation pays process-scale
+// costs (address-space creation and switching, signal delivery through the
+// kernel), which is why the paper's Table 1 shows them an order of
+// magnitude above even kernel threads, and why "they handle only
+// coarse-grained parallelism well" (§1).
+//
+// Mechanically a process is a kernel thread in its own Heavy address space:
+// the kernel package charges ProcForkWork/ProcDispatch/ProcSignalWork for
+// Heavy spaces, so the scheduling machinery is shared while the cost
+// profile is the process one.
+package uproc
+
+import (
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+)
+
+// Process is one UNIX-like process.
+type Process struct {
+	t  *kernel.KThread
+	sp *kernel.Space
+}
+
+// World is a collection of processes sharing a machine (and, as in the
+// paper's shared-memory parallel programs, a region of shared memory —
+// modelled by ordinary Go state guarded by Semaphores).
+type World struct {
+	K    *kernel.Kernel
+	next int
+}
+
+// NewWorld wraps a kernel for process-style use.
+func NewWorld(k *kernel.Kernel) *World { return &World{K: k} }
+
+// Start creates an initial process (no fork charge), the analogue of a
+// program launched from the shell.
+func (w *World) Start(name string, fn func(p *Process)) *Process {
+	sp := w.K.NewSpace(name, true)
+	p := &Process{sp: sp}
+	p.t = sp.Spawn(name, 0, func(t *kernel.KThread) { fn(p) })
+	return p
+}
+
+// Fork creates a child process: a new address space is set up (the
+// dominant cost in Table 1's 11.3ms Null Fork) and the child begins
+// executing fn.
+func (p *Process) Fork(name string, fn func(c *Process)) *Process {
+	child := &Process{}
+	child.sp = p.t.Space().Kernel().NewSpace(name, true)
+	// Charge the fork on the parent, then schedule the child in its own
+	// space. KThread.Fork charges based on the *parent's* space (Heavy),
+	// but places the child in the same space; processes need their own, so
+	// fork manually.
+	k := p.t.Space().Kernel()
+	p.t.Exec(k.C.Trap + k.C.ProcForkWork)
+	child.t = child.sp.Spawn(name, 0, func(t *kernel.KThread) { fn(child) })
+	return child
+}
+
+// Exec consumes CPU in user mode.
+func (p *Process) Exec(d sim.Duration) { p.t.Exec(d) }
+
+// Wait blocks until the child exits (the wait4 analogue).
+func (p *Process) Wait(child *Process) { p.t.Join(child.t) }
+
+// Yield relinquishes the processor.
+func (p *Process) Yield() { p.t.Yield() }
+
+// SleepFor blocks the process on a timer.
+func (p *Process) SleepFor(d sim.Duration) { p.t.SleepFor(d) }
+
+// BlockIO performs a blocking disk read.
+func (p *Process) BlockIO() { p.t.BlockIO() }
+
+// Thread exposes the underlying kernel execution stream.
+func (p *Process) Thread() *kernel.KThread { return p.t }
+
+// Semaphore is a System-V-style semaphore: processes synchronize through
+// the kernel, paying traps and process switches — Table 1's 1.84ms
+// Signal-Wait.
+type Semaphore struct {
+	k *kernel.Kernel
+	m *kernel.Mutex
+	c *kernel.Cond
+	n int
+}
+
+// NewSemaphore creates a counting semaphore with initial value n.
+func (w *World) NewSemaphore(n int) *Semaphore {
+	return &Semaphore{k: w.K, m: w.K.NewMutex(), c: w.K.NewCond(), n: n}
+}
+
+// P (wait) decrements, blocking while the count is zero.
+func (s *Semaphore) P(p *Process) {
+	s.m.Lock(p.t)
+	for s.n == 0 {
+		s.c.Wait(p.t, s.m)
+	}
+	s.n--
+	s.m.Unlock(p.t)
+}
+
+// V (signal) increments and wakes one waiter.
+func (s *Semaphore) V(p *Process) {
+	s.m.Lock(p.t)
+	s.n++
+	s.m.Unlock(p.t)
+	s.c.Signal(p.t)
+}

@@ -1,0 +1,168 @@
+package uproc
+
+import (
+	"testing"
+
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+)
+
+func newWorld(t *testing.T, cpus int) (*sim.Engine, *World) {
+	t.Helper()
+	eng := sim.NewEngine()
+	t.Cleanup(eng.Close)
+	return eng, NewWorld(kernel.New(eng, kernel.Config{CPUs: cpus}))
+}
+
+func TestForkWaitRoundTrip(t *testing.T) {
+	eng, w := newWorld(t, 1)
+	var childRan, parentDone sim.Time
+	w.Start("sh", func(p *Process) {
+		c := p.Fork("child", func(c *Process) {
+			c.Exec(sim.Ms(1))
+			childRan = eng.Now()
+		})
+		p.Wait(c)
+		parentDone = eng.Now()
+	})
+	eng.Run()
+	if childRan == 0 || parentDone == 0 {
+		t.Fatal("processes did not run")
+	}
+	if parentDone < childRan {
+		t.Fatal("wait returned before the child finished")
+	}
+}
+
+func TestProcessForkIsHeavy(t *testing.T) {
+	// Table 1: process creation is an order of magnitude above even kernel
+	// threads (~11.3ms vs ~1ms).
+	eng, w := newWorld(t, 1)
+	var childStart sim.Time
+	w.Start("sh", func(p *Process) {
+		p.Fork("child", func(c *Process) { childStart = eng.Now() })
+	})
+	eng.Run()
+	if childStart < sim.Time(9*sim.Millisecond) {
+		t.Fatalf("child started at %v; process fork should cost ~10ms", childStart)
+	}
+}
+
+func TestProcessesRunInSeparateSpaces(t *testing.T) {
+	eng, w := newWorld(t, 1)
+	var spaces []string
+	w.Start("sh", func(p *Process) {
+		spaces = append(spaces, p.Thread().Space().Name)
+		c := p.Fork("child", func(c *Process) {
+			spaces = append(spaces, c.Thread().Space().Name)
+		})
+		p.Wait(c)
+	})
+	eng.Run()
+	if len(spaces) != 2 || spaces[0] == spaces[1] {
+		t.Fatalf("spaces = %v, want two distinct address spaces", spaces)
+	}
+}
+
+func TestSemaphorePingPong(t *testing.T) {
+	eng, w := newWorld(t, 1)
+	a := w.NewSemaphore(0)
+	b := w.NewSemaphore(0)
+	var log []string
+	w.Start("p1", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			a.P(p)
+			log = append(log, "p1")
+			b.V(p)
+		}
+	})
+	w.Start("p2", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			a.V(p)
+			b.P(p)
+			log = append(log, "p2")
+		}
+	})
+	eng.Run()
+	if len(log) != 6 {
+		t.Fatalf("log = %v, want 6 entries", log)
+	}
+	for i := 0; i+1 < len(log); i += 2 {
+		if log[i] != "p1" || log[i+1] != "p2" {
+			t.Fatalf("log = %v, want strict p1/p2 alternation", log)
+		}
+	}
+}
+
+func TestSemaphoreMutualExclusion(t *testing.T) {
+	eng, w := newWorld(t, 2)
+	mutex := w.NewSemaphore(1)
+	inside, max, total := 0, 0, 0
+	for i := 0; i < 3; i++ {
+		w.Start("worker", func(p *Process) {
+			for j := 0; j < 3; j++ {
+				mutex.P(p)
+				inside++
+				if inside > max {
+					max = inside
+				}
+				p.Exec(sim.Ms(1))
+				inside--
+				total++
+				mutex.V(p)
+			}
+		})
+	}
+	eng.Run()
+	if total != 9 {
+		t.Fatalf("total = %d, want 9", total)
+	}
+	if max != 1 {
+		t.Fatalf("max inside = %d, want 1", max)
+	}
+}
+
+func TestCoarseGrainedParallelismOnly(t *testing.T) {
+	// §1's claim: processes "handle only coarse-grained parallelism well".
+	// With fine-grained tasks the fork+wait overhead dwarfs the work; with
+	// coarse tasks parallel processes win.
+	run := func(taskWork sim.Duration, tasks int) (par, seq sim.Duration) {
+		{
+			eng, w := newWorld(t, 2)
+			var done sim.Time
+			w.Start("par", func(p *Process) {
+				var kids []*Process
+				for i := 0; i < tasks; i++ {
+					kids = append(kids, p.Fork("task", func(c *Process) { c.Exec(taskWork) }))
+				}
+				for _, c := range kids {
+					p.Wait(c)
+				}
+				done = eng.Now()
+			})
+			eng.Run()
+			par = sim.Duration(done)
+		}
+		{
+			eng, w := newWorld(t, 2)
+			var done sim.Time
+			w.Start("seq", func(p *Process) {
+				for i := 0; i < tasks; i++ {
+					p.Exec(taskWork)
+				}
+				done = eng.Now()
+			})
+			eng.Run()
+			seq = sim.Duration(done)
+		}
+		return par, seq
+	}
+	finePar, fineSeq := run(sim.Ms(1), 8) // 1ms tasks: fork cost 10× the work
+	if finePar < fineSeq {
+		t.Fatalf("fine-grained: parallel processes (%v) should lose to sequential (%v)", finePar, fineSeq)
+	}
+	coarsePar, coarseSeq := run(200*sim.Millisecond, 8) // 200ms tasks
+	if coarsePar >= coarseSeq {
+		t.Fatalf("coarse-grained: parallel processes (%v) should beat sequential (%v)", coarsePar, coarseSeq)
+	}
+}

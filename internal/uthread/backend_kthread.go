@@ -1,0 +1,73 @@
+package uthread
+
+import (
+	"fmt"
+
+	"schedact/internal/kernel"
+	"schedact/internal/machine"
+)
+
+// ktBackend is "original FastThreads": the user-level thread system runs on
+// a fixed set of Topaz kernel threads serving as virtual processors. The
+// kernel schedules those threads obliviously (time-slicing, daemon
+// preemption), and when a user-level thread blocks in the kernel its
+// virtual processor blocks with it — the integration problems of §2.2,
+// reproduced faithfully.
+type ktBackend struct {
+	s    *Sched
+	k    *kernel.Kernel
+	sp   *kernel.Space
+	nVPs int
+}
+
+// OnKernelThreads builds a FastThreads instance whose virtual processors
+// are nVPs kernel threads in sp, exactly as user-level thread packages were
+// built before scheduler activations. Call Start to spin up the virtual
+// processors.
+func OnKernelThreads(k *kernel.Kernel, sp *kernel.Space, nVPs int, opt Options) *Sched {
+	if nVPs <= 0 {
+		panic("uthread: need at least one virtual processor")
+	}
+	s := newSched(k.Eng, k.M, opt)
+	s.back = &ktBackend{s: s, k: k, sp: sp, nVPs: nVPs}
+	return s
+}
+
+func (b *ktBackend) name() string      { return "kernel-threads" }
+func (b *ktBackend) maxVPs() int       { return b.nVPs }
+func (b *ktBackend) perCPUProcs() bool { return false }
+
+func (b *ktBackend) start() {
+	s := b.s
+	for i := 0; i < b.nVPs; i++ {
+		v := s.proc(i)
+		b.sp.Spawn(fmt.Sprintf("%s:vp%d", b.sp.Name, i), 0, func(kt *kernel.KThread) {
+			v.vessel = &vessel{
+				ctx:     kt.Context(),
+				schedCo: s.eng.Current(),
+				kt:      kt,
+			}
+			s.schedLoop(v, kt.Context().Root())
+		})
+	}
+}
+
+// blockIO on kernel threads: the virtual processor's kernel thread blocks,
+// taking the physical processor away from the address space for the
+// duration of the I/O — "the physical processor is lost to the address
+// space while the I/O is pending" (§2.2).
+func (b *ktBackend) blockIO(v *procData, t *Thread) {
+	kt := v.vessel.kt.(*kernel.KThread)
+	kt.BlockIO()
+	// The kernel thread was redispatched and t resumed with it; nothing in
+	// the user-level scheduler ever learned the processor was gone.
+}
+
+// moreWork: original FastThreads has no channel to tell the kernel about
+// parallelism; the set of virtual processors is fixed.
+func (b *ktBackend) moreWork(*machine.Worker, int) {}
+
+// idleProtocol: no kernel notification exists; the virtual processor simply
+// stays put (parked at user level until work arrives), holding its kernel
+// thread — and its share of kernel time slices — regardless.
+func (b *ktBackend) idleProtocol(*procData) bool { return false }

@@ -1,0 +1,235 @@
+package uthread
+
+import (
+	"schedact/internal/core"
+	"schedact/internal/machine"
+)
+
+// saBackend is "modified FastThreads": virtual processors are scheduler
+// activations. The kernel vectors every relevant event (Table 2) to
+// Upcall, which recovers thread state from stopped vessels — continuing
+// preempted critical sections per §3.3 — and then runs the scheduler loop
+// in the fresh vessel. The space notifies the kernel only on the demand
+// transitions of Table 3.
+type saBackend struct {
+	s       *Sched
+	k       *core.Kernel
+	space   *core.Space
+	max     int
+	vessels map[*core.Activation]*vessel // live vessel records by activation
+}
+
+// OnActivations builds a FastThreads instance on the scheduler-activation
+// kernel. maxVPs caps how many processors the space will ever request
+// (typically the machine size). Call Start to receive the first processor.
+func OnActivations(k *core.Kernel, name string, priority, maxVPs int, opt Options) *Sched {
+	if maxVPs <= 0 {
+		maxVPs = k.M.NumCPUs()
+	}
+	s := newSched(k.Eng, k.M, opt)
+	b := &saBackend{s: s, k: k, max: maxVPs, vessels: make(map[*core.Activation]*vessel)}
+	b.space = k.NewSpace(name, priority, b)
+	s.back = b
+	return s
+}
+
+func (b *saBackend) name() string      { return "activations" }
+func (b *saBackend) maxVPs() int       { return b.max }
+func (b *saBackend) perCPUProcs() bool { return true }
+
+func (b *saBackend) start() { b.space.Start() }
+
+// Space exposes the kernel-side address space, for tests and experiments.
+func (b *saBackend) Space() *core.Space { return b.space }
+
+// ActivationSpace reports the kernel-side address space when the scheduler
+// runs on activations, or nil on the kernel-threads binding.
+func (s *Sched) ActivationSpace() *core.Space {
+	if b, ok := s.back.(*saBackend); ok {
+		return b.space
+	}
+	return nil
+}
+
+// Upcall is the fixed entry point of the address space (core.Client). It
+// runs in the root coroutine of the fresh activation, already on a
+// processor.
+func (b *saBackend) Upcall(act *core.Activation, events []core.Event) {
+	s := b.s
+	s.Stats.Upcalls++
+	v := s.proc(int(act.CPU()))
+	v.vessel = &vessel{ctx: act.Context(), schedCo: s.eng.Current(), act: act}
+	b.vessels[act] = v.vessel
+	v.dead = false
+	v.idleParked = false
+	s.lastTold = 0 // allocation is changing; demand hints are stale
+	rootW := act.Context().Root()
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case core.EvAddProcessor:
+			// This vessel itself is the new processor; the scheduler loop
+			// below puts it to work.
+
+		case core.EvBlocked:
+			// "The blocked scheduler activation is no longer using its
+			// processor." Note which thread went into the kernel; its
+			// machine state stays with the blocked activation until the
+			// Unblocked event returns it.
+			old := ev.Act
+			if t := s.byWorker[old.Context().Worker()]; t != nil {
+				t.state = utKernel
+				if t.vp != nil && t.vp.current == t {
+					t.vp.current = nil
+				}
+			}
+
+		case core.EvUnblocked:
+			// "Return to the ready list the user-level thread that was
+			// executing in the context of the blocked scheduler activation."
+			old := ev.Act
+			delete(b.vessels, old)
+			w := old.TakeWorker()
+			old.Discard()
+			if t := s.byWorker[w]; t != nil {
+				b.accept(t)
+			}
+
+		case core.EvPreempted:
+			// "Return to the ready list the user-level thread that was
+			// executing in the context of the preempted scheduler
+			// activation." If the vessel was running the scheduler or
+			// idling, there is no thread to recover (§3.1: "if a preempted
+			// processor was in the idle loop, no action is necessary") —
+			// unless the scheduler was mid-switch, in which case the thread
+			// it had dequeued rides out through the inTransit slot.
+			old := ev.Act
+			orphan := b.retireVessel(old)
+			w := old.Context().Worker()
+			if w != nil && w != old.Context().Root() {
+				if t := s.byWorker[w]; t != nil {
+					if t.vp != nil && t.vp.current == t {
+						t.vp.current = nil
+					}
+					old.TakeWorker()
+					b.accept(t)
+				}
+			}
+			old.Discard()
+			if orphan != nil {
+				b.accept(orphan)
+			}
+		}
+	}
+	// The kernel may hand us a processor beyond this configuration's
+	// parallelism cap (e.g. an unblock delivered on a free processor).
+	// Give it straight back once the events are processed.
+	if s.haveVPs() > b.max {
+		v.vessel = nil
+		delete(b.vessels, act)
+		s.lastTold = 0
+		act.YieldProcessor()
+		return
+	}
+	s.schedLoop(v, rootW)
+}
+
+// retireVessel clears the records of a vessel that lost its processor, so
+// stale wake-ups cannot reach it. It returns the thread the vessel's
+// scheduler had dequeued but not yet bound, if any.
+func (b *saBackend) retireVessel(old *core.Activation) (orphan *Thread) {
+	if ves := b.vessels[old]; ves != nil {
+		delete(b.vessels, old)
+		orphan = ves.inTransit
+		ves.inTransit = nil
+		for _, v := range b.s.procs {
+			if v.vessel == ves {
+				v.vessel = nil
+				v.current = nil
+				v.idleParked = false
+			}
+		}
+	}
+	return orphan
+}
+
+// accept takes custody of a thread recovered from a stopped vessel. This
+// is a zero-cost acceptance: the charged work of committing the thread to a
+// ready list (and continuing it if it was stopped inside a critical
+// section, §3.3) happens in Sched.drainRecovery — from this vessel's
+// scheduler loop, or from any other vessel if this one is preempted before
+// it gets there. Accepting all of an upcall's events before doing any
+// chargeable work is what makes event delivery loss-proof.
+func (b *saBackend) accept(t *Thread) {
+	t.needsResumeCheck = true
+	b.s.recovery = append(b.s.recovery, t)
+}
+
+// blockIO on activations: the kernel takes the blocking thread's machine
+// state, immediately returns the processor to the space with a Blocked
+// upcall, and delivers the thread back with an Unblocked upcall when the
+// I/O completes (§3.1).
+func (b *saBackend) blockIO(v *procData, t *Thread) {
+	act := b.actOf(t.w)
+	b.k.BlockIO(act)
+	// Resumed in (possibly) a different vessel: refresh the thread's
+	// processor binding.
+	b.refreshVP(t)
+}
+
+// moreWork issues the Table 3 "add more processors" notification through
+// the vessel the charging worker currently runs on.
+func (b *saBackend) moreWork(w *machine.Worker, deficit int) {
+	act := b.actOf(w)
+	b.s.Stats.KernelNotifies++
+	b.space.AddMoreProcessors(act, deficit)
+	b.s.lastTold = b.s.haveVPs() + deficit
+}
+
+// idleProtocol issues the Table 3 "this processor is idle" notification.
+// If another space needed the processor, it is gone: the vessel must shut
+// down.
+func (b *saBackend) idleProtocol(v *procData) bool {
+	s := b.s
+	act := v.vessel.act.(*core.Activation)
+	s.Stats.KernelNotifies++
+	taken := b.space.ProcessorIsIdle(act)
+	if taken {
+		v.vessel = nil
+		delete(b.vessels, act)
+		// Work may have become ready while the downcall was trapping in —
+		// a race the paper's interface leaves open. If this was the last
+		// vessel standing, the stale "idle" hint would strand that work
+		// forever, so re-register the space's true demand on the way out
+		// (the kernel-internal demand path; the vessel no longer has a
+		// processor to make a charged downcall with).
+		if s.runnable > 0 {
+			want := s.runnable + s.runningCount()
+			if want > b.max {
+				want = b.max
+			}
+			s.lastTold = want
+			b.space.KernelSetDemand(want)
+		} else {
+			// Demand fell to nothing; the next burst of work must notify
+			// the kernel afresh.
+			s.lastTold = 0
+		}
+		return true
+	}
+	s.lastTold = 0 // demand dropped; future growth must re-notify
+	return false
+}
+
+// actOf maps a bound worker to the activation hosting it.
+func (b *saBackend) actOf(w *machine.Worker) *core.Activation {
+	ctx := w.Bound()
+	if ctx == nil {
+		panic("uthread: worker not bound to any vessel")
+	}
+	act, ok := ctx.Owner.(*core.Activation)
+	if !ok {
+		panic("uthread: worker bound to a non-activation context")
+	}
+	return act
+}

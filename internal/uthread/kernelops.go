@@ -1,0 +1,60 @@
+package uthread
+
+import "schedact/internal/core"
+
+// KernelWait blocks the thread on a kernel-level synchronization object,
+// forcing the block/unblock round trip through the kernel even though
+// user-level synchronization would normally be used. This is the §5.2
+// measurement path ("the time for two user-level threads to signal and wait
+// through the kernel... analogous to the Signal-Wait test, except that the
+// synchronization is forced to be in the kernel"). Only available on the
+// activations binding.
+func (t *Thread) KernelWait(ev *core.KernelEvent) {
+	b, ok := t.s.back.(*saBackend)
+	if !ok {
+		panic("uthread: KernelWait requires the activations binding")
+	}
+	t.s.Stats.BlocksKernel++
+	v := t.vp
+	_ = v
+	ev.Wait(b.actOf(t.w))
+	b.refreshVP(t)
+}
+
+// KernelSignal wakes one thread blocked in KernelWait, through the kernel.
+func (t *Thread) KernelSignal(ev *core.KernelEvent) {
+	b, ok := t.s.back.(*saBackend)
+	if !ok {
+		panic("uthread: KernelSignal requires the activations binding")
+	}
+	ev.Signal(b.actOf(t.w))
+}
+
+// refreshVP re-derives the thread's processor binding after it returned
+// from the kernel in a possibly different vessel.
+func (b *saBackend) refreshVP(t *Thread) {
+	if ctx := t.w.Bound(); ctx != nil {
+		if cpu := ctx.CPU(); cpu != nil {
+			t.vp = b.s.proc(int(cpu.ID()))
+		}
+	}
+}
+
+// TouchPage accesses a virtual-memory page through the kernel's pager. A
+// resident page is free; a non-resident one page-faults: the thread blocks
+// in the kernel and the processor returns to the space, exactly as for I/O
+// (§3.1 vectors page faults and I/O through the same upcall mechanism).
+// Only available on the activations binding.
+func (t *Thread) TouchPage(vm *core.VM, page int) {
+	b, ok := t.s.back.(*saBackend)
+	if !ok {
+		panic("uthread: TouchPage requires the activations binding")
+	}
+	if vm.Resident(page) {
+		return
+	}
+	t.s.Stats.BlocksKernel++
+	t.needsResumeCheck = true
+	vm.Touch(b.actOf(t.w), page)
+	b.refreshVP(t)
+}

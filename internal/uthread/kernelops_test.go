@@ -1,0 +1,111 @@
+package uthread
+
+import (
+	"testing"
+
+	"schedact/internal/sim"
+)
+
+func TestTouchPageResidentIsFree(t *testing.T) {
+	eng, k, s := newSA(t, 1, Options{})
+	vm := k.NewVM()
+	vm.Preload(0, 1, 2)
+	var took sim.Duration
+	s.Spawn("main", func(th *Thread) {
+		start := th.Now()
+		for p := 0; p < 3; p++ {
+			th.TouchPage(vm, p)
+		}
+		took = th.Now().Sub(start)
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+	if took > sim.Millisecond {
+		t.Fatalf("resident touches took %v, want ~free", took)
+	}
+	if vm.Stats.Faults != 0 {
+		t.Fatalf("Faults = %d, want 0", vm.Stats.Faults)
+	}
+}
+
+func TestTouchPageFaultOverlapsComputation(t *testing.T) {
+	// A faulting thread must not stall its siblings: the processor comes
+	// back with the Blocked upcall and runs other threads.
+	eng, k, s := newSA(t, 1, Options{})
+	vm := k.NewVM()
+	var faultDone, cpuDone sim.Time
+	s.Spawn("faulter", func(th *Thread) {
+		th.TouchPage(vm, 42)
+		faultDone = th.Now()
+	})
+	s.Spawn("cpu", func(th *Thread) {
+		th.Exec(sim.Ms(20))
+		cpuDone = th.Now()
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+	if faultDone == 0 || cpuDone == 0 {
+		t.Fatal("threads did not finish")
+	}
+	if cpuDone >= faultDone {
+		t.Fatalf("compute (%v) should overlap the 50ms fault (%v)", cpuDone, faultDone)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatalf("invariant: %v", err)
+	}
+}
+
+func TestPageFaultCoalescing(t *testing.T) {
+	// Two threads fault on the same page: one disk fetch, both resume.
+	eng, k, s := newSA(t, 2, Options{})
+	vm := k.NewVM()
+	var resumed []sim.Time
+	for i := 0; i < 2; i++ {
+		d := sim.Duration(i+1) * sim.Millisecond
+		s.Spawn("faulter", func(th *Thread) {
+			th.Exec(d)
+			th.TouchPage(vm, 9)
+			resumed = append(resumed, th.Now())
+		})
+	}
+	s.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+	if len(resumed) != 2 {
+		t.Fatalf("resumed = %v, want both threads", resumed)
+	}
+	if vm.Stats.Faults != 2 || vm.Stats.Coalesced != 1 {
+		t.Fatalf("Faults=%d Coalesced=%d, want 2/1", vm.Stats.Faults, vm.Stats.Coalesced)
+	}
+	if k.M.Disk.Requests != 1 {
+		t.Fatalf("disk requests = %d, want 1 (coalesced)", k.M.Disk.Requests)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatalf("invariant: %v", err)
+	}
+}
+
+func TestManyThreadsFaultingStress(t *testing.T) {
+	eng, k, s := newSA(t, 3, Options{})
+	vm := k.NewVM()
+	finished := 0
+	for i := 0; i < 12; i++ {
+		page := i % 4 // heavy coalescing across 4 pages
+		s.Spawn("w", func(th *Thread) {
+			th.Exec(sim.Duration(i%3) * sim.Millisecond)
+			th.TouchPage(vm, page)
+			th.Exec(sim.Ms(1))
+			finished++
+		})
+	}
+	s.Start()
+	eng.RunUntil(sim.Time(5 * sim.Second))
+	if finished != 12 {
+		t.Fatalf("finished = %d, want 12", finished)
+	}
+	if k.M.Disk.Requests >= 12 {
+		t.Fatalf("disk requests = %d, want coalescing to reduce below 12", k.M.Disk.Requests)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatalf("invariant: %v", err)
+	}
+}

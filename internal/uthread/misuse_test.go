@@ -1,0 +1,114 @@
+package uthread
+
+import (
+	"testing"
+
+	"schedact/internal/sim"
+)
+
+func expectPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestUnlockByNonOwnerPanics(t *testing.T) {
+	eng, _, s := newSA(t, 1, Options{})
+	m := s.NewMutex()
+	s.Spawn("a", func(th *Thread) {
+		m.Lock(th)
+		th.Exec(sim.Ms(1))
+		m.Unlock(th)
+	})
+	s.Spawn("b", func(th *Thread) {
+		expectPanic(t, "Unlock by non-owner", func() { m.Unlock(th) })
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+}
+
+func TestSpinLockReleaseByNonHolderPanics(t *testing.T) {
+	eng, _, s := newSA(t, 1, Options{})
+	l := &SpinLock{}
+	s.Spawn("a", func(th *Thread) {
+		expectPanic(t, "Release of an unheld spin lock", func() { l.Release(th) })
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+}
+
+func TestKernelWaitOnKernelThreadsBindingPanics(t *testing.T) {
+	eng, k, s := newKT(t, 1, 1, Options{})
+	_ = k
+	s.Spawn("a", func(th *Thread) {
+		expectPanic(t, "KernelWait on the kernel-threads binding", func() { th.KernelWait(nil) })
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+}
+
+func TestZeroVPsPanics(t *testing.T) {
+	eng, k, _ := newKT(t, 1, 1, Options{})
+	_ = eng
+	expectPanic(t, "OnKernelThreads with zero VPs", func() {
+		OnKernelThreads(k, k.NewSpace("x", false), 0, Options{})
+	})
+}
+
+func TestMutexLockUnlockStress(t *testing.T) {
+	// Heavier churn across both bindings: lots of short critical sections
+	// with competing threads, verifying total work and exclusion.
+	onBoth(t, 3, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		m := s.NewMutex()
+		inside, total := 0, 0
+		for i := 0; i < 12; i++ {
+			s.Spawn("w", func(th *Thread) {
+				for j := 0; j < 8; j++ {
+					m.Lock(th)
+					if inside != 0 {
+						t.Errorf("exclusion violated")
+					}
+					inside++
+					th.Exec(50 * sim.Microsecond)
+					inside--
+					total++
+					m.Unlock(th)
+					th.Exec(30 * sim.Microsecond)
+				}
+			})
+		}
+		s.Start()
+		eng.RunUntil(sim.Time(10 * sim.Second))
+		if total != 96 {
+			t.Fatalf("total = %d, want 96", total)
+		}
+	})
+}
+
+func TestBarrierReuse(t *testing.T) {
+	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		b := s.NewBarrier(3)
+		rounds := make([]int, 3)
+		for i := 0; i < 3; i++ {
+			i := i
+			s.Spawn("w", func(th *Thread) {
+				for r := 0; r < 4; r++ {
+					th.Exec(sim.Duration(i+1) * 100 * sim.Microsecond)
+					b.Arrive(th)
+					rounds[i]++
+				}
+			})
+		}
+		s.Start()
+		eng.RunUntil(sim.Time(10 * sim.Second))
+		for i, r := range rounds {
+			if r != 4 {
+				t.Fatalf("thread %d completed %d rounds, want 4 (barrier must be reusable)", i, r)
+			}
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package uthread
+
+import "schedact/internal/machine"
+
+// Thread priorities, the §3.1 extension: "if threads have priorities, an
+// additional preemption may have to take place... some processor could be
+// running a thread with a lower priority than both the unblocked and the
+// preempted thread. In that case, the user-level thread system can ask the
+// kernel to interrupt the thread running on that processor and start a
+// scheduler activation once the thread has been stopped. The user level can
+// know to do this because it knows exactly which thread is running on each
+// of its processors."
+//
+// On the activations binding this delivers §1.2's guarantee that no
+// high-priority thread waits for a processor while a low-priority thread
+// runs. On the kernel-threads binding there is no such channel: the kernel
+// schedules virtual processors obliviously, so a high-priority user-level
+// thread simply waits — one of the §2.2 deficiencies.
+
+// SpawnPrio is Spawn with an explicit priority (higher runs first; the
+// default is 0).
+func (s *Sched) SpawnPrio(name string, prio int, fn func(*Thread)) *Thread {
+	t := s.newThread(name, fn)
+	t.prio = prio
+	v := s.proc(0)
+	if best := s.leastLoadedProc(); best != nil {
+		v = best
+	}
+	v.ready = append(v.ready, t)
+	t.state = utReady
+	s.runnable++
+	s.wakeIdleProc()
+	return t
+}
+
+// Priority reports the thread's scheduling priority.
+func (t *Thread) Priority() int { return t.prio }
+
+// SetPriority changes the thread's priority. It affects future scheduling
+// decisions; it does not retroactively preempt anyone.
+func (t *Thread) SetPriority(p int) { t.prio = p }
+
+// ForkPrio is Fork with an explicit child priority (Fork inherits the
+// parent's). The priority takes effect before the child is enqueued, so a
+// high-priority fork can trigger an immediate kernel preemption request.
+func (t *Thread) ForkPrio(name string, prio int, fn func(*Thread)) *Thread {
+	saved := t.prio
+	t.prio = prio // Fork copies the forker's priority to the child
+	child := t.Fork(name, fn)
+	t.prio = saved
+	return child
+}
+
+// bestIndex returns the index of the highest-priority thread in the list,
+// preferring the most recently pushed among equals (LIFO, §4.2).
+func bestIndex(list []*Thread) int {
+	best := -1
+	for i, t := range list {
+		if best < 0 || t.prio >= list[best].prio {
+			best = i
+		}
+	}
+	return best
+}
+
+// maybePreemptForPriority runs after a thread becomes ready with no idle
+// processor to take it: if some processor of ours runs a strictly
+// lower-priority thread, ask the kernel to interrupt it (activations
+// binding only). The preempted thread comes back in the resulting upcall
+// and rejoins the ready list; the fresh vessel's scheduler then picks the
+// high-priority thread.
+func (s *Sched) maybePreemptForPriority(t *Thread, w *machine.Worker) {
+	b, ok := s.back.(*saBackend)
+	if !ok || t.prio == 0 {
+		return
+	}
+	via := b.actOf(w)
+	// Find the processor running the lowest-priority thread — excluding the
+	// caller's own (the kernel forbids interrupting the calling vessel, and
+	// the caller will reschedule at its next opportunity anyway).
+	var victim *procData
+	for _, v := range s.procs {
+		if v.dead || v.vessel == nil || v.current == nil {
+			continue
+		}
+		if v.current.prio >= t.prio {
+			continue
+		}
+		if cpu := v.vessel.ctx.CPU(); cpu == nil || cpu.ID() == via.CPU() {
+			continue
+		}
+		if victim == nil || v.current.prio < victim.current.prio {
+			victim = v
+		}
+	}
+	if victim == nil {
+		return
+	}
+	vcpu := victim.vessel.ctx.CPU()
+	if vcpu == nil {
+		return // mid-transition; the next ready event will retry
+	}
+	if t.state != utReady {
+		return // already picked up while we were deciding
+	}
+	// Steer the thread to the processor being interrupted, so the upcall's
+	// scheduler finds it at the top of its own list — "the user level can
+	// know to do this because it knows exactly which thread is running on
+	// each of its processors."
+	if s.unqueue(t) {
+		victim.ready = append(victim.ready, t)
+	}
+	s.Stats.KernelNotifies++
+	s.Stats.PriorityPreempts++
+	b.space.InterruptProcessor(via, int(vcpu.ID()))
+}
+
+// unqueue removes a ready thread from whichever ready list holds it,
+// reporting whether it was found.
+func (s *Sched) unqueue(t *Thread) bool {
+	for _, v := range s.procs {
+		for i, c := range v.ready {
+			if c == t {
+				copy(v.ready[i:], v.ready[i+1:])
+				v.ready = v.ready[:len(v.ready)-1]
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,152 @@
+package uthread
+
+import (
+	"testing"
+
+	"schedact/internal/core"
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+)
+
+func TestHighPriorityRunsBeforeLowInQueue(t *testing.T) {
+	onBoth(t, 1, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		var order []string
+		// Spawned before Start: both queued; the high-priority one must be
+		// picked first even though the low one was pushed later (LIFO would
+		// favour it).
+		s.SpawnPrio("low", 0, func(th *Thread) { order = append(order, "low") })
+		s.SpawnPrio("high", 5, func(th *Thread) { order = append(order, "high") })
+		s.Start()
+		eng.RunUntil(sim.Time(sim.Second))
+		if len(order) != 2 || order[0] != "high" {
+			t.Fatalf("order = %v, want high first", order)
+		}
+	})
+}
+
+func TestForkInheritsAndOverridesPriority(t *testing.T) {
+	eng, _, s := newSA(t, 1, Options{})
+	var got []int
+	s.SpawnPrio("main", 3, func(th *Thread) {
+		a := th.Fork("inherit", func(*Thread) {})
+		b := th.ForkPrio("override", 7, func(*Thread) {})
+		got = append(got, a.Priority(), b.Priority())
+		th.Join(a)
+		th.Join(b)
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("priorities = %v, want [3 7]", got)
+	}
+}
+
+// prioScenario saturates every processor with long low-priority threads and
+// has one of them wake a blocked high-priority thread after 10ms of work.
+// It reports when the high-priority thread started and when the first
+// low-priority thread finished.
+func prioScenario(eng *sim.Engine, s *Sched, procs int) (highStart, firstLowDone *sim.Time) {
+	highStart, firstLowDone = new(sim.Time), new(sim.Time)
+	cond := s.NewCond()
+	s.SpawnPrio("high", 5, func(h *Thread) {
+		cond.Wait(h, nil)
+		*highStart = h.Now()
+		h.Exec(sim.Ms(1))
+	})
+	for i := 0; i < procs; i++ {
+		i := i
+		s.Spawn("low", func(l *Thread) {
+			if i == 0 {
+				l.Exec(sim.Ms(10))
+				cond.Signal(l) // wake the high-priority thread mid-run
+				l.Exec(90 * sim.Millisecond)
+			} else {
+				l.Exec(100 * sim.Millisecond)
+			}
+			if *firstLowDone == 0 {
+				*firstLowDone = l.Now()
+			}
+		})
+	}
+	s.Start()
+	return highStart, firstLowDone
+}
+
+func TestPriorityPreemptionOnActivations(t *testing.T) {
+	// §1.2's functionality claim: "No high-priority thread waits for a
+	// processor while a low-priority thread runs." Both processors run
+	// long low-priority threads; when one of them wakes the high-priority
+	// thread, the user level asks the kernel to interrupt a processor
+	// (§3.1) and the high-priority thread starts immediately.
+	eng, k, s := newSA(t, 2, Options{})
+	highStart, firstLowDone := prioScenario(eng, s, 2)
+	eng.RunUntil(sim.Time(5 * sim.Second))
+	if *highStart == 0 || *firstLowDone == 0 {
+		t.Fatal("threads did not finish")
+	}
+	if *highStart >= *firstLowDone {
+		t.Fatalf("high-priority thread started at %v, after a low-priority thread finished (%v): it waited while low-priority work ran", *highStart, *firstLowDone)
+	}
+	if *highStart > sim.Time(20*sim.Millisecond) {
+		t.Fatalf("high-priority thread started at %v, want promptly after the 10ms wake", *highStart)
+	}
+	if s.Stats.PriorityPreempts == 0 {
+		t.Fatal("no priority preemption was requested from the kernel")
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatalf("invariant: %v", err)
+	}
+}
+
+func TestPriorityWaitsOnKernelThreadsBinding(t *testing.T) {
+	// The §2.2 deficiency: on the kernel-threads binding there is no
+	// channel to reclaim a processor, so the woken high-priority thread
+	// waits until some low-priority thread finishes.
+	eng, _, s := newKT(t, 2, 2, Options{})
+	highStart, firstLowDone := prioScenario(eng, s, 2)
+	eng.RunUntil(sim.Time(5 * sim.Second))
+	if *highStart == 0 {
+		t.Fatal("high-priority thread never ran")
+	}
+	if *highStart < *firstLowDone {
+		t.Fatalf("high-priority thread started at %v, before any low-priority thread finished (%v): original FastThreads has no way to do that", *highStart, *firstLowDone)
+	}
+	if s.Stats.PriorityPreempts != 0 {
+		t.Fatal("kernel-threads binding must not request kernel preemptions")
+	}
+}
+
+func TestInterruptedLowPriorityThreadResumesLater(t *testing.T) {
+	// The preempted low-priority thread must lose no work: it finishes
+	// after the high-priority thread, with its full compute time served.
+	eng, k, s := newSA(t, 1, Options{})
+	var lowDone, highDone sim.Time
+	s.Spawn("starter", func(th *Thread) {
+		th.Fork("low", func(l *Thread) {
+			l.Exec(50 * sim.Millisecond)
+			lowDone = l.Now()
+		})
+		th.Exec(sim.Ms(5))
+		th.ForkPrio("high", 5, func(h *Thread) {
+			h.Exec(sim.Ms(5))
+			highDone = h.Now()
+		})
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(5 * sim.Second))
+	if highDone == 0 || lowDone == 0 {
+		t.Fatal("threads did not finish")
+	}
+	if highDone >= lowDone {
+		t.Fatalf("high (%v) should finish before the interrupted low thread (%v)", highDone, lowDone)
+	}
+	// The low thread must have been served its full 50ms of compute.
+	if lowDone < sim.Time(50*sim.Millisecond) {
+		t.Fatalf("low thread finished at %v with work missing", lowDone)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatalf("invariant: %v", err)
+	}
+	_ = kernel.NumPriorities // keep the kernel import for the KT variant above
+	_ = core.EvPreempted
+}

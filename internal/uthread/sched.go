@@ -1,0 +1,615 @@
+// Package uthread is the user-level thread package of the paper: a
+// FastThreads-style library with per-processor LIFO ready lists, free-listed
+// thread control blocks, spin locks, and user-level mutexes and condition
+// variables. Thread management operations run entirely at user level, within
+// an order of magnitude of a procedure call.
+//
+// The package runs on either of two virtual-processor bindings:
+//
+//   - OnKernelThreads: virtual processors are Topaz kernel threads (the
+//     "original FastThreads" of the paper), with the integration problems of
+//     §2.2 — a thread blocking in the kernel takes its virtual processor
+//     with it, and the oblivious kernel time-slices virtual processors
+//     without regard to what they are running.
+//
+//   - OnActivations: virtual processors are scheduler activations (the
+//     "modified FastThreads"), processing the upcalls of Table 2, issuing
+//     the notifications of Table 3, and recovering preempted critical
+//     sections by temporary continuation (§3.3, §4.3).
+//
+// Scheduling policy follows §4.2: per-processor ready lists accessed in
+// last-in-first-out order for cache locality; a processor scans the other
+// lists for work when its own is empty; idle processors spin for a
+// hysteresis period before notifying the kernel.
+package uthread
+
+import (
+	"fmt"
+
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+)
+
+// Options tunes a Sched instance.
+type Options struct {
+	// ExplicitCSFlags enables the §5.1 ablation: instead of the
+	// zero-overhead critical-section check (the paper's duplicated code
+	// trick), every critical-section entry/exit pair charges the explicit
+	// flag cost.
+	ExplicitCSFlags bool
+
+	// Hysteresis is how long an idle processor spins before notifying the
+	// kernel it is available (§4.2). Zero selects a default of 1ms.
+	Hysteresis sim.Duration
+
+	// SpinSlice is the granularity of spin-waiting (§3.3 spin-locks and the
+	// idle loop). Zero selects a default of 5µs.
+	SpinSlice sim.Duration
+
+	// NoCSRecovery disables the §3.3 critical-section continuation — an
+	// ablation that reproduces the failure the paper designs against:
+	// "deadlock would occur if the upcall attempted to place the preempted
+	// thread onto the ready list [while it holds a lock on the ready
+	// list]". For experiments only; never enable in real use.
+	NoCSRecovery bool
+
+	// Trace, if set, records thread-level scheduling events.
+	Trace *trace.Log
+}
+
+func (o Options) withDefaults() Options {
+	if o.Hysteresis == 0 {
+		o.Hysteresis = sim.Ms(1)
+	}
+	if o.SpinSlice == 0 {
+		o.SpinSlice = sim.Us(5)
+	}
+	return o
+}
+
+// Stats counts thread-system activity.
+type Stats struct {
+	Forks            uint64
+	Exits            uint64
+	Switches         uint64
+	Steals           uint64
+	BlocksUser       uint64 // blocked on user-level mutex/cond/join
+	BlocksKernel     uint64 // blocked in the kernel (I/O)
+	SpinWait         sim.Duration
+	IdleSpin         sim.Duration
+	Continuations    uint64 // preempted critical sections continued (§3.3)
+	PriorityPreempts uint64 // kernel interrupts requested for priority scheduling (§3.1)
+	KernelNotifies   uint64 // Table 3 downcalls issued
+	Upcalls          uint64 // upcalls processed (activations binding only)
+}
+
+// Sched is the user-level thread scheduler for one address space.
+type Sched struct {
+	eng  *sim.Engine
+	m    *machine.Machine
+	cost *machine.Costs
+	opt  Options
+	back backend
+
+	procs    []*procData
+	byWorker map[*machine.Worker]*Thread
+	nextTID  int
+	live     int // threads created and not yet exited
+
+	// runnable tracks threads ready or running, for the §3.2 demand
+	// notifications; lastTold is what the kernel was last told, so the
+	// common case makes no kernel call at all.
+	runnable int
+	lastTold int
+
+	// recovery holds threads recovered from stopped vessels (upcall
+	// events) that have not yet been committed to a ready list. The queue
+	// is global so that if the vessel draining it is itself preempted, any
+	// other vessel finishes the job — no event processing is ever lost.
+	recovery []*Thread
+
+	Stats Stats
+}
+
+// backend abstracts the two virtual-processor bindings.
+type backend interface {
+	// start brings up the virtual processors (spawns kernel threads, or
+	// requests the first processor from the activations kernel).
+	start()
+	// maxVPs is the most processors this space can ever use.
+	maxVPs() int
+	// perCPUProcs reports whether procData is keyed by physical processor
+	// (activations) or by virtual-processor index (kernel threads, which
+	// migrate between processors).
+	perCPUProcs() bool
+	// blockIO blocks the calling thread (running on v) in the kernel for a
+	// disk request; the behaviour on the two bindings differs in exactly
+	// the way the paper describes.
+	blockIO(v *procData, t *Thread)
+	// moreWork is invoked on transitions to more runnable work than
+	// processors, charged through w; the activations backend notifies the
+	// kernel (Table 3), the kernel-threads backend has no such channel.
+	moreWork(w *machine.Worker, deficit int)
+	// idleProtocol runs when a virtual processor has had no work for the
+	// hysteresis period. It reports whether the processor was surrendered
+	// (the scheduler loop must then stop).
+	idleProtocol(v *procData) (lost bool)
+	// name for diagnostics.
+	name() string
+}
+
+// Start brings the thread system online. For the kernel-threads binding
+// this spawns the virtual processors; for the activations binding it asks
+// the kernel for the first processor, which arrives as an AddProcessor
+// upcall. Threads Spawned beforehand begin running as processors come up.
+func (s *Sched) Start() { s.back.start() }
+
+// procData is the per-processor state of §4.2: the ready list and free list
+// live in (simulated) shared memory and survive virtual-processor turnover,
+// keyed by physical processor. current/vessel track what is running there
+// right now.
+type procData struct {
+	s         *Sched
+	id        int // physical processor id (or VP index for kernel threads)
+	ready     []*Thread
+	lock      SpinLock // guards ready and the TCB free list
+	stackLock SpinLock // guards the stack free list
+
+	freeTCBs int // modelled free list; allocation cost only
+
+	current *Thread // thread running on this processor, nil if scheduler/idle
+	vessel  *vessel // the execution vessel currently serving this processor
+
+	idleParked bool // scheduler coroutine parked waiting for work
+	dead       bool // processor lost (activations binding)
+}
+
+// vessel is whatever execution context currently powers a processor: a
+// kernel thread forever, or the latest scheduler activation.
+type vessel struct {
+	ctx     *machine.Context
+	schedCo *sim.Coroutine // coroutine of the scheduler loop on this vessel
+	act     any            // *core.Activation when on activations, else nil
+	kt      any            // *kernel.KThread when on kernel threads, else nil
+
+	// inTransit is a thread popped from a ready list whose worker is not
+	// yet bound: the window where this vessel's scheduler is paying the
+	// switch cost. If the processor is preempted in that window, the
+	// Preempted upcall recovers the thread from here instead of losing it.
+	inTransit *Thread
+}
+
+func newSched(eng *sim.Engine, m *machine.Machine, opt Options) *Sched {
+	return &Sched{
+		eng:      eng,
+		m:        m,
+		cost:     m.Cost,
+		opt:      opt.withDefaults(),
+		byWorker: make(map[*machine.Worker]*Thread),
+	}
+}
+
+// Engine returns the simulation engine.
+func (s *Sched) Engine() *sim.Engine { return s.eng }
+
+// Live reports threads created and not yet exited.
+func (s *Sched) Live() int { return s.live }
+
+func (s *Sched) proc(id int) *procData {
+	for len(s.procs) <= id {
+		s.procs = append(s.procs, &procData{s: s, id: len(s.procs)})
+	}
+	return s.procs[id]
+}
+
+// --- ready queues (per-processor LIFO with scan stealing, §4.2) ---
+
+// pushLocal enqueues t on v's ready list. chargeW is the worker paying for
+// the operation (the enqueueing thread or scheduler). The list lock is held
+// across the charge when charged by a thread (making it a preemption-
+// vulnerable critical section, recovered via §3.3); the scheduler uses the
+// charge-then-commit pattern and holds locks for zero simulated time.
+func (s *Sched) pushLocal(v *procData, t *Thread, by *Thread, w *machine.Worker) {
+	if by != nil {
+		by.enterCS(&v.lock, w)
+		w.Exec(s.cost.UTEnq)
+		v.ready = append(v.ready, t)
+		by.exitCS(&v.lock, w)
+	} else {
+		// Scheduler/upcall path: pay first, then commit atomically once the
+		// lock is observed free (the scheduler holds list locks for zero
+		// simulated time; see DESIGN.md).
+		w.Exec(s.cost.UTEnq)
+		s.spinWhileHeld(&v.lock, w)
+		v.ready = append(v.ready, t)
+	}
+	t.state = utReady
+}
+
+// popLocal dequeues LIFO from v's own list (scheduler path: charge first,
+// commit atomically).
+func (s *Sched) popLocal(v *procData, w *machine.Worker) *Thread {
+	if len(v.ready) == 0 {
+		return nil
+	}
+	w.Exec(s.cost.UTDeq)
+	s.spinWhileHeld(&v.lock, w)
+	if len(v.ready) == 0 {
+		return nil // emptied while we paid; treat as miss
+	}
+	i := bestIndex(v.ready)
+	t := v.ready[i]
+	copy(v.ready[i:], v.ready[i+1:])
+	v.ready = v.ready[:len(v.ready)-1]
+	return t
+}
+
+// steal scans the other processors' lists FIFO (oldest first, §4.2 "a
+// processor scans for work if its own ready list is empty").
+func (s *Sched) steal(v *procData, w *machine.Worker) *Thread {
+	for i := 1; i <= len(s.procs); i++ {
+		o := s.procs[(v.id+i)%len(s.procs)]
+		if o == v || len(o.ready) == 0 {
+			continue
+		}
+		w.Exec(s.cost.UTDeq)
+		s.spinWhileHeld(&o.lock, w)
+		if len(o.ready) == 0 {
+			continue
+		}
+		// Steal the highest-priority thread; among equals, the oldest
+		// (FIFO from the victim's perspective).
+		best := 0
+		for j, c := range o.ready {
+			if c.prio > o.ready[best].prio {
+				best = j
+			}
+		}
+		t := o.ready[best]
+		copy(o.ready[best:], o.ready[best+1:])
+		o.ready = o.ready[:len(o.ready)-1]
+		s.Stats.Steals++
+		return t
+	}
+	return nil
+}
+
+// spinWhileHeld burns CPU until the lock is free — the spin-waiting of
+// §3.3. If the holder has been preempted (kernel threads binding) this is
+// where the pathology of oblivious scheduling shows up as wasted processor
+// time.
+func (s *Sched) spinWhileHeld(l *SpinLock, w *machine.Worker) {
+	for l.held {
+		w.Exec(s.opt.SpinSlice)
+		s.Stats.SpinWait += s.opt.SpinSlice
+		l.Spins++
+	}
+}
+
+// --- the scheduler loop ---
+
+// schedLoop runs in a vessel's root coroutine and multiplexes threads onto
+// the processor until the processor is lost or the vessel is superseded by
+// a fresh activation. w must be the vessel root's worker, currently bound.
+func (s *Sched) schedLoop(v *procData, w *machine.Worker) {
+	me := s.eng.Current()
+	idleFor := sim.Duration(0)
+	for {
+		if s.superseded(v, me) {
+			return
+		}
+		if len(s.recovery) > 0 {
+			s.drainRecovery(v, w)
+			if s.superseded(v, me) {
+				return
+			}
+		}
+		t := s.popLocal(v, w)
+		if t == nil {
+			t = s.steal(v, w)
+		}
+		if t != nil {
+			idleFor = 0
+			// The popped thread is in transit: if this processor is
+			// preempted anywhere between here and the bind, the Preempted
+			// upcall recovers the thread from the vessel's inTransit slot.
+			v.vessel.inTransit = t
+			s.runnable--
+			// §3.2: if we are about to run a thread while more sit queued,
+			// the space has more runnable threads than processors — notify
+			// the kernel (once per transition; demandDeficit returns 0 when
+			// the kernel has already been told).
+			if deficit := s.demandDeficit(); deficit > 0 {
+				s.back.moreWork(w, deficit)
+			}
+			if s.superseded(v, me) {
+				// Preempted during the downcall; the upcall recovered (or
+				// will recover) the popped thread via inTransit.
+				return
+			}
+			if !s.runThread(v, w, t, me) {
+				return
+			}
+			continue
+		}
+		// No work anywhere: idle protocol. Spin for the hysteresis period
+		// (work may appear), then fall back to the backend's idle action.
+		if idleFor < s.opt.Hysteresis {
+			w.Exec(s.opt.SpinSlice)
+			s.Stats.IdleSpin += s.opt.SpinSlice
+			idleFor += s.opt.SpinSlice
+			continue
+		}
+		if s.back.idleProtocol(v) {
+			v.dead = true
+			return
+		}
+		if s.superseded(v, me) {
+			return
+		}
+		idleFor = 0
+		if s.anyReadyWork() {
+			// Work arrived while we were talking to the kernel.
+			continue
+		}
+		// Park until work arrives here.
+		v.idleParked = true
+		me.Park("vp-idle")
+		v.idleParked = false
+	}
+}
+
+// superseded reports whether the scheduler coroutine co no longer serves
+// v's current vessel (the processor was lost, or a fresh activation has
+// taken over this processor).
+func (s *Sched) superseded(v *procData, co *sim.Coroutine) bool {
+	return v.dead || v.vessel == nil || v.vessel.schedCo != co
+}
+
+func (s *Sched) anyReadyWork() bool {
+	for _, v := range s.procs {
+		if len(v.ready) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runThread switches the processor from the scheduler to t and parks the
+// scheduler coroutine until control returns. It reports false if the
+// scheduler must exit (its vessel lost the processor meanwhile).
+func (s *Sched) runThread(v *procData, w *machine.Worker, t *Thread, me *sim.Coroutine) bool {
+	w.Exec(s.cost.UTSwitch)
+	if s.saMode() && t.needsResumeCheck {
+		// §5.1: checking whether a resumed thread was preempted (and
+		// restoring condition codes if so) costs a little extra.
+		w.Exec(s.cost.SAResumeCheck)
+	}
+	t.needsResumeCheck = false
+	s.Stats.Switches++
+	ctx := w.Bound()
+	v.current = t
+	t.vp = v
+	t.state = utRunning
+	w.Unbind()
+	t.w.Bind(ctx)
+	v.vessel.inTransit = nil // the machine tracks the thread through its worker now
+	if !t.w.WantsCPU() {
+		t.co.Unpark()
+	}
+	me.Park("running-thread")
+	// Control returned: the thread blocked, exited, or yielded — or this
+	// vessel lost its processor while the thread ran.
+	if s.superseded(v, me) {
+		return false
+	}
+	w.Bind(ctx)
+	return true
+}
+
+// returnToScheduler hands the processor back from the calling thread's
+// coroutine to v's scheduler loop. The caller must already have unbound the
+// thread's worker and settled its state.
+func (s *Sched) returnToScheduler(v *procData) {
+	v.current = nil
+	if v.vessel == nil || v.vessel.schedCo == nil {
+		panic("uthread: no scheduler to return to")
+	}
+	v.vessel.schedCo.Unpark()
+}
+
+// wakeIdleProc unparks some idle processor's scheduler, if any. Returns
+// true if one was woken.
+func (s *Sched) wakeIdleProc() bool {
+	for _, v := range s.procs {
+		if v.idleParked && !v.dead {
+			v.idleParked = false
+			v.vessel.schedCo.Unpark()
+			return true
+		}
+	}
+	return false
+}
+
+// makeReady transitions t to ready on processor v (or the readying
+// thread's own processor when v is nil), waking an idle processor or
+// notifying the kernel of new demand per §3.2. by is the thread performing
+// the transition (nil when done by the scheduler or an upcall handler), w
+// the worker charged.
+func (s *Sched) makeReady(t *Thread, by *Thread, w *machine.Worker) {
+	v := s.homeProc(by, w)
+	s.pushLocal(v, t, by, w)
+	s.runnable++
+	if s.wakeIdleProc() {
+		return
+	}
+	if deficit := s.demandDeficit(); deficit > 0 {
+		s.back.moreWork(w, deficit)
+	}
+	// §3.1 extension: if every processor is busy and one of them runs a
+	// strictly lower-priority thread, ask the kernel to interrupt it.
+	s.maybePreemptForPriority(t, w)
+}
+
+// homeProc picks the processor whose ready list receives new work: the
+// processor the charging worker is currently running on (cache locality),
+// falling back to processor 0.
+func (s *Sched) homeProc(by *Thread, w *machine.Worker) *procData {
+	if ctx := w.Bound(); ctx != nil {
+		if cpu := ctx.CPU(); cpu != nil {
+			id := int(cpu.ID())
+			if s.back.perCPUProcs() {
+				return s.proc(id)
+			}
+		}
+	}
+	if by != nil && by.vp != nil {
+		return by.vp
+	}
+	for _, v := range s.procs {
+		if !v.dead {
+			return v
+		}
+	}
+	return s.proc(0)
+}
+
+// demandDeficit reports how many more processors the space could use than
+// it has told the kernel about (0 in the common case — §3.2's point is that
+// most transitions need no kernel communication).
+func (s *Sched) demandDeficit() int {
+	have := s.haveVPs()
+	desired := s.runnable + s.runningCount() + len(s.recovery)
+	if max := s.back.maxVPs(); desired > max {
+		desired = max
+	}
+	if desired <= have || desired <= s.lastTold {
+		return 0
+	}
+	return desired - have
+}
+
+func (s *Sched) haveVPs() int {
+	n := 0
+	for _, v := range s.procs {
+		if v.vessel != nil && !v.dead {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Sched) runningCount() int {
+	n := 0
+	for _, v := range s.procs {
+		if v.current != nil {
+			n++
+		}
+		if v.vessel != nil && v.vessel.inTransit != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Sched) saMode() bool { return s.back != nil && s.back.name() == "activations" }
+
+func (s *Sched) tracef(cpu int, cat, format string, args ...any) {
+	s.opt.Trace.Add(s.eng.Now(), cpu, cat, format, args...)
+}
+
+func (s *Sched) String() string {
+	return fmt.Sprintf("uthread.Sched(%s, %d procs, %d live)", s.back.name(), len(s.procs), s.live)
+}
+
+// DebugState summarizes live threads and processors, for diagnosing stuck
+// simulations in tests.
+func (s *Sched) DebugState() string {
+	out := fmt.Sprintf("runnable=%d lastTold=%d have=%d\n", s.runnable, s.lastTold, s.haveVPs())
+	for _, t := range s.byWorker {
+		out += fmt.Sprintf("  thread %s state=%v crit=%d park=%q wantCPU=%v bound=%v\n",
+			t.name, t.state, t.critDepth, t.co.ParkReason(), t.w.WantsCPU(), t.w.Bound() != nil)
+	}
+	for _, v := range s.procs {
+		cur := "-"
+		if v.current != nil {
+			cur = v.current.name
+		}
+		out += fmt.Sprintf("  proc %d ready=%d vessel=%v idleParked=%v dead=%v current=%s\n",
+			v.id, len(v.ready), v.vessel != nil, v.idleParked, v.dead, cur)
+	}
+	return out
+}
+
+// drainRecovery commits recovered threads (from upcall events) to ready
+// lists, continuing any that were stopped inside a critical section (§3.3).
+// Every step is charge-then-commit: if this vessel is preempted mid-drain,
+// the queue still holds whatever was not committed, and the thread being
+// continued is tracked through its bound worker.
+func (s *Sched) drainRecovery(v *procData, w *machine.Worker) {
+	for len(s.recovery) > 0 {
+		t := s.recovery[0]
+		if t.critDepth > 0 && !s.opt.NoCSRecovery {
+			// Continue the thread until it exits its critical section.
+			// Pop first: from here the machine tracks it via its worker,
+			// and if we are preempted mid-continuation the next upcall
+			// re-queues it (with continueTo re-pointed here is stale, but
+			// recover overwrites it).
+			s.recovery = s.recovery[1:]
+			s.continueCS(v, w, t)
+			if s.superseded(v, s.eng.Current()) {
+				// Lost the processor during the continuation; the thread
+				// was re-recovered by the upcall that took it.
+				return
+			}
+			// Critical section exited; commit like a normal recovery.
+			s.recovery = append([]*Thread{t}, s.recovery...)
+			continue
+		}
+		w.Exec(s.cost.UTEnq)
+		if s.superseded(v, s.eng.Current()) {
+			return
+		}
+		s.spinWhileHeld(&v.lock, w)
+		if s.superseded(v, s.eng.Current()) {
+			return
+		}
+		if len(s.recovery) == 0 || s.recovery[0] != t {
+			continue // another vessel committed it while we paid
+		}
+		// Atomic commit: ready-list push and queue pop together.
+		s.recovery = s.recovery[1:]
+		v.ready = append(v.ready, t)
+		t.state = utReady
+		s.runnable++
+		s.wakeIdleProc()
+	}
+	if deficit := s.demandDeficit(); deficit > 0 {
+		s.back.moreWork(w, deficit)
+	}
+}
+
+// continueCS temporarily switches to a thread stopped inside a critical
+// section, letting it run until it exits the section and yields back
+// ("the thread is continued temporarily via a user-level context switch",
+// §3.3). The caller's worker is unbound for the duration.
+func (s *Sched) continueCS(v *procData, w *machine.Worker, t *Thread) {
+	s.Stats.Continuations++
+	me := s.eng.Current()
+	ctx := w.Bound()
+	w.Unbind()
+	t.continueTo = me
+	t.vp = v
+	t.w.Bind(ctx)
+	if !t.w.WantsCPU() {
+		t.co.Unpark()
+	}
+	me.Park("continuing-cs")
+	// Either the thread exited its section and handed back (worker
+	// unbound), or this vessel lost its processor and a fresh upcall will
+	// re-run the recovery; in the normal case, rebind our worker.
+	if !s.superseded(v, me) {
+		w.Bind(ctx)
+	}
+}

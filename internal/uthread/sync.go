@@ -1,0 +1,192 @@
+package uthread
+
+import "fmt"
+
+// SpinLock is a test-and-set spin lock in (simulated) shared memory. It is
+// the low-level mutual exclusion of the thread system itself (ready lists,
+// free lists) and of applications that want raw spin locks. Spinning burns
+// processor time; §3.3's continuation protocol guarantees a preempted
+// holder eventually releases.
+type SpinLock struct {
+	held   bool
+	holder *Thread
+	Spins  uint64 // contended spin slices observed (diagnostic)
+}
+
+// Held reports whether the lock is currently held.
+func (l *SpinLock) Held() bool { return l.held }
+
+// Holder reports the thread holding the lock, or nil.
+func (l *SpinLock) Holder() *Thread { return l.holder }
+
+// Acquire takes the lock on behalf of the calling thread, spinning while it
+// is held. This marks the thread as in a critical section for §3.3
+// recovery.
+func (l *SpinLock) Acquire(t *Thread) { t.enterCS(l, t.w) }
+
+// Release drops the lock, yielding back to an upcall handler if the holder
+// was preempted inside the section and continued.
+func (l *SpinLock) Release(t *Thread) { t.exitCS(l, t.w) }
+
+// Mutex is a user-level blocking lock: uncontended acquire and release cost
+// a test-and-set; a contended acquire queues the thread and switches to
+// another — no kernel involvement either way.
+type Mutex struct {
+	s       *Sched
+	lk      SpinLock // guards owner/waiters; short critical section
+	owner   *Thread
+	waiters []*Thread
+
+	Contended   uint64
+	Uncontended uint64
+}
+
+// NewMutex creates a user-level mutex.
+func (s *Sched) NewMutex() *Mutex { return &Mutex{s: s} }
+
+// Lock acquires the mutex for t, blocking at user level if needed.
+func (m *Mutex) Lock(t *Thread) {
+	s := m.s
+	t.enterCS(&m.lk, t.w)
+	t.w.Exec(s.cost.TAS)
+	if m.owner == nil {
+		m.owner = t
+		m.Uncontended++
+		t.exitCS(&m.lk, t.w)
+		return
+	}
+	m.Contended++
+	m.waiters = append(m.waiters, t)
+	t.prepareBlock()
+	t.exitCS(&m.lk, t.w)
+	t.block("mutex", utBlocked)
+	if m.owner != t {
+		panic("uthread: mutex wake without ownership")
+	}
+}
+
+// Unlock releases the mutex, transferring ownership to the oldest waiter.
+func (m *Mutex) Unlock(t *Thread) {
+	s := m.s
+	if m.owner != t {
+		panic(fmt.Sprintf("uthread: unlock of %p by non-owner %s", m, t.name))
+	}
+	t.enterCS(&m.lk, t.w)
+	t.w.Exec(s.cost.TAS)
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		t.exitCS(&m.lk, t.w)
+		return
+	}
+	next := m.waiters[0]
+	copy(m.waiters, m.waiters[1:])
+	m.waiters = m.waiters[:len(m.waiters)-1]
+	m.owner = next
+	t.exitCS(&m.lk, t.w)
+	t.wakeBlocked(next)
+}
+
+// Owner reports the current owner, or nil.
+func (m *Mutex) Owner() *Thread { return m.owner }
+
+// Cond is a user-level condition variable.
+type Cond struct {
+	s       *Sched
+	lk      SpinLock
+	waiters []*Thread
+}
+
+// NewCond creates a user-level condition variable.
+func (s *Sched) NewCond() *Cond { return &Cond{s: s} }
+
+// Wait atomically queues t on the condition, releases m (when non-nil),
+// and blocks; on wake-up it reacquires m before returning.
+func (c *Cond) Wait(t *Thread, m *Mutex) {
+	s := c.s
+	t.enterCS(&c.lk, t.w)
+	t.w.Exec(s.cost.UTCond)
+	c.waiters = append(c.waiters, t)
+	t.prepareBlock()
+	t.exitCS(&c.lk, t.w)
+	if m != nil {
+		m.Unlock(t)
+	}
+	if s.saMode() {
+		t.w.Exec(s.cost.SAAccount)
+	}
+	t.block("cond-wait", utBlocked)
+	if m != nil {
+		m.Lock(t)
+	}
+}
+
+// Signal wakes the longest-waiting thread, if any.
+func (c *Cond) Signal(t *Thread) {
+	s := c.s
+	t.enterCS(&c.lk, t.w)
+	t.w.Exec(s.cost.UTCond)
+	if len(c.waiters) == 0 {
+		t.exitCS(&c.lk, t.w)
+		return
+	}
+	next := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	t.exitCS(&c.lk, t.w)
+	if s.saMode() {
+		t.w.Exec(s.cost.SAAccount)
+	}
+	t.wakeBlocked(next)
+}
+
+// Broadcast wakes every waiting thread.
+func (c *Cond) Broadcast(t *Thread) {
+	s := c.s
+	t.enterCS(&c.lk, t.w)
+	t.w.Exec(s.cost.UTCond)
+	ws := c.waiters
+	c.waiters = nil
+	t.exitCS(&c.lk, t.w)
+	for _, wt := range ws {
+		if s.saMode() {
+			t.w.Exec(s.cost.SAAccount)
+		}
+		t.wakeBlocked(wt)
+	}
+}
+
+// Waiters reports how many threads wait on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Barrier blocks threads until n have arrived, then releases them all.
+type Barrier struct {
+	s     *Sched
+	n     int
+	count int
+	gen   int
+	m     *Mutex
+	c     *Cond
+}
+
+// NewBarrier creates a reusable n-thread barrier.
+func (s *Sched) NewBarrier(n int) *Barrier {
+	return &Barrier{s: s, n: n, m: s.NewMutex(), c: s.NewCond()}
+}
+
+// Arrive blocks t until all n parties have arrived.
+func (b *Barrier) Arrive(t *Thread) {
+	b.m.Lock(t)
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.m.Unlock(t)
+		b.c.Broadcast(t)
+		return
+	}
+	for gen == b.gen {
+		b.c.Wait(t, b.m)
+	}
+	b.m.Unlock(t)
+}

@@ -1,0 +1,366 @@
+package uthread
+
+import (
+	"fmt"
+
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+)
+
+// utState is a user-level thread's scheduling state.
+type utState int
+
+const (
+	utNew utState = iota
+	utReady
+	utRunning
+	utBlocked // user-level wait (mutex, cond, join)
+	utKernel  // blocked in the kernel (I/O)
+	utDone
+)
+
+func (s utState) String() string {
+	switch s {
+	case utNew:
+		return "new"
+	case utReady:
+		return "ready"
+	case utRunning:
+		return "running"
+	case utBlocked:
+		return "blocked"
+	case utKernel:
+		return "kernel-blocked"
+	case utDone:
+		return "done"
+	}
+	return "invalid"
+}
+
+// Thread is a user-level thread: a control block, a stack, and a machine
+// Worker that charges CPU through whatever virtual processor the thread is
+// currently scheduled on. All operations on a Thread run at user level; the
+// kernel is involved only when the thread blocks in it.
+type Thread struct {
+	s     *Sched
+	id    int
+	name  string
+	w     *machine.Worker
+	co    *sim.Coroutine
+	state utState
+	prio  int       // scheduling priority; higher runs first (§3.1 extension)
+	vp    *procData // processor currently (or last) running this thread
+
+	// Critical-section recovery state (§3.3): critDepth counts held spin
+	// locks; with the zero-overhead marking of §4.3 maintaining it costs
+	// nothing on the common path. continueTo, when set, is the upcall
+	// handler coroutine to yield back to once the outermost critical
+	// section exits.
+	critDepth  int
+	continueTo *sim.Coroutine
+
+	// needsResumeCheck marks a thread that blocked or was preempted; on
+	// the activations binding, switching such a thread in pays the §5.1
+	// "was a preempted thread being resumed" check (condition-code
+	// restore).
+	needsResumeCheck bool
+
+	// Sleep/wakeup race protocol, mirroring the kernel's: a wakeup racing
+	// with the charged tail of a block entry is latched and absorbed.
+	blockPending bool
+	wakePending  bool
+
+	joiners []*Thread
+	done    bool
+}
+
+// Name reports the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// State reports the scheduling state, for tests and instrumentation.
+func (t *Thread) State() string { return t.state.String() }
+
+// Worker exposes the thread's machine worker, for tests.
+func (t *Thread) Worker() *machine.Worker { return t.w }
+
+// InCriticalSection reports whether the thread holds any spin lock.
+func (t *Thread) InCriticalSection() bool { return t.critDepth > 0 }
+
+// newThread builds a TCB and coroutine without charging costs.
+func (s *Sched) newThread(name string, fn func(*Thread)) *Thread {
+	s.nextTID++
+	t := &Thread{s: s, id: s.nextTID, name: name, state: utNew}
+	t.co = s.eng.Go(name, func(*sim.Coroutine) {
+		fn(t)
+		t.exit()
+	})
+	t.w = s.m.NewWorker(name, t.co)
+	s.byWorker[t.w] = t
+	s.live++
+	return t
+}
+
+// Spawn creates a ready thread from outside the thread system (the
+// program's initial threads), charging no fork costs. It must be called
+// before or between runs, or from plain event context.
+func (s *Sched) Spawn(name string, fn func(*Thread)) *Thread {
+	t := s.newThread(name, fn)
+	v := s.proc(0)
+	if best := s.leastLoadedProc(); best != nil {
+		v = best
+	}
+	v.ready = append(v.ready, t)
+	t.state = utReady
+	s.runnable++
+	s.wakeIdleProc()
+	return t
+}
+
+func (s *Sched) leastLoadedProc() *procData {
+	var best *procData
+	for _, v := range s.procs {
+		if v.dead {
+			continue
+		}
+		if best == nil || len(v.ready) < len(best.ready) {
+			best = v
+		}
+	}
+	return best
+}
+
+// Fork creates and readies a new thread, charging the FastThreads fork
+// path: TCB and stack allocation from the per-processor free list (a
+// critical section), initialization, and a ready-list enqueue (another
+// critical section). Table 1/4's Null Fork measures this plus the child's
+// dispatch, execution, and exit.
+func (t *Thread) Fork(name string, fn func(*Thread)) *Thread {
+	s := t.s
+	s.Stats.Forks++
+	v := t.vp
+	// Allocate the TCB and the stack from their per-processor free lists:
+	// two short critical sections ("FastThreads uses unlocked per-processor
+	// free lists of thread control blocks... accesses to these free lists
+	// must be done atomically with respect to preemptions", §3.3).
+	t.enterCS(&v.lock, t.w)
+	t.w.Exec(s.cost.UTAlloc / 2)
+	t.exitCS(&v.lock, t.w)
+	t.enterCS(&v.stackLock, t.w)
+	t.w.Exec(s.cost.UTAlloc / 2)
+	t.exitCS(&v.stackLock, t.w)
+	t.w.Exec(s.cost.UTInit)
+	if s.saMode() {
+		// Busy-thread accounting and the notify-the-kernel test (§5.1's
+		// +3µs on Null Fork, half here and half at exit).
+		t.w.Exec(s.cost.SAAccount)
+	}
+	child := s.newThread(name, fn)
+	child.prio = t.prio // children inherit the parent's priority
+	s.makeReady(child, t, t.w)
+	return child
+}
+
+// Exec consumes d of CPU as application computation.
+func (t *Thread) Exec(d sim.Duration) { t.w.Exec(d) }
+
+// Now reports the current virtual time.
+func (t *Thread) Now() sim.Time { return t.s.eng.Now() }
+
+// Sched returns the owning scheduler.
+func (t *Thread) Sched() *Sched { return t.s }
+
+// Yield places the thread at the back of its processor's ready list and
+// reschedules.
+func (t *Thread) Yield() {
+	s := t.s
+	v := t.vp
+	t.enterCS(&v.lock, t.w)
+	t.w.Exec(s.cost.UTEnq)
+	// FIFO for yield: go to the front of the LIFO stack's opposite end.
+	v.ready = append([]*Thread{t}, v.ready...)
+	t.exitCS(&v.lock, t.w)
+	t.state = utReady
+	s.runnable++
+	t.switchOut("yield")
+}
+
+// exit terminates the thread: wake joiners, return the TCB to the free
+// list, hand the processor back to the scheduler.
+func (t *Thread) exit() {
+	s := t.s
+	s.Stats.Exits++
+	v := t.vp
+	if s.saMode() {
+		t.w.Exec(s.cost.SAAccount)
+	}
+	for _, j := range t.joiners {
+		t.wakeBlocked(j)
+	}
+	t.joiners = nil
+	t.done = true
+	// Return the TCB and the stack to their free lists (two critical
+	// sections, mirroring allocation).
+	t.enterCS(&v.lock, t.w)
+	t.w.Exec(s.cost.UTFree / 2)
+	t.exitCS(&v.lock, t.w)
+	t.enterCS(&v.stackLock, t.w)
+	t.w.Exec(s.cost.UTFree / 2)
+	t.exitCS(&v.stackLock, t.w)
+	t.state = utDone
+	s.live--
+	delete(s.byWorker, t.w)
+	t.w.Unbind()
+	// Note t.vp, not the v captured at entry: a preemption during the
+	// charged free-list sections can migrate this thread to another
+	// processor before it finishes exiting.
+	s.returnToScheduler(t.vp)
+	// Coroutine ends here.
+}
+
+// Join blocks until other has exited.
+func (t *Thread) Join(other *Thread) {
+	s := t.s
+	t.w.Exec(s.cost.ProcCall)
+	if other.done {
+		return
+	}
+	other.joiners = append(other.joiners, t)
+	t.block("join:"+other.name, utBlocked)
+}
+
+// prepareBlock opens the block-commit window: a wakeup arriving before
+// block() is latched rather than lost.
+func (t *Thread) prepareBlock() { t.blockPending = true }
+
+// block parks the thread after recording its state and returns the
+// processor to the scheduler — unless a wakeup raced in during the
+// prepared window, in which case it is absorbed and the thread continues.
+// Wake-up is via wakeBlocked (user-level); kernel blocking takes a
+// different path.
+func (t *Thread) block(reason string, st utState) {
+	s := t.s
+	t.blockPending = false
+	if t.wakePending {
+		t.wakePending = false
+		return
+	}
+	s.Stats.BlocksUser++
+	v := t.vp
+	t.state = st
+	t.needsResumeCheck = true
+	t.w.Unbind()
+	s.returnToScheduler(v)
+	t.co.Park(reason)
+	// Resumed by runThread: worker rebound, state running.
+}
+
+// wakeBlocked transitions a user-level-blocked thread back to ready,
+// charged to the waking thread.
+func (t *Thread) wakeBlocked(target *Thread) {
+	if target.blockPending {
+		// Mid-way into a blocking call (possibly preempted while paying
+		// for it); latch the wakeup for block() to absorb.
+		target.wakePending = true
+		return
+	}
+	if target.state != utBlocked {
+		panic(fmt.Sprintf("uthread: wake of %s in state %v", target.name, target.state))
+	}
+	t.s.makeReady(target, t, t.w)
+}
+
+// switchOut gives up the processor with the thread already queued/ready.
+func (t *Thread) switchOut(reason string) {
+	v := t.vp
+	t.w.Unbind()
+	t.s.returnToScheduler(v)
+	t.co.Park(reason)
+}
+
+// BlockIO performs a blocking disk read through the kernel. On the
+// kernel-threads binding the virtual processor blocks with the thread; on
+// the activations binding the processor comes straight back to the space
+// with a Blocked upcall, and the thread's machine state returns with the
+// Unblocked upcall when the I/O completes (§3.1).
+func (t *Thread) BlockIO() {
+	s := t.s
+	s.Stats.BlocksKernel++
+	t.needsResumeCheck = true
+	v := t.vp
+	s.back.blockIO(v, t)
+	// Back on some processor; bookkeeping was handled by the backend.
+}
+
+// --- critical sections (§3.3, §4.3) ---
+
+// enterCS acquires a spin lock, spinning while it is held (the holder may
+// have been preempted; on the activations binding it will be continued and
+// the lock released — freedom from deadlock; on the kernel-threads binding
+// we simply waste processor time until the holder is rescheduled). With
+// the zero-overhead marking technique the bookkeeping itself is free; the
+// ExplicitCSFlags ablation charges the flag cost instead.
+func (t *Thread) enterCS(l *SpinLock, w *machine.Worker) {
+	s := t.s
+	w.Exec(s.cost.TAS)
+	s.spinWhileHeld(l, w)
+	l.held = true
+	l.holder = t
+	t.critDepth++
+	if s.opt.ExplicitCSFlags {
+		w.Exec(s.cost.ExplicitCSFlag / 2)
+	}
+}
+
+// exitCS releases the spin lock. If the thread was preempted inside the
+// section and is being temporarily continued by an upcall handler, control
+// yields back to the handler here — "when the continued thread exits the
+// critical section, it relinquishes control back to the original upcall".
+func (t *Thread) exitCS(l *SpinLock, w *machine.Worker) {
+	s := t.s
+	if l.holder != t {
+		panic(fmt.Sprintf("uthread: exitCS by %s, holder %v", t.name, l.holder))
+	}
+	l.held = false
+	l.holder = nil
+	t.critDepth--
+	if s.opt.ExplicitCSFlags {
+		w.Exec(s.cost.ExplicitCSFlag / 2)
+	}
+	if t.critDepth == 0 && t.continueTo != nil {
+		h := t.continueTo
+		t.continueTo = nil
+		t.state = utReady // the handler will enqueue us
+		t.w.Unbind()
+		h.Unpark()
+		t.co.Park("cs-handoff")
+		// Resumed later by runThread on some processor.
+	}
+}
+
+// Sleep blocks the thread for d of virtual time. The wake-up is a timer
+// interrupt: it readies the thread directly (no charged user-level work, as
+// with any kernel-delivered wake) and nudges an idle processor if one is
+// parked.
+func (t *Thread) Sleep(d sim.Duration) {
+	s := t.s
+	s.eng.After(d, t.name+":sleep-wake", func() {
+		if t.blockPending {
+			t.wakePending = true
+			return
+		}
+		if t.state != utBlocked {
+			return // woken by something else meanwhile
+		}
+		// Timer context: enqueue without charge on the thread's last
+		// processor and wake an idle scheduler to pick it up.
+		v := t.vp
+		if v == nil {
+			v = s.proc(0)
+		}
+		v.ready = append(v.ready, t)
+		t.state = utReady
+		s.runnable++
+		s.wakeIdleProc()
+	})
+	t.block("sleep", utBlocked)
+}

@@ -1,0 +1,568 @@
+package uthread
+
+import (
+	"testing"
+
+	"schedact/internal/core"
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+)
+
+// newKT builds original FastThreads on a native kernel.
+func newKT(t *testing.T, cpus, vps int, opt Options) (*sim.Engine, *kernel.Kernel, *Sched) {
+	t.Helper()
+	eng := sim.NewEngine()
+	t.Cleanup(eng.Close)
+	k := kernel.New(eng, kernel.Config{CPUs: cpus})
+	sp := k.NewSpace("app", false)
+	s := OnKernelThreads(k, sp, vps, opt)
+	return eng, k, s
+}
+
+// newSA builds modified FastThreads on the scheduler-activation kernel.
+func newSA(t *testing.T, cpus int, opt Options) (*sim.Engine, *core.Kernel, *Sched) {
+	t.Helper()
+	eng := sim.NewEngine()
+	t.Cleanup(eng.Close)
+	k := core.New(eng, core.Config{CPUs: cpus})
+	s := OnActivations(k, "app", 0, cpus, opt)
+	return eng, k, s
+}
+
+// run on both backends.
+func onBoth(t *testing.T, cpus int, f func(t *testing.T, eng *sim.Engine, s *Sched)) {
+	t.Run("kernel-threads", func(t *testing.T) {
+		eng, _, s := newKT(t, cpus, cpus, Options{})
+		f(t, eng, s)
+	})
+	t.Run("activations", func(t *testing.T) {
+		eng, _, s := newSA(t, cpus, Options{})
+		f(t, eng, s)
+	})
+}
+
+func TestSpawnedThreadRuns(t *testing.T) {
+	onBoth(t, 1, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		done := sim.Time(0)
+		s.Spawn("main", func(th *Thread) {
+			th.Exec(100 * sim.Microsecond)
+			done = eng.Now()
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(sim.Second))
+		if done == 0 {
+			t.Fatal("thread never ran")
+		}
+		if s.Live() != 0 {
+			t.Fatalf("Live = %d, want 0", s.Live())
+		}
+	})
+}
+
+func TestForkAndJoin(t *testing.T) {
+	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		var childDone, parentDone sim.Time
+		s.Spawn("main", func(th *Thread) {
+			child := th.Fork("child", func(c *Thread) {
+				c.Exec(sim.Ms(1))
+				childDone = eng.Now()
+			})
+			th.Join(child)
+			parentDone = eng.Now()
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(sim.Second))
+		if childDone == 0 || parentDone == 0 {
+			t.Fatal("threads did not finish")
+		}
+		if parentDone < childDone {
+			t.Fatalf("parent (%v) finished before child (%v)", parentDone, childDone)
+		}
+		if s.Stats.Forks != 1 {
+			t.Fatalf("Forks = %d, want 1", s.Stats.Forks)
+		}
+	})
+}
+
+func TestForkIsCheapNoKernel(t *testing.T) {
+	// The heart of the paper's Table 1: a fork+schedule+run+exit cycle at
+	// user level costs tens of microseconds, not hundreds.
+	onBoth(t, 1, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		var elapsed sim.Duration
+		const iters = 100
+		s.Spawn("main", func(th *Thread) {
+			start := eng.Now()
+			for i := 0; i < iters; i++ {
+				c := th.Fork("null", func(c *Thread) { c.Exec(th.s.cost.ProcCall) })
+				th.Join(c)
+			}
+			elapsed = eng.Now().Sub(start)
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(sim.Second))
+		per := elapsed / iters
+		if per == 0 {
+			t.Fatal("benchmark did not run")
+		}
+		if per > 100*sim.Microsecond {
+			t.Fatalf("null fork cycle = %v, want well under 100µs (user-level)", per)
+		}
+	})
+}
+
+func TestManyThreadsAllComplete(t *testing.T) {
+	onBoth(t, 4, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		count := 0
+		for i := 0; i < 50; i++ {
+			s.Spawn("w", func(th *Thread) {
+				th.Exec(sim.Duration(50+i%7) * sim.Microsecond)
+				count++
+			})
+		}
+		s.Start()
+		eng.RunUntil(sim.Time(sim.Second))
+		if count != 50 {
+			t.Fatalf("completed = %d, want 50", count)
+		}
+	})
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	onBoth(t, 4, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		m := s.NewMutex()
+		inside, maxInside, total := 0, 0, 0
+		for i := 0; i < 8; i++ {
+			s.Spawn("w", func(th *Thread) {
+				for j := 0; j < 5; j++ {
+					m.Lock(th)
+					inside++
+					if inside > maxInside {
+						maxInside = inside
+					}
+					th.Exec(100 * sim.Microsecond)
+					inside--
+					total++
+					m.Unlock(th)
+				}
+			})
+		}
+		s.Start()
+		eng.RunUntil(sim.Time(5 * sim.Second))
+		if total != 40 {
+			t.Fatalf("critical sections executed = %d, want 40", total)
+		}
+		if maxInside != 1 {
+			t.Fatalf("max inside = %d, want 1", maxInside)
+		}
+		if m.Contended == 0 {
+			t.Fatal("expected contention with 8 threads on 4 CPUs")
+		}
+	})
+}
+
+func TestCondSignalWaitPingPong(t *testing.T) {
+	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		cond := s.NewCond()
+		var log []string
+		const rounds = 5
+		s.Spawn("waiter", func(th *Thread) {
+			for i := 0; i < rounds; i++ {
+				cond.Wait(th, nil)
+				log = append(log, "woke")
+			}
+		})
+		s.Spawn("signaller", func(th *Thread) {
+			for i := 0; i < rounds; i++ {
+				for cond.Waiters() == 0 {
+					th.Yield()
+				}
+				cond.Signal(th)
+			}
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(sim.Second))
+		if len(log) != rounds {
+			t.Fatalf("wakes = %d, want %d", len(log), rounds)
+		}
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	onBoth(t, 3, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		const n = 6
+		b := s.NewBarrier(n)
+		var after []sim.Time
+		for i := 0; i < n; i++ {
+			d := sim.Duration(i+1) * 100 * sim.Microsecond
+			s.Spawn("w", func(th *Thread) {
+				th.Exec(d)
+				b.Arrive(th)
+				after = append(after, eng.Now())
+			})
+		}
+		s.Start()
+		eng.RunUntil(sim.Time(sim.Second))
+		if len(after) != n {
+			t.Fatalf("arrivals = %d, want %d", len(after), n)
+		}
+		// Nobody passes the barrier before the slowest thread's work is done.
+		slowest := sim.Time(sim.Duration(n) * 100 * sim.Microsecond)
+		for i, at := range after {
+			if at < slowest {
+				t.Fatalf("thread %d passed barrier at %v, before slowest work %v", i, at, slowest)
+			}
+		}
+	})
+}
+
+func TestYieldRoundRobins(t *testing.T) {
+	onBoth(t, 1, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		var order []string
+		s.Spawn("a", func(th *Thread) {
+			for i := 0; i < 3; i++ {
+				order = append(order, "a")
+				th.Yield()
+			}
+		})
+		s.Spawn("b", func(th *Thread) {
+			for i := 0; i < 3; i++ {
+				order = append(order, "b")
+				th.Yield()
+			}
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(sim.Second))
+		if len(order) != 6 {
+			t.Fatalf("order = %v, want 6 entries", order)
+		}
+		// With yields on one processor the two threads must interleave.
+		same := 0
+		for i := 1; i < len(order); i++ {
+			if order[i] == order[i-1] {
+				same++
+			}
+		}
+		if same > 1 {
+			t.Fatalf("order = %v: not interleaved", order)
+		}
+	})
+}
+
+func TestBlockIOOverlapsOnActivations(t *testing.T) {
+	// The defining functional difference (Figure 2's mechanism): on
+	// activations, a thread blocking in the kernel returns its processor to
+	// the space, so a CPU-bound sibling keeps running; on kernel threads
+	// with one VP, the I/O stalls everything.
+	eng, _, s := newSA(t, 1, Options{})
+	var ioDone, cpuDone sim.Time
+	s.Spawn("io", func(th *Thread) {
+		th.BlockIO()
+		ioDone = eng.Now()
+	})
+	s.Spawn("cpu", func(th *Thread) {
+		th.Exec(sim.Ms(10))
+		cpuDone = eng.Now()
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+	if ioDone == 0 || cpuDone == 0 {
+		t.Fatalf("io=%v cpu=%v: not both finished", ioDone, cpuDone)
+	}
+	if cpuDone >= ioDone {
+		t.Fatalf("cpu thread (%v) should finish during the 50ms I/O (done %v)", cpuDone, ioDone)
+	}
+}
+
+func TestBlockIOStallsOnSingleKernelThreadVP(t *testing.T) {
+	eng, _, s := newKT(t, 1, 1, Options{})
+	var ioDone, cpuDone sim.Time
+	s.Spawn("io", func(th *Thread) {
+		th.BlockIO()
+		ioDone = eng.Now()
+	})
+	s.Spawn("cpu", func(th *Thread) {
+		th.Exec(sim.Ms(10))
+		cpuDone = eng.Now()
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+	if ioDone == 0 || cpuDone == 0 {
+		t.Fatal("not both finished")
+	}
+	// The CPU thread cannot run while the only VP is blocked: order depends
+	// on which thread the LIFO scheduler starts, but if the I/O thread went
+	// first, the CPU thread must be fully serialized after it.
+	if cpuDone < ioDone && ioDone < sim.Time(sim.Ms(50)) {
+		t.Fatalf("io completed at %v, before the disk latency", ioDone)
+	}
+	if cpuDone > ioDone && cpuDone < sim.Time(sim.Ms(60)) {
+		t.Fatalf("cpu thread finished at %v; with a blocked VP it must wait out the I/O", cpuDone)
+	}
+}
+
+func TestBlockIOResumesAcrossVessels(t *testing.T) {
+	// After I/O on activations the thread continues (in a new vessel) with
+	// no work lost.
+	eng, _, s := newSA(t, 2, Options{})
+	var trace []sim.Time
+	s.Spawn("io", func(th *Thread) {
+		th.Exec(sim.Ms(1))
+		trace = append(trace, eng.Now())
+		th.BlockIO()
+		trace = append(trace, eng.Now())
+		th.Exec(sim.Ms(1))
+		trace = append(trace, eng.Now())
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+	if len(trace) != 3 {
+		t.Fatalf("trace = %v, want 3 phases", trace)
+	}
+	if post := trace[2].Sub(trace[1]); post < sim.Ms(1) {
+		t.Fatalf("post-IO compute = %v, want >= 1ms", post)
+	}
+	if s.Stats.BlocksKernel != 1 {
+		t.Fatalf("BlocksKernel = %d, want 1", s.Stats.BlocksKernel)
+	}
+}
+
+func TestActivationsRequestMoreProcessors(t *testing.T) {
+	// Spawning parallel work should make the space ask the kernel for more
+	// processors (Table 3) and receive them.
+	eng, k, s := newSA(t, 4, Options{})
+	finished := 0
+	var doneAt sim.Time
+	s.Spawn("main", func(th *Thread) {
+		var kids []*Thread
+		for i := 0; i < 4; i++ {
+			kids = append(kids, th.Fork("w", func(c *Thread) {
+				c.Exec(sim.Ms(20))
+				finished++
+			}))
+		}
+		for _, c := range kids {
+			th.Join(c)
+		}
+		finished++
+		doneAt = eng.Now()
+	})
+	s.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+	if finished != 5 {
+		t.Fatalf("finished = %d, want 5", finished)
+	}
+	if s.Stats.KernelNotifies == 0 {
+		t.Fatal("no Table 3 notifications issued")
+	}
+	if k.Stats.Grants < 2 {
+		t.Fatalf("kernel grants = %d, want >= 2 (parallelism requested)", k.Stats.Grants)
+	}
+	// The parallel phase must beat the serial time: 4 threads × 20ms on 4
+	// CPUs ≈ 20ms, not 80ms.
+	if doneAt > sim.Time(sim.Ms(45)) {
+		t.Fatalf("4×20ms finished at %v: no effective parallelism", doneAt)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatalf("invariant: %v", err)
+	}
+}
+
+func TestPreemptedCriticalSectionIsContinued(t *testing.T) {
+	// §3.3: preempt a processor while its thread holds a spin lock; the
+	// upcall handler must continue the thread until it exits the section,
+	// then put it on the ready list. No deadlock, lock released.
+	eng, k, s := newSA(t, 2, Options{})
+	l := &SpinLock{}
+	var exitedCS, finished sim.Time
+	s.Spawn("locker", func(th *Thread) {
+		l.Acquire(th)
+		th.Exec(sim.Ms(20)) // long critical section; preemption will land here
+		l.Release(th)
+		exitedCS = eng.Now()
+		th.Exec(sim.Ms(1))
+		finished = eng.Now()
+	})
+	s.Start()
+	// Let the locker get going, then start a competing space that takes a
+	// processor away (the allocator preempts one of app's CPUs).
+	eng.RunFor(sim.Ms(5))
+	other := OnActivations(k, "rival", 0, 2, Options{})
+	other.Spawn("spin", func(th *Thread) { th.Exec(sim.Ms(100)) })
+	other.Start()
+	eng.RunUntil(sim.Time(sim.Second))
+	if finished == 0 {
+		t.Fatal("locker never finished (deadlock?)")
+	}
+	if l.Held() {
+		t.Fatal("lock still held at end")
+	}
+	if exitedCS == 0 {
+		t.Fatal("critical section never exited")
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatalf("invariant: %v", err)
+	}
+}
+
+func TestContinuationStatRecordedWhenCSPreempted(t *testing.T) {
+	// Force the deterministic case: thread in CS on the app's only...
+	// second CPU; rival arrives and allocator takes one CPU; if the taken
+	// CPU hosted the CS thread, a continuation must be recorded. Run a
+	// workload long enough that preemption lands inside the CS with
+	// certainty: all app threads hold locks almost always.
+	eng, k, s := newSA(t, 2, Options{})
+	locks := []*SpinLock{{}, {}}
+	stop := false
+	for i := 0; i < 2; i++ {
+		l := locks[i]
+		s.Spawn("locker", func(th *Thread) {
+			for !stop {
+				l.Acquire(th)
+				th.Exec(sim.Ms(5))
+				l.Release(th)
+			}
+		})
+	}
+	s.Start()
+	eng.RunFor(sim.Ms(12))
+	other := OnActivations(k, "rival", 0, 2, Options{})
+	other.Spawn("spin", func(th *Thread) { th.Exec(sim.Ms(50)) })
+	other.Start()
+	eng.After(sim.Ms(100), "stop", func() { stop = true })
+	eng.RunUntil(sim.Time(sim.Second))
+	if s.Stats.Continuations == 0 {
+		t.Fatal("no critical-section continuations recorded despite CS-heavy preemption")
+	}
+	for _, l := range locks {
+		if l.Held() {
+			t.Fatal("a lock leaked across preemption")
+		}
+	}
+}
+
+func TestExplicitCSFlagsAblationCostsMore(t *testing.T) {
+	perIter := func(opt Options) sim.Duration {
+		eng := sim.NewEngine()
+		defer eng.Close()
+		k := core.New(eng, core.Config{CPUs: 1})
+		s := OnActivations(k, "app", 0, 1, opt)
+		var elapsed sim.Duration
+		const iters = 200
+		s.Spawn("main", func(th *Thread) {
+			start := eng.Now()
+			for i := 0; i < iters; i++ {
+				c := th.Fork("null", func(c *Thread) { c.Exec(s.cost.ProcCall) })
+				th.Join(c)
+			}
+			elapsed = eng.Now().Sub(start)
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(5 * sim.Second))
+		return elapsed / iters
+	}
+	fast := perIter(Options{})
+	slow := perIter(Options{ExplicitCSFlags: true})
+	if slow <= fast {
+		t.Fatalf("explicit CS flags (%v) must cost more than zero-overhead marking (%v)", slow, fast)
+	}
+	// §5.1: the difference is a handful of microseconds per critical
+	// section, roughly 6-15µs across the fork path.
+	if d := slow - fast; d < 2*sim.Microsecond || d > 30*sim.Microsecond {
+		t.Fatalf("ablation delta = %v, want single-digit microseconds", d)
+	}
+}
+
+func TestDeterminismUThread(t *testing.T) {
+	run := func(sa bool) (sim.Time, Stats) {
+		eng := sim.NewEngine()
+		defer eng.Close()
+		var s *Sched
+		if sa {
+			k := core.New(eng, core.Config{CPUs: 3})
+			s = OnActivations(k, "app", 0, 3, Options{})
+		} else {
+			k := kernel.New(eng, kernel.Config{CPUs: 3})
+			s = OnKernelThreads(k, k.NewSpace("app", false), 3, Options{})
+		}
+		m := s.NewMutex()
+		for i := 0; i < 6; i++ {
+			s.Spawn("w", func(th *Thread) {
+				for j := 0; j < 4; j++ {
+					m.Lock(th)
+					th.Exec(200 * sim.Microsecond)
+					m.Unlock(th)
+					th.BlockIO()
+				}
+			})
+		}
+		s.Start()
+		eng.RunUntil(sim.Time(5 * sim.Second))
+		return eng.Now(), s.Stats
+	}
+	for _, sa := range []bool{false, true} {
+		t1, s1 := run(sa)
+		t2, s2 := run(sa)
+		if t1 != t2 || s1 != s2 {
+			t.Fatalf("sa=%v non-deterministic: %+v vs %+v", sa, s1, s2)
+		}
+	}
+}
+
+func TestSleepWakesOnTime(t *testing.T) {
+	onBoth(t, 1, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		var slept sim.Duration
+		s.Spawn("sleeper", func(th *Thread) {
+			before := th.Now()
+			th.Sleep(25 * sim.Millisecond)
+			slept = th.Now().Sub(before)
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(sim.Second))
+		if slept < 25*sim.Millisecond || slept > 26*sim.Millisecond {
+			t.Fatalf("slept %v, want ~25ms", slept)
+		}
+	})
+}
+
+func TestSleepDoesNotHoldProcessor(t *testing.T) {
+	onBoth(t, 1, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		var cpuDone, sleepDone sim.Time
+		s.Spawn("sleeper", func(th *Thread) {
+			th.Sleep(50 * sim.Millisecond)
+			sleepDone = th.Now()
+		})
+		s.Spawn("cpu", func(th *Thread) {
+			th.Exec(20 * sim.Millisecond)
+			cpuDone = th.Now()
+		})
+		s.Start()
+		eng.RunUntil(sim.Time(sim.Second))
+		if cpuDone == 0 || sleepDone == 0 {
+			t.Fatal("threads did not finish")
+		}
+		if cpuDone >= sleepDone {
+			t.Fatalf("cpu thread (%v) should run through the sleep (%v)", cpuDone, sleepDone)
+		}
+	})
+}
+
+func TestManySleepersInterleave(t *testing.T) {
+	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *Sched) {
+		done := 0
+		for i := 0; i < 10; i++ {
+			d := sim.Duration(i+1) * 3 * sim.Millisecond
+			s.Spawn("z", func(th *Thread) {
+				for j := 0; j < 3; j++ {
+					th.Exec(200 * sim.Microsecond)
+					th.Sleep(d)
+				}
+				done++
+			})
+		}
+		s.Start()
+		eng.RunUntil(sim.Time(5 * sim.Second))
+		if done != 10 {
+			t.Fatalf("done = %d, want 10", done)
+		}
+	})
+}
