@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check build vet test race bench fuzz saexp
+
+# The tier-1 gate: everything a PR must keep green.
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The sim engine hands a goroutine per coroutine; race-check it explicitly.
+race:
+	$(GO) test -race ./internal/sim/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzEventHeapOps -fuzztime 15s ./internal/sim/
+
+saexp:
+	$(GO) build -o bin/saexp ./cmd/saexp

@@ -144,3 +144,53 @@ func slug(s string) string {
 	}
 	return string(out)
 }
+
+// --- engine microbenchmarks: the simulation hot path itself ---
+//
+// These measure the discrete-event substrate every experiment funnels
+// through: scheduling+firing one event, one coroutine park/unpark round
+// trip, and scheduling+cancelling an event while the timeline advances.
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := sim.NewEngine()
+	defer e.Close()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(sim.Microsecond, "bench", fn)
+		e.Step()
+	}
+}
+
+func BenchmarkCoroutineHandoff(b *testing.B) {
+	e := sim.NewEngine()
+	defer e.Close()
+	co := e.Go("ping", func(c *sim.Coroutine) {
+		for {
+			c.Park("ping")
+		}
+	})
+	co.Unpark()
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		co.Unpark()
+		e.Step()
+	}
+}
+
+func BenchmarkEventCancel(b *testing.B) {
+	e := sim.NewEngine()
+	defer e.Close()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doomed := e.After(2*sim.Microsecond, "doomed", fn)
+		e.After(sim.Microsecond, "kept", fn)
+		doomed.Cancel()
+		e.Step()
+	}
+}

@@ -23,14 +23,30 @@ import (
 	"os"
 
 	"schedact/internal/exp"
+	"schedact/internal/sim"
+	"schedact/internal/stats"
 )
 
 func main() {
 	which := flag.String("exp", "all", "experiment to run (table1, table4, csablation, upcall, breakeven, fig1, fig2, fig2tuned, table5, alloc, hysteresis, all)")
 	csvOut := flag.Bool("csv", false, "emit figure series as CSV instead of tables (fig1/fig2 only)")
+	statsOut := flag.Bool("stats", false, "dump each simulation run's counter registry as it finishes")
 	flag.Parse()
 
 	out := os.Stdout
+	if *statsOut {
+		sim.StatsSink = func(label string, reg *stats.Registry) {
+			if reg.Len() == 0 {
+				return
+			}
+			if label == "" {
+				label = "(unlabelled run)"
+			}
+			fmt.Fprintf(out, "-- stats: %s --\n", label)
+			reg.Dump(out)
+			fmt.Fprintln(out)
+		}
+	}
 	ran := false
 	want := func(name string) bool {
 		if *which == "all" || *which == name {

@@ -12,6 +12,8 @@
 package micro
 
 import (
+	"fmt"
+
 	"schedact/internal/core"
 	"schedact/internal/kernel"
 	"schedact/internal/machine"
@@ -84,6 +86,7 @@ func RunAblation(costs *machine.Costs) Result {
 
 func newUT(sys System, costs *machine.Costs, opt uthread.Options) (*sim.Engine, *uthread.Sched) {
 	eng := sim.NewEngine()
+	eng.SetLabel(fmt.Sprintf("micro %s", sys))
 	switch sys {
 	case FastThreadsKT:
 		k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs})
@@ -152,6 +155,7 @@ func utSignalWait(sys System, costs *machine.Costs, opt uthread.Options) sim.Dur
 
 func ktNullFork(heavy bool, costs *machine.Costs) sim.Duration {
 	eng := sim.NewEngine()
+	eng.SetLabel(fmt.Sprintf("micro nullfork heavy=%v", heavy))
 	defer eng.Close()
 	k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs})
 	sp := k.NewSpace("bench", heavy)
@@ -172,6 +176,7 @@ func ktNullFork(heavy bool, costs *machine.Costs) sim.Duration {
 
 func ktSignalWait(heavy bool, costs *machine.Costs) sim.Duration {
 	eng := sim.NewEngine()
+	eng.SetLabel(fmt.Sprintf("micro signalwait heavy=%v", heavy))
 	defer eng.Close()
 	k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs})
 	sp := k.NewSpace("bench", heavy)
@@ -231,6 +236,7 @@ func UpcallSignalWait(costs *machine.Costs) sim.Duration {
 		costs = machine.DefaultCosts()
 	}
 	eng := sim.NewEngine()
+	eng.SetLabel("micro upcall-signalwait")
 	defer eng.Close()
 	k := core.New(eng, core.Config{CPUs: 2, Costs: costs})
 	s := uthread.OnActivations(k, "bench", 0, 2, uthread.Options{})

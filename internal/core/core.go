@@ -85,6 +85,16 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 	for _, cpu := range m.CPUs() {
 		k.slots = append(k.slots, &cpuSlot{cpu: cpu})
 	}
+	reg := eng.Metrics()
+	reg.Func("core.upcalls", func() uint64 { return k.Stats.Upcalls })
+	reg.Func("core.grants", func() uint64 { return k.Stats.Grants })
+	reg.Func("core.takes", func() uint64 { return k.Stats.Takes })
+	reg.Func("core.double_preempts", func() uint64 { return k.Stats.DoublePreempts })
+	reg.Func("core.delayed_notifies", func() uint64 { return k.Stats.DelayedNotifies })
+	reg.Func("core.rebalances", func() uint64 { return k.Stats.Rebalances })
+	reg.Func("core.io_requests", func() uint64 { return k.Stats.IORequests })
+	reg.Func("core.act_creates", func() uint64 { return k.Stats.ActCreates })
+	reg.Func("core.act_recycles", func() uint64 { return k.Stats.ActRecycles })
 	return k
 }
 

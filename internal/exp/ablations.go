@@ -34,6 +34,7 @@ func AllocatorAblation() AllocatorAblationResult {
 	var res AllocatorAblationResult
 	for _, fcfs := range []bool{false, true} {
 		eng := sim.NewEngine()
+		eng.SetLabel(fmt.Sprintf("alloc-ablation fcfs=%v", fcfs))
 		k := core.New(eng, core.Config{CPUs: MachineCPUs})
 		if fcfs {
 			k.SetPolicy(core.FirstComeFCFS)
@@ -90,6 +91,7 @@ type HysteresisAblationResult struct {
 func HysteresisAblation() HysteresisAblationResult {
 	run := func(h sim.Duration) (uint64, uint64) {
 		eng := sim.NewEngine()
+		eng.SetLabel(fmt.Sprintf("hysteresis-ablation h=%v", h))
 		defer eng.Close()
 		costs := machine.DefaultCosts()
 		costs.DiskLatency = sim.Ms(10)
@@ -133,6 +135,7 @@ func Figure2Tuned() Series {
 		cfg := nbody.DefaultConfig()
 		cfg.MemFraction = pct / 100
 		eng := sim.NewEngine()
+		eng.SetLabel(fmt.Sprintf("fig2-tuned mem=%.0f%%", pct))
 		k := core.New(eng, core.Config{CPUs: MachineCPUs, Costs: machine.TunedCosts()})
 		StartDaemonSA(k)
 		sched := uthread.OnActivations(k, "nbody", 0, MachineCPUs, uthread.Options{})

@@ -1,0 +1,26 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The whole repro rests on the simulation being a pure function of its
+// inputs: every table and figure must render byte-identically on every run
+// in the same process. This guards the engine's event ordering (and any
+// future hot-path refactor of it) end-to-end through all four scheduling
+// layers — a pooled event record reused out of order, a heap tie broken
+// differently, or a map-iteration dependence anywhere would show up here.
+func TestExperimentOutputsDeterministic(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		RenderMicro(&buf, "Table 1", Table1())
+		RenderFigure1(&buf, Figure1())
+		return buf.Bytes()
+	}
+	first := render()
+	second := render()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("experiment output differs between two in-process runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

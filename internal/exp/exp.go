@@ -97,6 +97,7 @@ func StartDaemonSA(k *core.Kernel) {
 // seqTime runs the sequential implementation and returns its execution time.
 func seqTime(cfg nbody.Config) sim.Duration {
 	eng := sim.NewEngine()
+	eng.SetLabel("sequential")
 	defer eng.Close()
 	k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs})
 	StartDaemonNative(k)
@@ -114,6 +115,7 @@ func seqTime(cfg nbody.Config) sim.Duration {
 // processors.
 func launchOne(sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng *sim.Engine, run *nbody.Run) {
 	eng = sim.NewEngine()
+	eng.SetLabel(fmt.Sprintf("%s P=%d", sys, procs))
 	switch sys {
 	case SysTopaz:
 		k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs, Trace: tr})

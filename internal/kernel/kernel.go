@@ -62,7 +62,7 @@ type cpuState struct {
 	cpu         *machine.CPU
 	cur         *KThread   // thread dispatched here, nil when idle
 	dispatching bool       // a dispatcher pass is in flight
-	quantumEv   *sim.Event // end-of-quantum timer for cur
+	quantumEv   sim.Handle // end-of-quantum timer for cur
 }
 
 // NumPriorities bounds thread priority values: 0 (lowest) through
@@ -86,6 +86,14 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 	for _, cpu := range m.CPUs() {
 		k.cpus = append(k.cpus, &cpuState{cpu: cpu})
 	}
+	reg := eng.Metrics()
+	reg.Func("kernel.forks", func() uint64 { return k.Stats.Forks })
+	reg.Func("kernel.exits", func() uint64 { return k.Stats.Exits })
+	reg.Func("kernel.blocks", func() uint64 { return k.Stats.Blocks })
+	reg.Func("kernel.wakeups", func() uint64 { return k.Stats.Wakeups })
+	reg.Func("kernel.dispatches", func() uint64 { return k.Stats.Dispatches })
+	reg.Func("kernel.preemptions", func() uint64 { return k.Stats.Preemptions })
+	reg.Func("kernel.io_requests", func() uint64 { return k.Stats.IORequests })
 	return k
 }
 
@@ -226,7 +234,6 @@ func (k *Kernel) place(cs *cpuState, t *KThread) {
 func (k *Kernel) armQuantum(cs *cpuState) {
 	t := cs.cur
 	cs.quantumEv = k.Eng.After(k.C.Quantum, "quantum", func() {
-		cs.quantumEv = nil
 		if cs.cur != t {
 			return
 		}
@@ -259,10 +266,7 @@ func (k *Kernel) preemptCPU(cs *cpuState) {
 }
 
 func (k *Kernel) disarmQuantum(cs *cpuState) {
-	if cs.quantumEv != nil {
-		cs.quantumEv.Cancel()
-		cs.quantumEv = nil
-	}
+	cs.quantumEv.Cancel() // inert if already fired
 }
 
 // threadReady makes t runnable and places it the way native Topaz does: the

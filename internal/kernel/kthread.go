@@ -211,7 +211,7 @@ func (t *KThread) Yield() {
 func (t *KThread) SleepFor(d sim.Duration) {
 	k := t.k
 	t.ctx.Exec(k.C.Trap + k.blockWork(t.sp))
-	k.Eng.After(d, t.name+":timer", func() { k.threadReady(t) })
+	k.Eng.AfterNamed(d, "ktimer", t.name, func() { k.threadReady(t) })
 	t.block("sleep")
 	// Timer interrupt processing and return to user mode.
 	t.ctx.Exec(k.C.Trap)

@@ -89,7 +89,7 @@ func (c *Context) Remaining() sim.Duration {
 }
 
 // MidExec reports whether the hosted worker is consuming CPU right now.
-func (c *Context) MidExec() bool { return c.w != nil && c.w.execEv != nil }
+func (c *Context) MidExec() bool { return c.w != nil && c.w.execEv.Active() }
 
 // Exec consumes d of CPU through the hosted worker, which must belong to the
 // calling coroutine. This is the common path for kernel threads charging
@@ -145,7 +145,7 @@ type Worker struct {
 	vp        *Context // current vessel, nil when unbound
 	remaining sim.Duration
 	execStart sim.Time
-	execEv    *sim.Event
+	execEv    sim.Handle
 
 	// wantCPU marks the worker's coroutine as parked pending a processor
 	// (mid-Exec or awaiting dispatch), as opposed to blocked at user level.
@@ -179,7 +179,7 @@ func (w *Worker) Bind(c *Context) {
 	if c.w != nil {
 		panic(fmt.Sprintf("machine: context %s already hosts %s", c.name, c.w.name))
 	}
-	if w.execEv != nil {
+	if w.execEv.Active() {
 		panic(fmt.Sprintf("machine: binding %s mid-exec", w.name))
 	}
 	w.vp = c
@@ -195,7 +195,7 @@ func (w *Worker) Unbind() {
 	if w.vp == nil {
 		panic(fmt.Sprintf("machine: Unbind of unbound worker %s", w.name))
 	}
-	if w.execEv != nil {
+	if w.execEv.Active() {
 		panic(fmt.Sprintf("machine: Unbind of %s mid-exec", w.name))
 	}
 	w.vp.w = nil
@@ -227,8 +227,7 @@ func (w *Worker) Exec(d sim.Duration) {
 			continue
 		}
 		w.execStart = w.m.Now()
-		w.execEv = w.m.Eng.After(w.remaining, w.name+":exec-done", func() {
-			w.execEv = nil
+		w.execEv = w.m.Eng.AfterNamed(w.remaining, "exec-done", w.name, func() {
 			w.remaining = 0
 			w.resumeIfWaiting()
 		})
@@ -272,7 +271,7 @@ func (w *Worker) resumeIfWaiting() {
 
 // suspend banks the in-flight computation (preemption).
 func (w *Worker) suspend() {
-	if w.execEv == nil {
+	if !w.execEv.Cancel() {
 		return // at a decision point this instant; nothing to bank
 	}
 	elapsed := w.m.Now().Sub(w.execStart)
@@ -280,12 +279,10 @@ func (w *Worker) suspend() {
 	if w.remaining < 0 {
 		panic(fmt.Sprintf("machine: worker %s over-consumed by %v", w.name, -w.remaining))
 	}
-	w.execEv.Cancel()
-	w.execEv = nil
 }
 
 // MidExec reports whether the worker is consuming CPU right now.
-func (w *Worker) MidExec() bool { return w.execEv != nil }
+func (w *Worker) MidExec() bool { return w.execEv.Active() }
 
 // WantsCPU reports whether the worker's coroutine is parked pending a
 // processor.

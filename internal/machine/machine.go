@@ -37,6 +37,29 @@ func New(eng *sim.Engine, n int, cost *Costs) *Machine {
 		m.cpus = append(m.cpus, &CPU{m: m, id: CPUID(i)})
 	}
 	m.Disk = &Disk{m: m, Latency: cost.DiskLatency}
+	reg := eng.Metrics()
+	reg.Func("machine.dispatches", func() uint64 {
+		var n uint64
+		for _, p := range m.cpus {
+			n += p.Dispatches
+		}
+		return n
+	})
+	reg.Func("machine.preempts", func() uint64 {
+		var n uint64
+		for _, p := range m.cpus {
+			n += p.Preempts
+		}
+		return n
+	})
+	reg.Func("machine.busy_us", func() uint64 {
+		var busy sim.Duration
+		for _, p := range m.cpus {
+			busy += p.TotalBusy
+		}
+		return uint64(sim.DurUs(busy))
+	})
+	reg.Func("machine.disk_ios", func() uint64 { return m.Disk.Requests })
 	return m
 }
 

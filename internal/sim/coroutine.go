@@ -29,15 +29,26 @@ func (s coState) String() string {
 // killSentinel is the panic value used to unwind coroutines on shutdown.
 type killSentinel struct{}
 
+// Event kinds for the coroutine machinery.
+const (
+	kindResume Kind = "co-resume"
+	kindWake   Kind = "co-wake"
+)
+
 // Coroutine is a simulated execution context: a goroutine that runs only when
 // the engine hands control to it, and hands control back by parking. Exactly
 // one coroutine (or event callback) executes at a time, so simulated code
 // needs no locking and the timeline is deterministic.
+//
+// Control transfers ride one unbuffered channel: because the hand-off is
+// strict — at any instant exactly one side holds the token — a single
+// channel serves both directions, and each transfer is one send/receive
+// rendezvous. Resume events carry the coroutine pointer in the event record
+// itself, so an Unpark allocates neither a closure nor a name.
 type Coroutine struct {
 	eng    *Engine
 	name   string
-	resume chan struct{}
-	yield  chan struct{}
+	hand   chan struct{} // the hand-off token channel
 	state  coState
 	killed bool
 
@@ -53,10 +64,9 @@ func (e *Engine) Go(name string, fn func(*Coroutine)) *Coroutine {
 		panic("sim: Go on closed engine")
 	}
 	c := &Coroutine{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		eng:  e,
+		name: name,
+		hand: make(chan struct{}),
 	}
 	e.live[c] = struct{}{}
 	go c.run(fn)
@@ -64,7 +74,7 @@ func (e *Engine) Go(name string, fn func(*Coroutine)) *Coroutine {
 }
 
 func (c *Coroutine) run(fn func(*Coroutine)) {
-	<-c.resume // wait for first dispatch (or kill)
+	<-c.hand // wait for first dispatch (or kill)
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(killSentinel); !ok {
@@ -73,13 +83,13 @@ func (c *Coroutine) run(fn func(*Coroutine)) {
 				// so surface the failure loudly instead of deadlocking.
 				c.state = coDone
 				delete(c.eng.live, c)
-				c.yield <- struct{}{}
+				c.hand <- struct{}{}
 				panic(r)
 			}
 		}
 		c.state = coDone
 		delete(c.eng.live, c)
-		c.yield <- struct{}{} // final hand-off back to the engine
+		c.hand <- struct{}{} // final hand-off back to the engine
 	}()
 	if c.killed {
 		panic(killSentinel{})
@@ -117,8 +127,8 @@ func (c *Coroutine) Park(reason string) {
 	}
 	c.parkReason = reason
 	c.state = coParked
-	c.yield <- struct{}{}
-	<-c.resume
+	c.hand <- struct{}{}
+	<-c.hand
 	if c.killed {
 		panic(killSentinel{})
 	}
@@ -133,8 +143,11 @@ func (c *Coroutine) Sleep(d Duration) {
 	if c.eng.cur != c {
 		panic(fmt.Sprintf("sim: Sleep on %s called from outside the coroutine", c.name))
 	}
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative Sleep %v on %s", d, c.name))
+	}
 	c.resumeScheduled = true
-	c.eng.After(d, c.name+":wake", func() { c.dispatch() })
+	c.eng.schedule(c.eng.now.Add(d), kindWake, c.name, nil, c)
 	c.Park("sleep")
 }
 
@@ -158,11 +171,11 @@ func (c *Coroutine) UnparkAt(t Time) {
 		panic(fmt.Sprintf("sim: duplicate Unpark on coroutine %s", c.name))
 	}
 	c.resumeScheduled = true
-	c.eng.At(t, c.name+":resume", func() { c.dispatch() })
+	c.eng.schedule(t, kindResume, c.name, nil, c)
 }
 
 // dispatch transfers control to the coroutine and blocks until it parks or
-// finishes. It runs in the engine goroutine, inside an event callback.
+// finishes. It runs in the engine goroutine, inside the resume event.
 func (c *Coroutine) dispatch() {
 	c.resumeScheduled = false
 	if c.state == coDone {
@@ -171,8 +184,8 @@ func (c *Coroutine) dispatch() {
 	prev := c.eng.cur
 	c.eng.cur = c
 	c.eng.Stats.Resumes++
-	c.resume <- struct{}{}
-	<-c.yield
+	c.hand <- struct{}{}
+	<-c.hand
 	c.eng.cur = prev
 }
 
@@ -183,8 +196,8 @@ func (c *Coroutine) kill() {
 		return
 	}
 	c.killed = true
-	c.resume <- struct{}{}
-	<-c.yield
+	c.hand <- struct{}{}
+	<-c.hand
 }
 
 // Current reports the coroutine currently executing, or nil when the engine

@@ -3,11 +3,20 @@ package sim
 import (
 	"errors"
 	"fmt"
+
+	"schedact/internal/stats"
 )
 
 // ErrKilled unwinds a coroutine when the engine shuts down. Simulated code
 // never observes it: the panic is recovered by the coroutine wrapper.
 var ErrKilled = errors.New("sim: coroutine killed by engine shutdown")
+
+// StatsSink, when non-nil, receives every engine's metrics registry as the
+// engine closes, labelled with the engine's label. Harnesses (saexp -stats)
+// install it to print a per-run scheduling-event profile without threading a
+// collector through every experiment. It is consulted once per Close, before
+// coroutines are unwound, so all counters are final but still reachable.
+var StatsSink func(label string, reg *stats.Registry)
 
 // Engine is a sequential discrete-event simulator.
 //
@@ -16,72 +25,157 @@ var ErrKilled = errors.New("sim: coroutine killed by engine shutdown")
 // discipline, is the same goroutine dynamically). The engine is not safe for
 // concurrent use; it does not need to be, since the whole point is a single
 // deterministic timeline.
+//
+// The hot path — schedule, fire, cancel — is allocation-free in steady
+// state: event records live on a free list and are recycled as they fire or
+// are cancelled, cancellation removes from the indexed heap outright (no
+// tombstones, so Pending is exact), and event names are static Kind labels
+// combined with their subject only when diagnostics render them.
 type Engine struct {
-	now    Time
-	seq    uint64
-	pq     eventHeap
-	cur    *Coroutine // coroutine currently executing, nil in plain events
-	live   map[*Coroutine]struct{}
-	closed bool
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	free    []*Event // recycled event records
+	cur     *Coroutine
+	live    map[*Coroutine]struct{}
+	closed  bool
+	label   string
+	metrics *stats.Registry
 
 	// Stats counts engine activity; useful for tests and for keeping an eye
-	// on event-storm bugs.
+	// on event-storm bugs. The same values are readable through Metrics
+	// under the "sim." prefix.
 	Stats struct {
-		Events  uint64 // events fired
-		Resumes uint64 // coroutine resumptions
+		Events     uint64 // events fired
+		Resumes    uint64 // coroutine resumptions
+		Scheduled  uint64 // events scheduled
+		Cancels    uint64 // events cancelled (removed without firing)
+		Reuses     uint64 // schedules served from the free list
+		MaxPending int    // high-water mark of the event queue
 	}
 }
 
 // NewEngine returns an engine at time zero with an empty event queue.
 func NewEngine() *Engine {
-	return &Engine{live: make(map[*Coroutine]struct{})}
+	e := &Engine{live: make(map[*Coroutine]struct{}), metrics: stats.New()}
+	e.metrics.Func("sim.events", func() uint64 { return e.Stats.Events })
+	e.metrics.Func("sim.resumes", func() uint64 { return e.Stats.Resumes })
+	e.metrics.Func("sim.scheduled", func() uint64 { return e.Stats.Scheduled })
+	e.metrics.Func("sim.cancels", func() uint64 { return e.Stats.Cancels })
+	e.metrics.Func("sim.pool_reuses", func() uint64 { return e.Stats.Reuses })
+	e.metrics.Func("sim.max_pending", func() uint64 { return uint64(e.Stats.MaxPending) })
+	return e
 }
+
+// Metrics returns the engine's shared stats registry. Every scheduling layer
+// running on this engine registers its counters here.
+func (e *Engine) Metrics() *stats.Registry { return e.metrics }
+
+// SetLabel names the engine for StatsSink output.
+func (e *Engine) SetLabel(label string) { e.label = label }
+
+// Label reports the engine's label.
+func (e *Engine) Label() string { return e.label }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending reports the number of events (including cancelled ones not yet
-// discarded) in the queue.
+// Pending reports the number of events queued to fire. Cancelled events are
+// removed immediately, so the count is exact.
 func (e *Engine) Pending() int { return len(e.pq) }
 
-// At schedules fn to run at absolute time t. Scheduling in the past (t before
-// Now) panics: it would corrupt the timeline, and always indicates a bug in
-// the caller. The returned event may be cancelled.
-func (e *Engine) At(t Time, name string, fn func()) *Event {
+// alloc takes an event record from the free list, or makes one.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.Stats.Reuses++
+		return ev
+	}
+	return &Event{eng: e, index: -1}
+}
+
+// release recycles a fired or cancelled event record. Bumping the
+// generation turns every outstanding Handle to it inert.
+func (e *Engine) release(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.co = nil
+	ev.subj = ""
+	ev.kind = ""
+	e.free = append(e.free, ev)
+}
+
+// schedule is the single hot-path entry: every At/After/coroutine resume
+// lands here. No formatting, no allocation in steady state.
+func (e *Engine) schedule(t Time, kind Kind, subj string, fn func(), co *Coroutine) Handle {
 	if e.closed {
-		panic("sim: At on closed engine")
+		panic("sim: schedule on closed engine")
 	}
 	if t < e.now {
-		panic(fmt.Sprintf("sim: event %q scheduled at %v, before now %v", name, t, e.now))
+		ev := Event{kind: kind, subj: subj}
+		panic(fmt.Sprintf("sim: event %q scheduled at %v, before now %v", ev.name(), t, e.now))
 	}
 	e.seq++
-	ev := &Event{t: t, seq: e.seq, name: name, fn: fn}
+	ev := e.alloc()
+	ev.t, ev.seq, ev.kind, ev.subj, ev.fn, ev.co = t, e.seq, kind, subj, fn, co
 	e.pq.push(ev)
-	return ev
+	e.Stats.Scheduled++
+	if n := len(e.pq); n > e.Stats.MaxPending {
+		e.Stats.MaxPending = n
+	}
+	return Handle{ev, ev.gen}
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t
+// before Now) panics: it would corrupt the timeline, and always indicates a
+// bug in the caller. The returned handle may be used to Cancel.
+func (e *Engine) At(t Time, kind Kind, fn func()) Handle {
+	return e.schedule(t, kind, "", fn, nil)
+}
+
+// AtNamed is At with a subject: the dynamic "who" of the event, kept
+// separate from the static kind so the hot path never concatenates.
+func (e *Engine) AtNamed(t Time, kind Kind, subject string, fn func()) Handle {
+	return e.schedule(t, kind, subject, fn, nil)
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Duration, name string, fn func()) *Event {
+func (e *Engine) After(d Duration, kind Kind, fn func()) Handle {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v for event %q", d, name))
+		panic(fmt.Sprintf("sim: negative delay %v for event %q", d, kind))
 	}
-	return e.At(e.now.Add(d), name, fn)
+	return e.schedule(e.now.Add(d), kind, "", fn, nil)
+}
+
+// AfterNamed is After with a subject.
+func (e *Engine) AfterNamed(d Duration, kind Kind, subject string, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %s:%q", d, subject, kind))
+	}
+	return e.schedule(e.now.Add(d), kind, subject, fn, nil)
 }
 
 // Step fires the next event, advancing the clock to its time. It reports
 // false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.pq) > 0 {
-		ev := e.pq.pop()
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.t
-		e.Stats.Events++
-		ev.fn()
-		return true
+	if len(e.pq) == 0 {
+		return false
 	}
-	return false
+	ev := e.pq.pop()
+	e.now = ev.t
+	fn, co := ev.fn, ev.co
+	// Recycle before firing: during its own callback the event is already
+	// "fired", so its handles are inert and its record reusable.
+	e.release(ev)
+	e.Stats.Events++
+	if co != nil {
+		co.dispatch()
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run fires events until the queue is empty.
@@ -93,11 +187,7 @@ func (e *Engine) Run() {
 // RunUntil fires events with time <= t, then sets the clock to t. Events
 // scheduled at exactly t do fire.
 func (e *Engine) RunUntil(t Time) {
-	for {
-		next, ok := e.peek()
-		if !ok || next > t {
-			break
-		}
+	for len(e.pq) > 0 && e.pq[0].t <= t {
 		e.Step()
 	}
 	if e.now < t {
@@ -108,17 +198,6 @@ func (e *Engine) RunUntil(t Time) {
 // RunFor advances the clock by d, firing all events in the window.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 
-func (e *Engine) peek() (Time, bool) {
-	for len(e.pq) > 0 {
-		if e.pq[0].cancelled {
-			e.pq.pop()
-			continue
-		}
-		return e.pq[0].t, true
-	}
-	return 0, false
-}
-
 // Close shuts the engine down, unwinding every live coroutine so no
 // goroutines leak. After Close the engine must not be used. Close is
 // idempotent.
@@ -126,9 +205,19 @@ func (e *Engine) Close() {
 	if e.closed {
 		return
 	}
+	if StatsSink != nil {
+		StatsSink(e.label, e.metrics)
+	}
 	e.closed = true
 	for c := range e.live {
 		c.kill()
 	}
+	// Invalidate outstanding handles to still-queued events before dropping
+	// the queue, so a stale Cancel after Close stays inert.
+	for _, ev := range e.pq {
+		ev.index = -1
+		ev.gen++
+	}
 	e.pq = nil
+	e.free = nil
 }

@@ -58,9 +58,11 @@ func TestCancelPreventsFiring(t *testing.T) {
 	defer e.Close()
 	fired := false
 	ev := e.After(Microsecond, "ev", func() { fired = true })
-	ev.Cancel()
-	if !ev.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+	if !ev.Cancel() {
+		t.Fatal("Cancel() = false on a pending event")
+	}
+	if ev.Active() {
+		t.Fatal("Active() = true after Cancel")
 	}
 	e.Run()
 	if fired {
@@ -205,7 +207,7 @@ func TestCancelSubsetProperty(t *testing.T) {
 		defer e.Close()
 		count := int(n%64) + 1
 		fired := make([]bool, count)
-		events := make([]*Event, count)
+		events := make([]Handle, count)
 		for i := 0; i < count; i++ {
 			i := i
 			events[i] = e.After(Duration(rng.Intn(100))*Microsecond, "ev", func() { fired[i] = true })
@@ -280,5 +282,148 @@ func TestStatsCountEvents(t *testing.T) {
 	e.Run()
 	if e.Stats.Events != 7 {
 		t.Fatalf("Stats.Events = %d, want 7", e.Stats.Events)
+	}
+}
+
+// Regression: Pending must not count cancelled events. The pre-indexed-heap
+// engine left tombstones in the queue, so cancelling inflated Pending until
+// the tombstone's time was reached.
+func TestPendingExactAfterCancel(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	var evs []Handle
+	for i := 0; i < 10; i++ {
+		evs = append(evs, e.After(Duration(i+1)*Microsecond, "ev", func() {}))
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending() = %d, want 10", e.Pending())
+	}
+	for _, i := range []int{1, 3, 5, 9} {
+		evs[i].Cancel()
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending() = %d after cancelling 4 of 10, want exactly 6", e.Pending())
+	}
+	evs[1].Cancel() // double cancel must not double-remove
+	if e.Pending() != 6 {
+		t.Fatalf("Pending() = %d after double Cancel, want 6", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Run, want 0", e.Pending())
+	}
+}
+
+// A stale handle must stay inert once its event record has been recycled
+// for an unrelated later event: cancelling through it must not touch the
+// new occupant.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	first := e.After(Microsecond, "first", func() {})
+	e.Run() // fires and recycles the record
+	fired := false
+	fresh := e.After(Microsecond, "second", func() { fired = true })
+	if first.Cancel() {
+		t.Fatal("stale Cancel reported success")
+	}
+	if !fresh.Active() {
+		t.Fatal("stale Cancel removed the recycled event's new occupant")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("second event did not fire")
+	}
+}
+
+// The schedule/fire hot path must be allocation-free in steady state: event
+// records come off the free list and carry no formatted names.
+func TestHotPathAllocationFree(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	fn := func() {}
+	for i := 0; i < 100; i++ { // warm the pool and the heap slice
+		e.After(Microsecond, "warm", fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(Microsecond, "hot", fn)
+		e.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
+	cancels := testing.AllocsPerRun(1000, func() {
+		ev := e.After(Microsecond, "doomed", fn)
+		ev.Cancel()
+	})
+	if cancels > 0 {
+		t.Fatalf("schedule+cancel allocates %.1f objects/op, want 0", cancels)
+	}
+	if e.Stats.Reuses == 0 {
+		t.Fatal("free list never reused an event record")
+	}
+}
+
+// Property: any interleaving of At/After/Cancel fires the surviving events
+// in (time, seq) order, Pending is exact at every step, and no tombstones
+// leak (the queue is empty when Run returns).
+func TestRandomScheduleCancelProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		defer e.Close()
+		type rec struct {
+			t   Time
+			seq int
+		}
+		var fired []rec
+		live := 0
+		var handles []Handle
+		ops := int(n)%150 + 20
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				i := i
+				handles = append(handles, e.After(Duration(rng.Intn(40))*Microsecond, "at", func() {
+					fired = append(fired, rec{e.Now(), i})
+				}))
+				live++
+			case 1:
+				i := i
+				handles = append(handles, e.At(e.Now().Add(Duration(rng.Intn(40))*Microsecond), "after", func() {
+					fired = append(fired, rec{e.Now(), i})
+				}))
+				live++
+			case 2:
+				if len(handles) > 0 {
+					if handles[rng.Intn(len(handles))].Cancel() {
+						live--
+					}
+				}
+			}
+			if e.Pending() != live {
+				t.Logf("Pending() = %d, want %d live", e.Pending(), live)
+				return false
+			}
+		}
+		e.Run()
+		if len(fired) != live {
+			t.Logf("fired %d events, want %d", len(fired), live)
+			return false
+		}
+		if e.Pending() != 0 {
+			t.Logf("Pending() = %d after Run (tombstone leak)", e.Pending())
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].t != fired[j].t {
+				return fired[i].t < fired[j].t
+			}
+			return fired[i].seq < fired[j].seq
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,66 +1,172 @@
 package sim
 
-import "container/heap"
+// Kind labels an event type for diagnostics and tracing. Kinds are static
+// strings — use constants, never fmt.Sprintf or concatenation — so the hot
+// path stores one string header and formats nothing. Dynamic context (which
+// thread's timer, which worker's exec) goes in the separate subject field of
+// AtNamed/AfterNamed and is only combined with the kind when a name is
+// actually rendered.
+type Kind string
 
-// Event is a scheduled callback. Events are ordered by time, with ties broken
-// by scheduling order (sequence number), which makes the simulation fully
-// deterministic.
+// Event is a scheduled callback, ordered by time with ties broken by
+// scheduling order (sequence number), which makes the simulation fully
+// deterministic. Events are pooled: once fired or cancelled, the record is
+// recycled for a later schedule. External code therefore never holds an
+// *Event; it holds a generation-checked Handle.
 type Event struct {
-	t         Time
-	seq       uint64
-	name      string
-	fn        func()
-	cancelled bool
-	index     int // heap index, -1 once popped
+	eng  *Engine
+	t    Time
+	seq  uint64 // tie-break within equal times; engine-global schedule order
+	gen  uint64 // bumped on every recycle; stale Handles become inert
+	kind Kind
+	subj string     // optional subject ("who"), rendered lazily
+	fn   func()     // callback, nil for coroutine dispatch events
+	co   *Coroutine // dispatch target; avoids a closure per resume
+
+	index int // position in the engine's heap, -1 when not queued
 }
 
-// Time reports when the event is scheduled to fire.
-func (ev *Event) Time() Time { return ev.t }
+// name renders the debug name. Cold path only: panics, tracing, tests.
+func (ev *Event) name() string {
+	if ev.subj == "" {
+		return string(ev.kind)
+	}
+	return ev.subj + ":" + string(ev.kind)
+}
 
-// Name reports the debug name given at scheduling time.
-func (ev *Event) Name() string { return ev.name }
+// Handle refers to one scheduled event. It stays valid forever: once the
+// event fires or is cancelled (and its record recycled), the handle turns
+// inert — Active reports false and Cancel does nothing. The zero Handle is
+// inert.
+type Handle struct {
+	ev  *Event
+	gen uint64
+}
 
-// Cancel prevents the event from firing. Cancelling an event that already
-// fired or was already cancelled is a no-op.
-func (ev *Event) Cancel() { ev.cancelled = true }
+// Active reports whether the event is still queued to fire.
+func (h Handle) Active() bool {
+	return h.ev != nil && h.ev.gen == h.gen
+}
 
-// Cancelled reports whether Cancel has been called.
-func (ev *Event) Cancelled() bool { return ev.cancelled }
+// Time reports when the event will fire; zero when no longer Active.
+func (h Handle) Time() Time {
+	if !h.Active() {
+		return 0
+	}
+	return h.ev.t
+}
 
-// eventHeap is a min-heap of events ordered by (time, seq).
+// Name renders the event's debug name; empty when no longer Active.
+func (h Handle) Name() string {
+	if !h.Active() {
+		return ""
+	}
+	return h.ev.name()
+}
+
+// Cancel removes the event from the queue in O(log n) and recycles it
+// immediately — no tombstone is left behind, so Pending stays exact. It
+// reports whether it cancelled anything; cancelling an event that already
+// fired or was already cancelled is an inert no-op.
+func (h Handle) Cancel() bool {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.index < 0 {
+		return false
+	}
+	eng := ev.eng
+	eng.pq.remove(ev)
+	eng.Stats.Cancels++
+	eng.release(ev)
+	return true
+}
+
+// eventHeap is an indexed min-heap of events ordered by (time, seq). The
+// sift routines are hand-rolled (rather than container/heap) so removal and
+// pop stay free of interface conversions on the hot path.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
 }
 
-func (h *eventHeap) Pop() any {
+// down sifts i toward the leaves; it reports whether i moved.
+func (h eventHeap) down(i int) bool {
+	start := i
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h.swap(i, least)
+		i = least
+	}
+	return i > start
+}
+
+func (h *eventHeap) push(ev *Event) {
+	ev.index = len(*h)
+	*h = append(*h, ev)
+	h.up(ev.index)
+}
+
+func (h *eventHeap) pop() *Event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+	ev := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[0].index = 0
+	old[n] = nil
+	*h = old[:n]
+	if n > 1 {
+		(*h).down(0)
+	}
 	ev.index = -1
-	*h = old[:n-1]
 	return ev
 }
 
-func (h *eventHeap) push(ev *Event) { heap.Push(h, ev) }
-
-func (h *eventHeap) pop() *Event { return heap.Pop(h).(*Event) }
+// remove deletes the event at an arbitrary heap position in O(log n).
+func (h *eventHeap) remove(ev *Event) {
+	i := ev.index
+	old := *h
+	n := len(old) - 1
+	if i != n {
+		old[i] = old[n]
+		old[i].index = i
+	}
+	old[n] = nil
+	*h = old[:n]
+	if i != n {
+		if !(*h).down(i) {
+			(*h).up(i)
+		}
+	}
+	ev.index = -1
+}

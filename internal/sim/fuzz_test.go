@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzEventHeapOps drives the engine with an arbitrary byte-encoded program
+// of At/After/Cancel/Step operations and checks the heap invariants the
+// whole simulator rests on: surviving events fire in (time, seq) order,
+// Pending is exact at every point, and draining the queue leaves nothing
+// behind (no tombstone leaks).
+func FuzzEventHeapOps(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 5, 2, 0, 3, 0, 20, 2, 1})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 2, 0, 2, 0, 3, 3, 3})
+	f.Add([]byte{0, 0, 0, 0, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		e := NewEngine()
+		defer e.Close()
+		type rec struct {
+			t   Time
+			seq int
+		}
+		var fired []rec
+		var handles []Handle
+		live, next := 0, 0
+		pc := 0
+		read := func() int {
+			if pc >= len(program) {
+				return 0
+			}
+			b := program[pc]
+			pc++
+			return int(b)
+		}
+		for pc < len(program) {
+			switch read() % 4 {
+			case 0: // After
+				id := next
+				next++
+				handles = append(handles, e.After(Duration(read()%64)*Microsecond, "fuzz-after", func() {
+					fired = append(fired, rec{e.Now(), id})
+				}))
+				live++
+			case 1: // At
+				id := next
+				next++
+				handles = append(handles, e.At(e.Now().Add(Duration(read()%64)*Microsecond), "fuzz-at", func() {
+					fired = append(fired, rec{e.Now(), id})
+				}))
+				live++
+			case 2: // Cancel an arbitrary handle (possibly stale)
+				if len(handles) > 0 {
+					if handles[read()%len(handles)].Cancel() {
+						live--
+					}
+				}
+			case 3: // Step
+				if e.Step() {
+					live--
+				}
+			}
+			if e.Pending() != live {
+				t.Fatalf("Pending() = %d, want %d live events", e.Pending(), live)
+			}
+		}
+		firedBefore := len(fired)
+		e.Run()
+		if e.Pending() != 0 {
+			t.Fatalf("Pending() = %d after drain, want 0", e.Pending())
+		}
+		if len(fired) != firedBefore+live {
+			t.Fatalf("drain fired %d events, want the %d still live", len(fired)-firedBefore, live)
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].t != fired[j].t {
+				return fired[i].t < fired[j].t
+			}
+			return fired[i].seq < fired[j].seq
+		}) {
+			t.Fatalf("events fired out of (time, seq) order: %v", fired)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+// Package stats is a zero-dependency counter/gauge registry shared by every
+// scheduling layer of the simulation. The engine owns one Registry per run;
+// machine, kernel, core, and uthread all register their scheduling-event
+// counters (upcalls, downcalls, dispatches, preemptions, steals, recoveries,
+// cache misses, ...) into it, so any experiment can print a uniform profile
+// of what its run did.
+//
+// Two registration styles are supported:
+//
+//   - push: Counter/Gauge hand back a cell the hot path increments directly
+//     (one machine word, no map lookup, no locking);
+//   - pull: Func registers a closure read at snapshot time, which lets a
+//     layer keep its existing stats struct as the single source of truth and
+//     expose it without touching its hot paths.
+//
+// Like the engine itself, a Registry is confined to the simulation
+// goroutine; it is deliberately unsynchronized.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter uint64
+
+// Inc adds one.
+func (c *Counter) Inc() { *c++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { *c += Counter(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return uint64(*c) }
+
+// Gauge is an instantaneous non-negative level (queue depth, pool size).
+type Gauge uint64
+
+// Set replaces the level.
+func (g *Gauge) Set(v uint64) { *g = Gauge(v) }
+
+// Max raises the level to v if v is larger (high-water marks).
+func (g *Gauge) Max(v uint64) {
+	if Gauge(v) > *g {
+		*g = Gauge(v)
+	}
+}
+
+// Value reports the current level.
+func (g *Gauge) Value() uint64 { return uint64(*g) }
+
+// Sample is one named value in a snapshot.
+type Sample struct {
+	Name  string
+	Value uint64
+}
+
+// Registry is an ordered set of named metrics. The zero value is not usable;
+// call New. All methods are safe on a nil *Registry (they no-op or hand back
+// detached cells), so layers can run without one.
+type Registry struct {
+	names []string
+	read  map[string]func() uint64
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{read: make(map[string]func() uint64)}
+}
+
+// Counter registers and returns a push counter. On a nil registry the
+// counter is detached but still valid to increment.
+func (r *Registry) Counter(name string) *Counter {
+	c := new(Counter)
+	r.Func(name, c.Value)
+	return c
+}
+
+// Gauge registers and returns a push gauge. On a nil registry the gauge is
+// detached but still valid to update.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := new(Gauge)
+	r.Func(name, g.Value)
+	return g
+}
+
+// Func registers a pull metric: fn is invoked at snapshot time. When name is
+// already taken (several schedulers of the same kind sharing one engine),
+// a deterministic "#2", "#3", ... suffix is appended.
+func (r *Registry) Func(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	if _, dup := r.read[name]; dup {
+		for i := 2; ; i++ {
+			cand := fmt.Sprintf("%s#%d", name, i)
+			if _, ok := r.read[cand]; !ok {
+				name = cand
+				break
+			}
+		}
+	}
+	r.names = append(r.names, name)
+	r.read[name] = fn
+}
+
+// Value reads one metric by exact name.
+func (r *Registry) Value(name string) (uint64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	fn, ok := r.read[name]
+	if !ok {
+		return 0, false
+	}
+	return fn(), true
+}
+
+// Len reports how many metrics are registered.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.names)
+}
+
+// Snapshot reads every metric, sorted by name so layers group together and
+// output is stable regardless of registration order.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	out := make([]Sample, 0, len(r.names))
+	for _, name := range r.names {
+		out = append(out, Sample{Name: name, Value: r.read[name]()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Dump writes the snapshot as an aligned two-column table.
+func (r *Registry) Dump(w io.Writer) {
+	snap := r.Snapshot()
+	width := 0
+	for _, s := range snap {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	for _, s := range snap {
+		fmt.Fprintf(w, "  %-*s %12d\n", width, s.Name, s.Value)
+	}
+}

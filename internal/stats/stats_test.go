@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGaugeRoundTrip(t *testing.T) {
+	r := New()
+	c := r.Counter("kernel.dispatches")
+	g := r.Gauge("sim.max_pending")
+	c.Inc()
+	c.Add(4)
+	g.Set(3)
+	g.Max(7)
+	g.Max(2) // lower; must not regress
+	if v, ok := r.Value("kernel.dispatches"); !ok || v != 5 {
+		t.Fatalf("counter = %d,%v, want 5,true", v, ok)
+	}
+	if v, ok := r.Value("sim.max_pending"); !ok || v != 7 {
+		t.Fatalf("gauge = %d,%v, want 7,true", v, ok)
+	}
+}
+
+func TestFuncMetricReadsLive(t *testing.T) {
+	r := New()
+	backing := uint64(0)
+	r.Func("uthread.app.steals", func() uint64 { return backing })
+	backing = 42
+	if v, _ := r.Value("uthread.app.steals"); v != 42 {
+		t.Fatalf("func metric = %d, want live value 42", v)
+	}
+}
+
+func TestDuplicateNamesGetDeterministicSuffixes(t *testing.T) {
+	r := New()
+	r.Func("uthread.nbody.steals", func() uint64 { return 1 })
+	r.Func("uthread.nbody.steals", func() uint64 { return 2 })
+	r.Func("uthread.nbody.steals", func() uint64 { return 3 })
+	if v, ok := r.Value("uthread.nbody.steals#2"); !ok || v != 2 {
+		t.Fatalf("second registration = %d,%v, want 2 under #2 suffix", v, ok)
+	}
+	if v, ok := r.Value("uthread.nbody.steals#3"); !ok || v != 3 {
+		t.Fatalf("third registration = %d,%v, want 3 under #3 suffix", v, ok)
+	}
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	r := New()
+	r.Counter("zeta")
+	r.Counter("alpha")
+	r.Counter("mid")
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0].Name != "alpha" || snap[1].Name != "mid" || snap[2].Name != "zeta" {
+		t.Fatalf("snapshot order = %v, want sorted by name", snap)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x") // detached but usable
+	c.Inc()
+	g := r.Gauge("y")
+	g.Set(9)
+	r.Func("z", func() uint64 { return 0 })
+	if r.Len() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil registry must stay empty")
+	}
+	if _, ok := r.Value("x"); ok {
+		t.Fatal("nil registry must not resolve names")
+	}
+}
+
+func TestDumpAligned(t *testing.T) {
+	r := New()
+	c := r.Counter("core.upcalls")
+	c.Add(12)
+	r.Counter("machine.disk_ios")
+	var sb strings.Builder
+	r.Dump(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "core.upcalls") || !strings.Contains(out, "12") {
+		t.Fatalf("dump missing metric: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump has %d lines, want 2", len(lines))
+	}
+}

@@ -30,6 +30,7 @@ func OnKernelThreads(k *kernel.Kernel, sp *kernel.Space, nVPs int, opt Options) 
 	}
 	s := newSched(k.Eng, k.M, opt)
 	s.back = &ktBackend{s: s, k: k, sp: sp, nVPs: nVPs}
+	s.registerMetrics(sp.Name)
 	return s
 }
 

@@ -30,6 +30,7 @@ func OnActivations(k *core.Kernel, name string, priority, maxVPs int, opt Option
 	b := &saBackend{s: s, k: k, max: maxVPs, vessels: make(map[*core.Activation]*vessel)}
 	b.space = k.NewSpace(name, priority, b)
 	s.back = b
+	s.registerMetrics(name)
 	return s
 }
 

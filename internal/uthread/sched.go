@@ -190,6 +190,24 @@ func newSched(eng *sim.Engine, m *machine.Machine, opt Options) *Sched {
 	}
 }
 
+// registerMetrics reports the thread system's counters into the engine's
+// shared stats registry under "uthread.<space>.". Duplicate space names on
+// one engine get deterministic "#n" suffixes from the registry.
+func (s *Sched) registerMetrics(space string) {
+	reg := s.eng.Metrics()
+	pfx := "uthread." + space + "."
+	reg.Func(pfx+"forks", func() uint64 { return s.Stats.Forks })
+	reg.Func(pfx+"exits", func() uint64 { return s.Stats.Exits })
+	reg.Func(pfx+"switches", func() uint64 { return s.Stats.Switches })
+	reg.Func(pfx+"steals", func() uint64 { return s.Stats.Steals })
+	reg.Func(pfx+"blocks_user", func() uint64 { return s.Stats.BlocksUser })
+	reg.Func(pfx+"blocks_kernel", func() uint64 { return s.Stats.BlocksKernel })
+	reg.Func(pfx+"recoveries", func() uint64 { return s.Stats.Continuations })
+	reg.Func(pfx+"downcalls", func() uint64 { return s.Stats.KernelNotifies })
+	reg.Func(pfx+"upcalls", func() uint64 { return s.Stats.Upcalls })
+	reg.Func(pfx+"spin_wait_us", func() uint64 { return uint64(sim.DurUs(s.Stats.SpinWait)) })
+}
+
 // Engine returns the simulation engine.
 func (s *Sched) Engine() *sim.Engine { return s.eng }
 

@@ -343,7 +343,7 @@ func (t *Thread) exitCS(l *SpinLock, w *machine.Worker) {
 // parked.
 func (t *Thread) Sleep(d sim.Duration) {
 	s := t.s
-	s.eng.After(d, t.name+":sleep-wake", func() {
+	s.eng.AfterNamed(d, "sleep-wake", t.name, func() {
 		if t.blockPending {
 			t.wakePending = true
 			return
