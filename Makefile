@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz saexp
+.PHONY: check build vet test race bench fuzz saexp chaos cover
+
+# Coverage floors for the protocol-bearing packages (make cover).
+COVER_FLOOR_core := 85
+COVER_FLOOR_kernel := 80
 
 # The tier-1 gate: everything a PR must keep green.
 check: build vet test race
@@ -23,6 +27,23 @@ bench:
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEventHeapOps -fuzztime 15s ./internal/sim/
+	$(GO) test -run xxx -fuzz FuzzUpcallDowncall -fuzztime 15s ./internal/core/
 
 saexp:
 	$(GO) build -o bin/saexp ./cmd/saexp
+
+# Seeded fault-injection sweep with the invariant auditor armed; nonzero
+# exit on any violation, lost thread, or nondeterministic replay.
+chaos:
+	$(GO) run ./cmd/saexp -chaos -seeds 64
+
+# Per-package coverage with floors on the protocol-bearing packages.
+cover:
+	@set -e; for spec in core:$(COVER_FLOOR_core) kernel:$(COVER_FLOOR_kernel); do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		$(GO) test -coverprofile=/tmp/schedact-cover-$$pkg.out ./internal/$$pkg/ >/dev/null; \
+		pct=$$($(GO) tool cover -func=/tmp/schedact-cover-$$pkg.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+		echo "internal/$$pkg coverage: $$pct% (floor $$floor%)"; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then echo "internal/$$pkg coverage $$pct% below floor $$floor%"; exit 1; fi; \
+	done

@@ -15,6 +15,15 @@
 //	saexp -exp alloc      # §4.1 ablation: allocation policy
 //	saexp -exp hysteresis # §4.2 ablation: idle hysteresis
 //	saexp -exp all        # everything
+//
+// Chaos mode (separate from -exp):
+//
+//	saexp -chaos              # 64-seed fault-injection sweep, auditor armed
+//	saexp -chaos -seeds 256   # more seeds
+//	saexp -chaos -ablate nogrant    # demo: auditor catches a broken allocator
+//	saexp -chaos -ablate dropevent  # demo: auditor catches dropped events
+//
+// Chaos mode exits nonzero if any seed fails, so it can gate CI.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"os"
 
+	"schedact/internal/core"
 	"schedact/internal/exp"
 	"schedact/internal/sim"
 	"schedact/internal/stats"
@@ -31,7 +41,15 @@ func main() {
 	which := flag.String("exp", "all", "experiment to run (table1, table4, csablation, upcall, breakeven, fig1, fig2, fig2tuned, table5, alloc, hysteresis, all)")
 	csvOut := flag.Bool("csv", false, "emit figure series as CSV instead of tables (fig1/fig2 only)")
 	statsOut := flag.Bool("stats", false, "dump each simulation run's counter registry as it finishes")
+	chaosMode := flag.Bool("chaos", false, "run the seeded fault-injection sweep instead of an experiment")
+	seeds := flag.Int64("seeds", 64, "number of chaos seeds to sweep (with -chaos)")
+	firstSeed := flag.Int64("first-seed", 1, "first chaos seed (with -chaos)")
+	ablate := flag.String("ablate", "", "run one deliberately broken kernel under the auditor: nogrant or dropevent (with -chaos)")
 	flag.Parse()
+
+	if *chaosMode {
+		os.Exit(runChaos(*seeds, *firstSeed, *ablate))
+	}
 
 	out := os.Stdout
 	if *statsOut {
@@ -124,5 +142,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runChaos executes the chaos sweep (or a single ablated demonstration run)
+// and returns the process exit code: 0 only if every seed passed.
+func runChaos(seeds, first int64, ablate string) int {
+	out := os.Stdout
+	switch ablate {
+	case "":
+		if exp.ChaosSweep(out, first, seeds) > 0 {
+			return 1
+		}
+		return 0
+	case "nogrant", "dropevent":
+		mutate := func(k *core.Kernel) { k.AblateNoGrant = true }
+		what := "rebalance grant phase disabled (AblateNoGrant)"
+		if ablate == "dropevent" {
+			mutate = func(k *core.Kernel) { k.AblateDropEvent = true }
+			what = "delayed-event delivery dropped (AblateDropEvent)"
+		}
+		fmt.Fprintf(out, "chaos ablation demo: %s, seed %d\n", what, first)
+		r := exp.RunChaosSeedAblated(first, mutate)
+		if r.OK() {
+			fmt.Fprintln(out, "UNEXPECTED: the broken kernel escaped the auditor")
+			return 1
+		}
+		fmt.Fprintf(out, "caught: %d/%d threads finished, %d violation(s)\n", r.Finished, r.Total, len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprint(out, v.Error())
+		}
+		fmt.Fprintln(out, "exit nonzero by design: the auditor caught the broken scheduler")
+		return 1
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ablation %q (want nogrant or dropevent)\n", ablate)
+		return 2
 	}
 }

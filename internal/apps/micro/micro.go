@@ -18,6 +18,7 @@ import (
 	"schedact/internal/kernel"
 	"schedact/internal/machine"
 	"schedact/internal/sim"
+	"schedact/internal/trace"
 	"schedact/internal/uthread"
 )
 
@@ -58,13 +59,21 @@ type Result struct {
 // Run measures Null Fork and Signal-Wait on the given system with the given
 // cost profile (nil for the calibrated default).
 func Run(sys System, costs *machine.Costs) Result {
+	return RunTraced(sys, costs, nil)
+}
+
+// RunTraced is Run with a scheduling trace threaded through both
+// benchmarks' kernels and thread libraries (nil disables tracing). The
+// golden-trace regression tests diff these dumps against committed
+// canonical logs.
+func RunTraced(sys System, costs *machine.Costs, tr *trace.Log) Result {
 	if costs == nil {
 		costs = machine.DefaultCosts()
 	}
 	return Result{
 		System:     sys,
-		NullFork:   nullFork(sys, costs, uthread.Options{}),
-		SignalWait: signalWait(sys, costs, uthread.Options{}),
+		NullFork:   nullFork(sys, costs, uthread.Options{}, tr),
+		SignalWait: signalWait(sys, costs, uthread.Options{}, tr),
 	}
 }
 
@@ -77,29 +86,30 @@ func RunAblation(costs *machine.Costs) Result {
 	opt := uthread.Options{ExplicitCSFlags: true}
 	return Result{
 		System:     FastThreadsSA,
-		NullFork:   nullFork(FastThreadsSA, costs, opt),
-		SignalWait: signalWait(FastThreadsSA, costs, opt),
+		NullFork:   nullFork(FastThreadsSA, costs, opt, nil),
+		SignalWait: signalWait(FastThreadsSA, costs, opt, nil),
 	}
 }
 
 // --- user-level thread benchmarks ---
 
-func newUT(sys System, costs *machine.Costs, opt uthread.Options) (*sim.Engine, *uthread.Sched) {
+func newUT(sys System, costs *machine.Costs, opt uthread.Options, tr *trace.Log) (*sim.Engine, *uthread.Sched) {
 	eng := sim.NewEngine()
 	eng.SetLabel(fmt.Sprintf("micro %s", sys))
+	opt.Trace = tr
 	switch sys {
 	case FastThreadsKT:
-		k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs})
+		k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs, Trace: tr})
 		return eng, uthread.OnKernelThreads(k, k.NewSpace("bench", false), 1, opt)
 	case FastThreadsSA:
-		k := core.New(eng, core.Config{CPUs: 1, Costs: costs})
+		k := core.New(eng, core.Config{CPUs: 1, Costs: costs, Trace: tr})
 		return eng, uthread.OnActivations(k, "bench", 0, 1, opt)
 	}
 	panic("micro: not a user-level system")
 }
 
-func utNullFork(sys System, costs *machine.Costs, opt uthread.Options) sim.Duration {
-	eng, s := newUT(sys, costs, opt)
+func utNullFork(sys System, costs *machine.Costs, opt uthread.Options, tr *trace.Log) sim.Duration {
+	eng, s := newUT(sys, costs, opt, tr)
 	defer eng.Close()
 	var per sim.Duration
 	s.Spawn("parent", func(th *uthread.Thread) {
@@ -121,8 +131,8 @@ func utNullFork(sys System, costs *machine.Costs, opt uthread.Options) sim.Durat
 	return per
 }
 
-func utSignalWait(sys System, costs *machine.Costs, opt uthread.Options) sim.Duration {
-	eng, s := newUT(sys, costs, opt)
+func utSignalWait(sys System, costs *machine.Costs, opt uthread.Options, tr *trace.Log) sim.Duration {
+	eng, s := newUT(sys, costs, opt, tr)
 	defer eng.Close()
 	a, b := s.NewCond(), s.NewCond()
 	var per sim.Duration
@@ -153,11 +163,11 @@ func utSignalWait(sys System, costs *machine.Costs, opt uthread.Options) sim.Dur
 
 // --- kernel thread / process benchmarks ---
 
-func ktNullFork(heavy bool, costs *machine.Costs) sim.Duration {
+func ktNullFork(heavy bool, costs *machine.Costs, tr *trace.Log) sim.Duration {
 	eng := sim.NewEngine()
 	eng.SetLabel(fmt.Sprintf("micro nullfork heavy=%v", heavy))
 	defer eng.Close()
-	k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs})
+	k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs, Trace: tr})
 	sp := k.NewSpace("bench", heavy)
 	var per sim.Duration
 	sp.Spawn("parent", 0, func(th *kernel.KThread) {
@@ -174,11 +184,11 @@ func ktNullFork(heavy bool, costs *machine.Costs) sim.Duration {
 	return per
 }
 
-func ktSignalWait(heavy bool, costs *machine.Costs) sim.Duration {
+func ktSignalWait(heavy bool, costs *machine.Costs, tr *trace.Log) sim.Duration {
 	eng := sim.NewEngine()
 	eng.SetLabel(fmt.Sprintf("micro signalwait heavy=%v", heavy))
 	defer eng.Close()
-	k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs})
+	k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs, Trace: tr})
 	sp := k.NewSpace("bench", heavy)
 	a, b := k.NewCond(), k.NewCond()
 	var per sim.Duration
@@ -203,26 +213,26 @@ func ktSignalWait(heavy bool, costs *machine.Costs) sim.Duration {
 	return per
 }
 
-func nullFork(sys System, costs *machine.Costs, opt uthread.Options) sim.Duration {
+func nullFork(sys System, costs *machine.Costs, opt uthread.Options, tr *trace.Log) sim.Duration {
 	switch sys {
 	case FastThreadsKT, FastThreadsSA:
-		return utNullFork(sys, costs, opt)
+		return utNullFork(sys, costs, opt, tr)
 	case TopazThreads:
-		return ktNullFork(false, costs)
+		return ktNullFork(false, costs, tr)
 	case UltrixProcesses:
-		return ktNullFork(true, costs)
+		return ktNullFork(true, costs, tr)
 	}
 	panic("micro: unknown system")
 }
 
-func signalWait(sys System, costs *machine.Costs, opt uthread.Options) sim.Duration {
+func signalWait(sys System, costs *machine.Costs, opt uthread.Options, tr *trace.Log) sim.Duration {
 	switch sys {
 	case FastThreadsKT, FastThreadsSA:
-		return utSignalWait(sys, costs, opt)
+		return utSignalWait(sys, costs, opt, tr)
 	case TopazThreads:
-		return ktSignalWait(false, costs)
+		return ktSignalWait(false, costs, tr)
 	case UltrixProcesses:
-		return ktSignalWait(true, costs)
+		return ktSignalWait(true, costs, tr)
 	}
 	panic("micro: unknown system")
 }

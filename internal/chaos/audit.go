@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"schedact/internal/core"
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+)
+
+// windowSize bounds the recent-trace ring attached to failure reports.
+const windowSize = 48
+
+// Violation is one invariant failure, carrying enough context to debug it:
+// when, which invariant, the kernel's state summary, and the trace window
+// leading up to the failure.
+type Violation struct {
+	T         sim.Time
+	Invariant string
+	Detail    string
+	State     string
+	Window    []trace.Entry
+}
+
+// Error implements error with the full report.
+func (v Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: %s violated at %v: %s\n", v.Invariant, v.T, v.Detail)
+	fmt.Fprintf(&b, "  kernel: %s\n", v.State)
+	fmt.Fprintf(&b, "  trace window (%d entries):\n", len(v.Window))
+	for _, e := range v.Window {
+		fmt.Fprintf(&b, "    %s\n", e)
+	}
+	return b.String()
+}
+
+// Auditor is the always-on checker: it consumes the trace stream
+// continuously and runs a battery of cross-layer conservation checks at
+// event boundaries. The catalogue:
+//
+//	I1 activation-processor:  every allocated processor hosts exactly one
+//	                          running activation of its space, dispatched
+//	                          there, and running counts match allocations
+//	                          (core.CheckInvariants).
+//	I2 work-conservation:     no processor is free while a started space
+//	                          wants more than it holds (physical plus
+//	                          debugger-held logical processors).
+//	I3 cpu-accounting:        the sum of per-space processor usage equals
+//	                          the machine's own busy time, exactly, at
+//	                          every instant.
+//	I4 monotone-time:         trace timestamps never run backwards
+//	                          (checked per entry, not per boundary).
+//	I5 block-conservation:    activations that blocked = activations that
+//	                          unblocked + activations currently blocked.
+//	I6 activation-table:      no discarded activation lingers in a space's
+//	                          table.
+//	I7 grant-conservation:    every processor grant was announced by
+//	                          exactly one AddProcessor upcall (stillborn
+//	                          redeliveries strip the revoked grant).
+//
+// Checks must run at event boundaries because kernel mutations are only
+// atomic within one event callback; the auditor therefore arms its own
+// periodic check event rather than checking from the trace observer.
+type Auditor struct {
+	// OnFail, when non-nil, is called with each violation as it is found
+	// (tests install t.Fatalf wrappers). Violations are recorded either way.
+	OnFail func(Violation)
+
+	Violations []Violation
+	Checks     uint64
+
+	k       *core.Kernel
+	window  []trace.Entry
+	wnext   int
+	lastT   sim.Time
+	stopped bool
+}
+
+// Attach builds an auditor for the kernel, registers its continuous checks
+// on the trace log (nil is allowed: boundary checks still run, failure
+// reports just carry no window), and, when every > 0, arms a periodic
+// boundary check. Registers chaos.audit_* metrics on the engine.
+func Attach(k *core.Kernel, tr *trace.Log, every sim.Duration) *Auditor {
+	a := &Auditor{k: k}
+	tr.Observe(func(e trace.Entry) {
+		if e.T < a.lastT {
+			a.fail("I4 monotone-time", fmt.Sprintf("entry at %v after entry at %v: %s", e.T, a.lastT, e))
+		}
+		a.lastT = e.T
+		a.record(e)
+	})
+	reg := k.Eng.Metrics()
+	reg.Func("chaos.audit_checks", func() uint64 { return a.Checks })
+	reg.Func("chaos.audit_violations", func() uint64 { return uint64(len(a.Violations)) })
+	if every > 0 {
+		var tick func()
+		tick = func() {
+			if a.stopped {
+				return
+			}
+			a.Check()
+			k.Eng.After(every, "chaos-audit", tick)
+		}
+		k.Eng.After(every, "chaos-audit", tick)
+	}
+	return a
+}
+
+// Stop disarms the periodic check chain (explicit Check calls still work).
+func (a *Auditor) Stop() { a.stopped = true }
+
+// Err returns the first violation as an error, or nil.
+func (a *Auditor) Err() error {
+	if len(a.Violations) == 0 {
+		return nil
+	}
+	return a.Violations[0]
+}
+
+func (a *Auditor) record(e trace.Entry) {
+	if len(a.window) < windowSize {
+		a.window = append(a.window, e)
+		return
+	}
+	a.window[a.wnext] = e
+	a.wnext = (a.wnext + 1) % windowSize
+}
+
+// snapshotWindow returns the retained entries oldest-first.
+func (a *Auditor) snapshotWindow() []trace.Entry {
+	if len(a.window) < windowSize {
+		return append([]trace.Entry(nil), a.window...)
+	}
+	out := make([]trace.Entry, 0, windowSize)
+	out = append(out, a.window[a.wnext:]...)
+	out = append(out, a.window[:a.wnext]...)
+	return out
+}
+
+func (a *Auditor) fail(invariant, detail string) {
+	v := Violation{
+		T:         a.k.Eng.Now(),
+		Invariant: invariant,
+		Detail:    detail,
+		State:     a.k.AuditString(),
+		Window:    a.snapshotWindow(),
+	}
+	a.Violations = append(a.Violations, v)
+	if a.OnFail != nil {
+		a.OnFail(v)
+	}
+}
+
+// Check runs the boundary battery (I1–I3, I5–I7) once. It must be called
+// between engine events — from an event callback of its own, or from the
+// driving loop between RunFor windows — never from inside kernel code.
+func (a *Auditor) Check() {
+	a.Checks++
+	k := a.k
+	if err := k.CheckInvariants(); err != nil {
+		a.fail("I1 activation-processor", err.Error())
+	}
+	audits := k.AuditSpaces()
+
+	if free := k.FreeCPUs(); free > 0 {
+		for _, s := range audits {
+			if s.Started && s.Want > s.Allocated+s.Debugged {
+				a.fail("I2 work-conservation", fmt.Sprintf(
+					"%d processor(s) free while %q wants %d and holds %d",
+					free, s.Space.Name, s.Want, s.Allocated+s.Debugged))
+				break
+			}
+		}
+	}
+
+	var live sim.Duration
+	blocked, leaked := 0, 0
+	for _, s := range audits {
+		live += s.LiveUsage
+		blocked += s.Blocked
+		leaked += s.Leaked
+	}
+	if busy := k.MachineBusy(); busy != live {
+		a.fail("I3 cpu-accounting", fmt.Sprintf(
+			"machine busy %v != summed space usage %v (drift %v)", busy, live, busy-live))
+	}
+	if leaked > 0 {
+		a.fail("I6 activation-table", fmt.Sprintf(
+			"%d discarded/unknown activation(s) still in a space table", leaked))
+	}
+
+	st := k.Stats
+	if st.Blocks != st.Unblocks+uint64(blocked) {
+		a.fail("I5 block-conservation", fmt.Sprintf(
+			"%d blocked != %d unblocked + %d currently blocked", st.Blocks, st.Unblocks, blocked))
+	}
+	if st.UpcallEvents[core.EvAddProcessor] != st.Grants {
+		a.fail("I7 grant-conservation", fmt.Sprintf(
+			"%d AddProcessor upcalls != %d grants", st.UpcallEvents[core.EvAddProcessor], st.Grants))
+	}
+}

@@ -1,0 +1,210 @@
+package chaos_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"schedact/internal/chaos"
+	"schedact/internal/core"
+	"schedact/internal/kernel"
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+	"schedact/internal/uthread"
+)
+
+// saResult is everything one audited SA chaos run produces.
+type saResult struct {
+	fp         chaos.Fingerprint
+	violations []chaos.Violation
+	finished   int
+	total      int
+}
+
+// runSA executes one seeded mixed workload on the scheduler-activation
+// kernel under full fault injection with the auditor attached. ablate, if
+// non-nil, breaks the kernel before the run starts.
+func runSA(seed int64, ablate func(*core.Kernel)) saResult {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	tr := trace.New(4096)
+	k := core.New(eng, core.Config{CPUs: 4, Trace: tr})
+	if ablate != nil {
+		ablate(k)
+	}
+	vm := k.NewVM()
+	aud := chaos.Attach(k, tr, 250*sim.Microsecond)
+	fpr := chaos.NewFingerprinter(tr)
+	inj := chaos.New(eng, chaos.NewPlan(seed))
+	inj.InstrumentSA(k)
+	inj.InstrumentVM(vm)
+
+	rng := rand.New(rand.NewSource(seed))
+	finished, total := 0, 0
+	for si := 0; si < 2; si++ {
+		s := uthread.OnActivations(k, fmt.Sprintf("wl%d", si), rng.Intn(2), 4, uthread.Options{})
+		mu := s.NewMutex()
+		n := 3 + rng.Intn(4)
+		total += n
+		for ti := 0; ti < n; ti++ {
+			plan := make([]int, 3+rng.Intn(5))
+			for i := range plan {
+				plan[i] = rng.Intn(5)
+			}
+			work := sim.Duration(rng.Intn(1500)+100) * sim.Microsecond
+			page := rng.Intn(6)
+			s.SpawnPrio(fmt.Sprintf("t%d.%d", si, ti), rng.Intn(2), func(th *uthread.Thread) {
+				for _, op := range plan {
+					switch op {
+					case 0:
+						th.Exec(work)
+					case 1:
+						mu.Lock(th)
+						th.Exec(work / 4)
+						mu.Unlock(th)
+					case 2:
+						th.BlockIO()
+					case 3:
+						th.TouchPage(vm, page)
+					case 4:
+						th.Yield()
+					}
+				}
+				finished++
+			})
+		}
+		s.Start()
+	}
+
+	for step := 0; step < 4000 && finished < total && len(aud.Violations) == 0; step++ {
+		eng.RunFor(sim.Millisecond)
+	}
+	// Quiesce injection and drain, so a shortfall below means a thread was
+	// genuinely lost, not merely still dodging preemption storms.
+	inj.Stop()
+	for step := 0; step < 2000 && finished < total && len(aud.Violations) == 0; step++ {
+		eng.RunFor(sim.Millisecond)
+	}
+	aud.Check()
+	return saResult{fp: fpr.Finish(eng), violations: aud.Violations, finished: finished, total: total}
+}
+
+// TestSeedDeterminism re-runs seeds and demands bit-identical fingerprints:
+// the whole storm — every preemption, spike, and eviction — must be a pure
+// function of the seed. Different seeds must produce different runs.
+func TestSeedDeterminism(t *testing.T) {
+	fps := map[int64]chaos.Fingerprint{}
+	for _, seed := range []int64{1, 2, 3} {
+		a := runSA(seed, nil)
+		b := runSA(seed, nil)
+		if len(a.violations) > 0 {
+			t.Fatalf("seed %d: auditor violation:\n%v", seed, a.violations[0])
+		}
+		if a.finished != a.total {
+			t.Fatalf("seed %d: finished %d of %d threads (wedged?)", seed, a.finished, a.total)
+		}
+		if a.fp != b.fp {
+			t.Fatalf("seed %d: fingerprints differ across identical runs: %v vs %v", seed, a.fp, b.fp)
+		}
+		fps[seed] = a.fp
+	}
+	if fps[1] == fps[2] || fps[2] == fps[3] || fps[1] == fps[3] {
+		t.Fatalf("distinct seeds produced identical fingerprints: %v", fps)
+	}
+}
+
+// TestAuditorCatchesNoGrant breaks the allocator's grant phase and demands
+// the auditor catch the stranded processors as a work-conservation
+// violation, with a populated failure report.
+func TestAuditorCatchesNoGrant(t *testing.T) {
+	r := runSA(1, func(k *core.Kernel) { k.AblateNoGrant = true })
+	if len(r.violations) == 0 {
+		t.Fatal("broken allocator (no grants) escaped the auditor")
+	}
+	v := r.violations[0]
+	if !strings.HasPrefix(v.Invariant, "I2") {
+		t.Fatalf("expected an I2 work-conservation violation, got %q: %s", v.Invariant, v.Detail)
+	}
+	if v.State == "" {
+		t.Fatalf("violation carries no kernel state snapshot: %v", v)
+	}
+	if !strings.Contains(v.Error(), "trace window") {
+		t.Fatalf("violation report missing trace window:\n%v", v.Error())
+	}
+}
+
+// TestAuditorCatchesDropEvent breaks the delayed-notification path (thread
+// state riding Preempted events is silently lost) and demands the harness's
+// progress check catch the wedge that a healthy run of the same seed does
+// not exhibit.
+func TestAuditorCatchesDropEvent(t *testing.T) {
+	healthy := runSA(2, nil)
+	if healthy.finished != healthy.total {
+		t.Fatalf("healthy baseline wedged: %d of %d", healthy.finished, healthy.total)
+	}
+	broken := runSA(2, func(k *core.Kernel) { k.AblateDropEvent = true })
+	if broken.finished == broken.total && len(broken.violations) == 0 {
+		t.Fatal("broken notification path escaped both the auditor and the progress check")
+	}
+}
+
+// TestTopazInstrumentation runs the baseline-kernel instrumentation
+// (jittered quanta, preemption storms through the oblivious dispatcher,
+// disk spikes) and demands determinism and completion there too.
+func TestTopazInstrumentation(t *testing.T) {
+	run := func(seed int64) (chaos.Fingerprint, int, int) {
+		eng := sim.NewEngine()
+		defer eng.Close()
+		tr := trace.New(4096)
+		k := kernel.New(eng, kernel.Config{CPUs: 4, Trace: tr})
+		fpr := chaos.NewFingerprinter(tr)
+		inj := chaos.New(eng, chaos.NewPlan(seed))
+		inj.InstrumentKernel(k)
+
+		rng := rand.New(rand.NewSource(seed))
+		finished, total := 0, 0
+		s := uthread.OnKernelThreads(k, k.NewSpace("wl", false), 2, uthread.Options{})
+		mu := s.NewMutex()
+		n := 4 + rng.Intn(4)
+		total += n
+		for i := 0; i < n; i++ {
+			work := sim.Duration(rng.Intn(2000)+100) * sim.Microsecond
+			ops := 3 + rng.Intn(4)
+			s.Spawn("t", func(th *uthread.Thread) {
+				for j := 0; j < ops; j++ {
+					switch rng.Intn(4) {
+					case 0:
+						th.Exec(work)
+					case 1:
+						mu.Lock(th)
+						th.Exec(work / 4)
+						mu.Unlock(th)
+					case 2:
+						th.BlockIO()
+					case 3:
+						th.Yield()
+					}
+				}
+				finished++
+			})
+		}
+		s.Start()
+		for step := 0; step < 4000 && finished < total; step++ {
+			eng.RunFor(sim.Millisecond)
+		}
+		inj.Stop()
+		for step := 0; step < 2000 && finished < total; step++ {
+			eng.RunFor(sim.Millisecond)
+		}
+		return fpr.Finish(eng), finished, total
+	}
+	fpA, finA, totA := run(7)
+	fpB, _, _ := run(7)
+	if finA != totA {
+		t.Fatalf("finished %d of %d kernel threads (wedged?)", finA, totA)
+	}
+	if fpA != fpB {
+		t.Fatalf("Topaz chaos run not deterministic: %v vs %v", fpA, fpB)
+	}
+}

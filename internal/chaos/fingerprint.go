@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"fmt"
+
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+)
+
+// Fingerprint condenses an entire run — every retained trace entry, the
+// final metrics snapshot, and the final virtual time — into one 64-bit
+// FNV-1a hash. Two runs of the same seed must produce identical
+// fingerprints; the chaos sweep runs every seed twice and compares, which
+// catches any nondeterminism leak (map iteration, real-time dependence,
+// PRNG shared across orderings) the moment it appears.
+type Fingerprint uint64
+
+// String renders the fingerprint as fixed-width hex.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x", uint64(f)) }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Fingerprinter accumulates the hash incrementally as trace entries arrive,
+// so unbounded runs fingerprint in constant space regardless of the log's
+// retention bound.
+type Fingerprinter struct {
+	h       uint64
+	Entries uint64
+}
+
+// NewFingerprinter hooks a fingerprinter onto the trace stream.
+func NewFingerprinter(tr *trace.Log) *Fingerprinter {
+	f := &Fingerprinter{h: fnvOffset}
+	tr.Observe(f.entry)
+	return f
+}
+
+func (f *Fingerprinter) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		f.h ^= v & 0xff
+		f.h *= fnvPrime
+		v >>= 8
+	}
+}
+
+func (f *Fingerprinter) str(s string) {
+	for i := 0; i < len(s); i++ {
+		f.h ^= uint64(s[i])
+		f.h *= fnvPrime
+	}
+	// Terminator so ("ab","c") and ("a","bc") hash differently.
+	f.h ^= 0xff
+	f.h *= fnvPrime
+}
+
+func (f *Fingerprinter) entry(e trace.Entry) {
+	f.Entries++
+	f.u64(uint64(e.T))
+	f.u64(uint64(int64(e.CPU)))
+	f.str(e.Cat)
+	f.str(e.Msg)
+}
+
+// Finish folds in the run's final state — virtual time and the full metrics
+// snapshot — and returns the fingerprint. The fingerprinter may keep
+// accumulating afterwards, but normally Finish is the run's last act.
+func (f *Fingerprinter) Finish(eng *sim.Engine) Fingerprint {
+	f.u64(uint64(eng.Now()))
+	for _, s := range eng.Metrics().Snapshot() {
+		f.str(s.Name)
+		f.u64(s.Value)
+	}
+	return Fingerprint(f.h)
+}

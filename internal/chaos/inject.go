@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"schedact/internal/core"
+	"schedact/internal/kernel"
+	"schedact/internal/machine"
+	"schedact/internal/sim"
+)
+
+// Injector executes a Plan against a run. All randomness comes from one
+// PRNG consumed in deterministic event order (the engine is sequential and
+// every hook is called from its event loop), so the whole storm replays
+// from the seed.
+type Injector struct {
+	Plan Plan
+
+	eng     *sim.Engine
+	rng     *rand.Rand
+	stopped bool
+
+	Stats struct {
+		Preempts         uint64 // processors forcibly revoked
+		PreemptMisses    uint64 // storm hits on unallocated/idle processors
+		Rebalances       uint64 // forced reallocations
+		Evictions        uint64 // pages evicted
+		UpcallDelays     uint64 // upcalls stretched
+		DiskPerturbs     uint64 // disk requests stretched
+		QuantumJitters   uint64 // quanta jittered
+		InterloperPulses uint64 // interloper demand pulses
+	}
+}
+
+// New creates an injector for the engine. Instrument the kernels under test
+// with InstrumentSA / InstrumentKernel / InstrumentVM before running.
+func New(eng *sim.Engine, p Plan) *Injector {
+	in := &Injector{Plan: p, eng: eng, rng: rand.New(rand.NewSource(p.Seed ^ 0x5deece66d))}
+	reg := eng.Metrics()
+	reg.Func("chaos.preempts", func() uint64 { return in.Stats.Preempts })
+	reg.Func("chaos.rebalances", func() uint64 { return in.Stats.Rebalances })
+	reg.Func("chaos.evictions", func() uint64 { return in.Stats.Evictions })
+	reg.Func("chaos.upcall_delays", func() uint64 { return in.Stats.UpcallDelays })
+	reg.Func("chaos.disk_perturbs", func() uint64 { return in.Stats.DiskPerturbs })
+	reg.Func("chaos.interloper_pulses", func() uint64 { return in.Stats.InterloperPulses })
+	return in
+}
+
+// Stop quiesces the injector: timer chains stop re-arming and perturbation
+// hooks return zero, so a harness can drain in-flight work undisturbed (the
+// wedge check must distinguish "still finishing" from "lost a thread").
+func (in *Injector) Stop() { in.stopped = true }
+
+// jittered draws an interval uniformly from [mean/2, 3*mean/2).
+func (in *Injector) jittered(mean sim.Duration) sim.Duration {
+	return mean/2 + sim.Duration(in.rng.Int63n(int64(mean)))
+}
+
+// chain arms a self-re-arming timer with jittered periods.
+func (in *Injector) chain(mean sim.Duration, kind sim.Kind, fire func()) {
+	if mean <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if in.stopped {
+			return
+		}
+		fire()
+		in.eng.After(in.jittered(mean), kind, tick)
+	}
+	in.eng.After(in.jittered(mean), kind, tick)
+}
+
+// instrumentDisk installs disk-latency spikes on the machine's disk.
+func (in *Injector) instrumentDisk(m *machine.Machine) {
+	frac := in.Plan.DiskJitterFrac
+	if frac <= 0 {
+		return
+	}
+	m.Disk.Perturb = func(lat sim.Duration) sim.Duration {
+		if in.stopped || lat <= 0 {
+			return lat
+		}
+		in.Stats.DiskPerturbs++
+		return lat + sim.Duration(in.rng.Int63n(int64(float64(lat)*frac)+1))
+	}
+}
+
+// InstrumentSA threads the plan through a scheduler-activation kernel:
+// upcall-latency stretching, disk spikes, preemption storms and forced
+// reallocations via the kernel's own revocation path, and the interloper
+// space.
+func (in *Injector) InstrumentSA(k *core.Kernel) {
+	p := in.Plan
+	if p.UpcallDelayMax > 0 {
+		k.UpcallPerturb = func() sim.Duration {
+			if in.stopped {
+				return 0
+			}
+			in.Stats.UpcallDelays++
+			return sim.Duration(in.rng.Int63n(int64(p.UpcallDelayMax) + 1))
+		}
+	}
+	in.instrumentDisk(k.M)
+	if p.PreemptEvery > 0 && p.PreemptBurst > 0 {
+		in.chain(p.PreemptEvery, "chaos-preempt", func() {
+			n := 1 + in.rng.Intn(p.PreemptBurst)
+			for i := 0; i < n; i++ {
+				if k.ChaosPreempt(in.rng.Intn(k.M.NumCPUs())) {
+					in.Stats.Preempts++
+				} else {
+					in.Stats.PreemptMisses++
+				}
+			}
+		})
+	}
+	in.chain(p.RebalanceEvery, "chaos-rebalance", func() {
+		in.Stats.Rebalances++
+		k.ForceRebalance()
+	})
+	if p.InterloperPeriod > 0 {
+		in.startInterloper(k)
+	}
+}
+
+// InstrumentVM arms eviction storms against the kernel's pager.
+func (in *Injector) InstrumentVM(vm *core.VM) {
+	p := in.Plan
+	if p.EvictPages <= 0 {
+		return
+	}
+	in.chain(p.EvictEvery, "chaos-evict", func() {
+		in.Stats.Evictions++
+		vm.Evict(in.rng.Intn(p.EvictPages))
+	})
+}
+
+// InstrumentKernel threads the plan through the Topaz baseline kernel:
+// jittered quanta, preemption storms through the oblivious dispatcher, and
+// disk spikes.
+func (in *Injector) InstrumentKernel(k *kernel.Kernel) {
+	p := in.Plan
+	if p.QuantumJitterFrac > 0 {
+		amp := int64(float64(k.C.Quantum) * p.QuantumJitterFrac)
+		if amp > 0 {
+			k.QuantumJitter = func() sim.Duration {
+				if in.stopped {
+					return 0
+				}
+				in.Stats.QuantumJitters++
+				return sim.Duration(in.rng.Int63n(2*amp+1) - amp)
+			}
+		}
+	}
+	in.instrumentDisk(k.M)
+	if p.PreemptEvery > 0 && p.PreemptBurst > 0 {
+		in.chain(p.PreemptEvery, "chaos-preempt", func() {
+			n := 1 + in.rng.Intn(p.PreemptBurst)
+			for i := 0; i < n; i++ {
+				if k.ChaosPreempt(machine.CPUID(in.rng.Intn(k.M.NumCPUs()))) {
+					in.Stats.Preempts++
+				} else {
+					in.Stats.PreemptMisses++
+				}
+			}
+		})
+	}
+}
+
+// startInterloper registers a competing address space that periodically
+// demands processors, burns a burst on each, and gives them back — the
+// §5.3 daemon pattern turned adversarial. A preempted burst's remaining
+// demand is deliberately abandoned (the interloper exists to disturb, not
+// to finish), so its vessel is recovered and discarded exactly as the
+// daemon client does.
+func (in *Injector) startInterloper(k *core.Kernel) {
+	p := in.Plan
+	var sp *core.Space
+	sp = k.NewSpace("interloper", 2, core.ClientFunc(func(act *core.Activation, events []core.Event) {
+		for _, ev := range events {
+			if ev.Kind == core.EvPreempted && ev.Act != nil {
+				if w := ev.Act.TakeWorker(); w != nil {
+					_ = w // abandoned burst remainder
+				}
+				ev.Act.Discard()
+			}
+		}
+		act.Context().Exec(p.InterloperBurst)
+		act.YieldProcessor()
+	}))
+	in.chain(p.InterloperPeriod, "chaos-interloper", func() {
+		in.Stats.InterloperPulses++
+		sp.KernelSetDemand(1 + in.rng.Intn(2))
+	})
+	sp.Start()
+	sp.KernelSetDemand(0)
+}

@@ -1,0 +1,97 @@
+// Package chaos is a seeded fault injector and an always-on invariant
+// auditor for the simulated scheduling stack.
+//
+// The paper's argument for scheduler activations rests on the kernel/user
+// contract holding under adverse timing: processors may be revoked, threads
+// may fault or block, and notifications may be delayed at any instant, yet
+// processors must never be lost or double-counted and runnable work must
+// never be stranded. The injector manufactures exactly those adverse
+// timings — preemption storms through the kernel's own reallocation path,
+// disk-latency spikes, page eviction storms, jittered quanta, stretched
+// upcall latencies, and a competing interloper address space — all drawn
+// from a single seeded PRNG consumed in deterministic event order, so every
+// run is a pure function of its seed and any failure replays exactly.
+//
+// The auditor rides the same run: it observes the trace stream continuously
+// (monotone virtual time, a ring of recent entries for failure reports) and
+// checks a catalogue of cross-layer conservation invariants at event
+// boundaries (see Auditor). A violation carries the offending trace window
+// and a kernel-state snapshot, so a broken scheduler fails fast and
+// debuggably rather than finishing with silently wrong numbers.
+package chaos
+
+import (
+	"math/rand"
+
+	"schedact/internal/sim"
+)
+
+// Plan is the storm shape for one run: which faults fire and how hard. A
+// zero interval disables that fault. Plans are normally derived from a seed
+// with NewPlan, but tests can build one by hand to aim a single fault.
+type Plan struct {
+	Seed int64
+
+	// PreemptEvery is the mean interval between forced-preemption storms;
+	// each storm revokes up to PreemptBurst randomly chosen processors
+	// through the kernel's own revocation path.
+	PreemptEvery sim.Duration
+	PreemptBurst int
+
+	// RebalanceEvery is the mean interval between forced reallocations,
+	// shaking the allocator (and its leftover-rotation index) at instants no
+	// policy timer would pick.
+	RebalanceEvery sim.Duration
+
+	// QuantumJitterFrac scales a uniform ±jitter applied to each Topaz
+	// quantum as its timer is armed.
+	QuantumJitterFrac float64
+
+	// DiskJitterFrac scales multiplicative disk-latency spikes: each request
+	// is stretched by up to this fraction of its service time.
+	DiskJitterFrac float64
+
+	// UpcallDelayMax bounds the extra kernel-side latency added to each
+	// upcall, widening the stillborn window in which a fresh activation can
+	// itself be preempted before reaching user code.
+	UpcallDelayMax sim.Duration
+
+	// EvictEvery is the mean interval between page evictions; pages
+	// 0..EvictPages-1 are candidates. Evictions turn later touches into
+	// fault storms (with coalescing and delayed-upcall paths exercised).
+	EvictEvery sim.Duration
+	EvictPages int
+
+	// InterloperPeriod drives a competing address space that periodically
+	// demands processors, runs InterloperBurst, and gives them back —
+	// stressing downcall/upcall interleaving and the double-preemption
+	// notification protocol from outside the workload under test.
+	InterloperPeriod sim.Duration
+	InterloperBurst  sim.Duration
+}
+
+// NewPlan derives a storm shape from a seed. Different seeds vary not just
+// the timing draws but the shape itself: some seeds run every fault, others
+// drop the interloper or the eviction storm so quieter mixes are covered
+// too.
+func NewPlan(seed int64) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{
+		Seed:              seed,
+		PreemptEvery:      sim.Duration(500+rng.Intn(3500)) * sim.Microsecond,
+		PreemptBurst:      1 + rng.Intn(3),
+		RebalanceEvery:    sim.Duration(1+rng.Intn(8)) * sim.Millisecond,
+		QuantumJitterFrac: 0.5 * rng.Float64(),
+		DiskJitterFrac:    rng.Float64(),
+		UpcallDelayMax:    sim.Duration(rng.Intn(40)) * sim.Microsecond,
+	}
+	if rng.Intn(4) > 0 {
+		p.EvictEvery = sim.Duration(2+rng.Intn(10)) * sim.Millisecond
+		p.EvictPages = 6
+	}
+	if rng.Intn(4) > 0 {
+		p.InterloperPeriod = sim.Duration(4+rng.Intn(12)) * sim.Millisecond
+		p.InterloperBurst = sim.Duration(100+rng.Intn(700)) * sim.Microsecond
+	}
+	return p
+}

@@ -82,10 +82,16 @@ func (k *Kernel) targets() map[*Space]int {
 			}
 			share := remaining / len(unsat)
 			if share == 0 {
-				// Fewer processors than claimants: one each, rotating the
-				// beneficiary across rebalances so the odd processor is
-				// effectively time-sliced among equal-priority spaces.
-				start := int(k.Stats.Rebalances) % len(unsat)
+				// Fewer processors than claimants: one each, starting from
+				// the rotation index so the odd processor is time-sliced
+				// among equal-priority spaces (§4.1). The index advances only
+				// on the rotation timer (or ForceRebalance), never on
+				// demand-triggered rebalances: if every AddMoreProcessors
+				// downcall rotated the targets, three equally hungry spaces
+				// on two processors would pass the processors around in a
+				// grant/preempt cycle without ever running user code —
+				// time-slicing must be sliced by time.
+				start := int(k.rotation) % len(unsat)
 				for i := 0; i < len(unsat) && remaining > 0; i++ {
 					sp := unsat[(start+i)%len(unsat)]
 					target[sp]++
@@ -149,6 +155,11 @@ func (k *Kernel) rebalance() {
 
 	// Phase 2: grant free slots to under-allocated spaces, highest priority
 	// first, stable by ID.
+	if k.AblateNoGrant {
+		// Deliberately broken allocator (see chaos.go): free processors are
+		// stranded while spaces want them, violating work conservation.
+		return
+	}
 	claimants := make([]*Space, 0, len(k.spaces))
 	for _, sp := range k.spaces {
 		if sp.started && k.effectiveAllocated(sp) < target[sp] {
@@ -179,6 +190,7 @@ func (k *Kernel) rebalance() {
 func (k *Kernel) EnableLeftoverRotation(period sim.Duration) {
 	var tick func()
 	tick = func() {
+		k.rotation++
 		k.rebalance()
 		k.Eng.After(period, "leftover-rotation", tick)
 	}

@@ -54,6 +54,46 @@ func TestLeftoverProcessorRotatesAmongEqualSpaces(t *testing.T) {
 	checkInv(t, k)
 }
 
+func TestDemandRebalanceDoesNotRotateTargets(t *testing.T) {
+	// Three equally hungry spaces on two processors: the remainder targets
+	// must depend on the rotation index alone, not on how many rebalances
+	// have run. When every demand-triggered rebalance rotated the targets,
+	// each grant's upcall handler re-registered demand, the downcall rotated
+	// the processor to the next space, and the machine passed its processors
+	// around in a grant/preempt cycle without ever running user code (chaos
+	// sweep seeds 33 and 47 wedged exactly this way).
+	eng, k := newTestKernel(t, 2)
+	var sps []*Space
+	for i := 0; i < 3; i++ {
+		sp := k.NewSpace("sp", 0, &recClient{eng: eng})
+		sp.started = true
+		sp.want = 2
+		sps = append(sps, sp)
+	}
+	base := k.targets()
+	for i := 0; i < 5; i++ {
+		k.Stats.Rebalances++ // what a demand-triggered rebalance tallies
+		next := k.targets()
+		for j, sp := range sps {
+			if next[sp] != base[sp] {
+				t.Fatalf("rebalance tally %d shifted sp%d's target: %d -> %d",
+					i, j, base[sp], next[sp])
+			}
+		}
+	}
+	k.rotation++ // what the rotation timer (and ForceRebalance) advances
+	next := k.targets()
+	same := true
+	for _, sp := range sps {
+		if next[sp] != base[sp] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("advancing the rotation index did not move the odd processors")
+	}
+}
+
 // Property tests over the space-sharing target computation.
 func TestTargetsProperties(t *testing.T) {
 	f := func(wantsRaw []uint8, priosRaw []uint8, cpusRaw uint8) bool {

@@ -1,0 +1,138 @@
+package core
+
+// Fault-injection entry points and audit snapshots for the
+// scheduler-activation kernel. The paper's central claim (§3, Table 2) is
+// that the kernel/user contract survives adverse timing: preemptions, page
+// faults, and I/O may land at any instant and the upcall protocol must still
+// conserve processors and never strand runnable work. The hooks here let a
+// deterministic injector (internal/chaos) create exactly those worst-case
+// timings through the kernel's legitimate reallocation machinery, and let an
+// auditor read a consistent snapshot of the kernel's view for continuous
+// invariant checking.
+//
+// Two ablation flags deliberately break the scheduler so tests can prove the
+// auditor has teeth:
+//
+//   - AblateNoGrant disables rebalance's grant phase: free processors are
+//     stranded while spaces want them (violates work conservation, I2).
+//   - AblateDropEvent makes notify discard its events: preempted activations'
+//     thread state is silently lost (threads wedge; the chaos harness's
+//     progress check catches it).
+
+import (
+	"fmt"
+
+	"schedact/internal/sim"
+)
+
+// ForceRebalance re-runs the processor allocator as if a policy timer had
+// fired — the injector uses it to advance the leftover-rotation index and to
+// shake allocations at adverse instants. (Demand-triggered rebalances reuse
+// the current rotation position; only timer-equivalent calls advance it.)
+func (k *Kernel) ForceRebalance() {
+	k.rotation++
+	k.rebalance()
+}
+
+// ChaosPreempt forcibly revokes the processor in slot cpu from whatever
+// space holds it, mid-whatever-it-was-doing, then rebalances — modelling a
+// timer-driven reallocation landing at the worst possible instant. The
+// victim gets the full preemption protocol: its hosted activation is stopped
+// (stillborn activations have their events requeued), the batched Preempted
+// notification is delivered by double preemption or delayed, and the freed
+// processor goes wherever the policy sends it (often straight back). It
+// reports false when the slot is unallocated or unhosted.
+func (k *Kernel) ChaosPreempt(cpu int) bool {
+	if cpu < 0 || cpu >= len(k.slots) {
+		return false
+	}
+	slot := k.slots[cpu]
+	if slot.sp == nil || slot.act == nil {
+		return false
+	}
+	victim := slot.sp
+	events := k.takeSlot(slot)
+	if len(events) > 0 {
+		k.notify(victim, events)
+	}
+	k.rebalance()
+	return true
+}
+
+// SpaceAudit is a consistent snapshot of one space's kernel-side state, read
+// by the chaos auditor between events.
+type SpaceAudit struct {
+	Space     *Space
+	Started   bool
+	Want      int // registered processor demand
+	Allocated int // physical processors held
+	Debugged  int // logical processors held by debugger-stopped activations
+	Pending   int // events queued for delayed delivery
+
+	// Activation-table census by state. Discarded activations must never
+	// appear (they are removed from the table when pooled); the auditor
+	// treats a nonzero Leaked as a violation.
+	Running, Blocked, Stopped, DebugStopped int
+	Leaked                                  int
+
+	// LiveUsage is the space's accumulated processor time including
+	// occupancies still in progress — the quantity that must balance against
+	// the machine's own busy-time accounting.
+	LiveUsage sim.Duration
+}
+
+// AuditSpaces snapshots every space for invariant checking. Only
+// order-independent aggregates are computed, so the map iteration underneath
+// cannot perturb determinism.
+func (k *Kernel) AuditSpaces() []SpaceAudit {
+	out := make([]SpaceAudit, 0, len(k.spaces))
+	for _, sp := range k.spaces {
+		a := SpaceAudit{
+			Space:     sp,
+			Started:   sp.started,
+			Want:      sp.want,
+			Allocated: k.Allocated(sp),
+			Debugged:  sp.debugged,
+			Pending:   len(sp.pending),
+			LiveUsage: k.liveUsage(sp),
+		}
+		for _, act := range sp.acts {
+			switch act.state {
+			case actRunning:
+				a.Running++
+			case actBlocked:
+				a.Blocked++
+			case actStopped:
+				a.Stopped++
+			case actDebugStopped:
+				a.DebugStopped++
+			default:
+				a.Leaked++
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// MachineBusy reports the exact total processor time consumed on the
+// machine, including in-progress occupancies. Every dispatched context in a
+// scheduler-activation kernel belongs to some space, so this must equal the
+// sum of the spaces' live usage at every instant.
+func (k *Kernel) MachineBusy() sim.Duration {
+	var busy sim.Duration
+	for _, cpu := range k.M.CPUs() {
+		busy += cpu.Busy()
+	}
+	return busy
+}
+
+// AuditString renders a one-line kernel state summary for failure reports.
+func (k *Kernel) AuditString() string {
+	s := fmt.Sprintf("t=%v free=%d", k.Eng.Now(), k.FreeCPUs())
+	for _, a := range k.AuditSpaces() {
+		s += fmt.Sprintf(" | %s want=%d alloc=%d run=%d blk=%d stop=%d pend=%d",
+			a.Space.Name, a.Want, a.Allocated, a.Running, a.Blocked, a.Stopped, a.Pending)
+	}
+	return s
+}

@@ -47,6 +47,8 @@ type Stats struct {
 	Discards        uint64
 	ActCreates      uint64 // activations created fresh (pool empty)
 	ActRecycles     uint64 // activations reused from the pool
+	Blocks          uint64 // activations that entered the blocked state
+	Unblocks        uint64 // blocked activations whose awaited event completed
 }
 
 // Kernel is the scheduler-activation operating system instance.
@@ -62,7 +64,13 @@ type Kernel struct {
 	actSeq   int
 	poolFree int // recycled activation records available
 	inRebal  bool
+	rotation uint64 // leftover-processor rotation index; advances on time, not per rebalance
 	policy   Policy // nil = space-sharing default
+
+	// Fault-injection and ablation hooks; see chaos.go.
+	UpcallPerturb   func() sim.Duration // extra kernel-side latency per upcall
+	AblateNoGrant   bool                // break rebalance: never grant free processors
+	AblateDropEvent bool                // break notify: silently drop delayed events
 }
 
 // cpuSlot is the kernel's per-processor allocation state.
@@ -95,6 +103,8 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 	reg.Func("core.io_requests", func() uint64 { return k.Stats.IORequests })
 	reg.Func("core.act_creates", func() uint64 { return k.Stats.ActCreates })
 	reg.Func("core.act_recycles", func() uint64 { return k.Stats.ActRecycles })
+	reg.Func("core.blocks", func() uint64 { return k.Stats.Blocks })
+	reg.Func("core.unblocks", func() uint64 { return k.Stats.Unblocks })
 	return k
 }
 
@@ -138,6 +148,9 @@ func (k *Kernel) CheckInvariants() error {
 			}
 			if s.act.state != actRunning {
 				return fmt.Errorf("cpu%d: hosted activation %d in state %v", s.cpu.ID(), s.act.id, s.act.state)
+			}
+			if s.act.ctx.CPU() != s.cpu {
+				return fmt.Errorf("cpu%d: hosted activation %d's context is dispatched elsewhere", s.cpu.ID(), s.act.id)
 			}
 		}
 	}

@@ -1,0 +1,270 @@
+// Fuzzing the Table 2 / Table 3 protocol: random well-formed
+// downcall/upcall sequences — byte-scripted workloads on the real
+// FastThreads client plus byte-scheduled kernel-side disturbances — with
+// the chaos auditor's invariant battery armed. Lives in package core_test
+// so it can use the chaos auditor (which imports core).
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"schedact/internal/chaos"
+	"schedact/internal/core"
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+	"schedact/internal/uthread"
+)
+
+// fuzzScript consumes the fuzz input as an endless byte stream (wrapping
+// around), so every prefix of the input shapes the run and mutations keep
+// the tail meaningful.
+type fuzzScript struct {
+	b []byte
+	i int
+}
+
+func (s *fuzzScript) next() byte {
+	if len(s.b) == 0 {
+		return 0
+	}
+	v := s.b[s.i%len(s.b)]
+	s.i++
+	return v
+}
+
+// fuzzOp is one scripted thread operation, decoded up front so the plan is
+// a pure function of the input bytes.
+type fuzzOp struct {
+	kind byte
+	arg  int
+}
+
+// fuzzDisturb is one scripted kernel-side disturbance: a preemption,
+// forced rebalance, page eviction, or competing demand pulse at a scripted
+// virtual time.
+type fuzzDisturb struct {
+	at   sim.Duration
+	kind byte
+	arg  int
+}
+
+// FuzzUpcallDowncall drives byte-scripted mixtures of every downcall
+// (AddMoreProcessors, ProcessorIsIdle via the idle protocol, BlockIO, page
+// faults, kernel-event wait/signal) against byte-scripted storms of
+// preemptions, reallocations, and evictions, and demands that the chaos
+// auditor's invariants hold and every thread finishes once the storm ends.
+func FuzzUpcallDowncall(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{3, 7, 31, 127, 255, 0, 64, 8})
+	f.Add([]byte("scheduler activations"))
+	f.Add([]byte{5, 5, 5, 5, 2, 2, 2, 2, 6, 6, 6, 6})
+	f.Add([]byte{0xff, 0x80, 0x40, 0x20, 0x10, 0x08, 0x04, 0x02, 0x01, 0x00})
+	// Past findings, kept as regression seeds. The first entered user code
+	// in a vessel whose activation had been discarded as stillborn by a
+	// preemption landing at the exact instant the upcall cost completed.
+	// The second left a phantom vessel record behind when a Blocked event's
+	// stillborn delivery was rerouted to another processor, stranding the
+	// space with stale demand accounting. (The "scheduler activations" seed
+	// above is also a past finding: it stranded a recovered thread when an
+	// over-cap upcall yielded its processor without waking an idle vessel.)
+	f.Add([]byte{0x03, 0x07, 0x48, 0x00})
+	f.Add([]byte{3, 53, 56, 50, 48, 48})
+	// Third finding: a recovery drain spun for the ready-list lock while the
+	// preempted lock holder sat behind it in the same recovery queue — the
+	// §3.3 continuation has to happen before any commit that takes a lock.
+	f.Add([]byte{56, 46, 50, 50, 255})
+	// Fourth finding: a thread accepted into the recovery queue while the
+	// last busy vessel was mid-idle-downcall was never drained — the
+	// pre-park recheck looked at ready lists but not the recovery queue.
+	f.Add([]byte{37, 56, 48, 48})
+	// Fifth finding: a priority-preemption request raced a reallocation and
+	// named a processor the space no longer held; the kernel panicked on a
+	// request that is legitimately one trap stale and must be rejected.
+	f.Add([]byte("sivationa"))
+	// Sixth finding: the unblock steal refused to take an idle-volunteered
+	// processor from a higher-priority space that wanted zero processors,
+	// delaying the unblock forever on an otherwise idle machine.
+	f.Add([]byte{48, 55, 120, 67, 95, 95, 95, 55, 50, 120, 50, 0, 50, 32, 50, 34})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			t.Skip("empty script")
+		}
+		if len(data) > 128 {
+			data = data[:128]
+		}
+		fuzzOnce(t, data)
+	})
+}
+
+func fuzzOnce(t *testing.T, data []byte) {
+	sc := &fuzzScript{b: data}
+	eng := sim.NewEngine()
+	defer eng.Close()
+	eng.SetLabel("fuzz upcall/downcall")
+	tr := trace.New(2048)
+	cpus := 1 + int(sc.next()%4)
+	k := core.New(eng, core.Config{CPUs: cpus, Trace: tr})
+	vm := k.NewVM()
+	aud := chaos.Attach(k, tr, 250*sim.Microsecond)
+
+	// Decode the workload: one or two spaces of scripted threads.
+	finished, total := 0, 0
+	nspaces := 1 + int(sc.next()%2)
+	var scheds []*uthread.Sched
+	for si := 0; si < nspaces; si++ {
+		maxVPs := 1 + int(sc.next())%cpus
+		s := uthread.OnActivations(k, "fz", int(sc.next()%2), maxVPs, uthread.Options{Trace: tr})
+		scheds = append(scheds, s)
+		mu := s.NewMutex()
+		nthreads := 1 + int(sc.next()%4)
+		total += nthreads
+		for ti := 0; ti < nthreads; ti++ {
+			work := sim.Duration(1+int(sc.next()))*20*sim.Microsecond + 10*sim.Microsecond
+			plan := make([]fuzzOp, 1+int(sc.next()%6))
+			for i := range plan {
+				plan[i] = fuzzOp{kind: sc.next() % 8, arg: int(sc.next())}
+			}
+			prio := int(sc.next() % 2)
+			s.SpawnPrio("t", prio, func(th *uthread.Thread) {
+				for _, op := range plan {
+					switch op.kind {
+					case 0:
+						th.Exec(work)
+					case 1:
+						mu.Lock(th)
+						th.Exec(work / 4)
+						mu.Unlock(th)
+					case 2:
+						th.BlockIO()
+					case 3:
+						th.TouchPage(vm, op.arg%8)
+					case 4:
+						th.Yield()
+					case 5:
+						// Kernel-event handshake on a fresh event: the forked
+						// signaller polls until the waiter is registered in
+						// the kernel, so the signal cannot be lost and the
+						// waiter cannot park forever. It must yield between
+						// polls — on a one-processor allocation the waiter
+						// needs this processor to reach KernelWait at all.
+						e := k.NewKernelEvent()
+						c := th.Fork("sig", func(c *uthread.Thread) {
+							c.Exec(work / 4)
+							for e.Waiters() == 0 {
+								c.Exec(20 * sim.Microsecond)
+								c.Yield()
+							}
+							c.KernelSignal(e)
+						})
+						th.KernelWait(e)
+						th.Join(c)
+					case 6:
+						c := th.Fork("child", func(c *uthread.Thread) { c.Exec(work / 2) })
+						th.Join(c)
+					case 7:
+						th.Exec(work * 4)
+					}
+				}
+				finished++
+			})
+		}
+		s.Start()
+	}
+
+	// The competing space behind the demand-pulse disturbance, created
+	// lazily so scripts without that disturbance have no extra space. It
+	// never runs user threads; its client gives each processor straight
+	// back, so a pulse is pure allocation churn (takes and re-grants).
+	var rival *core.Space
+	rivalSpace := func() *core.Space {
+		if rival != nil {
+			return rival
+		}
+		rival = k.NewSpace("rival", 1, core.ClientFunc(func(act *core.Activation, events []core.Event) {
+			for _, ev := range events {
+				if ev.Kind == core.EvPreempted && ev.Act != nil {
+					if w := ev.Act.TakeWorker(); w != nil {
+						_ = w
+					}
+					ev.Act.Discard()
+				}
+			}
+			act.Context().Exec(300 * sim.Microsecond)
+			act.YieldProcessor()
+		}))
+		rival.Start()
+		rival.KernelSetDemand(0)
+		return rival
+	}
+
+	// Decode the disturbance schedule, confined to the storm window so the
+	// drain below is undisturbed.
+	stormOver := false
+	ndisturb := int(sc.next() % 12)
+	for i := 0; i < ndisturb; i++ {
+		d := fuzzDisturb{
+			at:   sim.Duration(1+int(sc.next()))*4*sim.Millisecond + sim.Duration(sc.next())*17*sim.Microsecond,
+			kind: sc.next() % 4,
+			arg:  int(sc.next()),
+		}
+		period := sim.Duration(1+int(sc.next()%32))*sim.Millisecond + 13*sim.Microsecond
+		var fire func()
+		fire = func() {
+			if stormOver {
+				return
+			}
+			switch d.kind {
+			case 0:
+				k.ChaosPreempt(d.arg % cpus)
+			case 1:
+				k.ForceRebalance()
+			case 2:
+				vm.Evict(d.arg % 8)
+			case 3:
+				// A competing space flickering its demand through the
+				// kernel-internal path.
+				sp := rivalSpace()
+				sp.KernelSetDemand(d.arg%cpus + 1)
+				eng.After(700*sim.Microsecond, "fuzz-demand-drop", func() {
+					sp.KernelSetDemand(0)
+				})
+			}
+			eng.After(period, "fuzz-disturb", fire)
+		}
+		eng.After(d.at, "fuzz-disturb", fire)
+	}
+
+	// Storm, then quiesce and drain. A thread still unfinished after the
+	// drain was lost by the protocol — that is a finding, not noise.
+	for step := 0; step < 2000 && finished < total && len(aud.Violations) == 0; step++ {
+		eng.RunFor(sim.Millisecond)
+	}
+	stormOver = true
+	if rival != nil {
+		rival.KernelSetDemand(0)
+	}
+	// One final rebalance re-settles allocation targets after the storm.
+	k.ForceRebalance()
+	for step := 0; step < 4000 && finished < total && len(aud.Violations) == 0; step++ {
+		eng.RunFor(sim.Millisecond)
+	}
+	aud.Check()
+	if len(aud.Violations) > 0 {
+		t.Fatalf("invariant violation on script %v:\n%v", data, aud.Violations[0].Error())
+	}
+	if finished < total {
+		state := ""
+		for _, s := range scheds {
+			state += s.DebugState() + "\n"
+		}
+		var tb strings.Builder
+		tr.Dump(&tb)
+		lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+		if len(lines) > 120 {
+			lines = lines[len(lines)-120:]
+		}
+		t.Fatalf("script %v: %d of %d threads finished (wedged)\n%s\nkernel: %s\ntrace tail:\n%s",
+			data, finished, total, state, k.AuditString(), strings.Join(lines, "\n"))
+	}
+}

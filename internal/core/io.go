@@ -48,6 +48,7 @@ func (k *Kernel) blockAndWait(act *Activation, reason string, arm func(complete 
 	slot.sp.Usage += k.Eng.Now().Sub(slot.since)
 	act.state = actBlocked
 	slot.act = nil
+	k.Stats.Blocks++
 	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "block", "%s act%d: %s", act.sp.Name, act.id, reason)
 
 	// The processor stays with the space: deliver the Blocked notification
@@ -71,6 +72,7 @@ func (k *Kernel) unblock(act *Activation) {
 	}
 	sp := act.sp
 	act.state = actStopped
+	k.Stats.Unblocks++
 	ev := Event{Kind: EvUnblocked, Act: act}
 	k.Trace.Add(k.Eng.Now(), -1, "unblock", "%s act%d", sp.Name, act.id)
 
@@ -116,10 +118,20 @@ func (k *Kernel) unblock(act *Activation) {
 		if other == sp {
 			continue
 		}
-		if k.Allocated(other) > target[other] && other.Priority <= sp.Priority {
-			if victim == nil || k.Allocated(other)-target[other] > k.Allocated(victim)-target[victim] {
-				victim = other
-			}
+		if k.Allocated(other) <= target[other] {
+			continue
+		}
+		// Priority shields only processors the holder actually wants.
+		// Surplus a higher-priority space has itself disclaimed (want
+		// below its allocation, processors sitting idle-volunteered) must
+		// stay stealable: the kernel is event-driven, so if this unblock
+		// defers to a disinterested holder, nothing ever revisits the
+		// allocation and the notification is delayed forever.
+		if other.Priority > sp.Priority && k.Allocated(other) <= other.want {
+			continue
+		}
+		if victim == nil || k.Allocated(other)-target[other] > k.Allocated(victim)-target[victim] {
+			victim = other
 		}
 	}
 	if victim != nil {

@@ -20,6 +20,14 @@ func (k *Kernel) deliver(slot *cpuSlot, sp *Space, events []Event, cost sim.Dura
 	// Any upcall is a chance to deliver notifications that had to be
 	// delayed while the space had no processors.
 	events = append(events, sp.drainPending()...)
+	if k.UpcallPerturb != nil {
+		// Fault injection: stretch the kernel-side upcall latency, widening
+		// the stillborn window in which a fresh activation can itself be
+		// preempted before reaching user code.
+		if extra := k.UpcallPerturb(); extra > 0 {
+			cost += extra
+		}
+	}
 	k.actSeq++
 	if k.poolFree > 0 {
 		k.poolFree--
@@ -38,6 +46,14 @@ func (k *Kernel) deliver(slot *cpuSlot, sp *Space, events []Event, cost sim.Dura
 	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "upcall", "%s act%d %v", sp.Name, act.id, events)
 	act.ctx = k.M.NewContext(fmt.Sprintf("%s:act%d", sp.Name, act.id), func(c *machine.Context) {
 		c.Exec(cost)
+		if act.state != actRunning {
+			// Preempted at the very instant the upcall cost completed: the
+			// exec-done event had already scheduled this coroutine's resume,
+			// so the preemption banked nothing and the kernel treated the
+			// activation as stillborn — discarded, events requeued. User
+			// code must not run in a dead vessel.
+			return
+		}
 		act.entered = true
 		sp.client.Upcall(act, events)
 		if act.state == actRunning && k.slotFor(slot.cpu).act == act {
@@ -177,6 +193,11 @@ func (k *Kernel) takeFromSpace(victim *Space, n int) []*cpuSlot {
 // notify delivers Preempted (or other) events to sp: on one of its own
 // processors via an extra preemption if it has any, otherwise delayed.
 func (k *Kernel) notify(sp *Space, events []Event) {
+	if k.AblateDropEvent {
+		// Deliberately broken notification path (see chaos.go): the events —
+		// and any thread state riding them — are silently lost.
+		return
+	}
 	for _, s := range k.slots {
 		if s.sp == sp && s.act != nil {
 			evs := k.interruptSlot(s)
@@ -195,16 +216,24 @@ func (k *Kernel) notify(sp *Space, events []Event) {
 // the kernel to stop the thread on one of them; the kernel preempts it and
 // starts a scheduler activation there. via must not be the activation on
 // the target processor.
-func (sp *Space) InterruptProcessor(via *Activation, cpu int) {
+//
+// It reports whether the interrupt was performed. The caller's processor
+// map is inherently one trap stale: while the request charges its way into
+// the kernel, the target may be reallocated to another space or lose its
+// vessel. The kernel validates and rejects such requests — the caller's
+// next upcall carries the truth it was missing.
+func (sp *Space) InterruptProcessor(via *Activation, cpu int) bool {
 	k := sp.k
 	via.ctx.Exec(k.C.Trap + k.C.SANotifyWork)
 	slot := k.slots[cpu]
-	if slot.sp != sp {
-		panic(fmt.Sprintf("core: InterruptProcessor(cpu%d) not allocated to %q", cpu, sp.Name))
-	}
 	if slot.act == via {
 		panic("core: InterruptProcessor on the caller's own processor")
 	}
+	if slot.sp != sp || slot.act == nil {
+		k.Trace.Add(k.Eng.Now(), cpu, "interrupt", "%s: stale request rejected", sp.Name)
+		return false
+	}
 	evs := k.interruptSlot(slot)
 	k.deliver(slot, sp, evs, k.C.SAUpcallWork+k.C.IPI)
+	return true
 }

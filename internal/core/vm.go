@@ -98,6 +98,7 @@ func (vm *VM) fault(act *Activation, page int) {
 	slot.sp.Usage += k.Eng.Now().Sub(slot.since)
 	act.state = actBlocked
 	slot.act = nil
+	k.Stats.Blocks++
 	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "fault", "%s act%d page %d", sp.Name, act.id, page)
 
 	// Arrange the wake-up first: coalesce with an in-flight fetch if one

@@ -1,0 +1,214 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"schedact/internal/chaos"
+	"schedact/internal/core"
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+	"schedact/internal/uthread"
+)
+
+// Workload tracks a randomized mixed workload's completion.
+type Workload struct {
+	Total    int
+	finished *int
+}
+
+// Finished reports how many threads have run to completion.
+func (w *Workload) Finished() int { return *w.finished }
+
+// Done reports whether every thread finished.
+func (w *Workload) Done() bool { return *w.finished >= w.Total }
+
+// BuildMixedWorkload constructs the soak mixture on a scheduler-activation
+// kernel: several address spaces of threads doing compute bursts, mutex and
+// spin-lock critical sections, blocking I/O, page touches, yields, and
+// cond-variable fork/join handshakes — everything the paper's kernel
+// interface has to survive, drawn from rng (so the shape is a pure function
+// of the caller's seed). Used by both the soak test and the chaos sweep.
+func BuildMixedWorkload(k *core.Kernel, vm *core.VM, rng *rand.Rand) *Workload {
+	finished := new(int)
+	total := 0
+	nspaces := 1 + rng.Intn(3)
+	for si := 0; si < nspaces; si++ {
+		s := uthread.OnActivations(k, fmt.Sprintf("soak%d", si), rng.Intn(2), k.M.NumCPUs(), uthread.Options{})
+		mu := s.NewMutex()
+		cond := s.NewCond()
+		spin := &uthread.SpinLock{}
+		nthreads := 3 + rng.Intn(8)
+		total += nthreads
+		for ti := 0; ti < nthreads; ti++ {
+			plan := make([]int, 4+rng.Intn(8))
+			for i := range plan {
+				plan[i] = rng.Intn(7)
+			}
+			prio := rng.Intn(3)
+			work := sim.Duration(rng.Intn(2000)+100) * sim.Microsecond
+			page := rng.Intn(6)
+			s.SpawnPrio(fmt.Sprintf("t%d.%d", si, ti), prio, func(th *uthread.Thread) {
+				for _, op := range plan {
+					switch op {
+					case 0:
+						th.Exec(work)
+					case 1:
+						mu.Lock(th)
+						th.Exec(work / 4)
+						mu.Unlock(th)
+					case 2:
+						spin.Acquire(th)
+						th.Exec(work / 8)
+						spin.Release(th)
+					case 3:
+						th.BlockIO()
+					case 4:
+						th.TouchPage(vm, page)
+					case 5:
+						th.Yield()
+					case 6:
+						// Cond handshake with a forked signaller, Mesa-style:
+						// the flag is set and broadcast under the mutex, so a
+						// wake-up can neither land before the waiter blocks
+						// nor be consumed by another handshake's waiter (the
+						// cond is shared, so Signal could wake the wrong
+						// thread and strand this one).
+						done := false
+						c := th.Fork("signaller", func(c *uthread.Thread) {
+							c.Exec(work / 2)
+							mu.Lock(c)
+							done = true
+							cond.Broadcast(c)
+							mu.Unlock(c)
+						})
+						mu.Lock(th)
+						for !done {
+							cond.Wait(th, mu)
+						}
+						mu.Unlock(th)
+						th.Join(c)
+					}
+				}
+				*finished++
+			})
+		}
+		s.Start()
+	}
+	return &Workload{Total: total, finished: finished}
+}
+
+// ChaosResult is one seed's verdict from the chaos sweep.
+type ChaosResult struct {
+	Seed        int64
+	Fingerprint chaos.Fingerprint
+	Replay      chaos.Fingerprint // second run of the same seed
+	Violations  []chaos.Violation
+	Finished    int
+	Total       int
+	End         sim.Time // virtual time when the run stopped
+	Preempts    uint64   // forced preemptions actually landed
+}
+
+// OK reports whether the seed passed: no invariant violations, every thread
+// finished, and the replay reproduced the identical fingerprint.
+func (r ChaosResult) OK() bool {
+	return len(r.Violations) == 0 && r.Finished == r.Total && r.Fingerprint == r.Replay
+}
+
+// chaosStepLimit bounds one chaos run: storm phase, then a quiesced drain.
+const (
+	chaosStormSteps = 20000 // milliseconds of virtual time under injection
+	chaosDrainSteps = 5000  // milliseconds to drain after Stop
+)
+
+// chaosOnce executes one audited, fault-injected mixed workload for seed.
+func chaosOnce(seed int64, mutate func(*core.Kernel)) (fp chaos.Fingerprint, r ChaosResult) {
+	rng := rand.New(rand.NewSource(seed))
+	eng := sim.NewEngine()
+	defer eng.Close()
+	eng.SetLabel(fmt.Sprintf("chaos seed %d", seed))
+	tr := trace.New(8192)
+	k := core.New(eng, core.Config{CPUs: 2 + rng.Intn(4), Trace: tr})
+	if mutate != nil {
+		mutate(k)
+	}
+	StartDaemonSA(k)
+	vm := k.NewVM()
+	aud := chaos.Attach(k, tr, 250*sim.Microsecond)
+	fpr := chaos.NewFingerprinter(tr)
+	inj := chaos.New(eng, chaos.NewPlan(seed))
+	inj.InstrumentSA(k)
+	inj.InstrumentVM(vm)
+	wl := BuildMixedWorkload(k, vm, rng)
+
+	for step := 0; step < chaosStormSteps && !wl.Done() && len(aud.Violations) == 0; step++ {
+		eng.RunFor(sim.Millisecond)
+	}
+	// Quiesce injection and drain: a shortfall after this means a thread was
+	// genuinely lost, not merely still dodging the storm.
+	inj.Stop()
+	for step := 0; step < chaosDrainSteps && !wl.Done() && len(aud.Violations) == 0; step++ {
+		eng.RunFor(sim.Millisecond)
+	}
+	aud.Check()
+	r = ChaosResult{
+		Seed:       seed,
+		Violations: aud.Violations,
+		Finished:   wl.Finished(),
+		Total:      wl.Total,
+		End:        eng.Now(),
+		Preempts:   inj.Stats.Preempts,
+	}
+	return fpr.Finish(eng), r
+}
+
+// RunChaosSeed runs one seed twice — identical code path both times — and
+// folds the replay's fingerprint into the result, so a nondeterminism leak
+// fails the seed even when every invariant held.
+func RunChaosSeed(seed int64) ChaosResult {
+	fpA, r := chaosOnce(seed, nil)
+	fpB, _ := chaosOnce(seed, nil)
+	r.Fingerprint = fpA
+	r.Replay = fpB
+	return r
+}
+
+// RunChaosSeedAblated is RunChaosSeed against a deliberately broken kernel
+// (single run, no replay) — the auditor-has-teeth demonstration.
+func RunChaosSeedAblated(seed int64, mutate func(*core.Kernel)) ChaosResult {
+	fp, r := chaosOnce(seed, mutate)
+	r.Fingerprint = fp
+	r.Replay = fp
+	return r
+}
+
+// ChaosSweep runs seeds first..first+n-1 through RunChaosSeed, reporting one
+// line per seed to w and full violation reports for failures. It returns
+// the number of failed seeds.
+func ChaosSweep(w io.Writer, first, n int64) (failed int) {
+	fprintf(w, "chaos sweep: %d seeds starting at %d (auditor on, each seed run twice)\n", n, first)
+	for seed := first; seed < first+n; seed++ {
+		r := RunChaosSeed(seed)
+		status := "ok"
+		if !r.OK() {
+			status = "FAIL"
+			failed++
+		}
+		fprintf(w, "  seed %3d  fp %v  preempts %4d  threads %2d/%2d  t=%8.0fms  %s\n",
+			r.Seed, r.Fingerprint, r.Preempts, r.Finished, r.Total, r.End.Ms(), status)
+		if r.Fingerprint != r.Replay {
+			fprintf(w, "       nondeterministic: replay fingerprint %v\n", r.Replay)
+		}
+		for _, v := range r.Violations {
+			fprintf(w, "%v", v.Error())
+		}
+	}
+	if failed == 0 {
+		fprintf(w, "chaos sweep: all %d seeds passed\n", n)
+	} else {
+		fprintf(w, "chaos sweep: %d of %d seeds FAILED\n", failed, n)
+	}
+	return failed
+}

@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schedact/internal/apps/micro"
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files under testdata/")
+
+// goldenEntries bounds each canonical log: the ring keeps a deterministic
+// tail, so the committed files stay small while still pinning the exact
+// event sequence of the run's final stretch (plus full-run counts in the
+// header).
+const goldenEntries = 1024
+
+// goldenMicro renders the canonical trace for one Table 1/4 system: both
+// microbenchmarks back to back on a shared log, headed by the measured
+// latencies and full-run event counts.
+func goldenMicro(sys micro.System) string {
+	tr := trace.New(goldenEntries)
+	r := micro.RunTraced(sys, nil, tr)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# golden micro trace: %s\n", sys)
+	fmt.Fprintf(&b, "# NullFork=%v SignalWait=%v retained=%d lost=%d\n",
+		r.NullFork, r.SignalWait, len(tr.Entries()), tr.Lost())
+	tr.Dump(&b)
+	return b.String()
+}
+
+// goldenFigure1 renders the canonical trace for one Figure 1 style run: the
+// N-body smoke workload at P=2 on a 6-processor machine with the kernel
+// daemons running, over a fixed two-second virtual horizon.
+func goldenFigure1(sys SystemName) string {
+	tr := trace.New(goldenEntries)
+	eng, run := launchOne(sys, nbodySmoke(), 2, tr)
+	defer eng.Close()
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	var b strings.Builder
+	fmt.Fprintf(&b, "# golden figure-1 trace: %s P=2, 2s horizon\n", sys)
+	fmt.Fprintf(&b, "# done=%v elapsed=%v retained=%d lost=%d\n",
+		run.Done, run.Elapsed(), len(tr.Entries()), tr.Lost())
+	tr.Dump(&b)
+	return b.String()
+}
+
+// TestGoldenTraces diffs the scheduling traces of the Table 1/4
+// microbenchmarks and Figure 1 smoke runs against committed canonical
+// dumps. Any change to dispatch order, upcall sequence, or event timing —
+// however small — shows up as a line-level diff here. Intended changes are
+// re-blessed with:
+//
+//	go test ./internal/exp -run TestGoldenTraces -update
+func TestGoldenTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() string
+	}{
+		{"table1_fastthreads_kt", func() string { return goldenMicro(micro.FastThreadsKT) }},
+		{"table1_topaz_threads", func() string { return goldenMicro(micro.TopazThreads) }},
+		{"table1_ultrix_processes", func() string { return goldenMicro(micro.UltrixProcesses) }},
+		{"table4_fastthreads_sa", func() string { return goldenMicro(micro.FastThreadsSA) }},
+		{"figure1_topaz", func() string { return goldenFigure1(SysTopaz) }},
+		{"figure1_orig_fastthreads", func() string { return goldenFigure1(SysOrigFT) }},
+		{"figure1_new_fastthreads", func() string { return goldenFigure1(SysNewFT) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.gen()
+			path := filepath.Join("testdata", tc.name+".trace")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file %s (create with -update): %v", path, err)
+			}
+			if got != string(want) {
+				diffTraces(t, path, string(want), got)
+			}
+		})
+	}
+}
+
+// diffTraces reports the first divergence between a golden dump and the
+// regenerated one, with a little surrounding context.
+func diffTraces(t *testing.T, path, want, got string) {
+	t.Helper()
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if w[i] == g[i] {
+			continue
+		}
+		lo := i - 2
+		if lo < 0 {
+			lo = 0
+		}
+		var b strings.Builder
+		for j := lo; j < i; j++ {
+			fmt.Fprintf(&b, "      %4d  %s\n", j+1, w[j])
+		}
+		fmt.Fprintf(&b, "want  %4d  %s\n", i+1, w[i])
+		fmt.Fprintf(&b, "got   %4d  %s\n", i+1, g[i])
+		t.Fatalf("%s: trace diverges at line %d (golden %d lines, regenerated %d):\n%s"+
+			"re-bless with `go test ./internal/exp -run TestGoldenTraces -update` if intended",
+			path, i+1, len(w), len(g), b.String())
+	}
+	t.Fatalf("%s: traces share a %d-line prefix but lengths differ: golden %d lines, regenerated %d\n"+
+		"re-bless with `go test ./internal/exp -run TestGoldenTraces -update` if intended",
+		path, n, len(w), len(g))
+}

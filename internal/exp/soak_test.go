@@ -5,106 +5,48 @@ import (
 	"math/rand"
 	"testing"
 
+	"schedact/internal/chaos"
 	"schedact/internal/core"
 	"schedact/internal/kernel"
 	"schedact/internal/sim"
+	"schedact/internal/trace"
 	"schedact/internal/uthread"
 )
 
 // TestSoakMixedWorkloads throws a randomized (but seeded, hence
 // deterministic) mixture of everything at the scheduler-activation stack —
 // forks, joins, mutexes, condition variables, spin locks, blocking I/O,
-// page faults, priorities, multiple competing spaces, daemons — and checks
-// the kernel invariant continuously while it runs.
+// page faults, priorities, multiple competing spaces, daemons — and runs
+// the full chaos-auditor invariant battery at every millisecond of virtual
+// time. Short mode covers 4 seeds; the full run covers 16.
 func TestSoakMixedWorkloads(t *testing.T) {
-	for seed := int64(1); seed <= 4; seed++ {
+	seeds := int64(16)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			eng := sim.NewEngine()
 			defer eng.Close()
-			k := core.New(eng, core.Config{CPUs: 2 + rng.Intn(4)})
+			tr := trace.New(2048)
+			k := core.New(eng, core.Config{CPUs: 2 + rng.Intn(4), Trace: tr})
 			StartDaemonSA(k)
 			vm := k.NewVM()
+			aud := chaos.Attach(k, tr, 0)
+			aud.OnFail = func(v chaos.Violation) { t.Fatalf("at %v:\n%v", eng.Now(), v.Error()) }
 
-			nspaces := 1 + rng.Intn(3)
-			finished := 0
-			total := 0
-			for si := 0; si < nspaces; si++ {
-				s := uthread.OnActivations(k, fmt.Sprintf("soak%d", si), rng.Intn(2), k.M.NumCPUs(), uthread.Options{})
-				mu := s.NewMutex()
-				cond := s.NewCond()
-				spin := &uthread.SpinLock{}
-				waiting := 0
-				nthreads := 3 + rng.Intn(8)
-				total += nthreads
-				for ti := 0; ti < nthreads; ti++ {
-					plan := make([]int, 4+rng.Intn(8))
-					for i := range plan {
-						plan[i] = rng.Intn(7)
-					}
-					prio := rng.Intn(3)
-					work := sim.Duration(rng.Intn(2000)+100) * sim.Microsecond
-					page := rng.Intn(6)
-					s.SpawnPrio(fmt.Sprintf("t%d.%d", si, ti), prio, func(th *uthread.Thread) {
-						for _, op := range plan {
-							switch op {
-							case 0:
-								th.Exec(work)
-							case 1:
-								mu.Lock(th)
-								th.Exec(work / 4)
-								mu.Unlock(th)
-							case 2:
-								spin.Acquire(th)
-								th.Exec(work / 8)
-								spin.Release(th)
-							case 3:
-								th.BlockIO()
-							case 4:
-								th.TouchPage(vm, page)
-							case 5:
-								th.Yield()
-							case 6:
-								// Cond handshake: wait if someone will signal
-								// later, else signal a waiter.
-								if waiting > 0 {
-									waiting--
-									cond.Signal(th)
-								} else {
-									c := th.Fork("signaller", func(c *uthread.Thread) {
-										c.Exec(work / 2)
-										cond.Signal(c)
-									})
-									waiting++
-									cond.Wait(th, nil)
-									waiting--
-									if waiting < 0 {
-										waiting = 0
-									}
-									th.Join(c)
-								}
-							}
-						}
-						finished++
-					})
-				}
-				s.Start()
-			}
+			wl := BuildMixedWorkload(k, vm, rng)
 
-			// Check the invariant at every millisecond of virtual time.
-			violations := 0
-			for step := 0; step < 60000 && finished < total; step++ {
+			// Run the boundary battery at every millisecond of virtual time.
+			for step := 0; step < 60000 && !wl.Done(); step++ {
 				eng.RunFor(sim.Millisecond)
-				if err := k.CheckInvariants(); err != nil {
-					violations++
-					t.Fatalf("at %v: %v", eng.Now(), err)
-				}
+				aud.Check()
 			}
-			if finished != total {
-				t.Fatalf("finished %d of %d threads (wedged?)", finished, total)
+			if !wl.Done() {
+				t.Fatalf("finished %d of %d threads (wedged?)", wl.Finished(), wl.Total)
 			}
-			_ = violations
 		})
 	}
 }

@@ -55,6 +55,11 @@ type Kernel struct {
 	rrNext  int          // round-robin wake-placement pointer (native Topaz behaviour)
 	spaces  []*Space
 	nextTID int
+
+	// QuantumJitter, when non-nil, returns a (possibly negative) adjustment
+	// added to each quantum as its timer is armed — the fault-injection hook
+	// for jittered timer ticks. Consulted once per arming, in arming order.
+	QuantumJitter func() sim.Duration
 }
 
 // cpuState is the kernel's per-processor dispatcher state.
@@ -233,7 +238,14 @@ func (k *Kernel) place(cs *cpuState, t *KThread) {
 
 func (k *Kernel) armQuantum(cs *cpuState) {
 	t := cs.cur
-	cs.quantumEv = k.Eng.After(k.C.Quantum, "quantum", func() {
+	q := k.C.Quantum
+	if k.QuantumJitter != nil {
+		q += k.QuantumJitter()
+		if q < 0 {
+			q = 0
+		}
+	}
+	cs.quantumEv = k.Eng.After(q, "quantum", func() {
 		if cs.cur != t {
 			return
 		}
@@ -312,6 +324,24 @@ func (k *Kernel) threadReady(t *KThread) {
 
 // CPUStates is exposed for tests and instrumentation.
 func (k *Kernel) cpuOf(t *KThread) *cpuState { return t.cs }
+
+// ChaosPreempt forcibly preempts whatever thread is running on CPU id,
+// returning it to the ready queue mid-whatever-it-was-doing — the
+// fault-injection entry for adverse-timing preemption storms. It reports
+// false (and does nothing) when the CPU is idle. The displaced thread
+// rejoins the ready queue and a dispatcher pass starts, exactly as for an
+// end-of-quantum preemption.
+func (k *Kernel) ChaosPreempt(id machine.CPUID) bool {
+	if int(id) < 0 || int(id) >= len(k.cpus) {
+		return false
+	}
+	cs := k.cpus[int(id)]
+	if cs.cur == nil {
+		return false
+	}
+	k.preemptCPU(cs)
+	return true
+}
 
 // Idle reports how many CPUs are idle right now.
 func (k *Kernel) Idle() int {

@@ -18,6 +18,12 @@ type Disk struct {
 	// the paper's simplification.
 	Contended bool
 
+	// Perturb, when non-nil, maps each request's service time to the one
+	// actually charged — the fault-injection hook for latency jitter and
+	// spikes. It is consulted once per request, in request order, so a
+	// deterministic perturbation (chaos.Plan) yields a deterministic run.
+	Perturb func(sim.Duration) sim.Duration
+
 	freeAt sim.Time // when the arm becomes free (contended mode)
 
 	Requests uint64
@@ -27,15 +33,22 @@ type Disk struct {
 // completion time.
 func (d *Disk) Request(done func()) sim.Time {
 	d.Requests++
+	lat := d.Latency
+	if d.Perturb != nil {
+		lat = d.Perturb(lat)
+		if lat < 0 {
+			lat = 0
+		}
+	}
 	now := d.m.Now()
 	start := now
 	if d.Contended {
 		if d.freeAt > start {
 			start = d.freeAt
 		}
-		d.freeAt = start.Add(d.Latency)
+		d.freeAt = start.Add(lat)
 	}
-	completes := start.Add(d.Latency)
+	completes := start.Add(lat)
 	d.m.Eng.At(completes, "disk:done", done)
 	return completes
 }

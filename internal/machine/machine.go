@@ -157,6 +157,17 @@ func (p *CPU) detach(ctx *Context) {
 	ctx.cpu = nil
 }
 
+// Busy reports the exact total time this CPU has spent dispatched, including
+// the in-progress occupancy. Auditors balance this against the scheduling
+// layers' own per-space accounting.
+func (p *CPU) Busy() sim.Duration {
+	busy := p.TotalBusy
+	if p.cur != nil {
+		busy += p.m.Now().Sub(p.busySince)
+	}
+	return busy
+}
+
 // Utilization reports the fraction of [0, now] this CPU spent dispatched.
 func (p *CPU) Utilization() float64 {
 	now := p.m.Now()

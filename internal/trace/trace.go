@@ -28,11 +28,12 @@ func (e Entry) String() string {
 
 // Log is a bounded in-memory event log, optionally mirrored to a writer.
 type Log struct {
-	Max    int       // maximum retained entries; 0 means unbounded
-	Live   io.Writer // if non-nil, entries are written as they arrive
-	list   []Entry
-	lost   uint64
-	filter map[string]bool // if non-nil, only these categories are kept
+	Max       int       // maximum retained entries; 0 means unbounded
+	Live      io.Writer // if non-nil, entries are written as they arrive
+	list      []Entry
+	lost      uint64
+	filter    map[string]bool // if non-nil, only these categories are kept
+	observers []func(Entry)
 }
 
 // New returns a log retaining at most max entries (0 = unbounded).
@@ -47,6 +48,18 @@ func (l *Log) Filter(cats ...string) *Log {
 	return l
 }
 
+// Observe registers fn to receive every retained entry as it is recorded.
+// Observers run synchronously in recording order, after the category filter
+// and before retention trimming — a consumer sees each entry exactly once
+// even when the ring later drops it. Continuous checkers (the chaos
+// auditor's monotone-time and conservation assertions) hang off this hook.
+func (l *Log) Observe(fn func(Entry)) {
+	if l == nil {
+		return
+	}
+	l.observers = append(l.observers, fn)
+}
+
 // Add records an event. Safe on a nil log.
 func (l *Log) Add(t sim.Time, cpu int, cat, format string, args ...any) {
 	if l == nil {
@@ -56,6 +69,9 @@ func (l *Log) Add(t sim.Time, cpu int, cat, format string, args ...any) {
 		return
 	}
 	e := Entry{T: t, CPU: cpu, Cat: cat, Msg: fmt.Sprintf(format, args...)}
+	for _, fn := range l.observers {
+		fn(e)
+	}
 	if l.Live != nil {
 		fmt.Fprintln(l.Live, e)
 	}

@@ -76,8 +76,17 @@ func (b *saBackend) Upcall(act *core.Activation, events []core.Event) {
 			// "The blocked scheduler activation is no longer using its
 			// processor." Note which thread went into the kernel; its
 			// machine state stays with the blocked activation until the
-			// Unblocked event returns it.
+			// Unblocked event returns it. Retire the blocked vessel's
+			// processor record too: normally the fresh activation delivering
+			// this event overwrites it on the same processor, but if that
+			// delivery was stillborn the event reaches us on another
+			// processor, and the stale record would make a phantom vessel —
+			// haveVPs over-counting, dead wake targets, demand never
+			// re-registered.
 			old := ev.Act
+			if orphan := b.retireVessel(old); orphan != nil {
+				b.accept(orphan)
+			}
 			if t := s.byWorker[old.Context().Worker()]; t != nil {
 				t.state = utKernel
 				if t.vp != nil && t.vp.current == t {
@@ -88,8 +97,12 @@ func (b *saBackend) Upcall(act *core.Activation, events []core.Event) {
 		case core.EvUnblocked:
 			// "Return to the ready list the user-level thread that was
 			// executing in the context of the blocked scheduler activation."
+			// Pending-queue reordering can deliver this before the matching
+			// Blocked event, so retire the vessel record here as well.
 			old := ev.Act
-			delete(b.vessels, old)
+			if orphan := b.retireVessel(old); orphan != nil {
+				b.accept(orphan)
+			}
 			w := old.TakeWorker()
 			old.Discard()
 			if t := s.byWorker[w]; t != nil {
@@ -124,11 +137,18 @@ func (b *saBackend) Upcall(act *core.Activation, events []core.Event) {
 	}
 	// The kernel may hand us a processor beyond this configuration's
 	// parallelism cap (e.g. an unblock delivered on a free processor).
-	// Give it straight back once the events are processed.
+	// Give it straight back once the events are processed — but any thread
+	// state this upcall recovered (an unblocked or preempted thread now in
+	// the recovery list) must not leave with it: if every remaining vessel
+	// is parked idle, none would ever drain the recovery list, stranding
+	// the thread. Wake one first.
 	if s.haveVPs() > b.max {
 		v.vessel = nil
 		delete(b.vessels, act)
 		s.lastTold = 0
+		if len(s.recovery) > 0 || s.runnable > 0 {
+			s.wakeIdleProc()
+		}
 		act.YieldProcessor()
 		return
 	}
@@ -139,16 +159,20 @@ func (b *saBackend) Upcall(act *core.Activation, events []core.Event) {
 // stale wake-ups cannot reach it. It returns the thread the vessel's
 // scheduler had dequeued but not yet bound, if any.
 func (b *saBackend) retireVessel(old *core.Activation) (orphan *Thread) {
-	if ves := b.vessels[old]; ves != nil {
+	ves := b.vessels[old]
+	if ves != nil {
 		delete(b.vessels, old)
 		orphan = ves.inTransit
 		ves.inTransit = nil
-		for _, v := range b.s.procs {
-			if v.vessel == ves {
-				v.vessel = nil
-				v.current = nil
-				v.idleParked = false
-			}
+	}
+	// Match processor records by activation identity, not just the map
+	// entry: a reordered Unblocked can arrive after the map entry is gone
+	// while the stale record still sits on a processor.
+	for _, v := range b.s.procs {
+		if v.vessel != nil && (v.vessel == ves || v.vessel.act == old) {
+			v.vessel = nil
+			v.current = nil
+			v.idleParked = false
 		}
 	}
 	return orphan

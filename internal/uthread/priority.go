@@ -111,8 +111,13 @@ func (s *Sched) maybePreemptForPriority(t *Thread, w *machine.Worker) {
 		victim.ready = append(victim.ready, t)
 	}
 	s.Stats.KernelNotifies++
-	s.Stats.PriorityPreempts++
-	b.space.InterruptProcessor(via, int(vcpu.ID()))
+	// The request can come back rejected: our processor map is one trap
+	// stale, and the kernel may have taken the victim meanwhile. The steered
+	// thread is on a ready list either way, and the demand deficit was
+	// already notified, so there is nothing to undo.
+	if b.space.InterruptProcessor(via, int(vcpu.ID())) {
+		s.Stats.PriorityPreempts++
+	}
 }
 
 // unqueue removes a ready thread from whichever ready list holds it,

@@ -232,7 +232,13 @@ func (s *Sched) pushLocal(v *procData, t *Thread, by *Thread, w *machine.Worker)
 	if by != nil {
 		by.enterCS(&v.lock, w)
 		w.Exec(s.cost.UTEnq)
+		// The state transition must be atomic with the list append: exitCS
+		// below can hand control back to an upcall handler (if by was
+		// preempted inside this section and continued, §3.3), and by then t
+		// may be popped, dispatched, and blocked again on another processor —
+		// a deferred "t.state = utReady" here would smash that later state.
 		v.ready = append(v.ready, t)
+		t.state = utReady
 		by.exitCS(&v.lock, w)
 	} else {
 		// Scheduler/upcall path: pay first, then commit atomically once the
@@ -241,8 +247,8 @@ func (s *Sched) pushLocal(v *procData, t *Thread, by *Thread, w *machine.Worker)
 		w.Exec(s.cost.UTEnq)
 		s.spinWhileHeld(&v.lock, w)
 		v.ready = append(v.ready, t)
+		t.state = utReady
 	}
-	t.state = utReady
 }
 
 // popLocal dequeues LIFO from v's own list (scheduler path: charge first,
@@ -367,11 +373,17 @@ func (s *Sched) schedLoop(v *procData, w *machine.Worker) {
 			return
 		}
 		idleFor = 0
-		if s.anyReadyWork() {
-			// Work arrived while we were talking to the kernel.
+		if s.anyReadyWork() || len(s.recovery) > 0 {
+			// Work arrived while we were talking to the kernel — on a ready
+			// list, or accepted into the recovery queue by an upcall on
+			// another processor (which saw this vessel as busy and so woke
+			// nobody).
 			continue
 		}
 		// Park until work arrives here.
+		if s.opt.Trace != nil {
+			s.tracef(traceCPU(w), "ulidle", "vp%d parked", v.id)
+		}
 		v.idleParked = true
 		me.Park("vp-idle")
 		v.idleParked = false
@@ -406,6 +418,9 @@ func (s *Sched) runThread(v *procData, w *machine.Worker, t *Thread, me *sim.Cor
 	}
 	t.needsResumeCheck = false
 	s.Stats.Switches++
+	if s.opt.Trace != nil {
+		s.tracef(traceCPU(w), "uldispatch", "%s", t.name)
+	}
 	ctx := w.Bound()
 	v.current = t
 	t.vp = v
@@ -456,6 +471,9 @@ func (s *Sched) wakeIdleProc() bool {
 // the transition (nil when done by the scheduler or an upcall handler), w
 // the worker charged.
 func (s *Sched) makeReady(t *Thread, by *Thread, w *machine.Worker) {
+	if s.opt.Trace != nil {
+		s.tracef(traceCPU(w), "ulready", "%s", t.name)
+	}
 	v := s.homeProc(by, w)
 	s.pushLocal(v, t, by, w)
 	s.runnable++
@@ -537,6 +555,18 @@ func (s *Sched) tracef(cpu int, cat, format string, args ...any) {
 	s.opt.Trace.Add(s.eng.Now(), cpu, cat, format, args...)
 }
 
+// traceCPU resolves the physical processor a worker is currently bound to,
+// -1 if unbound. Call sites guard on s.opt.Trace != nil so the hot paths
+// stay allocation-free when tracing is off.
+func traceCPU(w *machine.Worker) int {
+	if ctx := w.Bound(); ctx != nil {
+		if cpu := ctx.CPU(); cpu != nil {
+			return int(cpu.ID())
+		}
+	}
+	return -1
+}
+
 func (s *Sched) String() string {
 	return fmt.Sprintf("uthread.Sched(%s, %d procs, %d live)", s.back.name(), len(s.procs), s.live)
 }
@@ -567,24 +597,40 @@ func (s *Sched) DebugState() string {
 // continued is tracked through its bound worker.
 func (s *Sched) drainRecovery(v *procData, w *machine.Worker) {
 	for len(s.recovery) > 0 {
-		t := s.recovery[0]
-		if t.critDepth > 0 && !s.opt.NoCSRecovery {
-			// Continue the thread until it exits its critical section.
-			// Pop first: from here the machine tracks it via its worker,
-			// and if we are preempted mid-continuation the next upcall
-			// re-queues it (with continueTo re-pointed here is stale, but
-			// recover overwrites it).
-			s.recovery = s.recovery[1:]
-			s.continueCS(v, w, t)
-			if s.superseded(v, s.eng.Current()) {
-				// Lost the processor during the continuation; the thread
-				// was re-recovered by the upcall that took it.
-				return
+		// §3.3 ordering: continue any thread stopped inside a critical
+		// section before committing plain recoveries — anywhere in the
+		// queue, not just at the head. A plain commit spins for the
+		// ready-list lock, and a preempted thread queued behind it may be
+		// the very holder; spinning before continuing the holder wedges
+		// the drain behind its own queue.
+		if !s.opt.NoCSRecovery {
+			cs := -1
+			for i, t := range s.recovery {
+				if t.critDepth > 0 {
+					cs = i
+					break
+				}
 			}
-			// Critical section exited; commit like a normal recovery.
-			s.recovery = append([]*Thread{t}, s.recovery...)
-			continue
+			if cs >= 0 {
+				// Continue the thread until it exits its critical section.
+				// Pop first: from here the machine tracks it via its worker,
+				// and if we are preempted mid-continuation the next upcall
+				// re-queues it (with continueTo re-pointed here is stale, but
+				// recover overwrites it).
+				t := s.recovery[cs]
+				s.recovery = append(s.recovery[:cs:cs], s.recovery[cs+1:]...)
+				s.continueCS(v, w, t)
+				if s.superseded(v, s.eng.Current()) {
+					// Lost the processor during the continuation; the thread
+					// was re-recovered by the upcall that took it.
+					return
+				}
+				// Critical section exited; commit like a normal recovery.
+				s.recovery = append([]*Thread{t}, s.recovery...)
+				continue
+			}
 		}
+		t := s.recovery[0]
 		w.Exec(s.cost.UTEnq)
 		if s.superseded(v, s.eng.Current()) {
 			return

@@ -177,10 +177,13 @@ func (t *Thread) Yield() {
 	t.enterCS(&v.lock, t.w)
 	t.w.Exec(s.cost.UTEnq)
 	// FIFO for yield: go to the front of the LIFO stack's opposite end.
+	// State and count move with the append, inside the critical section:
+	// exitCS may hand control to an upcall handler (§3.3 continuation)
+	// and anything after it runs arbitrarily later.
 	v.ready = append([]*Thread{t}, v.ready...)
-	t.exitCS(&v.lock, t.w)
 	t.state = utReady
 	s.runnable++
+	t.exitCS(&v.lock, t.w)
 	t.switchOut("yield")
 }
 
@@ -207,6 +210,9 @@ func (t *Thread) exit() {
 	t.w.Exec(s.cost.UTFree / 2)
 	t.exitCS(&v.stackLock, t.w)
 	t.state = utDone
+	if s.opt.Trace != nil {
+		s.tracef(traceCPU(t.w), "ulexit", "%s", t.name)
+	}
 	s.live--
 	delete(s.byWorker, t.w)
 	t.w.Unbind()
@@ -245,6 +251,9 @@ func (t *Thread) block(reason string, st utState) {
 		return
 	}
 	s.Stats.BlocksUser++
+	if s.opt.Trace != nil {
+		s.tracef(traceCPU(t.w), "ulblock", "%s: %s", t.name, reason)
+	}
 	v := t.vp
 	t.state = st
 	t.needsResumeCheck = true
