@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz saexp chaos cover
+.PHONY: check build vet test race bench bench-json fuzz saexp chaos cover
+
+# -benchtime for bench/bench-json; set BENCHTIME=1x for a smoke run.
+BENCHTIME ?= 1s
 
 # Coverage floors for the protocol-bearing packages (make cover).
 COVER_FLOOR_core := 85
@@ -18,15 +21,26 @@ vet:
 test:
 	$(GO) test ./...
 
-# The sim engine hands a goroutine per coroutine; race-check it explicitly.
+# The sim engine hands a goroutine per coroutine, and the fleet pool fans
+# engines across cores; race-check both, plus a real parallel sweep.
 race:
-	$(GO) test -race ./internal/sim/...
+	$(GO) test -race ./internal/sim/... ./internal/fleet/...
+	$(GO) test -race -run 'TestParallelSweepMatchesSequential|TestChaosSweepShort' ./internal/exp/
 
 bench:
-	$(GO) test -run xxx -bench . -benchmem .
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) . ./internal/...
 
+# Archive benchmark numbers in machine-readable form.
+bench-json:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) . ./internal/... | ./bin/benchjson > BENCH.json
+	@echo "wrote BENCH.json"
+
+# -fuzzminimizetime keeps corpus minimization from eating the budget: the
+# oracle target finds many new coverage paths per run.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEventHeapOps -fuzztime 15s ./internal/sim/
+	$(GO) test -run xxx -fuzz FuzzWheelVsHeapOracle -fuzztime 15s -fuzzminimizetime 5s ./internal/sim/
 	$(GO) test -run xxx -fuzz FuzzUpcallDowncall -fuzztime 15s ./internal/core/
 
 saexp:

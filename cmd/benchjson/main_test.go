@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseBench(t *testing.T) {
+	r, ok := parseBench("schedact/internal/sim",
+		"BenchmarkEventQueue/wheel \t29963110\t        38.65 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkEventQueue/wheel" || r.Iterations != 29963110 {
+		t.Fatalf("bad header: %+v", r)
+	}
+	want := map[string]float64{"ns/op": 38.65, "B/op": 0, "allocs/op": 0}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Fatalf("metric %q = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseBenchCustomMetric(t *testing.T) {
+	r, ok := parseBench("schedact/internal/exp",
+		"BenchmarkChaosSweep 	       2	 314662429 ns/op	        12.71 seeds/sec")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Metrics["seeds/sec"] != 12.71 {
+		t.Fatalf("seeds/sec = %v, want 12.71", r.Metrics["seeds/sec"])
+	}
+}
+
+func TestParseBenchRejectsHeaders(t *testing.T) {
+	if _, ok := parseBench("p", "BenchmarkEventQueue"); ok {
+		t.Fatal("bare benchmark header should not parse as a result")
+	}
+	if _, ok := parseBench("p", "BenchmarkFoo not-a-number"); ok {
+		t.Fatal("malformed count should not parse")
+	}
+}

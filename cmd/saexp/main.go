@@ -20,6 +20,7 @@
 //
 //	saexp -chaos              # 64-seed fault-injection sweep, auditor armed
 //	saexp -chaos -seeds 256   # more seeds
+//	saexp -chaos -workers 8   # pool width (default GOMAXPROCS; 1 = sequential)
 //	saexp -chaos -ablate nogrant    # demo: auditor catches a broken allocator
 //	saexp -chaos -ablate dropevent  # demo: auditor catches dropped events
 //
@@ -30,9 +31,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"schedact/internal/core"
 	"schedact/internal/exp"
+	"schedact/internal/fleet"
 	"schedact/internal/sim"
 	"schedact/internal/stats"
 )
@@ -45,14 +48,20 @@ func main() {
 	seeds := flag.Int64("seeds", 64, "number of chaos seeds to sweep (with -chaos)")
 	firstSeed := flag.Int64("first-seed", 1, "first chaos seed (with -chaos)")
 	ablate := flag.String("ablate", "", "run one deliberately broken kernel under the auditor: nogrant or dropevent (with -chaos)")
+	workers := flag.Int("workers", fleet.DefaultWorkers(), "parallel run pool width for sweeps and experiment batteries (1 = sequential)")
 	flag.Parse()
 
+	exp.Workers = *workers
+
 	if *chaosMode {
-		os.Exit(runChaos(*seeds, *firstSeed, *ablate))
+		os.Exit(runChaos(*seeds, *firstSeed, *workers, *ablate))
 	}
 
 	out := os.Stdout
 	if *statsOut {
+		// Runs close concurrently under the fleet pool, so the sink must
+		// serialize its writes; each registry is still private to its run.
+		var mu sync.Mutex
 		sim.StatsSink = func(label string, reg *stats.Registry) {
 			if reg.Len() == 0 {
 				return
@@ -60,6 +69,8 @@ func main() {
 			if label == "" {
 				label = "(unlabelled run)"
 			}
+			mu.Lock()
+			defer mu.Unlock()
 			fmt.Fprintf(out, "-- stats: %s --\n", label)
 			reg.Dump(out)
 			fmt.Fprintln(out)
@@ -147,11 +158,11 @@ func main() {
 
 // runChaos executes the chaos sweep (or a single ablated demonstration run)
 // and returns the process exit code: 0 only if every seed passed.
-func runChaos(seeds, first int64, ablate string) int {
+func runChaos(seeds, first int64, workers int, ablate string) int {
 	out := os.Stdout
 	switch ablate {
 	case "":
-		if exp.ChaosSweep(out, first, seeds) > 0 {
+		if exp.ChaosSweep(out, first, seeds, workers) > 0 {
 			return 1
 		}
 		return 0

@@ -6,6 +6,7 @@ import (
 
 	"schedact/internal/apps/nbody"
 	"schedact/internal/core"
+	"schedact/internal/fleet"
 	"schedact/internal/machine"
 	"schedact/internal/sim"
 	"schedact/internal/uthread"
@@ -32,7 +33,9 @@ func AllocatorAblation() AllocatorAblationResult {
 	cfg := nbody.DefaultConfig()
 	seq := seqTime(cfg)
 	var res AllocatorAblationResult
-	for _, fcfs := range []bool{false, true} {
+	type cell struct{ speedup, spread float64 }
+	cells := fleet.Map(Workers, 2, func(job, _ int) cell {
+		fcfs := job == 1
 		eng := sim.NewEngine()
 		eng.SetLabel(fmt.Sprintf("alloc-ablation fcfs=%v", fcfs))
 		k := core.New(eng, core.Config{CPUs: MachineCPUs})
@@ -59,17 +62,13 @@ func AllocatorAblation() AllocatorAblationResult {
 			diff = -diff
 		}
 		avg := sum / 2
-		sp := float64(seq) / float64(avg)
-		spread := float64(diff) / float64(avg)
-		if fcfs {
-			res.FirstCome.SpeedupAvg = sp
-			res.FirstCome.Spread = spread
-		} else {
-			res.SpaceSharing.SpeedupAvg = sp
-			res.SpaceSharing.Spread = spread
-		}
 		eng.Close()
-	}
+		return cell{speedup: float64(seq) / float64(avg), spread: float64(diff) / float64(avg)}
+	})
+	res.SpaceSharing.SpeedupAvg = cells[0].speedup
+	res.SpaceSharing.Spread = cells[0].spread
+	res.FirstCome.SpeedupAvg = cells[1].speedup
+	res.FirstCome.Spread = cells[1].spread
 	return res
 }
 
@@ -119,9 +118,16 @@ func HysteresisAblation() HysteresisAblationResult {
 		}
 		return k.Stats.Takes, k.Stats.Upcalls
 	}
+	settings := []sim.Duration{sim.Ms(15), sim.Us(5)} // the first covers the 10ms gap
+	type cell struct{ takes, upcalls uint64 }
+	cells := fleet.Map(Workers, len(settings), func(job, _ int) cell {
+		var c cell
+		c.takes, c.upcalls = run(settings[job])
+		return c
+	})
 	var res HysteresisAblationResult
-	res.WithHysteresis.Takes, res.WithHysteresis.Upcalls = run(sim.Ms(15)) // covers the 10ms gap
-	res.WithoutHysteresis.Takes, res.WithoutHysteresis.Upcalls = run(sim.Us(5))
+	res.WithHysteresis.Takes, res.WithHysteresis.Upcalls = cells[0].takes, cells[0].upcalls
+	res.WithoutHysteresis.Takes, res.WithoutHysteresis.Upcalls = cells[1].takes, cells[1].upcalls
 	return res
 }
 
@@ -131,7 +137,8 @@ func HysteresisAblation() HysteresisAblationResult {
 // memory pressure widens.
 func Figure2Tuned() Series {
 	s := Series{System: "new FastThreads (tuned upcalls)"}
-	for _, pct := range MemoryPoints {
+	ys := fleet.Map(Workers, len(MemoryPoints), func(job, _ int) float64 {
+		pct := MemoryPoints[job]
 		cfg := nbody.DefaultConfig()
 		cfg.MemFraction = pct / 100
 		eng := sim.NewEngine()
@@ -145,8 +152,11 @@ func Figure2Tuned() Series {
 		if !run.Done {
 			panic("exp: tuned figure2 run did not finish")
 		}
-		s.Points = append(s.Points, Point{X: pct, Y: sim.Duration(run.Elapsed()).Seconds()})
-		eng.Close()
+		defer eng.Close()
+		return sim.Duration(run.Elapsed()).Seconds()
+	})
+	for i, pct := range MemoryPoints {
+		s.Points = append(s.Points, Point{X: pct, Y: ys[i]})
 	}
 	return s
 }

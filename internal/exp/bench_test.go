@@ -1,0 +1,23 @@
+package exp
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkChaosSweep measures end-to-end chaos-battery throughput — full
+// fault-injected runs, auditor armed, replay-checked — through the fleet
+// harness at pool width 1. It is the macro view of the event-queue work:
+// each seed is two complete simulations dominated by schedule/fire traffic.
+// ReportMetric surfaces seeds/sec, the number the sweep's wall-clock scales
+// by; BENCH.json records it via make bench-json.
+func BenchmarkChaosSweep(b *testing.B) {
+	const seedsPer = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if failed := ChaosSweep(io.Discard, 1, seedsPer, 1); failed != 0 {
+			b.Fatalf("%d chaos seeds failed", failed)
+		}
+	}
+	b.ReportMetric(float64(seedsPer)*float64(b.N)/b.Elapsed().Seconds(), "seeds/sec")
+}

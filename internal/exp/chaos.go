@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"schedact/internal/chaos"
 	"schedact/internal/core"
+	"schedact/internal/fleet"
 	"schedact/internal/sim"
 	"schedact/internal/trace"
 	"schedact/internal/uthread"
@@ -184,25 +186,50 @@ func RunChaosSeedAblated(seed int64, mutate func(*core.Kernel)) ChaosResult {
 	return r
 }
 
-// ChaosSweep runs seeds first..first+n-1 through RunChaosSeed, reporting one
-// line per seed to w and full violation reports for failures. It returns
-// the number of failed seeds.
-func ChaosSweep(w io.Writer, first, n int64) (failed int) {
-	fprintf(w, "chaos sweep: %d seeds starting at %d (auditor on, each seed run twice)\n", n, first)
-	for seed := first; seed < first+n; seed++ {
-		r := RunChaosSeed(seed)
+// ChaosSweep runs seeds first..first+n-1 through RunChaosSeed on a pool of
+// workers (0 = one per CPU), reporting one line per seed to w — in seed
+// order, regardless of which worker finished first — plus full violation
+// reports for failures, sweep throughput, and per-worker failure
+// attribution. It returns the number of failed seeds.
+//
+// Each seed runs on its own engine, trace log, and injector, so the
+// per-seed fingerprints are byte-identical to a sequential (-workers 1)
+// sweep; only wall-clock time and the worker column vary with the pool.
+func ChaosSweep(w io.Writer, first, n int64, workers int) (failed int) {
+	if workers <= 0 {
+		workers = fleet.DefaultWorkers()
+	}
+	fprintf(w, "chaos sweep: %d seeds starting at %d on %d worker(s) (auditor on, each seed run twice)\n",
+		n, first, workers)
+	start := time.Now()
+	type tally struct{ runs, failed int }
+	byWorker := make([]tally, workers)
+	fleet.Run(workers, int(n), func(job, worker int) ChaosResult {
+		return RunChaosSeed(first + int64(job))
+	}, func(res fleet.Result[ChaosResult]) {
+		r := res.Value
 		status := "ok"
+		byWorker[res.Worker].runs++
 		if !r.OK() {
 			status = "FAIL"
 			failed++
+			byWorker[res.Worker].failed++
 		}
-		fprintf(w, "  seed %3d  fp %v  preempts %4d  threads %2d/%2d  t=%8.0fms  %s\n",
-			r.Seed, r.Fingerprint, r.Preempts, r.Finished, r.Total, r.End.Ms(), status)
+		fprintf(w, "  seed %3d  w%-2d fp %v  preempts %4d  threads %2d/%2d  t=%8.0fms  %s\n",
+			r.Seed, res.Worker, r.Fingerprint, r.Preempts, r.Finished, r.Total, r.End.Ms(), status)
 		if r.Fingerprint != r.Replay {
 			fprintf(w, "       nondeterministic: replay fingerprint %v\n", r.Replay)
 		}
 		for _, v := range r.Violations {
 			fprintf(w, "%v", v.Error())
+		}
+	})
+	elapsed := time.Since(start)
+	fprintf(w, "chaos sweep: %d seeds in %.2fs (%.1f seeds/sec)\n",
+		n, elapsed.Seconds(), float64(n)/elapsed.Seconds())
+	for wi, t := range byWorker {
+		if t.failed > 0 {
+			fprintf(w, "  worker %d: %d seeds, %d FAILED\n", wi, t.runs, t.failed)
 		}
 	}
 	if failed == 0 {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"schedact/internal/core"
+	"schedact/internal/fleet"
 )
 
 // TestChaosSweepShort is the tier-1 gate's chaos smoke: a handful of seeds
@@ -16,7 +17,7 @@ func TestChaosSweepShort(t *testing.T) {
 		n = 3
 	}
 	var b strings.Builder
-	if failed := ChaosSweep(&b, 1, n); failed != 0 {
+	if failed := ChaosSweep(&b, 1, n, 0); failed != 0 {
 		t.Fatalf("%d of %d chaos seeds failed:\n%s", failed, n, b.String())
 	}
 	t.Logf("\n%s", b.String())
@@ -38,6 +39,34 @@ func TestChaosCatchesBrokenScheduler(t *testing.T) {
 	r = RunChaosSeedAblated(1, func(k *core.Kernel) { k.AblateDropEvent = true })
 	if r.OK() {
 		t.Fatal("AblateDropEvent: broken notification path produced a passing verdict")
+	}
+}
+
+// TestParallelSweepMatchesSequential pins the fleet harness's determinism
+// contract: fanning chaos seeds across a worker pool must produce per-seed
+// fingerprints byte-identical to running them one at a time. Run under
+// `go test -race` (the CI race job does) this also audits the whole
+// engine/trace/stats stack for shared mutable state between concurrent runs.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	const first, n = 21, 3
+	sequential := fleet.Map(1, n, func(job, _ int) ChaosResult {
+		return RunChaosSeed(first + int64(job))
+	})
+	parallel := fleet.Map(4, n, func(job, _ int) ChaosResult {
+		return RunChaosSeed(first + int64(job))
+	})
+	for i := range sequential {
+		s, p := sequential[i], parallel[i]
+		if s.Seed != p.Seed {
+			t.Fatalf("job %d: seed %d sequential vs %d parallel", i, s.Seed, p.Seed)
+		}
+		if s.Fingerprint != p.Fingerprint || s.Replay != p.Replay {
+			t.Errorf("seed %d: fingerprint %v/%v sequential vs %v/%v parallel",
+				s.Seed, s.Fingerprint, s.Replay, p.Fingerprint, p.Replay)
+		}
+		if s.Finished != p.Finished || s.End != p.End || s.Preempts != p.Preempts {
+			t.Errorf("seed %d: result drifted across pool widths: %+v vs %+v", s.Seed, s, p)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"schedact/internal/core"
+	"schedact/internal/fleet"
 	"schedact/internal/kernel"
 	"schedact/internal/sim"
 	"schedact/internal/trace"
@@ -20,6 +21,13 @@ import (
 
 // MachineCPUs is the simulated Firefly's processor count.
 const MachineCPUs = 6
+
+// Workers is the pool width the experiment batteries fan their independent
+// application runs across (internal/fleet); saexp -workers overrides it.
+// Every run executes on its own engine and the series are assembled in job
+// order, so results are byte-identical for any value — only wall-clock
+// changes.
+var Workers = fleet.DefaultWorkers()
 
 // Daemon parameters: Topaz "has several daemon threads which wake up
 // periodically, execute for a short time, and then go back to sleep"

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"schedact/internal/apps/nbody"
+	"schedact/internal/fleet"
 	"schedact/internal/sim"
 )
 
@@ -35,10 +36,17 @@ func Figure1() Figure1Result {
 	cfg := nbody.DefaultConfig()
 	seq := seqTime(cfg)
 	res := Figure1Result{Sequential: seq}
-	for _, sys := range Systems {
+	// 18 independent runs (3 systems × 6 processor counts), fanned across
+	// the pool; each owns a private engine, so the measured times — and the
+	// series assembled from them in job order — match a sequential sweep
+	// exactly.
+	els := fleet.Map(Workers, len(Systems)*MachineCPUs, func(job, _ int) sim.Duration {
+		return runOne(Systems[job/MachineCPUs], cfg, job%MachineCPUs+1)
+	})
+	for si, sys := range Systems {
 		s := Series{System: sys}
 		for p := 1; p <= MachineCPUs; p++ {
-			el := runOne(sys, cfg, p)
+			el := els[si*MachineCPUs+p-1]
 			s.Points = append(s.Points, Point{X: float64(p), Y: float64(seq) / float64(el)})
 		}
 		res.Series = append(res.Series, s)
@@ -60,13 +68,16 @@ var MemoryPoints = []float64{100, 90, 80, 70, 60, 50, 40}
 // the application.
 func Figure2() Figure2Result {
 	var res Figure2Result
-	for _, sys := range Systems {
+	nm := len(MemoryPoints)
+	els := fleet.Map(Workers, len(Systems)*nm, func(job, _ int) sim.Duration {
+		cfg := nbody.DefaultConfig()
+		cfg.MemFraction = MemoryPoints[job%nm] / 100
+		return runOne(Systems[job/nm], cfg, MachineCPUs)
+	})
+	for si, sys := range Systems {
 		s := Series{System: sys}
-		for _, pct := range MemoryPoints {
-			cfg := nbody.DefaultConfig()
-			cfg.MemFraction = pct / 100
-			el := runOne(sys, cfg, MachineCPUs)
-			s.Points = append(s.Points, Point{X: pct, Y: sim.Duration(el).Seconds()})
+		for mi, pct := range MemoryPoints {
+			s.Points = append(s.Points, Point{X: pct, Y: sim.Duration(els[si*nm+mi]).Seconds()})
 		}
 		res.Series = append(res.Series, s)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"schedact/internal/apps/nbody"
 	"schedact/internal/core"
+	"schedact/internal/fleet"
 	"schedact/internal/kernel"
 	"schedact/internal/sim"
 	"schedact/internal/uthread"
@@ -32,12 +33,14 @@ var table5Paper = map[SystemName]float64{
 func Table5() []Table5Row {
 	cfg := nbody.DefaultConfig()
 	seq := seqTime(cfg)
+	avgs := fleet.Map(Workers, len(Systems), func(job, _ int) sim.Duration {
+		return runPair(Systems[job], cfg)
+	})
 	var rows []Table5Row
-	for _, sys := range Systems {
-		avg := runPair(sys, cfg)
+	for i, sys := range Systems {
 		rows = append(rows, Table5Row{
 			System:  sys,
-			Speedup: float64(seq) / float64(avg),
+			Speedup: float64(seq) / float64(avgs[i]),
 			Paper:   table5Paper[sys],
 		})
 	}

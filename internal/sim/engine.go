@@ -16,6 +16,11 @@ var ErrKilled = errors.New("sim: coroutine killed by engine shutdown")
 // install it to print a per-run scheduling-event profile without threading a
 // collector through every experiment. It is consulted once per Close, before
 // coroutines are unwound, so all counters are final but still reachable.
+//
+// Install the sink before any engines run and make the closure itself safe
+// for concurrent calls (the fleet harness closes engines from several
+// goroutines at once); the engines' registries are still confined, each to
+// its own run.
 var StatsSink func(label string, reg *stats.Registry)
 
 // Engine is a sequential discrete-event simulator.
@@ -24,18 +29,24 @@ var StatsSink func(label string, reg *stats.Registry)
 // from inside event callbacks and coroutines (which, by the strict hand-off
 // discipline, is the same goroutine dynamically). The engine is not safe for
 // concurrent use; it does not need to be, since the whole point is a single
-// deterministic timeline.
+// deterministic timeline. To use every core, run many engines — one per
+// independent run — under internal/fleet.
 //
 // The hot path — schedule, fire, cancel — is allocation-free in steady
-// state: event records live on a free list and are recycled as they fire or
-// are cancelled, cancellation removes from the indexed heap outright (no
-// tombstones, so Pending is exact), and event names are static Kind labels
-// combined with their subject only when diagnostics render them.
+// state and O(1) for the near future: event records live on a free list and
+// are recycled as they fire or are cancelled, and the queue is a two-level
+// timing wheel (see wheel.go) whose slot lists splice in constant time,
+// with the indexed heap kept as the sorted overflow level for events beyond
+// the ~67 ms horizon. Cancellation removes the record outright from either
+// structure (no tombstones, so Pending is exact), and event names are
+// static Kind labels combined with their subject only when diagnostics
+// render them.
 type Engine struct {
 	now     Time
 	seq     uint64
-	pq      eventHeap
-	free    []*Event // recycled event records
+	wh      wheel
+	pq      eventHeap // sorted overflow: beyond the wheel horizon, or behind the window
+	free    []*Event  // recycled event records
 	cur     *Coroutine
 	live    map[*Coroutine]struct{}
 	closed  bool
@@ -51,6 +62,7 @@ type Engine struct {
 		Scheduled  uint64 // events scheduled
 		Cancels    uint64 // events cancelled (removed without firing)
 		Reuses     uint64 // schedules served from the free list
+		Overflows  uint64 // schedules that landed in the overflow heap
 		MaxPending int    // high-water mark of the event queue
 	}
 }
@@ -58,11 +70,13 @@ type Engine struct {
 // NewEngine returns an engine at time zero with an empty event queue.
 func NewEngine() *Engine {
 	e := &Engine{live: make(map[*Coroutine]struct{}), metrics: stats.New()}
+	e.wh.reset()
 	e.metrics.Func("sim.events", func() uint64 { return e.Stats.Events })
 	e.metrics.Func("sim.resumes", func() uint64 { return e.Stats.Resumes })
 	e.metrics.Func("sim.scheduled", func() uint64 { return e.Stats.Scheduled })
 	e.metrics.Func("sim.cancels", func() uint64 { return e.Stats.Cancels })
 	e.metrics.Func("sim.pool_reuses", func() uint64 { return e.Stats.Reuses })
+	e.metrics.Func("sim.overflows", func() uint64 { return e.Stats.Overflows })
 	e.metrics.Func("sim.max_pending", func() uint64 { return uint64(e.Stats.MaxPending) })
 	return e
 }
@@ -81,8 +95,9 @@ func (e *Engine) Label() string { return e.label }
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of events queued to fire. Cancelled events are
-// removed immediately, so the count is exact.
-func (e *Engine) Pending() int { return len(e.pq) }
+// removed immediately from the wheel and the overflow heap alike, so the
+// count is exact.
+func (e *Engine) Pending() int { return e.wh.count + len(e.pq) }
 
 // alloc takes an event record from the free list, or makes one.
 func (e *Engine) alloc() *Event {
@@ -107,6 +122,121 @@ func (e *Engine) release(ev *Event) {
 	e.free = append(e.free, ev)
 }
 
+// enqueue files a filled-in event record into the queue: level 0 for the
+// current chunk, level 1 within the horizon, the sorted heap past it (or
+// behind the window, after an idle jump).
+func (e *Engine) enqueue(ev *Event) {
+	tk := tickOf(ev.t)
+	ch := tk >> l0Bits
+	switch {
+	case ch == e.wh.curChunk:
+		e.wh.pushL0(ev, tk)
+	case ch > e.wh.curChunk && ch <= e.wh.curChunk+l1Slots:
+		e.wh.pushL1(ev, ch)
+	default:
+		ev.loc = locHeap
+		e.pq.push(ev)
+		e.Stats.Overflows++
+	}
+}
+
+// dequeue removes a queued event from whichever structure holds it.
+func (e *Engine) dequeue(ev *Event) {
+	if ev.loc == locHeap {
+		e.pq.remove(ev)
+	} else {
+		e.wh.remove(ev)
+	}
+	ev.loc = locNone
+}
+
+// advanceTo moves the level-0 window to chunk ch (strictly forward),
+// cascading that chunk's level-1 slot into level 0 and pulling overflow
+// events that now fall inside the wheel's extended horizon.
+func (e *Engine) advanceTo(ch int64) {
+	w := &e.wh
+	w.curChunk = ch
+	w.scanTick = ch << l0Bits
+	w.sorted = -1
+	s := int(ch & l1Mask)
+	if w.occ1.has(s) {
+		lst := w.l1[s]
+		w.l1[s] = slotList{}
+		w.occ1.clear(s)
+		for ev := lst.head; ev != nil; {
+			next := ev.next
+			ev.next, ev.prev = nil, nil
+			w.count-- // enqueue re-counts it
+			e.enqueue(ev)
+			ev = next
+		}
+	}
+	base := ch << l0Bits
+	horizon := w.horizonTick()
+	for len(e.pq) > 0 {
+		tk := tickOf(e.pq[0].t)
+		if tk < base || tk >= horizon {
+			// Behind the window the heap top stays put: peek serves it
+			// directly, and everything deeper is later still.
+			break
+		}
+		e.enqueue(e.pq.pop())
+	}
+}
+
+// peek positions the wheel at the earliest queued event and returns it
+// without removing it, or nil when the queue is empty. The merged order
+// across wheel and overflow heap is the exact (time, seq) total order.
+func (e *Engine) peek() *Event {
+	for {
+		var hp *Event
+		if len(e.pq) > 0 {
+			hp = e.pq[0]
+		}
+		if e.wh.count == 0 {
+			if hp == nil {
+				return nil
+			}
+			ch := tickOf(hp.t) >> l0Bits
+			if ch <= e.wh.curChunk {
+				return hp
+			}
+			// Jump the empty wheel to the heap top's chunk and adopt what
+			// fits, so the dense phase that follows schedules in O(1).
+			e.advanceTo(ch)
+			continue
+		}
+		if tk, ok := e.wh.nextL0(); ok {
+			if tk != e.wh.sorted {
+				e.wh.l0[tk&l0Mask].sort()
+				e.wh.sorted = tk
+			}
+			e.wh.scanTick = tk
+			wv := e.wh.l0[int(tk&l0Mask)].head
+			if hp != nil && hp.before(wv) {
+				return hp
+			}
+			return wv
+		}
+		// Current chunk drained: advance to the earliest of the next
+		// occupied level-1 chunk and the heap top's chunk.
+		target, ok := e.wh.nextL1()
+		if hp != nil {
+			hch := tickOf(hp.t) >> l0Bits
+			if hch <= e.wh.curChunk {
+				return hp
+			}
+			if !ok || hch < target {
+				target, ok = hch, true
+			}
+		}
+		if !ok {
+			panic("sim: wheel count positive but no event found")
+		}
+		e.advanceTo(target)
+	}
+}
+
 // schedule is the single hot-path entry: every At/After/coroutine resume
 // lands here. No formatting, no allocation in steady state.
 func (e *Engine) schedule(t Time, kind Kind, subj string, fn func(), co *Coroutine) Handle {
@@ -120,9 +250,9 @@ func (e *Engine) schedule(t Time, kind Kind, subj string, fn func(), co *Corouti
 	e.seq++
 	ev := e.alloc()
 	ev.t, ev.seq, ev.kind, ev.subj, ev.fn, ev.co = t, e.seq, kind, subj, fn, co
-	e.pq.push(ev)
+	e.enqueue(ev)
 	e.Stats.Scheduled++
-	if n := len(e.pq); n > e.Stats.MaxPending {
+	if n := e.Pending(); n > e.Stats.MaxPending {
 		e.Stats.MaxPending = n
 	}
 	return Handle{ev, ev.gen}
@@ -157,13 +287,10 @@ func (e *Engine) AfterNamed(d Duration, kind Kind, subject string, fn func()) Ha
 	return e.schedule(e.now.Add(d), kind, subject, fn, nil)
 }
 
-// Step fires the next event, advancing the clock to its time. It reports
-// false when the queue is empty.
-func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
-		return false
-	}
-	ev := e.pq.pop()
+// fire removes ev from the queue, advances the clock to its time, recycles
+// the record, and runs the callback.
+func (e *Engine) fire(ev *Event) {
+	e.dequeue(ev)
 	e.now = ev.t
 	fn, co := ev.fn, ev.co
 	// Recycle before firing: during its own callback the event is already
@@ -175,6 +302,16 @@ func (e *Engine) Step() bool {
 	} else {
 		fn()
 	}
+}
+
+// Step fires the next event, advancing the clock to its time. It reports
+// false when the queue is empty.
+func (e *Engine) Step() bool {
+	ev := e.peek()
+	if ev == nil {
+		return false
+	}
+	e.fire(ev)
 	return true
 }
 
@@ -187,8 +324,12 @@ func (e *Engine) Run() {
 // RunUntil fires events with time <= t, then sets the clock to t. Events
 // scheduled at exactly t do fire.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.pq) > 0 && e.pq[0].t <= t {
-		e.Step()
+	for {
+		ev := e.peek()
+		if ev == nil || ev.t > t {
+			break
+		}
+		e.fire(ev)
 	}
 	if e.now < t {
 		e.now = t
@@ -214,10 +355,24 @@ func (e *Engine) Close() {
 	}
 	// Invalidate outstanding handles to still-queued events before dropping
 	// the queue, so a stale Cancel after Close stays inert.
+	for s := range e.wh.l0 {
+		for ev := e.wh.l0[s].head; ev != nil; ev = ev.next {
+			ev.loc = locNone
+			ev.gen++
+		}
+	}
+	for s := range e.wh.l1 {
+		for ev := e.wh.l1[s].head; ev != nil; ev = ev.next {
+			ev.loc = locNone
+			ev.gen++
+		}
+	}
 	for _, ev := range e.pq {
+		ev.loc = locNone
 		ev.index = -1
 		ev.gen++
 	}
+	e.wh.reset()
 	e.pq = nil
 	e.free = nil
 }

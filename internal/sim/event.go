@@ -8,6 +8,16 @@ package sim
 // actually rendered.
 type Kind string
 
+// Where an event record currently lives. The queue is a two-level timing
+// wheel with a sorted overflow heap; every queued event is in exactly one of
+// the three places (a wheel slot list, or the heap), and released records
+// are in none.
+const (
+	locNone  = iota // not queued: free, fired, or cancelled
+	locWheel        // linked into a wheel slot list (slot says which)
+	locHeap         // in the overflow heap (index says where)
+)
+
 // Event is a scheduled callback, ordered by time with ties broken by
 // scheduling order (sequence number), which makes the simulation fully
 // deterministic. Events are pooled: once fired or cancelled, the record is
@@ -23,7 +33,20 @@ type Event struct {
 	fn   func()     // callback, nil for coroutine dispatch events
 	co   *Coroutine // dispatch target; avoids a closure per resume
 
-	index int // position in the engine's heap, -1 when not queued
+	loc   int8   // locNone, locWheel, locHeap
+	slot  int32  // wheel slot id when loc == locWheel
+	index int    // position in the overflow heap, -1 when not there
+	next  *Event // wheel slot list links (intrusive, allocation-free)
+	prev  *Event
+}
+
+// before reports whether a fires before b in the engine's total (time, seq)
+// order. seq is engine-unique, so the order is strict.
+func (ev *Event) before(b *Event) bool {
+	if ev.t != b.t {
+		return ev.t < b.t
+	}
+	return ev.seq < b.seq
 }
 
 // name renders the debug name. Cold path only: panics, tracing, tests.
@@ -64,32 +87,33 @@ func (h Handle) Name() string {
 	return h.ev.name()
 }
 
-// Cancel removes the event from the queue in O(log n) and recycles it
-// immediately — no tombstone is left behind, so Pending stays exact. It
-// reports whether it cancelled anything; cancelling an event that already
-// fired or was already cancelled is an inert no-op.
+// Cancel removes the event from the queue — O(1) from a wheel slot,
+// O(log n) from the overflow heap — and recycles it immediately. No
+// tombstone is left behind, so Pending stays exact. It reports whether it
+// cancelled anything; cancelling an event that already fired or was already
+// cancelled is an inert no-op.
 func (h Handle) Cancel() bool {
 	ev := h.ev
-	if ev == nil || ev.gen != h.gen || ev.index < 0 {
+	if ev == nil || ev.gen != h.gen || ev.loc == locNone {
 		return false
 	}
 	eng := ev.eng
-	eng.pq.remove(ev)
+	eng.dequeue(ev)
 	eng.Stats.Cancels++
 	eng.release(ev)
 	return true
 }
 
-// eventHeap is an indexed min-heap of events ordered by (time, seq). The
-// sift routines are hand-rolled (rather than container/heap) so removal and
-// pop stay free of interface conversions on the hot path.
+// eventHeap is an indexed min-heap of events ordered by (time, seq). It is
+// the queue's sorted overflow level — events beyond the timing wheel's
+// horizon, plus the rare event scheduled behind a wheel window that jumped
+// ahead over idle time — and doubles as the oracle the wheel is property-
+// tested against. The sift routines are hand-rolled (rather than
+// container/heap) so removal and pop stay free of interface conversions.
 type eventHeap []*Event
 
 func (h eventHeap) less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
+	return h[i].before(h[j])
 }
 
 func (h eventHeap) swap(i, j int) {

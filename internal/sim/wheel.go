@@ -1,0 +1,275 @@
+package sim
+
+// Two-level hierarchical timing wheel, keyed on virtual time.
+//
+// The engine's event queue used to be a single binary heap: O(log n) per
+// schedule and per fire. Event-dense workloads (the chaos battery, the
+// Figure 1/2 sweeps) schedule almost everything within a few milliseconds of
+// now, which a timing wheel serves in O(1): hash the event's time to a slot,
+// append to the slot's intrusive list. The far tail — daemon pulses, 50 ms
+// disk completions scheduled from a quiet moment, RunUntil horizons — falls
+// back to the old indexed heap, which stays in the tree both as the sorted
+// overflow level and as the oracle the wheel is property-tested against.
+//
+// Geometry. A tick is 2^tickBits ns (1024 ns ≈ 1 µs). Level 0 has l0Slots
+// slots of one tick each and covers exactly one "chunk" of l0Slots ticks
+// (~262 µs); level 1 has l1Slots slots of one chunk each and covers the
+// next l1Slots chunks (~67 ms). Beyond that horizon events overflow to the
+// heap. Slots are intrusive doubly-linked lists, so schedule and cancel are
+// O(1) pointer splices with zero allocation; occupancy bitmaps (one bit per
+// slot) make "next non-empty slot" a couple of TrailingZeros calls.
+//
+// Ordering. The engine's contract is exact (time, seq) order. A level-0
+// slot spans one tick, so it can hold events whose times differ in the low
+// tickBits bits, interleaved with seq ties. Events append to their slot in
+// seq order; the slot is insertion-sorted (in place, allocation-free,
+// adaptive — the common all-same-time slot is already sorted and costs one
+// linear scan) only when the drain reaches it. Events scheduled into the
+// slot currently being drained are sorted-inserted so mid-drain schedules
+// interleave exactly where the heap would have put them. A peek compares
+// the wheel's head against the overflow heap's top under the same strict
+// (time, seq) order, so the merged stream is byte-identical to the heap's.
+//
+// Windows only move forward. After an idle RunUntil advance the window can
+// sit ahead of Now; a subsequent schedule behind the window (rare — only
+// harness code between Run calls can do it) drops to the overflow heap,
+// which serves it first by the same comparison. Nothing is ever re-indexed.
+import "math/bits"
+
+const (
+	tickBits = 10 // one tick = 1024 ns ≈ 1 µs of virtual time
+	l0Bits   = 8
+	l1Bits   = 8
+	l0Slots  = 1 << l0Bits
+	l1Slots  = 1 << l1Bits
+	l0Mask   = l0Slots - 1
+	l1Mask   = l1Slots - 1
+)
+
+// tickOf maps a virtual time to its wheel tick.
+func tickOf(t Time) int64 { return int64(t) >> tickBits }
+
+// slotList is an intrusive doubly-linked list of events.
+type slotList struct {
+	head, tail *Event
+}
+
+func (l *slotList) empty() bool { return l.head == nil }
+
+// append links ev at the tail: O(1), preserves seq order for same-slot
+// arrivals.
+func (l *slotList) append(ev *Event) {
+	ev.prev = l.tail
+	ev.next = nil
+	if l.tail != nil {
+		l.tail.next = ev
+	} else {
+		l.head = ev
+	}
+	l.tail = ev
+}
+
+// remove unlinks ev: O(1).
+func (l *slotList) remove(ev *Event) {
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		l.head = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		l.tail = ev.prev
+	}
+	ev.next, ev.prev = nil, nil
+}
+
+// insertSorted places ev into an already-(time,seq)-sorted list, walking
+// from the tail: mid-drain schedules are at or after everything queued.
+func (l *slotList) insertSorted(ev *Event) {
+	p := l.tail
+	for p != nil && ev.before(p) {
+		p = p.prev
+	}
+	if p == nil { // new head
+		ev.prev = nil
+		ev.next = l.head
+		if l.head != nil {
+			l.head.prev = ev
+		} else {
+			l.tail = ev
+		}
+		l.head = ev
+		return
+	}
+	ev.prev = p
+	ev.next = p.next
+	if p.next != nil {
+		p.next.prev = ev
+	} else {
+		l.tail = ev
+	}
+	p.next = ev
+}
+
+// sort insertion-sorts the list into (time, seq) order in place. Events
+// were appended in seq order, so the list is already sorted wherever times
+// agree; insertion sort's adaptivity makes the common case one linear scan.
+func (l *slotList) sort() {
+	if l.head == nil || l.head.next == nil {
+		return
+	}
+	cur := l.head.next
+	for cur != nil {
+		next := cur.next
+		if cur.before(cur.prev) {
+			// Unlink cur and walk left to its insertion point.
+			p := cur.prev
+			l.remove(cur)
+			for p.prev != nil && cur.before(p.prev) {
+				p = p.prev
+			}
+			// Insert cur before p.
+			cur.prev = p.prev
+			cur.next = p
+			if p.prev != nil {
+				p.prev.next = cur
+			} else {
+				l.head = cur
+			}
+			p.prev = cur
+		}
+		cur = next
+	}
+}
+
+// bitmap is a fixed 256-bit occupancy set (one word per 64 slots).
+type bitmap [l0Slots / 64]uint64
+
+func (b *bitmap) set(i int)      { b[i>>6] |= 1 << (i & 63) }
+func (b *bitmap) clear(i int)    { b[i>>6] &^= 1 << (i & 63) }
+func (b *bitmap) has(i int) bool { return b[i>>6]&(1<<(i&63)) != 0 }
+
+// next returns the first set bit at or after from (no wrap), or -1.
+func (b *bitmap) next(from int) int {
+	if from >= len(b)*64 {
+		return -1
+	}
+	w := from >> 6
+	word := b[w] >> (from & 63) << (from & 63) // mask bits below from
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= len(b) {
+			return -1
+		}
+		word = b[w]
+	}
+}
+
+// nextWrap returns the first set bit at or after from, wrapping once, or -1.
+func (b *bitmap) nextWrap(from int) int {
+	if i := b.next(from); i >= 0 {
+		return i
+	}
+	if i := b.next(0); i >= 0 && i < from {
+		return i
+	}
+	return -1
+}
+
+// wheel is the two-level hierarchy. Level 0 covers chunk curChunk; level 1
+// covers chunks (curChunk, curChunk+l1Slots]. Slot indices are absolute
+// residues (tick & l0Mask, chunk & l1Mask), injective within their window.
+type wheel struct {
+	curChunk int64 // the chunk level 0 currently covers
+	scanTick int64 // drain position: no wheel event has tick < scanTick
+	sorted   int64 // tick whose level-0 slot is sorted, -1 when none
+	count    int   // events in the wheel (both levels, excluding the heap)
+	l0       [l0Slots]slotList
+	l1       [l1Slots]slotList
+	occ0     bitmap
+	occ1     bitmap
+}
+
+func (w *wheel) reset() {
+	*w = wheel{sorted: -1}
+}
+
+// horizonTick is the first tick beyond the level-1 window.
+func (w *wheel) horizonTick() int64 {
+	return (w.curChunk + 1 + l1Slots) << l0Bits
+}
+
+// pushL0 files ev (whose tick tk is inside the current chunk) into level 0.
+func (w *wheel) pushL0(ev *Event, tk int64) {
+	s := int(tk & l0Mask)
+	ev.loc = locWheel
+	ev.slot = int32(s)
+	if tk == w.sorted {
+		w.l0[s].insertSorted(ev)
+	} else {
+		w.l0[s].append(ev)
+	}
+	w.occ0.set(s)
+	w.count++
+	if tk < w.scanTick {
+		// A schedule landed behind the drain position (the slot was empty
+		// when the scan passed it). Rewind the scan; the skipped slots are
+		// still empty, so the bitmap walk re-covers them for free.
+		w.scanTick = tk
+	}
+}
+
+// pushL1 files ev (whose chunk ch is inside the level-1 window) into level 1.
+func (w *wheel) pushL1(ev *Event, ch int64) {
+	s := int(ch & l1Mask)
+	ev.loc = locWheel
+	ev.slot = int32(l0Slots + s)
+	w.l1[s].append(ev)
+	w.occ1.set(s)
+	w.count++
+}
+
+// remove unlinks a queued wheel event: O(1).
+func (w *wheel) remove(ev *Event) {
+	s := int(ev.slot)
+	if s < l0Slots {
+		w.l0[s].remove(ev)
+		if w.l0[s].empty() {
+			w.occ0.clear(s)
+		}
+	} else {
+		s -= l0Slots
+		w.l1[s].remove(ev)
+		if w.l1[s].empty() {
+			w.occ1.clear(s)
+		}
+	}
+	w.count--
+}
+
+// nextL0 finds the earliest occupied level-0 tick at or after the scan
+// position within the current chunk, or ok=false when the chunk is drained.
+// The chunk base is l0Slots-aligned, so slot residues within the chunk are
+// in tick order and the bitmap scan needs no wrap.
+func (w *wheel) nextL0() (int64, bool) {
+	base := w.curChunk << l0Bits
+	if i := w.occ0.next(int(w.scanTick - base)); i >= 0 {
+		return base + int64(i), true
+	}
+	return 0, false
+}
+
+// nextL1 finds the earliest occupied level-1 chunk in the window
+// (curChunk, curChunk+l1Slots], or ok=false. Residues wrap around the ring;
+// the distance from the window start recovers the absolute chunk.
+func (w *wheel) nextL1() (int64, bool) {
+	from := int((w.curChunk + 1) & l1Mask)
+	if r := w.occ1.nextWrap(from); r >= 0 {
+		return w.curChunk + 1 + int64((r-from)&l1Mask), true
+	}
+	return 0, false
+}
