@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json fuzz saexp chaos cover
+.PHONY: check build vet test race bench bench-json fuzz saexp chaos cover trace-demo
 
 # -benchtime for bench/bench-json; set BENCHTIME=1x for a smoke run.
 BENCHTIME ?= 1s
@@ -50,6 +50,16 @@ saexp:
 # exit on any violation, lost thread, or nondeterministic replay.
 chaos:
 	$(GO) run ./cmd/saexp -chaos -seeds 64
+
+# Export a Chrome/Perfetto trace of the Figure 1 smoke run and verify the
+# JSON parses (saexp re-reads its own output; python double-checks).
+trace-demo:
+	$(GO) run ./cmd/saexp -exp fig1 -trace-out /tmp/fig1.json
+	@if command -v python3 >/dev/null; then \
+		python3 -c "import json; d=json.load(open('/tmp/fig1.json')); print('trace-demo: /tmp/fig1.json parses,', len(d['traceEvents']), 'trace events')"; \
+	else \
+		echo "trace-demo: python3 unavailable; JSON already validated by saexp itself"; \
+	fi
 
 # Per-package coverage with floors on the protocol-bearing packages.
 cover:

@@ -16,6 +16,10 @@
 //	saexp -exp hysteresis # §4.2 ablation: idle hysteresis
 //	saexp -exp all        # everything
 //
+// Any single experiment run can additionally export a Chrome/Perfetto trace:
+//
+//	saexp -exp fig1 -trace-out /tmp/fig1.json   # load in chrome://tracing or ui.perfetto.dev
+//
 // Chaos mode (separate from -exp):
 //
 //	saexp -chaos              # 64-seed fault-injection sweep, auditor armed
@@ -28,6 +32,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,9 +54,18 @@ func main() {
 	firstSeed := flag.Int64("first-seed", 1, "first chaos seed (with -chaos)")
 	ablate := flag.String("ablate", "", "run one deliberately broken kernel under the auditor: nogrant or dropevent (with -chaos)")
 	workers := flag.Int("workers", fleet.DefaultWorkers(), "parallel run pool width for sweeps and experiment batteries (1 = sequential)")
+	traceOut := flag.String("trace-out", "", "with -exp fig1: run the traced Figure 1 smoke configuration and write Chrome trace_event JSON to this path")
 	flag.Parse()
 
 	exp.Workers = *workers
+
+	if *traceOut != "" {
+		if *which != "fig1" {
+			fmt.Fprintf(os.Stderr, "-trace-out currently supports -exp fig1 only (got %q)\n", *which)
+			os.Exit(2)
+		}
+		os.Exit(runTraceOut(*traceOut))
+	}
 
 	if *chaosMode {
 		os.Exit(runChaos(*seeds, *firstSeed, *workers, *ablate))
@@ -59,6 +73,9 @@ func main() {
 
 	out := os.Stdout
 	if *statsOut {
+		// Give each run a trace stream feeding the latency deriver, so the
+		// dumped registries include latency.* p50/p90/p99.
+		exp.StatsTrace = true
 		// Runs close concurrently under the fleet pool, so the sink must
 		// serialize its writes; each registry is still private to its run.
 		var mu sync.Mutex
@@ -154,6 +171,40 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runTraceOut runs the traced Figure 1 smoke configuration, writes the
+// Chrome trace_event export, and re-reads it through the JSON parser so a
+// malformed export fails loudly here rather than inside the browser.
+func runTraceOut(path string) int {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	n, err := exp.TraceFigure1(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "exported trace does not parse: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s: %d records, %d trace events, %d bytes (load in chrome://tracing or ui.perfetto.dev)\n",
+		path, n, len(doc.TraceEvents), len(raw))
+	return 0
 }
 
 // runChaos executes the chaos sweep (or a single ablated demonstration run)

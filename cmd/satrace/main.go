@@ -8,6 +8,7 @@
 //	satrace                 # two competing N-body apps, first 60ms
 //	satrace -ms 200         # trace a longer window
 //	satrace -io             # a single app with heavy I/O (blocked/unblocked traffic)
+//	satrace -json           # Chrome/Perfetto trace_event JSON on stdout
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 func main() {
 	ms := flag.Int("ms", 60, "milliseconds of virtual time to trace")
 	io := flag.Bool("io", false, "trace an I/O-heavy single application instead of two competing ones")
+	jsonOut := flag.Bool("json", false, "emit Chrome/Perfetto trace_event JSON instead of the text dump")
 	flag.Parse()
 
 	eng := sim.NewEngine()
@@ -45,7 +47,15 @@ func main() {
 			s.Start()
 		}
 	}
-	eng.RunUntil(sim.Time(sim.Duration(*ms) * sim.Millisecond))
+	horizon := sim.Time(sim.Duration(*ms) * sim.Millisecond)
+	eng.RunUntil(horizon)
+	if *jsonOut {
+		if err := trace.WriteChrome(os.Stdout, tr.Entries(), horizon.Us()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	tr.Dump(os.Stdout)
 	fmt.Printf("\n%d events in %dms of virtual time; kernel stats: %+v\n",
 		len(tr.Entries()), *ms, k.Stats)

@@ -20,7 +20,7 @@ type Violation struct {
 	Invariant string
 	Detail    string
 	State     string
-	Window    []trace.Entry
+	Window    []trace.Record
 }
 
 // Error implements error with the full report.
@@ -58,6 +58,13 @@ func (v Violation) Error() string {
 //	I7 grant-conservation:    every processor grant was announced by
 //	                          exactly one AddProcessor upcall (stillborn
 //	                          redeliveries strip the revoked grant).
+//	I8 trace-conservation:    the typed record stream agrees with the
+//	                          kernel's own counters — blocks, unblocks,
+//	                          upcalls, and AddProcessor grants counted by
+//	                          Kind dispatch over the stream match the
+//	                          kernel stats deltas since Attach. A layer
+//	                          that mutates state without emitting (or
+//	                          emits without mutating) trips this.
 //
 // Checks must run at event boundaries because kernel mutations are only
 // atomic within one event callback; the auditor therefore arms its own
@@ -71,10 +78,24 @@ type Auditor struct {
 	Checks     uint64
 
 	k       *core.Kernel
-	window  []trace.Entry
+	window  []trace.Record
 	wnext   int
 	lastT   sim.Time
 	stopped bool
+
+	// stream holds counters derived from the typed record stream by Kind
+	// dispatch; base snapshots the kernel counters at Attach time so I8
+	// compares deltas (the kernel may have run — and traced into a log the
+	// auditor wasn't yet observing — before Attach).
+	stream   streamCounts
+	base     streamCounts
+	streamOK bool
+}
+
+// streamCounts is the I8 ledger: scheduling transitions counted two ways,
+// once from the record stream and once from the kernel's stats.
+type streamCounts struct {
+	blocks, unblocks, upcalls, grants uint64
 }
 
 // Attach builds an auditor for the kernel, registers its continuous checks
@@ -83,12 +104,22 @@ type Auditor struct {
 // boundary check. Registers chaos.audit_* metrics on the engine.
 func Attach(k *core.Kernel, tr *trace.Log, every sim.Duration) *Auditor {
 	a := &Auditor{k: k}
-	tr.Observe(func(e trace.Entry) {
-		if e.T < a.lastT {
-			a.fail("I4 monotone-time", fmt.Sprintf("entry at %v after entry at %v: %s", e.T, a.lastT, e))
+	// I8 needs the complete stream: a filtered log hides records by
+	// category, so the conservation ledger would undercount.
+	a.streamOK = tr != nil && !tr.Filtered()
+	a.base = streamCounts{
+		blocks:   k.Stats.Blocks,
+		unblocks: k.Stats.Unblocks,
+		upcalls:  k.Stats.Upcalls,
+		grants:   k.Stats.Grants,
+	}
+	tr.Observe(func(r trace.Record) {
+		if r.T < a.lastT {
+			a.fail("I4 monotone-time", fmt.Sprintf("record at %v after record at %v: %s", r.T, a.lastT, r))
 		}
-		a.lastT = e.T
-		a.record(e)
+		a.lastT = r.T
+		a.count(r)
+		a.record(r)
 	})
 	reg := k.Eng.Metrics()
 	reg.Func("chaos.audit_checks", func() uint64 { return a.Checks })
@@ -118,21 +149,40 @@ func (a *Auditor) Err() error {
 	return a.Violations[0]
 }
 
-func (a *Auditor) record(e trace.Entry) {
+// count maintains the I8 ledger by Kind dispatch — no string in sight.
+// Page faults block through the same kernel path as I/O, so both KindActBlock
+// and KindFault are stream-side blocks; a grant is a KindUpcall whose first
+// packed event is AddProcessor (grantSlot always puts it first, and
+// stillborn requeues strip it, mirroring I7's accounting).
+func (a *Auditor) count(r trace.Record) {
+	switch r.Kind {
+	case trace.KindActBlock, trace.KindFault:
+		a.stream.blocks++
+	case trace.KindActUnblock:
+		a.stream.unblocks++
+	case trace.KindUpcall:
+		a.stream.upcalls++
+		if ref, ok := r.EvRef(0); ok && ref.Kind() == trace.UpAddProcessor {
+			a.stream.grants++
+		}
+	}
+}
+
+func (a *Auditor) record(r trace.Record) {
 	if len(a.window) < windowSize {
-		a.window = append(a.window, e)
+		a.window = append(a.window, r)
 		return
 	}
-	a.window[a.wnext] = e
+	a.window[a.wnext] = r
 	a.wnext = (a.wnext + 1) % windowSize
 }
 
-// snapshotWindow returns the retained entries oldest-first.
-func (a *Auditor) snapshotWindow() []trace.Entry {
+// snapshotWindow returns the retained records oldest-first.
+func (a *Auditor) snapshotWindow() []trace.Record {
 	if len(a.window) < windowSize {
-		return append([]trace.Entry(nil), a.window...)
+		return append([]trace.Record(nil), a.window...)
 	}
-	out := make([]trace.Entry, 0, windowSize)
+	out := make([]trace.Record, 0, windowSize)
 	out = append(out, a.window[a.wnext:]...)
 	out = append(out, a.window[:a.wnext]...)
 	return out
@@ -198,5 +248,20 @@ func (a *Auditor) Check() {
 	if st.UpcallEvents[core.EvAddProcessor] != st.Grants {
 		a.fail("I7 grant-conservation", fmt.Sprintf(
 			"%d AddProcessor upcalls != %d grants", st.UpcallEvents[core.EvAddProcessor], st.Grants))
+	}
+
+	if a.streamOK {
+		want := streamCounts{
+			blocks:   st.Blocks - a.base.blocks,
+			unblocks: st.Unblocks - a.base.unblocks,
+			upcalls:  st.Upcalls - a.base.upcalls,
+			grants:   st.Grants - a.base.grants,
+		}
+		if a.stream != want {
+			a.fail("I8 trace-conservation", fmt.Sprintf(
+				"stream {blocks %d unblocks %d upcalls %d grants %d} != kernel deltas {%d %d %d %d}",
+				a.stream.blocks, a.stream.unblocks, a.stream.upcalls, a.stream.grants,
+				want.blocks, want.unblocks, want.upcalls, want.grants))
+		}
 	}
 }

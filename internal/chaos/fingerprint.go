@@ -23,9 +23,12 @@ const (
 	fnvPrime  = 1099511628211
 )
 
-// Fingerprinter accumulates the hash incrementally as trace entries arrive,
+// Fingerprinter accumulates the hash incrementally as trace records arrive,
 // so unbounded runs fingerprint in constant space regardless of the log's
-// retention bound.
+// retention bound. It hashes the typed binary fields — time, CPU, Kind, the
+// integer arguments, and the identifier strings — never the rendered text,
+// so fingerprints are stable across message-wording changes and the per-
+// record cost is a few dozen multiplies with no allocation.
 type Fingerprinter struct {
 	h       uint64
 	Entries uint64
@@ -56,12 +59,17 @@ func (f *Fingerprinter) str(s string) {
 	f.h *= fnvPrime
 }
 
-func (f *Fingerprinter) entry(e trace.Entry) {
+func (f *Fingerprinter) entry(r trace.Record) {
 	f.Entries++
-	f.u64(uint64(e.T))
-	f.u64(uint64(int64(e.CPU)))
-	f.str(e.Cat)
-	f.str(e.Msg)
+	f.u64(uint64(r.T))
+	f.u64(uint64(int64(r.CPU)))
+	f.u64(uint64(r.Kind))
+	f.u64(uint64(r.A))
+	f.u64(uint64(r.B))
+	f.u64(uint64(r.C))
+	f.u64(uint64(r.D))
+	f.str(r.Name)
+	f.str(r.Aux)
 }
 
 // Finish folds in the run's final state — virtual time and the full metrics

@@ -7,6 +7,7 @@ import (
 	"schedact/internal/kernel"
 	"schedact/internal/machine"
 	"schedact/internal/sim"
+	"schedact/internal/trace"
 )
 
 // Injector executes a Plan against a run. All randomness comes from one
@@ -18,6 +19,7 @@ type Injector struct {
 
 	eng     *sim.Engine
 	rng     *rand.Rand
+	tr      *trace.Log // the instrumented kernel's log; injections announce themselves on it
 	stopped bool
 
 	Stats struct {
@@ -50,6 +52,12 @@ func New(eng *sim.Engine, p Plan) *Injector {
 // hooks return zero, so a harness can drain in-flight work undisturbed (the
 // wedge check must distinguish "still finishing" from "lost a thread").
 func (in *Injector) Stop() { in.stopped = true }
+
+// emit announces an injection on the instrumented kernel's trace, so replay
+// windows and Chrome exports show the fault alongside its consequences.
+func (in *Injector) emit(k trace.Kind, a int64) {
+	in.tr.Emit(trace.Record{T: in.eng.Now(), CPU: -1, Kind: k, A: a})
+}
 
 // jittered draws an interval uniformly from [mean/2, 3*mean/2).
 func (in *Injector) jittered(mean sim.Duration) sim.Duration {
@@ -93,6 +101,7 @@ func (in *Injector) instrumentDisk(m *machine.Machine) {
 // space.
 func (in *Injector) InstrumentSA(k *core.Kernel) {
 	p := in.Plan
+	in.tr = k.Trace
 	if p.UpcallDelayMax > 0 {
 		k.UpcallPerturb = func() sim.Duration {
 			if in.stopped {
@@ -107,8 +116,10 @@ func (in *Injector) InstrumentSA(k *core.Kernel) {
 		in.chain(p.PreemptEvery, "chaos-preempt", func() {
 			n := 1 + in.rng.Intn(p.PreemptBurst)
 			for i := 0; i < n; i++ {
-				if k.ChaosPreempt(in.rng.Intn(k.M.NumCPUs())) {
+				cpu := in.rng.Intn(k.M.NumCPUs())
+				if k.ChaosPreempt(cpu) {
 					in.Stats.Preempts++
+					in.emit(trace.KindChaosPreempt, int64(cpu))
 				} else {
 					in.Stats.PreemptMisses++
 				}
@@ -117,6 +128,7 @@ func (in *Injector) InstrumentSA(k *core.Kernel) {
 	}
 	in.chain(p.RebalanceEvery, "chaos-rebalance", func() {
 		in.Stats.Rebalances++
+		in.emit(trace.KindChaosRebalance, 0)
 		k.ForceRebalance()
 	})
 	if p.InterloperPeriod > 0 {
@@ -132,7 +144,9 @@ func (in *Injector) InstrumentVM(vm *core.VM) {
 	}
 	in.chain(p.EvictEvery, "chaos-evict", func() {
 		in.Stats.Evictions++
-		vm.Evict(in.rng.Intn(p.EvictPages))
+		page := in.rng.Intn(p.EvictPages)
+		in.emit(trace.KindChaosEvict, int64(page))
+		vm.Evict(page)
 	})
 }
 
@@ -141,6 +155,7 @@ func (in *Injector) InstrumentVM(vm *core.VM) {
 // disk spikes.
 func (in *Injector) InstrumentKernel(k *kernel.Kernel) {
 	p := in.Plan
+	in.tr = k.Trace
 	if p.QuantumJitterFrac > 0 {
 		amp := int64(float64(k.C.Quantum) * p.QuantumJitterFrac)
 		if amp > 0 {
@@ -158,8 +173,10 @@ func (in *Injector) InstrumentKernel(k *kernel.Kernel) {
 		in.chain(p.PreemptEvery, "chaos-preempt", func() {
 			n := 1 + in.rng.Intn(p.PreemptBurst)
 			for i := 0; i < n; i++ {
-				if k.ChaosPreempt(machine.CPUID(in.rng.Intn(k.M.NumCPUs()))) {
+				cpu := in.rng.Intn(k.M.NumCPUs())
+				if k.ChaosPreempt(machine.CPUID(cpu)) {
 					in.Stats.Preempts++
+					in.emit(trace.KindChaosPreempt, int64(cpu))
 				} else {
 					in.Stats.PreemptMisses++
 				}
@@ -191,7 +208,9 @@ func (in *Injector) startInterloper(k *core.Kernel) {
 	}))
 	in.chain(p.InterloperPeriod, "chaos-interloper", func() {
 		in.Stats.InterloperPulses++
-		sp.KernelSetDemand(1 + in.rng.Intn(2))
+		demand := 1 + in.rng.Intn(2)
+		in.emit(trace.KindChaosPulse, int64(demand))
+		sp.KernelSetDemand(demand)
 	})
 	sp.Start()
 	sp.KernelSetDemand(0)

@@ -89,6 +89,7 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 		costs = machine.DefaultCosts()
 	}
 	m := machine.New(eng, cfg.CPUs, costs)
+	m.Trace = cfg.Trace
 	k := &Kernel{Eng: eng, M: m, C: costs, Trace: cfg.Trace}
 	for _, cpu := range m.CPUs() {
 		k.slots = append(k.slots, &cpuSlot{cpu: cpu})

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"schedact/internal/trace"
 )
 
 // Debugger implements §4.4's kernel support for debugging the user-level
@@ -53,7 +55,7 @@ func (d *Debugger) Stop(act *Activation) error {
 	act.sp.debugged++
 	d.stopped[act] = true
 	d.Stops++
-	k.Trace.Add(k.Eng.Now(), int(cpu.ID()), "debug", "stop %s act%d (no upcall)", act.sp.Name, act.id)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(cpu.ID()), Kind: trace.KindDebugStop, Name: act.sp.Name, A: int64(act.id)})
 	// The physical processor may serve someone else meanwhile.
 	k.rebalance()
 	return nil
@@ -90,7 +92,7 @@ func (d *Debugger) Resume(act *Activation) error {
 	slot.act = act
 	slot.since = k.Eng.Now()
 	d.Resumes++
-	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "debug", "resume %s act%d (direct)", act.sp.Name, act.id)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindDebugResume, Name: act.sp.Name, A: int64(act.id)})
 	slot.cpu.Dispatch(act.ctx)
 	return nil
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"schedact/internal/trace"
 )
 
 // BlockIO is the blocking-I/O system call, invoked by the user-level thread
@@ -49,7 +51,7 @@ func (k *Kernel) blockAndWait(act *Activation, reason string, arm func(complete 
 	act.state = actBlocked
 	slot.act = nil
 	k.Stats.Blocks++
-	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "block", "%s act%d: %s", act.sp.Name, act.id, reason)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindActBlock, Name: act.sp.Name, A: int64(act.id), Aux: reason})
 
 	// The processor stays with the space: deliver the Blocked notification
 	// in a fresh activation on it.
@@ -74,7 +76,7 @@ func (k *Kernel) unblock(act *Activation) {
 	act.state = actStopped
 	k.Stats.Unblocks++
 	ev := Event{Kind: EvUnblocked, Act: act}
-	k.Trace.Add(k.Eng.Now(), -1, "unblock", "%s act%d", sp.Name, act.id)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: -1, Kind: trace.KindActUnblock, Name: sp.Name, A: int64(act.id)})
 
 	// An unblocked thread is new runnable work; the space wants at least
 	// one processor again.
@@ -143,7 +145,7 @@ func (k *Kernel) unblock(act *Activation) {
 	}
 	sp.pending = append(sp.pending, ev)
 	k.Stats.DelayedNotifies++
-	k.Trace.Add(k.Eng.Now(), -1, "notify", "%s: unblock act%d delayed (no processors)", sp.Name, act.id)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: -1, Kind: trace.KindUnblockDelayed, Name: sp.Name, A: int64(act.id)})
 }
 
 // KernelEvent is a kernel-level synchronization object: a thread that Waits

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"schedact/internal/sim"
+	"schedact/internal/trace"
 )
 
 // EventKind enumerates the upcall points of Table 2.
@@ -149,7 +150,7 @@ func (sp *Space) AddMoreProcessors(via *Activation, additional int) {
 	k := sp.k
 	via.ctx.Exec(k.C.Trap + k.C.SANotifyWork)
 	sp.want = k.Allocated(sp) + additional
-	k.Trace.Add(k.Eng.Now(), via.cpuID(), "downcall", "%s: add %d more (want=%d)", sp.Name, additional, sp.want)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(via.cpuID()), Kind: trace.KindAddMore, Name: sp.Name, A: int64(additional), B: int64(sp.want)})
 	k.rebalance()
 }
 
@@ -174,7 +175,7 @@ func (sp *Space) ProcessorIsIdle(via *Activation) (taken bool) {
 	if sp.want > k.Allocated(sp)-1 {
 		sp.want = k.Allocated(sp) - 1
 	}
-	k.Trace.Add(k.Eng.Now(), via.cpuID(), "downcall", "%s: processor idle (want=%d)", sp.Name, sp.want)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(via.cpuID()), Kind: trace.KindIdleDowncall, Name: sp.Name, A: int64(sp.want)})
 	if k.demandElsewhere(sp) {
 		// Taken on the spot: the give-back is voluntary, so no Preempted
 		// notification is owed.

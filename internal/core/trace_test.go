@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"schedact/internal/trace"
+)
+
+// TestEventKindMirrorsTraceUpEv pins the numeric correspondence packEvs
+// relies on: core's EventKind values convert to trace.UpEv by plain cast.
+func TestEventKindMirrorsTraceUpEv(t *testing.T) {
+	pairs := []struct {
+		ev EventKind
+		up trace.UpEv
+	}{
+		{EvAddProcessor, trace.UpAddProcessor},
+		{EvPreempted, trace.UpPreempted},
+		{EvBlocked, trace.UpBlocked},
+		{EvUnblocked, trace.UpUnblocked},
+	}
+	for _, p := range pairs {
+		if trace.UpEv(p.ev) != p.up {
+			t.Fatalf("core.%v = %d does not mirror trace.%v = %d", p.ev, p.ev, p.up, p.up)
+		}
+		if p.ev.String() != p.up.String() {
+			t.Fatalf("name mismatch: core %q vs trace %q", p.ev.String(), p.up.String())
+		}
+	}
+}
+
+// TestPackEvsRoundTrip drives the packing helper with real events.
+func TestPackEvsRoundTrip(t *testing.T) {
+	a := &Activation{id: 7}
+	events := []Event{{Kind: EvAddProcessor}, {Kind: EvUnblocked, Act: a}, {Kind: EvPreempted, Act: &Activation{id: 2}}}
+	n, c, d := packEvs(events)
+	if n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+	r := trace.Record{Kind: trace.KindUpcall, B: n, C: c, D: d}
+	r0, ok := r.EvRef(0)
+	if !ok || r0.Kind() != trace.UpAddProcessor {
+		t.Fatalf("slot 0 = %v ok=%v", r0, ok)
+	}
+	if _, hasAct := r0.Act(); hasAct {
+		t.Fatal("AddProcessor must carry no activation")
+	}
+	r1, _ := r.EvRef(1)
+	if id, ok := r1.Act(); !ok || id != 7 || r1.Kind() != trace.UpUnblocked {
+		t.Fatalf("slot 1 = %v act=%d ok=%v", r1, id, ok)
+	}
+	if _, ok := r.EvRef(3); ok {
+		t.Fatal("slot 3 must be empty")
+	}
+}

@@ -5,7 +5,27 @@ import (
 
 	"schedact/internal/machine"
 	"schedact/internal/sim"
+	"schedact/internal/trace"
 )
+
+// packEvs flattens an upcall event vector into the count plus two packed
+// words a trace.KindUpcall record carries: up to four inline EvRefs, the
+// rest represented only by the count. No allocation.
+func packEvs(events []Event) (n, c, d int64) {
+	var refs [4]trace.EvRef
+	for i, ev := range events {
+		if i >= 4 {
+			break
+		}
+		id := -1
+		if ev.Act != nil {
+			id = ev.Act.id
+		}
+		refs[i] = trace.MakeEvRef(trace.UpEv(ev.Kind), id)
+	}
+	c, d = trace.PackEvRefs(refs)
+	return int64(len(events)), c, d
+}
 
 // deliver creates a fresh activation for sp, dispatches it on slot's
 // processor, and upcalls into the space with events. cost is the kernel-side
@@ -43,7 +63,8 @@ func (k *Kernel) deliver(slot *cpuSlot, sp *Space, events []Event, cost sim.Dura
 	for _, ev := range events {
 		k.Stats.UpcallEvents[ev.Kind]++
 	}
-	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "upcall", "%s act%d %v", sp.Name, act.id, events)
+	evn, evc, evd := packEvs(events)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindUpcall, Name: sp.Name, A: int64(act.id), B: evn, C: evc, D: evd})
 	act.ctx = k.M.NewContext(fmt.Sprintf("%s:act%d", sp.Name, act.id), func(c *machine.Context) {
 		c.Exec(cost)
 		if act.state != actRunning {
@@ -101,7 +122,7 @@ func (k *Kernel) stopHosted(slot *cpuSlot) []Event {
 				keep = append(keep, ev)
 			}
 		}
-		k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "stillborn", "%s act%d, %d events requeued", act.sp.Name, act.id, len(keep))
+		k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindStillborn, Name: act.sp.Name, A: int64(act.id), B: int64(len(keep))})
 		return keep
 	}
 	act.state = actStopped
@@ -118,7 +139,7 @@ func (k *Kernel) takeSlot(slot *cpuSlot) []Event {
 	slot.sp = nil
 	slot.idle = false
 	k.Stats.Takes++
-	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "take", "from %s", sp.Name)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindTake, Name: sp.Name})
 	return events
 }
 
@@ -126,7 +147,7 @@ func (k *Kernel) takeSlot(slot *cpuSlot) []Event {
 // allocated to the same space — used when the kernel needs a vessel on one
 // of the space's own processors (unblock notification, priority interrupt).
 func (k *Kernel) interruptSlot(slot *cpuSlot) []Event {
-	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "interrupt", "%s", slot.sp.Name)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindInterrupt, Name: slot.sp.Name})
 	return k.stopHosted(slot)
 }
 
@@ -147,7 +168,7 @@ func (k *Kernel) releaseSlot(slot *cpuSlot, act *Activation) {
 	slot.act = nil
 	slot.idle = false
 	k.Stats.Takes++
-	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "yield", "%s act%d", act.sp.Name, act.id)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindYield, Name: act.sp.Name, A: int64(act.id)})
 }
 
 // takeFromSpace removes n processors from victim (idle-volunteered slots
@@ -208,7 +229,7 @@ func (k *Kernel) notify(sp *Space, events []Event) {
 	}
 	sp.pending = append(sp.pending, events...)
 	k.Stats.DelayedNotifies += uint64(len(events))
-	k.Trace.Add(k.Eng.Now(), -1, "notify", "%s: %d events delayed (no processors)", sp.Name, len(events))
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: -1, Kind: trace.KindNotifyDelayed, Name: sp.Name, A: int64(len(events))})
 }
 
 // InterruptProcessor is the priority-scheduling extension of §3.1: the user
@@ -230,7 +251,7 @@ func (sp *Space) InterruptProcessor(via *Activation, cpu int) bool {
 		panic("core: InterruptProcessor on the caller's own processor")
 	}
 	if slot.sp != sp || slot.act == nil {
-		k.Trace.Add(k.Eng.Now(), cpu, "interrupt", "%s: stale request rejected", sp.Name)
+		k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(cpu), Kind: trace.KindInterruptStale, Name: sp.Name})
 		return false
 	}
 	evs := k.interruptSlot(slot)

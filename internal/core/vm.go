@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"schedact/internal/trace"
 )
 
 // VM models the kernel's virtual-memory involvement in scheduling: a thread
@@ -99,7 +101,7 @@ func (vm *VM) fault(act *Activation, page int) {
 	act.state = actBlocked
 	slot.act = nil
 	k.Stats.Blocks++
-	k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "fault", "%s act%d page %d", sp.Name, act.id, page)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindFault, Name: sp.Name, A: int64(act.id), B: int64(page)})
 
 	// Arrange the wake-up first: coalesce with an in-flight fetch if one
 	// exists.
@@ -131,7 +133,7 @@ func (vm *VM) fault(act *Activation, page int) {
 	if ep, ok := vm.entryPage[sp]; ok && ep >= 0 && !vm.resident[ep] {
 		if _, epInFlight := vm.faulting[ep]; epInFlight {
 			vm.Stats.DelayedUpcalls++
-			k.Trace.Add(k.Eng.Now(), int(slot.cpu.ID()), "fault", "%s: upcall delayed, entry page %d mid-fetch", sp.Name, ep)
+			k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindFaultDelayed, Name: sp.Name, A: int64(ep)})
 			vm.faulting[ep] = append(vm.faulting[ep], deliver)
 		} else {
 			// Entry page evicted and not being fetched: fetch it now, then

@@ -140,6 +140,9 @@ func chaosOnce(seed int64, mutate func(*core.Kernel)) (fp chaos.Fingerprint, r C
 	vm := k.NewVM()
 	aud := chaos.Attach(k, tr, 250*sim.Microsecond)
 	fpr := chaos.NewFingerprinter(tr)
+	// Latency histograms ride the same stream; their registered metrics fold
+	// into the fingerprint at Finish, so they are part of the replay check.
+	trace.NewLatencies(tr, eng.Metrics())
 	inj := chaos.New(eng, chaos.NewPlan(seed))
 	inj.InstrumentSA(k)
 	inj.InstrumentVM(vm)

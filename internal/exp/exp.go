@@ -149,11 +149,25 @@ func launchOne(sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng 
 	return eng, run
 }
 
+// StatsTrace, when set, gives every launched application run a private
+// trace stream consumed by the latency deriver, so each run's stats
+// snapshot (saexp -stats) includes the upcall-dispatch, ready-wait, and
+// block→unblock histograms. Off by default: untraced runs keep their
+// nil-log fast path.
+var StatsTrace bool
+
 // runOne executes one application instance to completion and returns its
 // execution time.
 func runOne(sys SystemName, cfg nbody.Config, procs int) sim.Duration {
-	eng, run := launchOne(sys, cfg, procs, nil)
+	var tr *trace.Log
+	if StatsTrace {
+		tr = trace.New(64)
+	}
+	eng, run := launchOne(sys, cfg, procs, tr)
 	defer eng.Close()
+	if tr != nil {
+		trace.NewLatencies(tr, eng.Metrics())
+	}
 	eng.RunUntil(RunLimit)
 	if !run.Done {
 		panic(fmt.Sprintf("exp: %s run (P=%d) did not finish within the run limit", sys, procs))

@@ -235,10 +235,9 @@ func TestDaemonsDoNotWedgeKernels(t *testing.T) {
 	}
 }
 
-// nbodySmoke is a tiny workload for fast sanity tests.
-func nbodySmoke() nbody.Config {
-	return nbody.Config{N: 32, Steps: 1, Seed: 3}
-}
+// nbodySmoke is a tiny workload for fast sanity tests (the Chrome-export
+// configuration, so goldens and -trace-out pin the same run).
+func nbodySmoke() nbody.Config { return traceSmoke() }
 
 func TestBreakEven(t *testing.T) {
 	r := BreakEven()

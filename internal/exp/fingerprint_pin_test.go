@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pinnedFingerprints pins the chaos fingerprints of the first four sweep
+// seeds to the values produced by the typed-record trace pipeline (the full
+// 64-seed table lives in EXPERIMENTS.md). The fingerprint hashes every
+// record's binary fields plus the final metrics snapshot, so it changes
+// when — and only when — a PR alters what the system traces or counts, not
+// when message wording changes. A PR that trips this test must be changing
+// the stream deliberately; update these constants and the EXPERIMENTS.md
+// table in the same commit, exactly once per such change.
+var pinnedFingerprints = map[int64]string{
+	1: "1a7de30aff85016d",
+	2: "f08b96206f028ba2",
+	3: "40b375c79a0faed0",
+	4: "12653ae3f1bfc11b",
+}
+
+func TestFingerprintsPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs are slow in -short mode")
+	}
+	for seed, want := range pinnedFingerprints {
+		r := RunChaosSeed(seed)
+		if !r.OK() {
+			t.Fatalf("seed %d failed: %d violations, %d/%d threads, replay %v vs %v",
+				seed, len(r.Violations), r.Finished, r.Total, r.Replay, r.Fingerprint)
+		}
+		if got := fmt.Sprint(r.Fingerprint); got != want {
+			t.Errorf("seed %d fingerprint = %s, pinned %s — the trace stream changed; "+
+				"update pinnedFingerprints and the EXPERIMENTS.md sweep table together", seed, got, want)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"io"
+
+	"schedact/internal/apps/nbody"
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+)
+
+// traceSmoke is the tiny Figure 1 workload shared by the golden traces, the
+// sanity tests, and the Chrome export.
+func traceSmoke() nbody.Config {
+	return nbody.Config{N: 32, Steps: 1, Seed: 3}
+}
+
+// TraceFigure1 runs the Figure 1 smoke configuration (new FastThreads on the
+// scheduler-activation kernel, P=2, 2s horizon — the same run the golden
+// trace pins) with full tracing and latency derivation, then exports the
+// record stream as Chrome/Perfetto trace_event JSON to w. It returns the
+// number of records exported. This is the `saexp -trace-out` path.
+func TraceFigure1(w io.Writer) (int, error) {
+	tr := trace.New(0)
+	eng, _ := launchOne(SysNewFT, traceSmoke(), 2, tr)
+	defer eng.Close()
+	trace.NewLatencies(tr, eng.Metrics())
+	horizon := sim.Time(2 * sim.Second)
+	eng.RunUntil(horizon)
+	recs := tr.Entries()
+	return len(recs), trace.WriteChrome(w, recs, horizon.Us())
+}

@@ -81,6 +81,7 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 		costs = machine.DefaultCosts()
 	}
 	m := machine.New(eng, cfg.CPUs, costs)
+	m.Trace = cfg.Trace
 	k := &Kernel{
 		Eng:    eng,
 		M:      m,
@@ -231,7 +232,7 @@ func (k *Kernel) place(cs *cpuState, t *KThread) {
 	cs.cur = t
 	t.cs = cs
 	k.Stats.Dispatches++
-	k.Trace.Add(k.Eng.Now(), int(cs.cpu.ID()), "dispatch", "%s", t.name)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(cs.cpu.ID()), Kind: trace.KindDispatch, Name: t.name})
 	cs.cpu.Dispatch(t.ctx)
 	k.armQuantum(cs)
 }
@@ -267,7 +268,7 @@ func (k *Kernel) preemptCPU(cs *cpuState) {
 		panic("kernel: preemptCPU on idle CPU")
 	}
 	k.Stats.Preemptions++
-	k.Trace.Add(k.Eng.Now(), int(cs.cpu.ID()), "preempt", "%s", t.name)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(cs.cpu.ID()), Kind: trace.KindPreempt, Name: t.name})
 	k.disarmQuantum(cs)
 	cs.cpu.Preempt()
 	cs.cur = nil

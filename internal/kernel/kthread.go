@@ -5,6 +5,7 @@ import (
 
 	"schedact/internal/machine"
 	"schedact/internal/sim"
+	"schedact/internal/trace"
 )
 
 // ktState is a kernel thread's scheduling state.
@@ -168,7 +169,7 @@ func (t *KThread) exit() {
 	cs.cpu.Release(t.ctx)
 	cs.cur = nil
 	t.cs = nil
-	k.Trace.Add(k.Eng.Now(), int(cs.cpu.ID()), "exit", "%s", t.name)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(cs.cpu.ID()), Kind: trace.KindExit, Name: t.name})
 	k.kick(cs)
 }
 
@@ -246,7 +247,7 @@ func (t *KThread) block(reason string) {
 	cs.cur = nil
 	t.cs = nil
 	t.state = ktBlocked
-	k.Trace.Add(k.Eng.Now(), int(cs.cpu.ID()), "block", "%s: %s", t.name, reason)
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(cs.cpu.ID()), Kind: trace.KindKTBlock, Name: t.name, Aux: reason})
 	k.kick(cs)
 	t.ctx.Deschedule(reason)
 	t.afterResume()

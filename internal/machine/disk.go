@@ -1,6 +1,9 @@
 package machine
 
-import "schedact/internal/sim"
+import (
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+)
 
 // Disk models the backing store behind the application's buffer cache. The
 // paper simplifies a cache miss to "block in the kernel for 50 msec"
@@ -49,6 +52,7 @@ func (d *Disk) Request(done func()) sim.Time {
 		d.freeAt = start.Add(lat)
 	}
 	completes := start.Add(lat)
+	d.m.Trace.Emit(trace.Record{T: now, CPU: -1, Kind: trace.KindIO, A: int64(d.Requests), B: int64(lat)})
 	d.m.Eng.At(completes, "disk:done", done)
 	return completes
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"schedact/internal/sim"
+	"schedact/internal/trace"
 )
 
 // CPUID identifies a processor on the simulated machine.
@@ -25,6 +26,11 @@ type Machine struct {
 	Cost *Costs
 	cpus []*CPU
 	Disk *Disk
+
+	// Trace, when non-nil, receives the machine layer's typed records
+	// (disk I/O scheduling). The owning kernel sets it alongside its own
+	// log so all layers share one stream.
+	Trace *trace.Log
 }
 
 // New creates a machine with n CPUs and the given cost profile.

@@ -20,6 +20,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 )
 
@@ -50,6 +51,94 @@ func (g *Gauge) Max(v uint64) {
 
 // Value reports the current level.
 func (g *Gauge) Value() uint64 { return uint64(*g) }
+
+// histBuckets is the fixed bucket count of a Histogram: bucket i counts
+// observations whose nanosecond value has bit length i (i.e. the power-of-
+// two band [2^(i-1), 2^i)), with everything above 2^31 ns (~2.1s) clamped
+// into the last bucket.
+const histBuckets = 33
+
+// Histogram is a fixed-bucket latency histogram: 33 power-of-two buckets
+// over nanoseconds, covering 0 through seconds with ~2x resolution. The
+// struct is a plain value with no interior pointers; Observe touches two
+// machine words and never allocates, so trace-stream consumers can feed it
+// per event on the hot path.
+type Histogram struct {
+	N       uint64
+	SumNs   int64
+	Buckets [histBuckets]uint64
+}
+
+// Observe records one latency in nanoseconds. Negative values clamp to 0.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.N++
+	h.SumNs += ns
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.Buckets[i]++
+}
+
+// Quantile returns the q-th quantile (0 < q <= 1) as the upper bound of
+// the bucket containing it, in nanoseconds — an estimate within 2x, which
+// is what fixed power-of-two buckets buy. Zero when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.N))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.N {
+		target = h.N
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= target {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return 1<<uint(histBuckets) - 1
+}
+
+// MeanNs returns the mean observation in nanoseconds (exact, unlike the
+// bucketed quantiles). Zero when empty.
+func (h *Histogram) MeanNs() int64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.SumNs / int64(h.N)
+}
+
+// Register exposes the histogram under name as pull metrics — count, mean,
+// and the p50/p90/p99 bucket upper bounds, all in nanoseconds — so any
+// snapshot consumer (saexp -stats, the chaos fingerprinter) sees latency
+// distributions through the same registry as every counter. No-op on a nil
+// registry.
+func (h *Histogram) Register(r *Registry, name string) {
+	r.Func(name+".count", func() uint64 { return h.N })
+	r.Func(name+".mean_ns", func() uint64 { return uint64(h.MeanNs()) })
+	r.Func(name+".p50_ns", func() uint64 { return uint64(h.Quantile(0.50)) })
+	r.Func(name+".p90_ns", func() uint64 { return uint64(h.Quantile(0.90)) })
+	r.Func(name+".p99_ns", func() uint64 { return uint64(h.Quantile(0.99)) })
+}
+
+// Histogram registers and returns a push histogram, mirroring Counter and
+// Gauge. On a nil registry the histogram is detached but still usable.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := new(Histogram)
+	h.Register(r, name)
+	return h
+}
 
 // Sample is one named value in a snapshot.
 type Sample struct {

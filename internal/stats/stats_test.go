@@ -87,3 +87,83 @@ func TestDumpAligned(t *testing.T) {
 		t.Fatalf("dump has %d lines, want 2", len(lines))
 	}
 }
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.MeanNs() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	// 90 fast observations (~1µs band) and 10 slow (~1ms band).
+	for i := 0; i < 90; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	if h.N != 100 {
+		t.Fatalf("N = %d, want 100", h.N)
+	}
+	if h.SumNs != 90*1000+10*1_000_000 {
+		t.Fatalf("SumNs = %d", h.SumNs)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 1000 || p50 >= 2048 {
+		t.Fatalf("p50 = %d, want the ~1µs bucket bound", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 1_000_000 || p99 >= 1<<21 {
+		t.Fatalf("p99 = %d, want the ~1ms bucket bound", p99)
+	}
+	if got := h.MeanNs(); got != (90*1000+10*1_000_000)/100 {
+		t.Fatalf("mean = %d", got)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	h.Observe(-5) // clamps to 0
+	h.Observe(0)
+	h.Observe(1 << 62) // clamps into the last bucket
+	if h.Buckets[0] != 2 {
+		t.Fatalf("zero bucket = %d, want 2", h.Buckets[0])
+	}
+	if h.Buckets[histBuckets-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", h.Buckets[histBuckets-1])
+	}
+	if h.Quantile(1.0) <= 0 {
+		t.Fatal("p100 of an overflow observation must be positive")
+	}
+}
+
+func TestHistogramObserveDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	avg := testing.AllocsPerRun(1000, func() { h.Observe(12345) })
+	if avg != 0 {
+		t.Fatalf("Observe allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestHistogramRegistry(t *testing.T) {
+	r := New()
+	h := r.Histogram("latency.test")
+	h.Observe(1000)
+	h.Observe(3000)
+	if v, ok := r.Value("latency.test.count"); !ok || v != 2 {
+		t.Fatalf("count = %d ok=%v", v, ok)
+	}
+	if v, ok := r.Value("latency.test.mean_ns"); !ok || v != 2000 {
+		t.Fatalf("mean = %d ok=%v", v, ok)
+	}
+	for _, q := range []string{"p50_ns", "p90_ns", "p99_ns"} {
+		if _, ok := r.Value("latency.test." + q); !ok {
+			t.Fatalf("missing quantile metric %s", q)
+		}
+	}
+	// Detached on a nil registry but still usable.
+	var nilReg *Registry
+	h2 := nilReg.Histogram("x")
+	h2.Observe(1)
+	if h2.N != 1 {
+		t.Fatal("detached histogram must still observe")
+	}
+}

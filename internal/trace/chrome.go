@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry in the Chrome/Perfetto trace_event JSON array.
+// Timestamps are microseconds of virtual time; pid groups all records into
+// one process, tid is the CPU track (CPU -1 records land on a synthetic
+// "kernel" track past the last real CPU).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// isSliceStart reports whether a record opens a "this is what ran here"
+// slice on its CPU track: kernel-thread and user-level-thread dispatches.
+func isSliceStart(k Kind) bool {
+	return k == KindDispatch || k == KindULDispatch
+}
+
+// isSliceBoundary reports whether a record ends whatever slice was open on
+// its CPU track — any scheduling transition that takes the dispatched work
+// off the processor (or replaces it).
+func isSliceBoundary(k Kind) bool {
+	switch k {
+	case KindDispatch, KindULDispatch, KindPreempt, KindExit, KindKTBlock,
+		KindULBlock, KindULExit, KindULIdle, KindUpcall, KindTake,
+		KindInterrupt, KindYield, KindActBlock, KindFault:
+		return true
+	}
+	return false
+}
+
+// WriteChrome exports records as Chrome/Perfetto trace_event JSON
+// (chrome://tracing, https://ui.perfetto.dev). Each CPU becomes a thread
+// track; dispatch records open duration slices ("X") closed by the next
+// scheduling boundary on the same track, and every other record is an
+// instant ("i") so nothing in the stream is invisible. end is the run
+// horizon used to close slices still open when the trace stops.
+func WriteChrome(w io.Writer, records []Record, end float64) error {
+	maxCPU := int32(-1)
+	for _, r := range records {
+		if r.CPU > maxCPU {
+			maxCPU = r.CPU
+		}
+	}
+	kernelTid := int(maxCPU) + 1
+
+	events := make([]chromeEvent, 0, len(records)+kernelTid+2)
+	for tid := 0; tid <= kernelTid; tid++ {
+		name := fmt.Sprintf("cpu%d", tid)
+		if tid == kernelTid {
+			name = "kernel"
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	// open[tid] is the index into events of the currently open slice.
+	open := make(map[int]int)
+	closeSlice := func(tid int, ts float64) {
+		if i, ok := open[tid]; ok {
+			events[i].Dur = ts - events[i].Ts
+			delete(open, tid)
+		}
+	}
+	for _, r := range records {
+		tid := int(r.CPU)
+		if r.CPU < 0 {
+			tid = kernelTid
+		}
+		ts := r.T.Us()
+		if isSliceBoundary(r.Kind) {
+			closeSlice(tid, ts)
+		}
+		ev := chromeEvent{
+			Name: r.Msg(),
+			Cat:  r.Cat(),
+			Ts:   ts,
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"msg": r.Msg()},
+		}
+		if isSliceStart(r.Kind) {
+			ev.Name = r.Name
+			ev.Ph = "X"
+			open[tid] = len(events)
+		} else {
+			ev.Ph = "i"
+			ev.S = "t"
+		}
+		events = append(events, ev)
+	}
+	for tid := range open {
+		closeSlice(tid, end)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"schedact/internal/sim"
+	"schedact/internal/stats"
+)
+
+// Latencies derives cross-layer latency histograms from the typed record
+// stream. No emit site times anything: the three distributions below are a
+// pure function of records the layers already emit, paired up by Kind and
+// the integer arguments. The histograms are fixed-bucket (stats.Histogram)
+// and the per-record work is a map probe plus two word writes, so the
+// deriver can stay attached for entire chaos sweeps.
+type Latencies struct {
+	// UpcallDispatch: kernel upcall delivery (KindUpcall) to the first
+	// user-level thread dispatch on the same processor (KindULDispatch) —
+	// how long the thread system's upcall handler takes to get user code
+	// running again.
+	UpcallDispatch stats.Histogram
+	// ReadyWait: thread made ready (KindULReady) to that thread dispatched
+	// (KindULDispatch) — time spent waiting in a ready queue, across
+	// steals and processor migrations.
+	ReadyWait stats.Histogram
+	// BlockUnblock: activation blocked in the kernel (KindActBlock or
+	// KindFault) to its unblock (KindActUnblock) — I/O and page-fault
+	// service time as the scheduling layers observe it.
+	BlockUnblock stats.Histogram
+
+	upcallAt map[int32]sim.Time // per-CPU pending upcall delivery time
+	readyAt  map[string]sim.Time
+	blockAt  map[int64]sim.Time // per-activation block time
+}
+
+// NewLatencies hooks a latency deriver onto the trace stream and registers
+// its histograms' count/mean/p50/p90/p99 with reg under "latency." names
+// (nil reg keeps the histograms detached but live).
+func NewLatencies(l *Log, reg *stats.Registry) *Latencies {
+	la := &Latencies{
+		upcallAt: make(map[int32]sim.Time),
+		readyAt:  make(map[string]sim.Time),
+		blockAt:  make(map[int64]sim.Time),
+	}
+	la.UpcallDispatch.Register(reg, "latency.upcall_dispatch")
+	la.ReadyWait.Register(reg, "latency.ready_wait")
+	la.BlockUnblock.Register(reg, "latency.block_unblock")
+	l.Observe(la.record)
+	return la
+}
+
+func (la *Latencies) record(r Record) {
+	switch r.Kind {
+	case KindUpcall:
+		// A second upcall before any dispatch (handler yielded, vessel
+		// stillborn) restarts the measurement: the latest delivery is the
+		// one the next dispatch answers.
+		la.upcallAt[r.CPU] = r.T
+	case KindULDispatch:
+		if t0, ok := la.upcallAt[r.CPU]; ok {
+			la.UpcallDispatch.Observe(int64(r.T.Sub(t0)))
+			delete(la.upcallAt, r.CPU)
+		}
+		if t0, ok := la.readyAt[r.Name]; ok {
+			la.ReadyWait.Observe(int64(r.T.Sub(t0)))
+			delete(la.readyAt, r.Name)
+		}
+	case KindULReady:
+		la.readyAt[r.Name] = r.T
+	case KindActBlock, KindFault:
+		la.blockAt[r.A] = r.T
+	case KindActUnblock:
+		if t0, ok := la.blockAt[r.A]; ok {
+			la.BlockUnblock.Observe(int64(r.T.Sub(t0)))
+			delete(la.blockAt, r.A)
+		}
+	}
+}

@@ -1,6 +1,13 @@
 // Package trace records scheduling events from the simulated kernel and
-// thread systems. Tracing is optional everywhere: a nil *Log is valid and
-// records nothing, so hot paths pay only a nil check when tracing is off.
+// thread systems as typed, fixed-size records — the system's single event
+// currency. Every layer (machine, kernel, core, uthread, chaos) emits
+// Records tagged with a Kind and integer arguments; consumers (the chaos
+// auditor, the replay fingerprinter, the latency deriver, the Chrome
+// exporter, satrace) dispatch on those fields. Text is rendered lazily,
+// only when a sink actually prints, so the emit path allocates nothing.
+//
+// Tracing is optional everywhere: a nil *Log is valid and records nothing,
+// so hot paths pay only a nil check when tracing is off.
 package trace
 
 import (
@@ -10,36 +17,29 @@ import (
 	"schedact/internal/sim"
 )
 
-// Entry is one recorded event.
-type Entry struct {
-	T   sim.Time
-	CPU int // -1 when not CPU-specific
-	Cat string
-	Msg string
-}
-
-func (e Entry) String() string {
-	cpu := "  -"
-	if e.CPU >= 0 {
-		cpu = fmt.Sprintf("cpu%d", e.CPU)
-	}
-	return fmt.Sprintf("%12.3fms %-4s %-10s %s", e.T.Ms(), cpu, e.Cat, e.Msg)
-}
-
 // Log is a bounded in-memory event log, optionally mirrored to a writer.
 type Log struct {
 	Max       int       // maximum retained entries; 0 means unbounded
 	Live      io.Writer // if non-nil, entries are written as they arrive
-	list      []Entry
+	list      []Record
 	lost      uint64
 	filter    map[string]bool // if non-nil, only these categories are kept
-	observers []func(Entry)
+	observers []func(Record)
 }
 
-// New returns a log retaining at most max entries (0 = unbounded).
-func New(max int) *Log { return &Log{Max: max} }
+// New returns a log retaining at most max entries (0 = unbounded). A
+// bounded log preallocates its ring up front, so steady-state recording
+// performs no allocation at all.
+func New(max int) *Log {
+	l := &Log{Max: max}
+	if max > 0 {
+		l.list = make([]Record, 0, max)
+	}
+	return l
+}
 
-// Filter restricts the log to the given categories. Call before recording.
+// Filter restricts the log to the given categories (Record.Cat values).
+// Call before recording.
 func (l *Log) Filter(cats ...string) *Log {
 	l.filter = make(map[string]bool, len(cats))
 	for _, c := range cats {
@@ -48,32 +48,38 @@ func (l *Log) Filter(cats ...string) *Log {
 	return l
 }
 
-// Observe registers fn to receive every retained entry as it is recorded.
+// Filtered reports whether a category filter is installed. Consumers that
+// derive conservation checks from the stream (the chaos auditor) must see
+// every record and disable themselves on filtered logs.
+func (l *Log) Filtered() bool { return l != nil && l.filter != nil }
+
+// Observe registers fn to receive every retained record as it is recorded.
 // Observers run synchronously in recording order, after the category filter
-// and before retention trimming — a consumer sees each entry exactly once
+// and before retention trimming — a consumer sees each record exactly once
 // even when the ring later drops it. Continuous checkers (the chaos
-// auditor's monotone-time and conservation assertions) hang off this hook.
-func (l *Log) Observe(fn func(Entry)) {
+// auditor, the fingerprinter, the latency deriver) hang off this hook.
+func (l *Log) Observe(fn func(Record)) {
 	if l == nil {
 		return
 	}
 	l.observers = append(l.observers, fn)
 }
 
-// Add records an event. Safe on a nil log.
-func (l *Log) Add(t sim.Time, cpu int, cat, format string, args ...any) {
+// Emit records a typed event. Safe on a nil log. The record travels and is
+// retained by value; with a bounded log this path performs zero heap
+// allocations, observers included (asserted by TestEmitAllocationFree).
+func (l *Log) Emit(r Record) {
 	if l == nil {
 		return
 	}
-	if l.filter != nil && !l.filter[cat] {
+	if l.filter != nil && !l.filter[r.Cat()] {
 		return
 	}
-	e := Entry{T: t, CPU: cpu, Cat: cat, Msg: fmt.Sprintf(format, args...)}
 	for _, fn := range l.observers {
-		fn(e)
+		fn(r)
 	}
 	if l.Live != nil {
-		fmt.Fprintln(l.Live, e)
+		fmt.Fprintln(l.Live, r)
 	}
 	if l.Max > 0 && len(l.list) >= l.Max {
 		// Drop the oldest half rather than shifting one-by-one.
@@ -81,18 +87,44 @@ func (l *Log) Add(t sim.Time, cpu int, cat, format string, args ...any) {
 		l.lost += uint64(len(l.list) - n)
 		l.list = l.list[:n]
 	}
-	l.list = append(l.list, e)
+	l.list = append(l.list, r)
 }
 
-// Entries returns the retained entries in order.
-func (l *Log) Entries() []Entry {
+// Add records a pre-formatted event as a generic KindMsg record: cat
+// becomes the record's category, the rendered format string its message.
+// Safe on a nil log.
+//
+// Deprecated: Add renders its message eagerly, so with any observer
+// attached every call allocates a formatted string even when nothing ever
+// prints — exactly the per-event overhead the typed path removes. In-tree
+// emit sites construct a Record and call Emit; Add remains so out-of-tree
+// callers and tests can migrate incrementally.
+func (l *Log) Add(t sim.Time, cpu int, cat, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	if l.filter != nil && !l.filter[cat] {
+		return
+	}
+	l.Emit(Record{T: t, CPU: int32(cpu), Kind: KindMsg, Name: cat, Aux: fmt.Sprintf(format, args...)})
+}
+
+// Logf is Add under its historical name.
+//
+// Deprecated: see Add; new emit sites should construct a Record and Emit it.
+func (l *Log) Logf(t sim.Time, cpu int, cat, format string, args ...any) {
+	l.Add(t, cpu, cat, format, args...)
+}
+
+// Entries returns the retained records in order.
+func (l *Log) Entries() []Record {
 	if l == nil {
 		return nil
 	}
 	return l.list
 }
 
-// Lost reports how many entries were dropped to the retention bound.
+// Lost reports how many records were dropped to the retention bound.
 func (l *Log) Lost() uint64 {
 	if l == nil {
 		return 0
@@ -100,9 +132,9 @@ func (l *Log) Lost() uint64 {
 	return l.lost
 }
 
-// Dump writes all retained entries to w.
+// Dump writes all retained records to w.
 func (l *Log) Dump(w io.Writer) {
-	for _, e := range l.Entries() {
-		fmt.Fprintln(w, e)
+	for _, r := range l.Entries() {
+		fmt.Fprintln(w, r)
 	}
 }

@@ -382,7 +382,7 @@ func (s *Sched) schedLoop(v *procData, w *machine.Worker) {
 		}
 		// Park until work arrives here.
 		if s.opt.Trace != nil {
-			s.tracef(traceCPU(w), "ulidle", "vp%d parked", v.id)
+			s.trace(trace.Record{CPU: traceCPU(w), Kind: trace.KindULIdle, A: int64(v.id)})
 		}
 		v.idleParked = true
 		me.Park("vp-idle")
@@ -419,7 +419,7 @@ func (s *Sched) runThread(v *procData, w *machine.Worker, t *Thread, me *sim.Cor
 	t.needsResumeCheck = false
 	s.Stats.Switches++
 	if s.opt.Trace != nil {
-		s.tracef(traceCPU(w), "uldispatch", "%s", t.name)
+		s.trace(trace.Record{CPU: traceCPU(w), Kind: trace.KindULDispatch, Name: t.name})
 	}
 	ctx := w.Bound()
 	v.current = t
@@ -472,7 +472,7 @@ func (s *Sched) wakeIdleProc() bool {
 // the worker charged.
 func (s *Sched) makeReady(t *Thread, by *Thread, w *machine.Worker) {
 	if s.opt.Trace != nil {
-		s.tracef(traceCPU(w), "ulready", "%s", t.name)
+		s.trace(trace.Record{CPU: traceCPU(w), Kind: trace.KindULReady, Name: t.name})
 	}
 	v := s.homeProc(by, w)
 	s.pushLocal(v, t, by, w)
@@ -551,17 +551,19 @@ func (s *Sched) runningCount() int {
 
 func (s *Sched) saMode() bool { return s.back != nil && s.back.name() == "activations" }
 
-func (s *Sched) tracef(cpu int, cat, format string, args ...any) {
-	s.opt.Trace.Add(s.eng.Now(), cpu, cat, format, args...)
+// trace stamps the current virtual time onto r and emits it. Call sites
+// guard on s.opt.Trace != nil so untraced hot paths pay only that check.
+func (s *Sched) trace(r trace.Record) {
+	r.T = s.eng.Now()
+	s.opt.Trace.Emit(r)
 }
 
 // traceCPU resolves the physical processor a worker is currently bound to,
-// -1 if unbound. Call sites guard on s.opt.Trace != nil so the hot paths
-// stay allocation-free when tracing is off.
-func traceCPU(w *machine.Worker) int {
+// -1 if unbound.
+func traceCPU(w *machine.Worker) int32 {
 	if ctx := w.Bound(); ctx != nil {
 		if cpu := ctx.CPU(); cpu != nil {
-			return int(cpu.ID())
+			return int32(cpu.ID())
 		}
 	}
 	return -1

@@ -5,6 +5,7 @@ import (
 
 	"schedact/internal/machine"
 	"schedact/internal/sim"
+	"schedact/internal/trace"
 )
 
 // utState is a user-level thread's scheduling state.
@@ -211,7 +212,7 @@ func (t *Thread) exit() {
 	t.exitCS(&v.stackLock, t.w)
 	t.state = utDone
 	if s.opt.Trace != nil {
-		s.tracef(traceCPU(t.w), "ulexit", "%s", t.name)
+		s.trace(trace.Record{CPU: traceCPU(t.w), Kind: trace.KindULExit, Name: t.name})
 	}
 	s.live--
 	delete(s.byWorker, t.w)
@@ -252,7 +253,7 @@ func (t *Thread) block(reason string, st utState) {
 	}
 	s.Stats.BlocksUser++
 	if s.opt.Trace != nil {
-		s.tracef(traceCPU(t.w), "ulblock", "%s: %s", t.name, reason)
+		s.trace(trace.Record{CPU: traceCPU(t.w), Kind: trace.KindULBlock, Name: t.name, Aux: reason})
 	}
 	v := t.vp
 	t.state = st
