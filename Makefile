@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json fuzz saexp chaos cover trace-demo
+.PHONY: check build vet test race bench bench-json bench-diff fuzz saexp chaos cover trace-demo profile
 
 # -benchtime for bench/bench-json; set BENCHTIME=1x for a smoke run.
 BENCHTIME ?= 1s
@@ -36,11 +36,21 @@ bench-json:
 	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) . ./internal/... | ./bin/benchjson > BENCH.json
 	@echo "wrote BENCH.json"
 
+# Diff a fresh 1x benchmark run against the committed BENCH.json baseline.
+# BENCHDIFF_FLAGS=-soft makes it report-only (CI's shared 1-core runners are
+# too noisy to gate hard); run locally without it to enforce the threshold.
+BENCHDIFF_FLAGS ?=
+bench-diff:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) . ./internal/... | ./bin/benchjson > /tmp/schedact-bench-new.json
+	./bin/benchjson -old BENCH.json -new /tmp/schedact-bench-new.json $(BENCHDIFF_FLAGS)
+
 # -fuzzminimizetime keeps corpus minimization from eating the budget: the
 # oracle target finds many new coverage paths per run.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzEventHeapOps -fuzztime 15s ./internal/sim/
 	$(GO) test -run xxx -fuzz FuzzWheelVsHeapOracle -fuzztime 15s -fuzzminimizetime 5s ./internal/sim/
+	$(GO) test -run xxx -fuzz FuzzPooledVsUnpooled -fuzztime 15s -fuzzminimizetime 5s ./internal/sim/
 	$(GO) test -run xxx -fuzz FuzzUpcallDowncall -fuzztime 15s ./internal/core/
 
 saexp:
@@ -50,6 +60,14 @@ saexp:
 # exit on any violation, lost thread, or nondeterministic replay.
 chaos:
 	$(GO) run ./cmd/saexp -chaos -seeds 64
+
+# CPU + heap profile of the chaos sweep (the macro hot path) at -workers 1,
+# so the profile is the engine, not the fleet. View with
+# `go tool pprof -http=: cpu.pprof`.
+PROFILE_SEEDS ?= 16
+profile: saexp
+	./bin/saexp -chaos -seeds $(PROFILE_SEEDS) -workers 1 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof (view: go tool pprof -http=: cpu.pprof)"
 
 # Export a Chrome/Perfetto trace of the Figure 1 smoke run and verify the
 # JSON parses (saexp re-reads its own output; python double-checks).

@@ -15,13 +15,23 @@
 // metrics map keyed by unit ("ns/op", "B/op", "allocs/op", plus any custom
 // ReportMetric units such as "seeds/sec"). Non-benchmark lines (PASS, ok,
 // test logs) are ignored, so piping full `go test` output is fine.
+//
+// Compare mode diffs two such documents per benchmark and gates on
+// regressions (make bench-diff):
+//
+//	benchjson -old BENCH.json -new run.json               # fails >25% ns/op growth
+//	benchjson -old BENCH.json -new run.json -threshold 0.4
+//	benchjson -old BENCH.json -new run.json -soft         # report-only (CI's 1-core runner)
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,6 +53,25 @@ type Doc struct {
 }
 
 func main() {
+	oldPath := flag.String("old", "", "baseline document for compare mode (e.g. BENCH.json)")
+	newPath := flag.String("new", "", "candidate document for compare mode")
+	metric := flag.String("metric", "ns/op", "metric to gate on in compare mode (higher = worse)")
+	threshold := flag.Float64("threshold", 0.25, "relative growth of -metric above which a benchmark counts as regressed")
+	soft := flag.Bool("soft", false, "compare mode reports deltas but always exits 0")
+	flag.Parse()
+
+	if (*oldPath == "") != (*newPath == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: -old and -new must be given together")
+		os.Exit(2)
+	}
+	if *oldPath != "" {
+		os.Exit(compareMain(os.Stdout, *oldPath, *newPath, *metric, *threshold, *soft))
+	}
+	convertMain()
+}
+
+// convertMain is the original mode: bench text on stdin, JSON on stdout.
+func convertMain() {
 	doc := Doc{Results: []Result{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -96,4 +125,97 @@ func parseBench(pkg, line string) (Result, bool) {
 		r.Metrics[f[i+1]] = v
 	}
 	return r, true
+}
+
+// compareMain loads two documents and renders the per-benchmark delta table,
+// returning the process exit code: 1 when any benchmark's gate metric grew
+// past the threshold (unless soft), 2 on malformed input.
+func compareMain(w io.Writer, oldPath, newPath, metric string, threshold float64, soft bool) int {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	regressed := compare(w, oldDoc, newDoc, metric, threshold)
+	if regressed > 0 {
+		verdict := "FAIL"
+		if soft {
+			verdict = "soft gate: reporting only"
+		}
+		fmt.Fprintf(w, "%d benchmark(s) regressed more than %.0f%% on %s (%s)\n",
+			regressed, threshold*100, metric, verdict)
+		if !soft {
+			return 1
+		}
+	}
+	return 0
+}
+
+// key identifies a benchmark across documents.
+func key(r Result) string { return r.Pkg + " " + r.Name }
+
+// compare writes one line per benchmark present in either document and
+// returns how many exceeded the threshold on the gate metric.
+func compare(w io.Writer, oldDoc, newDoc Doc, metric string, threshold float64) (regressed int) {
+	olds := make(map[string]Result, len(oldDoc.Results))
+	for _, r := range oldDoc.Results {
+		olds[key(r)] = r
+	}
+	width := len("benchmark")
+	for _, r := range newDoc.Results {
+		if n := len(r.Name); n > width {
+			width = n
+		}
+	}
+	fmt.Fprintf(w, "%-*s %14s %14s %9s   (%s)\n", width, "benchmark", "old", "new", "delta", metric)
+	seen := make(map[string]bool, len(newDoc.Results))
+	for _, nr := range newDoc.Results {
+		seen[key(nr)] = true
+		or, ok := olds[key(nr)]
+		if !ok {
+			fmt.Fprintf(w, "%-*s %14s %14.4g %9s\n", width, nr.Name, "-", nr.Metrics[metric], "new")
+			continue
+		}
+		ov, nv := or.Metrics[metric], nr.Metrics[metric]
+		if ov == 0 {
+			fmt.Fprintf(w, "%-*s %14.4g %14.4g %9s\n", width, nr.Name, ov, nv, "n/a")
+			continue
+		}
+		delta := (nv - ov) / ov
+		mark := ""
+		if delta > threshold {
+			regressed++
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(w, "%-*s %14.4g %14.4g %+8.1f%%%s\n", width, nr.Name, ov, nv, delta*100, mark)
+	}
+	var gone []string
+	for k := range olds {
+		if !seen[k] {
+			gone = append(gone, olds[k].Name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "%-*s %14s %14s %9s\n", width, name, "-", "-", "dropped")
+	}
+	return regressed
+}
+
+// loadDoc reads one benchjson document from disk.
+func loadDoc(path string) (Doc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Doc{}, err
+	}
+	var d Doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return Doc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
 }

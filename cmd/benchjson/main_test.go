@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseBench(t *testing.T) {
 	r, ok := parseBench("schedact/internal/sim",
@@ -36,5 +42,76 @@ func TestParseBenchRejectsHeaders(t *testing.T) {
 	}
 	if _, ok := parseBench("p", "BenchmarkFoo not-a-number"); ok {
 		t.Fatal("malformed count should not parse")
+	}
+}
+
+func docOf(pairs map[string]float64) Doc {
+	d := Doc{}
+	for name, ns := range pairs {
+		d.Results = append(d.Results, Result{
+			Pkg: "p", Name: name, Iterations: 1,
+			Metrics: map[string]float64{"ns/op": ns},
+		})
+	}
+	return d
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldDoc := docOf(map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100, "BenchmarkGone": 5})
+	newDoc := docOf(map[string]float64{"BenchmarkA": 110, "BenchmarkB": 200, "BenchmarkNew": 7})
+	var buf strings.Builder
+	regressed := compare(&buf, oldDoc, newDoc, "ns/op", 0.25)
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1 (only B doubled)\n%s", regressed, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"BenchmarkB", "REGRESSED", "BenchmarkNew", "new", "BenchmarkGone", "dropped"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "BenchmarkA  REGRESSED") {
+		t.Fatalf("10%% growth under a 25%% threshold flagged:\n%s", out)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	oldDoc := docOf(map[string]float64{"BenchmarkA": 100})
+	newDoc := docOf(map[string]float64{"BenchmarkA": 60})
+	var buf strings.Builder
+	if r := compare(&buf, oldDoc, newDoc, "ns/op", 0.25); r != 0 {
+		t.Fatalf("improvement counted as regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "-40.0%") {
+		t.Fatalf("delta not rendered:\n%s", buf.String())
+	}
+}
+
+func TestCompareMainSoftGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	for path, doc := range map[string]Doc{
+		oldPath: docOf(map[string]float64{"BenchmarkA": 100}),
+		newPath: docOf(map[string]float64{"BenchmarkA": 1000}),
+	} {
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf strings.Builder
+	if code := compareMain(&buf, oldPath, newPath, "ns/op", 0.25, false); code != 1 {
+		t.Fatalf("hard gate exit = %d, want 1\n%s", code, buf.String())
+	}
+	buf.Reset()
+	if code := compareMain(&buf, oldPath, newPath, "ns/op", 0.25, true); code != 0 {
+		t.Fatalf("soft gate exit = %d, want 0\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "soft gate") {
+		t.Fatalf("soft verdict missing:\n%s", buf.String())
 	}
 }

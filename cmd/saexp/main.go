@@ -29,6 +29,12 @@
 //	saexp -chaos -ablate dropevent  # demo: auditor catches dropped events
 //
 // Chaos mode exits nonzero if any seed fails, so it can gate CI.
+//
+// Any invocation can be profiled with the standard runtime/pprof writers
+// (`make profile` wraps the chaos-sweep capture):
+//
+//	saexp -chaos -seeds 16 -workers 1 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof -http=: cpu.pprof
 package main
 
 import (
@@ -36,6 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"schedact/internal/core"
@@ -45,7 +53,11 @@ import (
 	"schedact/internal/stats"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is the real main, returning the exit code instead of calling os.Exit
+// so the deferred profile writers always flush.
+func run() int {
 	which := flag.String("exp", "all", "experiment to run (table1, table4, csablation, upcall, breakeven, fig1, fig2, fig2tuned, table5, alloc, hysteresis, all)")
 	csvOut := flag.Bool("csv", false, "emit figure series as CSV instead of tables (fig1/fig2 only)")
 	statsOut := flag.Bool("stats", false, "dump each simulation run's counter registry as it finishes")
@@ -55,20 +67,52 @@ func main() {
 	ablate := flag.String("ablate", "", "run one deliberately broken kernel under the auditor: nogrant or dropevent (with -chaos)")
 	workers := flag.Int("workers", fleet.DefaultWorkers(), "parallel run pool width for sweeps and experiment batteries (1 = sequential)")
 	traceOut := flag.String("trace-out", "", "with -exp fig1: run the traced Figure 1 smoke configuration and write Chrome trace_event JSON to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation heap profile to this file at exit (go tool pprof)")
 	flag.Parse()
 
 	exp.Workers = *workers
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
 	if *traceOut != "" {
 		if *which != "fig1" {
 			fmt.Fprintf(os.Stderr, "-trace-out currently supports -exp fig1 only (got %q)\n", *which)
-			os.Exit(2)
+			return 2
 		}
-		os.Exit(runTraceOut(*traceOut))
+		return runTraceOut(*traceOut)
 	}
 
 	if *chaosMode {
-		os.Exit(runChaos(*seeds, *firstSeed, *workers, *ablate))
+		return runChaos(*seeds, *firstSeed, *workers, *ablate)
 	}
 
 	out := os.Stdout
@@ -123,7 +167,7 @@ func main() {
 			r := exp.Figure1()
 			if err := exp.WriteCSV(out, "processors", r.Series); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		} else {
 			fmt.Fprintln(out, "running Figure 1 (19 application runs)...")
@@ -135,7 +179,7 @@ func main() {
 			r := exp.Figure2()
 			if err := exp.WriteCSV(out, "pct_memory", r.Series); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		} else {
 			fmt.Fprintln(out, "running Figure 2 (21 application runs)...")
@@ -169,8 +213,9 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // runTraceOut runs the traced Figure 1 smoke configuration, writes the

@@ -82,6 +82,7 @@ type Auditor struct {
 	wnext   int
 	lastT   sim.Time
 	stopped bool
+	audits  []core.SpaceAudit // reused snapshot buffer; valid within one Check
 
 	// stream holds counters derived from the typed record stream by Kind
 	// dispatch; base snapshots the kernel counters at Attach time so I8
@@ -211,7 +212,8 @@ func (a *Auditor) Check() {
 	if err := k.CheckInvariants(); err != nil {
 		a.fail("I1 activation-processor", err.Error())
 	}
-	audits := k.AuditSpaces()
+	a.audits = k.AuditSpacesInto(a.audits)
+	audits := a.audits
 
 	if free := k.FreeCPUs(); free > 0 {
 		for _, s := range audits {

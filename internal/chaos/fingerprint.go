@@ -75,9 +75,17 @@ func (f *Fingerprinter) entry(r trace.Record) {
 // Finish folds in the run's final state — virtual time and the full metrics
 // snapshot — and returns the fingerprint. The fingerprinter may keep
 // accumulating afterwards, but normally Finish is the run's last act.
+//
+// Host samples (stats.FuncHost) are skipped: they describe how the host
+// executed the simulation — physical goroutine switches, pool reuse — and
+// may differ between two byte-identical runs of the same seed, which is
+// exactly what the replay check must not flag.
 func (f *Fingerprinter) Finish(eng *sim.Engine) Fingerprint {
 	f.u64(uint64(eng.Now()))
 	for _, s := range eng.Metrics().Snapshot() {
+		if s.Host {
+			continue
+		}
 		f.str(s.Name)
 		f.u64(s.Value)
 	}

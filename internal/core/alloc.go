@@ -1,6 +1,8 @@
 package core
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"schedact/internal/sim"
@@ -44,34 +46,61 @@ func FirstComeFCFS(k *Kernel) map[*Space]int {
 	return target
 }
 
-// targets computes the per-space processor entitlement.
+// targets computes the per-space processor entitlement in a fresh map.
 func (k *Kernel) targets() map[*Space]int {
 	if k.policy != nil {
 		return k.policy(k)
 	}
-	target := make(map[*Space]int, len(k.spaces))
+	return k.fillTargets(make(map[*Space]int, len(k.spaces)))
+}
+
+// hotTargets is targets for the steady-state kernel paths (rebalance, the
+// unblock steal, debugger resume): same values, computed into per-kernel
+// scratch so the allocator itself does not allocate. The map is valid until
+// the next hotTargets call; no hot caller holds it across one (takeFromSpace,
+// grantSlot, and deliver never recompute targets).
+func (k *Kernel) hotTargets() map[*Space]int {
+	if k.policy != nil {
+		return k.policy(k)
+	}
+	if k.scratch.target == nil {
+		k.scratch.target = make(map[*Space]int, len(k.spaces))
+	}
+	clear(k.scratch.target)
+	return k.fillTargets(k.scratch.target)
+}
+
+// fillTargets runs the space-sharing division into target, which must be
+// empty.
+func (k *Kernel) fillTargets(target map[*Space]int) map[*Space]int {
 	remaining := len(k.slots)
 
-	// Group spaces by priority tier, high to low, stable by ID within.
-	prios := map[int][]*Space{}
-	var order []int
+	// Eligible spaces, highest priority tier first, stable by registration
+	// order within a tier.
+	elig := k.scratch.elig[:0]
 	for _, sp := range k.spaces {
 		if !sp.started || sp.want <= 0 {
 			continue
 		}
-		if _, ok := prios[sp.Priority]; !ok {
-			order = append(order, sp.Priority)
-		}
-		prios[sp.Priority] = append(prios[sp.Priority], sp)
+		elig = append(elig, sp)
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(order)))
+	slices.SortStableFunc(elig, func(a, b *Space) int {
+		return cmp.Compare(b.Priority, a.Priority)
+	})
+	k.scratch.elig = elig
 
-	for _, p := range order {
-		tier := prios[p]
+	unsat := k.scratch.unsat
+	for lo := 0; lo < len(elig); {
+		hi := lo + 1
+		for hi < len(elig) && elig[hi].Priority == elig[lo].Priority {
+			hi++
+		}
+		tier := elig[lo:hi]
+		lo = hi
 		// Water-fill within the tier: repeatedly divide what remains
 		// evenly among spaces still wanting more.
 		for remaining > 0 {
-			var unsat []*Space
+			unsat = unsat[:0]
 			for _, sp := range tier {
 				if target[sp] < sp.want {
 					unsat = append(unsat, sp)
@@ -106,6 +135,7 @@ func (k *Kernel) targets() map[*Space]int {
 			}
 		}
 	}
+	k.scratch.unsat = unsat
 	return target
 }
 
@@ -136,7 +166,7 @@ func (k *Kernel) rebalance() {
 	defer func() { k.inRebal = false }()
 	k.Stats.Rebalances++
 
-	target := k.targets()
+	target := k.hotTargets()
 
 	// Phase 1: shrink over-allocated spaces, freeing slots. Logical
 	// (debugger-held) processors count toward a space's share but only
@@ -160,15 +190,16 @@ func (k *Kernel) rebalance() {
 		// stranded while spaces want them, violating work conservation.
 		return
 	}
-	claimants := make([]*Space, 0, len(k.spaces))
+	claimants := k.scratch.claimants[:0]
 	for _, sp := range k.spaces {
 		if sp.started && k.effectiveAllocated(sp) < target[sp] {
 			claimants = append(claimants, sp)
 		}
 	}
-	sort.SliceStable(claimants, func(i, j int) bool {
-		return claimants[i].Priority > claimants[j].Priority
+	slices.SortStableFunc(claimants, func(a, b *Space) int {
+		return cmp.Compare(b.Priority, a.Priority)
 	})
+	k.scratch.claimants = claimants
 	for _, sp := range claimants {
 		for k.effectiveAllocated(sp) < target[sp] {
 			slot := k.freeSlot()

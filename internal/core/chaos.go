@@ -85,7 +85,14 @@ type SpaceAudit struct {
 // order-independent aggregates are computed, so the map iteration underneath
 // cannot perturb determinism.
 func (k *Kernel) AuditSpaces() []SpaceAudit {
-	out := make([]SpaceAudit, 0, len(k.spaces))
+	return k.AuditSpacesInto(make([]SpaceAudit, 0, len(k.spaces)))
+}
+
+// AuditSpacesInto is AuditSpaces overwriting buf's backing array from the
+// start. The chaos auditor snapshots every space between engine events; a
+// reused buffer keeps that pulse allocation-free.
+func (k *Kernel) AuditSpacesInto(buf []SpaceAudit) []SpaceAudit {
+	out := buf[:0]
 	for _, sp := range k.spaces {
 		a := SpaceAudit{
 			Space:     sp,

@@ -67,6 +67,17 @@ type Kernel struct {
 	rotation uint64 // leftover-processor rotation index; advances on time, not per rebalance
 	policy   Policy // nil = space-sharing default
 
+	// scratch holds buffers reused across allocator runs so the steady-state
+	// rebalance path does not allocate. Valid only within one synchronous
+	// kernel entry: hotTargets overwrites target on each call, and none of
+	// its callers hold the map across another targets computation.
+	scratch struct {
+		target    map[*Space]int
+		elig      []*Space
+		unsat     []*Space
+		claimants []*Space
+	}
+
 	// Fault-injection and ablation hooks; see chaos.go.
 	UpcallPerturb   func() sim.Duration // extra kernel-side latency per upcall
 	AblateNoGrant   bool                // break rebalance: never grant free processors

@@ -72,7 +72,7 @@ func (d *Debugger) Resume(act *Activation) error {
 	if slot == nil {
 		// Reclaim a processor for the debuggee; the victim space gets the
 		// normal preemption protocol (it is not being debugged).
-		target := k.targets()
+		target := k.hotTargets()
 		for _, sp := range k.spaces {
 			if sp != act.sp && k.Allocated(sp) > 0 && k.Allocated(sp) >= target[sp] {
 				if taken := k.takeFromSpace(sp, 1); len(taken) == 1 {

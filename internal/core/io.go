@@ -114,7 +114,7 @@ func (k *Kernel) unblock(act *Activation) {
 	// 3. The space has no processors: steal one from the space most above
 	// its entitlement (respecting priority), or failing that, queue the
 	// notification for the next grant.
-	target := k.targets()
+	target := k.hotTargets()
 	var victim *Space
 	for _, other := range k.spaces {
 		if other == sp {

@@ -137,11 +137,13 @@ func HysteresisAblation() HysteresisAblationResult {
 // memory pressure widens.
 func Figure2Tuned() Series {
 	s := Series{System: "new FastThreads (tuned upcalls)"}
-	ys := fleet.Map(Workers, len(MemoryPoints), func(job, _ int) float64 {
+	pools := newWorkerPools(Workers, len(MemoryPoints))
+	defer pools.Close()
+	ys := fleet.Map(Workers, len(MemoryPoints), func(job, worker int) float64 {
 		pct := MemoryPoints[job]
 		cfg := nbody.DefaultConfig()
 		cfg.MemFraction = pct / 100
-		eng := sim.NewEngine()
+		eng := pools.get(worker).NewEngine()
 		eng.SetLabel(fmt.Sprintf("fig2-tuned mem=%.0f%%", pct))
 		k := core.New(eng, core.Config{CPUs: MachineCPUs, Costs: machine.TunedCosts()})
 		StartDaemonSA(k)

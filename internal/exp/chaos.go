@@ -126,9 +126,11 @@ const (
 )
 
 // chaosOnce executes one audited, fault-injected mixed workload for seed.
-func chaosOnce(seed int64, mutate func(*core.Kernel)) (fp chaos.Fingerprint, r ChaosResult) {
+// pool, when non-nil, supplies warm coroutine goroutines (sim.Pool); it must
+// be owned by the calling worker. The timeline is identical either way.
+func chaosOnce(pool *sim.Pool, seed int64, mutate func(*core.Kernel)) (fp chaos.Fingerprint, r ChaosResult) {
 	rng := rand.New(rand.NewSource(seed))
-	eng := sim.NewEngine()
+	eng := pool.NewEngine()
 	defer eng.Close()
 	eng.SetLabel(fmt.Sprintf("chaos seed %d", seed))
 	tr := trace.New(8192)
@@ -172,9 +174,14 @@ func chaosOnce(seed int64, mutate func(*core.Kernel)) (fp chaos.Fingerprint, r C
 // RunChaosSeed runs one seed twice — identical code path both times — and
 // folds the replay's fingerprint into the result, so a nondeterminism leak
 // fails the seed even when every invariant held.
-func RunChaosSeed(seed int64) ChaosResult {
-	fpA, r := chaosOnce(seed, nil)
-	fpB, _ := chaosOnce(seed, nil)
+func RunChaosSeed(seed int64) ChaosResult { return runChaosSeedIn(nil, seed) }
+
+// runChaosSeedIn is RunChaosSeed drawing coroutine goroutines from pool
+// (nil = unpooled). Both the run and its replay share the pool, so the
+// replay check also exercises warm-goroutine reuse.
+func runChaosSeedIn(pool *sim.Pool, seed int64) ChaosResult {
+	fpA, r := chaosOnce(pool, seed, nil)
+	fpB, _ := chaosOnce(pool, seed, nil)
 	r.Fingerprint = fpA
 	r.Replay = fpB
 	return r
@@ -183,7 +190,7 @@ func RunChaosSeed(seed int64) ChaosResult {
 // RunChaosSeedAblated is RunChaosSeed against a deliberately broken kernel
 // (single run, no replay) — the auditor-has-teeth demonstration.
 func RunChaosSeedAblated(seed int64, mutate func(*core.Kernel)) ChaosResult {
-	fp, r := chaosOnce(seed, mutate)
+	fp, r := chaosOnce(nil, seed, mutate)
 	r.Fingerprint = fp
 	r.Replay = fp
 	return r
@@ -207,8 +214,21 @@ func ChaosSweep(w io.Writer, first, n int64, workers int) (failed int) {
 	start := time.Now()
 	type tally struct{ runs, failed int }
 	byWorker := make([]tally, workers)
+	// One coroutine-goroutine pool per worker: each pool is confined to the
+	// worker goroutine that owns it, and successive seeds on that worker
+	// reuse warm goroutines instead of spawning thousands. Fleet clamps the
+	// pool width to the job count, so unused slots just stay nil.
+	pools := make([]*sim.Pool, workers)
+	defer func() {
+		for _, p := range pools {
+			p.Close()
+		}
+	}()
 	fleet.Run(workers, int(n), func(job, worker int) ChaosResult {
-		return RunChaosSeed(first + int64(job))
+		if pools[worker] == nil {
+			pools[worker] = sim.NewPool()
+		}
+		return runChaosSeedIn(pools[worker], first+int64(job))
 	}, func(res fleet.Result[ChaosResult]) {
 		r := res.Value
 		status := "ok"

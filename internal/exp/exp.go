@@ -122,7 +122,13 @@ func seqTime(cfg nbody.Config) sim.Duration {
 // parallelism (Figure 1's x-axis); the machine always has MachineCPUs
 // processors.
 func launchOne(sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng *sim.Engine, run *nbody.Run) {
-	eng = sim.NewEngine()
+	return launchOneIn(nil, sys, cfg, procs, tr)
+}
+
+// launchOneIn is launchOne with the run's engine drawing coroutine
+// goroutines from pool (nil = unpooled).
+func launchOneIn(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng *sim.Engine, run *nbody.Run) {
+	eng = pool.NewEngine()
 	eng.SetLabel(fmt.Sprintf("%s P=%d", sys, procs))
 	switch sys {
 	case SysTopaz:
@@ -156,14 +162,52 @@ func launchOne(sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng 
 // nil-log fast path.
 var StatsTrace bool
 
+// workerPools is one optional coroutine-goroutine pool per fleet worker.
+// Each pool is created lazily by — and stays confined to — the worker
+// goroutine that owns the slot, so successive runs on the same worker reuse
+// warm goroutines. The caller Closes the set after the fleet call returns
+// (fleet.Run/Map return only after every worker has finished, which orders
+// the Close after all pool use).
+type workerPools []*sim.Pool
+
+// newWorkerPools sizes the set exactly as fleet normalizes its pool width
+// for n jobs, so every worker index the fleet reports has a slot.
+func newWorkerPools(workers, n int) workerPools {
+	if workers <= 0 {
+		workers = fleet.DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return make(workerPools, workers)
+}
+
+// get returns the worker's pool, creating it on first use.
+func (ps workerPools) get(worker int) *sim.Pool {
+	if ps[worker] == nil {
+		ps[worker] = sim.NewPool()
+	}
+	return ps[worker]
+}
+
+// Close retires every pool's idle goroutines.
+func (ps workerPools) Close() {
+	for _, p := range ps {
+		p.Close()
+	}
+}
+
 // runOne executes one application instance to completion and returns its
-// execution time.
-func runOne(sys SystemName, cfg nbody.Config, procs int) sim.Duration {
+// execution time. pool may be nil (unpooled).
+func runOne(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int) sim.Duration {
 	var tr *trace.Log
 	if StatsTrace {
 		tr = trace.New(64)
 	}
-	eng, run := launchOne(sys, cfg, procs, tr)
+	eng, run := launchOneIn(pool, sys, cfg, procs, tr)
 	defer eng.Close()
 	if tr != nil {
 		trace.NewLatencies(tr, eng.Metrics())

@@ -39,9 +39,11 @@ func Figure1() Figure1Result {
 	// 18 independent runs (3 systems × 6 processor counts), fanned across
 	// the pool; each owns a private engine, so the measured times — and the
 	// series assembled from them in job order — match a sequential sweep
-	// exactly.
-	els := fleet.Map(Workers, len(Systems)*MachineCPUs, func(job, _ int) sim.Duration {
-		return runOne(Systems[job/MachineCPUs], cfg, job%MachineCPUs+1)
+	// exactly. Runs on the same worker share a warm coroutine-goroutine pool.
+	pools := newWorkerPools(Workers, len(Systems)*MachineCPUs)
+	defer pools.Close()
+	els := fleet.Map(Workers, len(Systems)*MachineCPUs, func(job, worker int) sim.Duration {
+		return runOne(pools.get(worker), Systems[job/MachineCPUs], cfg, job%MachineCPUs+1)
 	})
 	for si, sys := range Systems {
 		s := Series{System: sys}
@@ -69,10 +71,12 @@ var MemoryPoints = []float64{100, 90, 80, 70, 60, 50, 40}
 func Figure2() Figure2Result {
 	var res Figure2Result
 	nm := len(MemoryPoints)
-	els := fleet.Map(Workers, len(Systems)*nm, func(job, _ int) sim.Duration {
+	pools := newWorkerPools(Workers, len(Systems)*nm)
+	defer pools.Close()
+	els := fleet.Map(Workers, len(Systems)*nm, func(job, worker int) sim.Duration {
 		cfg := nbody.DefaultConfig()
 		cfg.MemFraction = MemoryPoints[job%nm] / 100
-		return runOne(Systems[job/nm], cfg, MachineCPUs)
+		return runOne(pools.get(worker), Systems[job/nm], cfg, MachineCPUs)
 	})
 	for si, sys := range Systems {
 		s := Series{System: sys}

@@ -150,6 +150,11 @@ type Worker struct {
 	// wantCPU marks the worker's coroutine as parked pending a processor
 	// (mid-Exec or awaiting dispatch), as opposed to blocked at user level.
 	wantCPU bool
+
+	// execDone is the exec-done callback, built once per worker: the charge
+	// loop schedules it on every pass, and a fresh closure per pass was the
+	// machine layer's dominant allocation.
+	execDone func()
 }
 
 // NewWorker creates an unbound worker for a user-level thread whose
@@ -227,11 +232,24 @@ func (w *Worker) Exec(d sim.Duration) {
 			continue
 		}
 		w.execStart = w.m.Now()
-		w.execEv = w.m.Eng.AfterNamed(w.remaining, "exec-done", w.name, func() {
-			w.remaining = 0
-			w.resumeIfWaiting()
-		})
-		w.parkWant("exec")
+		if w.execDone == nil {
+			w.execDone = func() {
+				w.remaining = 0
+				w.resumeIfWaiting()
+			}
+		}
+		w.execEv = w.m.Eng.AfterNamed(w.remaining, "exec-done", w.name, w.execDone)
+		// Fast path: when the charge completes before anything else in the
+		// engine fires — no preemption, no I/O completion, no daemon pulse in
+		// the window — consume the exec-done event and our own redispatch in
+		// place, with no goroutine hand-off. InlineCharge runs the identical
+		// park/fire/unpark sequence, so wantCPU must bracket it exactly as it
+		// brackets a real park.
+		w.wantCPU = true
+		if !w.co.InlineCharge(w.execEv, "exec") {
+			w.co.Park("exec")
+		}
+		w.wantCPU = false
 	}
 }
 

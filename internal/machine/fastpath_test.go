@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"testing"
+
+	"schedact/internal/sim"
+)
+
+// TestExecFastPathElidesSwitches pins that the common Exec case — a CPU
+// charge completing before anything else fires — goes through the inline
+// fast path: the virtual timeline is identical with elision on or off, but
+// the physical hand-off count collapses.
+func TestExecFastPathElidesSwitches(t *testing.T) {
+	run := func(disable bool) (end sim.Time, logical, physical uint64) {
+		eng, m := newTestMachine(t, 1)
+		eng.DisableElision = disable
+		ctx := m.NewContext("worker", func(c *Context) {
+			for i := 0; i < 50; i++ {
+				c.Exec(10 * sim.Microsecond)
+			}
+		})
+		m.CPU(0).Dispatch(ctx)
+		eng.Run()
+		if !ctx.Done() {
+			t.Fatal("context not done")
+		}
+		return eng.Now(), eng.Stats.LogicalResumes, eng.Stats.PhysicalSwitches
+	}
+	endSlow, lSlow, pSlow := run(true)
+	endFast, lFast, pFast := run(false)
+	if endFast != endSlow || lFast != lSlow {
+		t.Fatalf("elision changed the timeline: end %v/%v logical %d/%d", endFast, endSlow, lFast, lSlow)
+	}
+	if lSlow != pSlow {
+		t.Fatalf("DisableElision: logical %d != physical %d", lSlow, pSlow)
+	}
+	// 50 uncontended charges: one physical dispatch to start, the rest inline.
+	if pFast >= pSlow {
+		t.Fatalf("fast path did not reduce switches: physical %d vs %d", pFast, pSlow)
+	}
+	if pFast != 1 {
+		t.Fatalf("physical switches = %d, want 1 (the start dispatch)", pFast)
+	}
+}
+
+// TestExecFastPathFallsBackUnderPreemption pins the fallback: when another
+// event (a quantum preemption) fires inside the charge window, Exec takes
+// the physical park and the preemption accounting — banked remaining time,
+// redispatch — is identical to the slow path.
+func TestExecFastPathFallsBackUnderPreemption(t *testing.T) {
+	run := func(disable bool) (end sim.Time, banked sim.Duration) {
+		eng, m := newTestMachine(t, 1)
+		eng.DisableElision = disable
+		ctx := m.NewContext("worker", func(c *Context) {
+			c.Exec(100 * sim.Microsecond)
+		})
+		m.CPU(0).Dispatch(ctx)
+		eng.RunFor(40 * sim.Microsecond)
+		m.CPU(0).Preempt()
+		banked = ctx.Remaining()
+		m.CPU(0).Dispatch(ctx)
+		eng.Run()
+		return eng.Now(), banked
+	}
+	endSlow, bankSlow := run(true)
+	endFast, bankFast := run(false)
+	if endFast != endSlow || bankFast != bankSlow {
+		t.Fatalf("preempted charge diverged: end %v/%v banked %v/%v", endFast, endSlow, bankFast, bankSlow)
+	}
+	if bankFast != 60*sim.Microsecond {
+		t.Fatalf("banked %v, want 60µs", bankFast)
+	}
+}

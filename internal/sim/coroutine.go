@@ -1,12 +1,15 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime/debug"
+)
 
 // coState tracks where a coroutine is in its lifecycle.
 type coState int
 
 const (
-	coCreated coState = iota // goroutine spawned, body not yet started
+	coCreated coState = iota // goroutine armed, body not yet started
 	coParked                 // body started, currently parked
 	coRunning                // currently executing (engine blocked in hand-off)
 	coDone                   // body returned or unwound
@@ -35,6 +38,21 @@ const (
 	kindWake   Kind = "co-wake"
 )
 
+// CoroutinePanic wraps a panic that escaped a coroutine body. The panic is
+// recovered on the coroutine's goroutine — so a pooled goroutine completes
+// its final hand-off cleanly and returns to its pool instead of dying with a
+// poisoned arm channel — and re-raised on the engine goroutine, where the
+// driving Run/Step call (and any recover around it) can observe it.
+type CoroutinePanic struct {
+	Co    string // coroutine debug name
+	Value any    // the original panic value
+	Stack []byte // stack of the coroutine goroutine at the point of recovery
+}
+
+func (p *CoroutinePanic) Error() string {
+	return fmt.Sprintf("sim: coroutine %q panicked: %v\n%s", p.Co, p.Value, p.Stack)
+}
+
 // Coroutine is a simulated execution context: a goroutine that runs only when
 // the engine hands control to it, and hands control back by parking. Exactly
 // one coroutine (or event callback) executes at a time, so simulated code
@@ -44,11 +62,24 @@ const (
 // strict — at any instant exactly one side holds the token — a single
 // channel serves both directions, and each transfer is one send/receive
 // rendezvous. Resume events carry the coroutine pointer in the event record
-// itself, so an Unpark allocates neither a closure nor a name.
+// itself and their kind/subject are static strings, so scheduling a resume
+// is allocation-free.
+//
+// Two optimizations make the common transfers cheaper still, without
+// changing anything simulated code can observe:
+//
+//   - the time-charge fast path (Sleep, InlineCharge) consumes a resume that
+//     is already the engine's next event in place, on the same goroutine,
+//     skipping both rendezvous — Stats.PhysicalSwitches counts only the
+//     hand-offs actually paid, while Stats.LogicalResumes counts them all;
+//   - on a pooled engine (Pool.NewEngine) the hosting goroutine comes from a
+//     warm pool and is re-armed for the next Engine.Go when the body ends.
 type Coroutine struct {
 	eng    *Engine
 	name   string
-	hand   chan struct{} // the hand-off token channel
+	hand   chan struct{}   // the hand-off token channel
+	spare  *spare          // pooled goroutine hosting the body, nil when unpooled
+	escape *CoroutinePanic // panic that unwound the body, re-raised by the engine
 	state  coState
 	killed bool
 
@@ -63,39 +94,60 @@ func (e *Engine) Go(name string, fn func(*Coroutine)) *Coroutine {
 	if e.closed {
 		panic("sim: Go on closed engine")
 	}
-	c := &Coroutine{
-		eng:  e,
-		name: name,
-		hand: make(chan struct{}),
-	}
+	c := &Coroutine{eng: e, name: name}
 	e.live[c] = struct{}{}
-	go c.run(fn)
+	if e.pool != nil {
+		e.pool.launch(c, fn)
+	} else {
+		c.hand = make(chan struct{})
+		go c.run(fn)
+	}
 	return c
 }
 
+// run hosts one coroutine body on the current goroutine: wait for the first
+// dispatch, execute, and complete the final hand-off. It returns rather than
+// exiting, so a pooled goroutine can host the next body.
 func (c *Coroutine) run(fn func(*Coroutine)) {
 	<-c.hand // wait for first dispatch (or kill)
+	c.body(fn)
+	c.state = coDone
+	delete(c.eng.live, c)
+	c.hand <- struct{}{} // final hand-off back to the engine
+}
+
+// body runs fn, absorbing the kill unwind and capturing any real panic into
+// c.escape for the engine to re-raise after the final hand-off.
+func (c *Coroutine) body(fn func(*Coroutine)) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(killSentinel); !ok {
-				// Propagate real panics to the engine goroutine by
-				// re-panicking there: we cannot re-raise across goroutines,
-				// so surface the failure loudly instead of deadlocking.
-				c.state = coDone
-				delete(c.eng.live, c)
-				c.hand <- struct{}{}
-				panic(r)
+				c.escape = &CoroutinePanic{Co: c.name, Value: r, Stack: debug.Stack()}
 			}
 		}
-		c.state = coDone
-		delete(c.eng.live, c)
-		c.hand <- struct{}{} // final hand-off back to the engine
 	}()
 	if c.killed {
 		panic(killSentinel{})
 	}
 	c.state = coRunning
 	fn(c)
+}
+
+// retire finishes the engine side of a coroutine's final hand-off: return
+// the hosting goroutine to the pool and re-raise any panic that unwound the
+// body. No-op while the coroutine is merely parked.
+func (e *Engine) retire(c *Coroutine) {
+	if c.state != coDone {
+		return
+	}
+	if c.spare != nil {
+		e.pool.put(c.spare)
+		c.spare = nil
+	}
+	if esc := c.escape; esc != nil {
+		c.escape = nil
+		panic(esc)
+	}
 }
 
 // Name reports the debug name of the coroutine.
@@ -127,6 +179,12 @@ func (c *Coroutine) Park(reason string) {
 	}
 	c.parkReason = reason
 	c.state = coParked
+	c.await()
+}
+
+// await is the parked side of the physical hand-off: give the token to the
+// engine, block until the next dispatch, and re-enter the running state.
+func (c *Coroutine) await() {
 	c.hand <- struct{}{}
 	<-c.hand
 	if c.killed {
@@ -139,6 +197,14 @@ func (c *Coroutine) Park(reason string) {
 // Sleep parks the coroutine for d of virtual time. The wake-up counts as the
 // coroutine's scheduled resume, so an Unpark during the sleep panics rather
 // than double-dispatching.
+//
+// Fast path: when the wake-up is the engine's next event anyway — no other
+// event fires in [now, now+d], the dominant case for calibrated CPU charges —
+// the clock advances in place and the body keeps executing on the same
+// goroutine. The wake event is still scheduled, ordered, and recycled through
+// the normal queue, so event sequence numbers, queue statistics, and wheel
+// state are byte-identical to the parked path; only the goroutine rendezvous
+// are skipped.
 func (c *Coroutine) Sleep(d Duration) {
 	if c.eng.cur != c {
 		panic(fmt.Sprintf("sim: Sleep on %s called from outside the coroutine", c.name))
@@ -147,8 +213,68 @@ func (c *Coroutine) Sleep(d Duration) {
 		panic(fmt.Sprintf("sim: negative Sleep %v on %s", d, c.name))
 	}
 	c.resumeScheduled = true
-	c.eng.schedule(c.eng.now.Add(d), kindWake, c.name, nil, c)
+	h := c.eng.schedule(c.eng.now.Add(d), kindWake, c.name, nil, c)
+	if c.eng.elide(h.ev, c) {
+		return
+	}
 	c.Park("sleep")
+}
+
+// InlineCharge is the worker-layer fast path for "schedule a completion
+// callback, park until it fires". h must be a plain-callback event the
+// caller just scheduled (typically its charge-completion timer). When h is
+// the engine's next event and fires within the current drive window,
+// InlineCharge runs the whole slow-path sequence in place on the calling
+// goroutine: the coroutine observably parks with reason, the callback fires
+// exactly as the engine loop would fire it (with Current() == nil), and if
+// the callback immediately rescheduled this coroutine — the common completion
+// case — the resume is consumed in place too. Reports false, with no state
+// touched, when the fast path does not apply; the caller then parks normally.
+//
+// The callback must not assume it runs on the engine's driving goroutine;
+// engine state is single-threaded by the hand-off discipline either way, so
+// this only matters to code doing goroutine-identity tricks, which simulated
+// code must not do.
+func (c *Coroutine) InlineCharge(h Handle, reason string) bool {
+	e := c.eng
+	if e.cur != c {
+		panic(fmt.Sprintf("sim: InlineCharge(%q) on %s called from outside the coroutine", reason, c.name))
+	}
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.co != nil {
+		return false
+	}
+	if e.DisableElision || ev.t > e.limit || e.peek() != ev {
+		return false
+	}
+	// Park observably, then fire the callback exactly as the engine loop
+	// would have: the engine is still blocked in our dispatch, so we are the
+	// engine for the duration.
+	c.parkReason = reason
+	c.state = coParked
+	e.cur = nil
+	e.fire(ev)
+	if c.resumeScheduled {
+		if next := e.peek(); next != nil && next.co == c && next.t <= e.limit {
+			// The callback rescheduled us and nothing fires in between:
+			// consume our own resume in place as well.
+			e.dequeue(next)
+			e.now = next.t
+			e.release(next)
+			e.Stats.Events++
+			e.Stats.LogicalResumes++
+			c.resumeScheduled = false
+			e.cur = c
+			c.state = coRunning
+			c.parkReason = ""
+			return true
+		}
+	}
+	// The callback did not (immediately) resume us: fall back to a physical
+	// park. The dispatch that is blocked on our hand channel picks the
+	// timeline up exactly where the slow path would.
+	c.await()
+	return true
 }
 
 // Unpark schedules the coroutine to resume at the current virtual time. It
@@ -183,10 +309,12 @@ func (c *Coroutine) dispatch() {
 	}
 	prev := c.eng.cur
 	c.eng.cur = c
-	c.eng.Stats.Resumes++
+	c.eng.Stats.LogicalResumes++
+	c.eng.Stats.PhysicalSwitches++
 	c.hand <- struct{}{}
 	<-c.hand
 	c.eng.cur = prev
+	c.eng.retire(c)
 }
 
 // kill unwinds a parked or not-yet-started coroutine. Called from
@@ -198,6 +326,7 @@ func (c *Coroutine) kill() {
 	c.killed = true
 	c.hand <- struct{}{}
 	<-c.hand
+	c.eng.retire(c)
 }
 
 // Current reports the coroutine currently executing, or nil when the engine

@@ -43,27 +43,36 @@ var StatsSink func(label string, reg *stats.Registry)
 // render them.
 type Engine struct {
 	now     Time
+	limit   Time // fire ceiling of the current Run/RunUntil/Step call; elision must not pass it
 	seq     uint64
 	wh      wheel
 	pq      eventHeap // sorted overflow: beyond the wheel horizon, or behind the window
 	free    []*Event  // recycled event records
 	cur     *Coroutine
 	live    map[*Coroutine]struct{}
+	pool    *Pool // goroutine pool backing Engine.Go, nil when unpooled
 	closed  bool
 	label   string
 	metrics *stats.Registry
+
+	// DisableElision forces every coroutine resumption through the physical
+	// goroutine hand-off, turning off the Sleep/InlineCharge fast path. The
+	// simulated timeline is identical either way — equivalence tests toggle
+	// this to pin elided and parked execution to the same history.
+	DisableElision bool
 
 	// Stats counts engine activity; useful for tests and for keeping an eye
 	// on event-storm bugs. The same values are readable through Metrics
 	// under the "sim." prefix.
 	Stats struct {
-		Events     uint64 // events fired
-		Resumes    uint64 // coroutine resumptions
-		Scheduled  uint64 // events scheduled
-		Cancels    uint64 // events cancelled (removed without firing)
-		Reuses     uint64 // schedules served from the free list
-		Overflows  uint64 // schedules that landed in the overflow heap
-		MaxPending int    // high-water mark of the event queue
+		Events           uint64 // events fired
+		LogicalResumes   uint64 // coroutine resumptions, physical or elided
+		PhysicalSwitches uint64 // resumptions paid with a real goroutine hand-off
+		Scheduled        uint64 // events scheduled
+		Cancels          uint64 // events cancelled (removed without firing)
+		Reuses           uint64 // schedules served from the free list
+		Overflows        uint64 // schedules that landed in the overflow heap
+		MaxPending       int    // high-water mark of the event queue
 	}
 }
 
@@ -72,7 +81,13 @@ func NewEngine() *Engine {
 	e := &Engine{live: make(map[*Coroutine]struct{}), metrics: stats.New()}
 	e.wh.reset()
 	e.metrics.Func("sim.events", func() uint64 { return e.Stats.Events })
-	e.metrics.Func("sim.resumes", func() uint64 { return e.Stats.Resumes })
+	// "sim.resumes" keeps its historical name and value: it counts logical
+	// resumptions, which the elision fast path leaves untouched, so the
+	// metric (and every fingerprint hashing it) is identical with elision on
+	// or off. The physical count is a host metric: it describes how the
+	// simulator executed, not what it simulated.
+	e.metrics.Func("sim.resumes", func() uint64 { return e.Stats.LogicalResumes })
+	e.metrics.FuncHost("sim.physical_switches", func() uint64 { return e.Stats.PhysicalSwitches })
 	e.metrics.Func("sim.scheduled", func() uint64 { return e.Stats.Scheduled })
 	e.metrics.Func("sim.cancels", func() uint64 { return e.Stats.Cancels })
 	e.metrics.Func("sim.pool_reuses", func() uint64 { return e.Stats.Reuses })
@@ -304,6 +319,29 @@ func (e *Engine) fire(ev *Event) {
 	}
 }
 
+// elide consumes ev — a pending resume for the currently running coroutine —
+// without a physical hand-off, provided ev is the next event in the total
+// order and fires within the current drive call's ceiling. The queue
+// traversal (the same peek that mutates wheel windows), the clock advance,
+// the record recycling, and the counters are exactly those of the parked
+// path; only the two goroutine rendezvous disappear. Reports whether the
+// event was consumed.
+func (e *Engine) elide(ev *Event, c *Coroutine) bool {
+	if e.DisableElision || ev.t > e.limit || e.peek() != ev {
+		return false
+	}
+	e.dequeue(ev)
+	e.now = ev.t
+	e.release(ev)
+	e.Stats.Events++
+	e.Stats.LogicalResumes++
+	c.resumeScheduled = false
+	return true
+}
+
+// maxTime is the fire ceiling of an unbounded Run call.
+const maxTime = Time(1<<63 - 1)
+
 // Step fires the next event, advancing the clock to its time. It reports
 // false when the queue is empty.
 func (e *Engine) Step() bool {
@@ -311,19 +349,27 @@ func (e *Engine) Step() bool {
 	if ev == nil {
 		return false
 	}
+	e.limit = ev.t
 	e.fire(ev)
 	return true
 }
 
 // Run fires events until the queue is empty.
 func (e *Engine) Run() {
-	for e.Step() {
+	e.limit = maxTime
+	for {
+		ev := e.peek()
+		if ev == nil {
+			return
+		}
+		e.fire(ev)
 	}
 }
 
 // RunUntil fires events with time <= t, then sets the clock to t. Events
 // scheduled at exactly t do fire.
 func (e *Engine) RunUntil(t Time) {
+	e.limit = t
 	for {
 		ev := e.peek()
 		if ev == nil || ev.t > t {

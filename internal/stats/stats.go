@@ -140,10 +140,14 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Sample is one named value in a snapshot.
+// Sample is one named value in a snapshot. Host marks a metric that
+// describes the simulator process rather than the simulation — such values
+// may legitimately differ between runs of the same seed, so determinism
+// checks (the chaos fingerprinter) skip them.
 type Sample struct {
 	Name  string
 	Value uint64
+	Host  bool
 }
 
 // Registry is an ordered set of named metrics. The zero value is not usable;
@@ -152,11 +156,12 @@ type Sample struct {
 type Registry struct {
 	names []string
 	read  map[string]func() uint64
+	host  map[string]bool
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{read: make(map[string]func() uint64)}
+	return &Registry{read: make(map[string]func() uint64), host: make(map[string]bool)}
 }
 
 // Counter registers and returns a push counter. On a nil registry the
@@ -179,6 +184,20 @@ func (r *Registry) Gauge(name string) *Gauge {
 // already taken (several schedulers of the same kind sharing one engine),
 // a deterministic "#2", "#3", ... suffix is appended.
 func (r *Registry) Func(name string, fn func() uint64) {
+	r.register(name, fn, false)
+}
+
+// FuncHost registers a pull metric describing the host simulator process —
+// physical goroutine switches, pool reuse, anything whose value depends on
+// how the simulation was executed rather than what it simulated. Host
+// samples are marked in Snapshot and excluded from determinism fingerprints
+// (see internal/chaos), because they may legitimately differ between two
+// runs of the same seed.
+func (r *Registry) FuncHost(name string, fn func() uint64) {
+	r.register(name, fn, true)
+}
+
+func (r *Registry) register(name string, fn func() uint64, host bool) {
 	if r == nil {
 		return
 	}
@@ -193,6 +212,9 @@ func (r *Registry) Func(name string, fn func() uint64) {
 	}
 	r.names = append(r.names, name)
 	r.read[name] = fn
+	if host {
+		r.host[name] = true
+	}
 }
 
 // Value reads one metric by exact name.
@@ -223,7 +245,7 @@ func (r *Registry) Snapshot() []Sample {
 	}
 	out := make([]Sample, 0, len(r.names))
 	for _, name := range r.names {
-		out = append(out, Sample{Name: name, Value: r.read[name]()})
+		out = append(out, Sample{Name: name, Value: r.read[name](), Host: r.host[name]})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
