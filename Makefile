@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json bench-diff fuzz saexp chaos cover trace-demo profile
+.PHONY: check build vet lint test race bench bench-json bench-diff fuzz replay saexp chaos cover trace-demo profile
 
 # -benchtime for bench/bench-json; set BENCHTIME=1x for a smoke run.
 BENCHTIME ?= 1s
@@ -10,13 +10,22 @@ COVER_FLOOR_core := 85
 COVER_FLOOR_kernel := 80
 
 # The tier-1 gate: everything a PR must keep green.
-check: build vet test race
+check: build lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# vet plus the interface-seam gate: engines are consumed through the
+# sim.Engine interface only, so no package outside internal/sim may name a
+# concrete engine type.
+lint: vet
+	@if grep -rn --include='*.go' -E 'sim\.(SeqEngine|ReplayEngine)\b' --exclude-dir=sim .; then \
+		echo "lint: concrete engine type referenced outside internal/sim (hold sim.Engine instead)"; exit 1; \
+	fi
+	@echo "lint: ok"
 
 test:
 	$(GO) test ./...
@@ -60,6 +69,11 @@ saexp:
 # exit on any violation, lost thread, or nondeterministic replay.
 chaos:
 	$(GO) run ./cmd/saexp -chaos -seeds 64
+
+# Record/replay pin: every sweep seed recorded on the reference engine and
+# re-executed on the tape-driven replay engine, fingerprints compared.
+replay:
+	SCHEDACT_REPLAY_SEEDS=64 $(GO) test -run TestReplayEngineMatchesReference -count=1 ./internal/exp/
 
 # CPU + heap profile of the chaos sweep (the macro hot path) at -workers 1,
 # so the profile is the engine, not the fleet. View with

@@ -49,7 +49,6 @@ import (
 	"schedact/internal/core"
 	"schedact/internal/exp"
 	"schedact/internal/fleet"
-	"schedact/internal/sim"
 	"schedact/internal/stats"
 )
 
@@ -123,7 +122,7 @@ func run() int {
 		// Runs close concurrently under the fleet pool, so the sink must
 		// serialize its writes; each registry is still private to its run.
 		var mu sync.Mutex
-		sim.StatsSink = func(label string, reg *stats.Registry) {
+		exp.SetStatsSink(func(label string, reg *stats.Registry) {
 			if reg.Len() == 0 {
 				return
 			}
@@ -135,7 +134,7 @@ func run() int {
 			fmt.Fprintf(out, "-- stats: %s --\n", label)
 			reg.Dump(out)
 			fmt.Fprintln(out)
-		}
+		})
 	}
 	ran := false
 	want := func(name string) bool {

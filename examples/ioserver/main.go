@@ -27,7 +27,7 @@ const (
 
 // serve runs the request loop on the given scheduler and reports the
 // completion time of the last request.
-func serve(eng *sim.Engine, s *uthread.Sched) (finish *sim.Time, served *int) {
+func serve(eng sim.Engine, s *uthread.Sched) (finish *sim.Time, served *int) {
 	count := new(int)
 	finish = new(sim.Time)
 	s.Spawn("listener", func(t *uthread.Thread) {

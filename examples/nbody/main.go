@@ -30,24 +30,24 @@ func main() {
 	fmt.Printf("sequential:        %8.3fs   (%d interactions)\n",
 		sim.Duration(seq.Elapsed()).Seconds(), seq.Interactions)
 
-	type launch func(eng *sim.Engine) *nbody.Run
+	type launch func(eng sim.Engine) *nbody.Run
 	systems := []struct {
 		name string
 		run  launch
 	}{
-		{"Topaz threads", func(eng *sim.Engine) *nbody.Run {
+		{"Topaz threads", func(eng sim.Engine) *nbody.Run {
 			k := kernel.New(eng, kernel.Config{CPUs: cpus})
 			sp := k.NewSpace("nbody", false)
 			return nbody.Launch(nbody.KThreadSystem{K: k, SP: sp}, cfg)
 		}},
-		{"orig FastThreads", func(eng *sim.Engine) *nbody.Run {
+		{"orig FastThreads", func(eng sim.Engine) *nbody.Run {
 			k := kernel.New(eng, kernel.Config{CPUs: cpus})
 			s := uthread.OnKernelThreads(k, k.NewSpace("nbody", false), cpus, uthread.Options{})
 			r := nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
 			s.Start()
 			return r
 		}},
-		{"new FastThreads", func(eng *sim.Engine) *nbody.Run {
+		{"new FastThreads", func(eng sim.Engine) *nbody.Run {
 			k := core.New(eng, core.Config{CPUs: cpus})
 			s := uthread.OnActivations(k, "nbody", 0, cpus, uthread.Options{})
 			r := nbody.Launch(nbody.UThreadSystem{S: s}, cfg)

@@ -18,12 +18,31 @@ import (
 	"schedact/internal/kernel"
 	"schedact/internal/machine"
 	"schedact/internal/sim"
+	"schedact/internal/stats"
 	"schedact/internal/trace"
 	"schedact/internal/uthread"
 )
 
 // Iters is the repetition count for each microbenchmark.
 const Iters = 200
+
+// StatsSink, when non-nil, is attached to every benchmark engine as a close
+// hook: the engine's labelled metrics registry is delivered to the sink as
+// the engine closes. The experiment harness installs it through
+// exp.SetStatsSink; benchmarks built while no sink is installed run
+// hook-free.
+var StatsSink func(label string, reg *stats.Registry)
+
+// newEngine builds one labelled benchmark engine, wiring the stats-sink
+// close hook when a sink is installed.
+func newEngine(label string) sim.Engine {
+	if sink := StatsSink; sink != nil {
+		return sim.NewEngine(sim.WithLabel(label), sim.OnClose(func(e sim.Engine) {
+			sink(e.Label(), e.Metrics())
+		}))
+	}
+	return sim.NewEngine(sim.WithLabel(label))
+}
 
 // System selects the thread system under measurement.
 type System int
@@ -93,9 +112,8 @@ func RunAblation(costs *machine.Costs) Result {
 
 // --- user-level thread benchmarks ---
 
-func newUT(sys System, costs *machine.Costs, opt uthread.Options, tr *trace.Log) (*sim.Engine, *uthread.Sched) {
-	eng := sim.NewEngine()
-	eng.SetLabel(fmt.Sprintf("micro %s", sys))
+func newUT(sys System, costs *machine.Costs, opt uthread.Options, tr *trace.Log) (sim.Engine, *uthread.Sched) {
+	eng := newEngine(fmt.Sprintf("micro %s", sys))
 	opt.Trace = tr
 	switch sys {
 	case FastThreadsKT:
@@ -164,8 +182,7 @@ func utSignalWait(sys System, costs *machine.Costs, opt uthread.Options, tr *tra
 // --- kernel thread / process benchmarks ---
 
 func ktNullFork(heavy bool, costs *machine.Costs, tr *trace.Log) sim.Duration {
-	eng := sim.NewEngine()
-	eng.SetLabel(fmt.Sprintf("micro nullfork heavy=%v", heavy))
+	eng := newEngine(fmt.Sprintf("micro nullfork heavy=%v", heavy))
 	defer eng.Close()
 	k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs, Trace: tr})
 	sp := k.NewSpace("bench", heavy)
@@ -185,8 +202,7 @@ func ktNullFork(heavy bool, costs *machine.Costs, tr *trace.Log) sim.Duration {
 }
 
 func ktSignalWait(heavy bool, costs *machine.Costs, tr *trace.Log) sim.Duration {
-	eng := sim.NewEngine()
-	eng.SetLabel(fmt.Sprintf("micro signalwait heavy=%v", heavy))
+	eng := newEngine(fmt.Sprintf("micro signalwait heavy=%v", heavy))
 	defer eng.Close()
 	k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs, Trace: tr})
 	sp := k.NewSpace("bench", heavy)
@@ -245,8 +261,7 @@ func UpcallSignalWait(costs *machine.Costs) sim.Duration {
 	if costs == nil {
 		costs = machine.DefaultCosts()
 	}
-	eng := sim.NewEngine()
-	eng.SetLabel("micro upcall-signalwait")
+	eng := newEngine("micro upcall-signalwait")
 	defer eng.Close()
 	k := core.New(eng, core.Config{CPUs: 2, Costs: costs})
 	s := uthread.OnActivations(k, "bench", 0, 2, uthread.Options{})

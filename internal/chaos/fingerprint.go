@@ -32,6 +32,8 @@ const (
 type Fingerprinter struct {
 	h       uint64
 	Entries uint64
+	val     Fingerprint
+	done    bool
 }
 
 // NewFingerprinter hooks a fingerprinter onto the trace stream.
@@ -80,7 +82,7 @@ func (f *Fingerprinter) entry(r trace.Record) {
 // executed the simulation — physical goroutine switches, pool reuse — and
 // may differ between two byte-identical runs of the same seed, which is
 // exactly what the replay check must not flag.
-func (f *Fingerprinter) Finish(eng *sim.Engine) Fingerprint {
+func (f *Fingerprinter) Finish(eng sim.Engine) Fingerprint {
 	f.u64(uint64(eng.Now()))
 	for _, s := range eng.Metrics().Snapshot() {
 		if s.Host {
@@ -90,4 +92,26 @@ func (f *Fingerprinter) Finish(eng *sim.Engine) Fingerprint {
 		f.u64(s.Value)
 	}
 	return Fingerprint(f.h)
+}
+
+// AttachClose arms the fingerprinter to finalize itself as a close hook on
+// eng: as the engine closes — while every counter is final but before live
+// coroutines are unwound — Finish folds in the final clock and metrics
+// snapshot, and the result becomes available from Value. This is the
+// hook-native replacement for calling Finish by hand before Close.
+func (f *Fingerprinter) AttachClose(eng sim.Engine) {
+	eng.Hooks().OnClose(func(e sim.Engine) {
+		f.val = f.Finish(e)
+		f.done = true
+	})
+}
+
+// Value returns the fingerprint finalized by the AttachClose hook. It panics
+// if the engine has not closed yet: a pre-close read would silently miss the
+// final clock and metrics fold.
+func (f *Fingerprinter) Value() Fingerprint {
+	if !f.done {
+		panic("chaos: Fingerprinter.Value before the engine closed (AttachClose finalizes on close)")
+	}
+	return f.val
 }

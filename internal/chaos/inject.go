@@ -17,7 +17,7 @@ import (
 type Injector struct {
 	Plan Plan
 
-	eng     *sim.Engine
+	eng     sim.Engine
 	rng     *rand.Rand
 	tr      *trace.Log // the instrumented kernel's log; injections announce themselves on it
 	stopped bool
@@ -36,7 +36,7 @@ type Injector struct {
 
 // New creates an injector for the engine. Instrument the kernels under test
 // with InstrumentSA / InstrumentKernel / InstrumentVM before running.
-func New(eng *sim.Engine, p Plan) *Injector {
+func New(eng sim.Engine, p Plan) *Injector {
 	in := &Injector{Plan: p, eng: eng, rng: rand.New(rand.NewSource(p.Seed ^ 0x5deece66d))}
 	reg := eng.Metrics()
 	reg.Func("chaos.preempts", func() uint64 { return in.Stats.Preempts })

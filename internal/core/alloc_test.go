@@ -8,7 +8,7 @@ import (
 )
 
 // greedyClient is a recClient that immediately demands max processors.
-func greedyClient(eng *sim.Engine, want int) (*recClient, func(*Space)) {
+func greedyClient(eng sim.Engine, want int) (*recClient, func(*Space)) {
 	c := &recClient{eng: eng}
 	var sp *Space
 	first := true

@@ -53,7 +53,7 @@ type Stats struct {
 
 // Kernel is the scheduler-activation operating system instance.
 type Kernel struct {
-	Eng   *sim.Engine
+	Eng   sim.Engine
 	M     *machine.Machine
 	C     *machine.Costs
 	Trace *trace.Log
@@ -94,7 +94,7 @@ type cpuSlot struct {
 }
 
 // New creates a scheduler-activation kernel on a fresh machine.
-func New(eng *sim.Engine, cfg Config) *Kernel {
+func New(eng sim.Engine, cfg Config) *Kernel {
 	costs := cfg.Costs
 	if costs == nil {
 		costs = machine.DefaultCosts()

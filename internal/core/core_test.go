@@ -7,7 +7,7 @@ import (
 	"schedact/internal/sim"
 )
 
-func newTestKernel(t *testing.T, cpus int) (*sim.Engine, *Kernel) {
+func newTestKernel(t *testing.T, cpus int) (sim.Engine, *Kernel) {
 	t.Helper()
 	eng := sim.NewEngine()
 	t.Cleanup(eng.Close)
@@ -17,7 +17,7 @@ func newTestKernel(t *testing.T, cpus int) (*sim.Engine, *Kernel) {
 // recClient records upcall event batches and runs an optional handler; by
 // default each upcall parks its vessel, holding the processor idle.
 type recClient struct {
-	eng     *sim.Engine
+	eng     sim.Engine
 	batches [][]Event
 	handler func(act *Activation, events []Event)
 }
@@ -264,7 +264,7 @@ func TestLastProcessorPreemptionDelaysNotification(t *testing.T) {
 // the full blocked/unblocked protocol the way a real thread package would.
 type ioTestClient struct {
 	t       *testing.T
-	eng     *sim.Engine
+	eng     sim.Engine
 	k       *Kernel
 	batches [][]Event
 
@@ -610,7 +610,7 @@ func (tc *threadCtl) cur() *Activation { return tc.vessel }
 
 type twoThreadClient struct {
 	t       *testing.T
-	eng     *sim.Engine
+	eng     sim.Engine
 	k       *Kernel
 	threads []*threadCtl
 	started int

@@ -99,9 +99,8 @@ func FuzzUpcallDowncall(f *testing.F) {
 
 func fuzzOnce(t *testing.T, data []byte) {
 	sc := &fuzzScript{b: data}
-	eng := sim.NewEngine()
+	eng := sim.NewEngine(sim.WithLabel("fuzz upcall/downcall"))
 	defer eng.Close()
-	eng.SetLabel("fuzz upcall/downcall")
 	tr := trace.New(2048)
 	cpus := 1 + int(sc.next()%4)
 	k := core.New(eng, core.Config{CPUs: cpus, Trace: tr})

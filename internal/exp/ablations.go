@@ -36,8 +36,7 @@ func AllocatorAblation() AllocatorAblationResult {
 	type cell struct{ speedup, spread float64 }
 	cells := fleet.Map(Workers, 2, func(job, _ int) cell {
 		fcfs := job == 1
-		eng := sim.NewEngine()
-		eng.SetLabel(fmt.Sprintf("alloc-ablation fcfs=%v", fcfs))
+		eng := sim.NewEngine(engOpts(fmt.Sprintf("alloc-ablation fcfs=%v", fcfs))...)
 		k := core.New(eng, core.Config{CPUs: MachineCPUs})
 		if fcfs {
 			k.SetPolicy(core.FirstComeFCFS)
@@ -89,8 +88,7 @@ type HysteresisAblationResult struct {
 // back moments later.
 func HysteresisAblation() HysteresisAblationResult {
 	run := func(h sim.Duration) (uint64, uint64) {
-		eng := sim.NewEngine()
-		eng.SetLabel(fmt.Sprintf("hysteresis-ablation h=%v", h))
+		eng := sim.NewEngine(engOpts(fmt.Sprintf("hysteresis-ablation h=%v", h))...)
 		defer eng.Close()
 		costs := machine.DefaultCosts()
 		costs.DiskLatency = sim.Ms(10)
@@ -143,8 +141,7 @@ func Figure2Tuned() Series {
 		pct := MemoryPoints[job]
 		cfg := nbody.DefaultConfig()
 		cfg.MemFraction = pct / 100
-		eng := pools.get(worker).NewEngine()
-		eng.SetLabel(fmt.Sprintf("fig2-tuned mem=%.0f%%", pct))
+		eng := pools.get(worker).NewEngine(engOpts(fmt.Sprintf("fig2-tuned mem=%.0f%%", pct))...)
 		k := core.New(eng, core.Config{CPUs: MachineCPUs, Costs: machine.TunedCosts()})
 		StartDaemonSA(k)
 		sched := uthread.OnActivations(k, "nbody", 0, MachineCPUs, uthread.Options{})

@@ -125,14 +125,23 @@ const (
 	chaosDrainSteps = 5000  // milliseconds to drain after Stop
 )
 
+// chaosLabel names one seed's run engine.
+func chaosLabel(seed int64) string { return fmt.Sprintf("chaos seed %d", seed) }
+
 // chaosOnce executes one audited, fault-injected mixed workload for seed.
 // pool, when non-nil, supplies warm coroutine goroutines (sim.Pool); it must
 // be owned by the calling worker. The timeline is identical either way.
-func chaosOnce(pool *sim.Pool, seed int64, mutate func(*core.Kernel)) (fp chaos.Fingerprint, r ChaosResult) {
+func chaosOnce(pool *sim.Pool, seed int64, mutate func(*core.Kernel)) (chaos.Fingerprint, ChaosResult) {
+	return chaosOnceOn(pool.NewEngine(sim.WithLabel(chaosLabel(seed))), seed, mutate)
+}
+
+// chaosOnceOn is chaosOnce on a caller-supplied engine — the seam the
+// replay check uses to drive the identical workload through a tape-driven
+// replay engine instead of the reference one. It closes the engine
+// before returning (the fingerprint finalizes as a close hook).
+func chaosOnceOn(eng sim.Engine, seed int64, mutate func(*core.Kernel)) (fp chaos.Fingerprint, r ChaosResult) {
 	rng := rand.New(rand.NewSource(seed))
-	eng := pool.NewEngine()
 	defer eng.Close()
-	eng.SetLabel(fmt.Sprintf("chaos seed %d", seed))
 	tr := trace.New(8192)
 	k := core.New(eng, core.Config{CPUs: 2 + rng.Intn(4), Trace: tr})
 	if mutate != nil {
@@ -142,8 +151,10 @@ func chaosOnce(pool *sim.Pool, seed int64, mutate func(*core.Kernel)) (fp chaos.
 	vm := k.NewVM()
 	aud := chaos.Attach(k, tr, 250*sim.Microsecond)
 	fpr := chaos.NewFingerprinter(tr)
+	fpr.AttachClose(eng)
 	// Latency histograms ride the same stream; their registered metrics fold
-	// into the fingerprint at Finish, so they are part of the replay check.
+	// into the fingerprint as the engine closes, so they are part of the
+	// replay check.
 	trace.NewLatencies(tr, eng.Metrics())
 	inj := chaos.New(eng, chaos.NewPlan(seed))
 	inj.InstrumentSA(k)
@@ -168,7 +179,24 @@ func chaosOnce(pool *sim.Pool, seed int64, mutate func(*core.Kernel)) (fp chaos.
 		End:        eng.Now(),
 		Preempts:   inj.Stats.Preempts,
 	}
-	return fpr.Finish(eng), r
+	eng.Close() // idempotent with the defer; fires the fingerprint close hook
+	return fpr.Value(), r
+}
+
+// ReplayChaosSeed runs seed once on the reference engine while recording its
+// fired-event stream, then re-executes the identical workload on a
+// replay engine (sim.NewReplayEngine) seeded with that recording, and returns both
+// fingerprints. The replay engine has no timing wheel, heap, or ordering
+// logic of its own — the tape dictates every firing — so matching
+// fingerprints prove the hook stream carries the complete timeline, and the
+// replay engine panics on the first divergence rather than drifting
+// silently.
+func ReplayChaosSeed(seed int64) (ref, replay chaos.Fingerprint) {
+	eng := sim.NewEngine(sim.WithLabel(chaosLabel(seed)))
+	rec := sim.Record(eng)
+	ref, _ = chaosOnceOn(eng, seed, nil)
+	replay, _ = chaosOnceOn(sim.NewReplayEngine(rec.Recording(), sim.WithLabel(chaosLabel(seed))), seed, nil)
+	return ref, replay
 }
 
 // RunChaosSeed runs one seed twice — identical code path both times — and

@@ -13,9 +13,11 @@ import (
 	"schedact/internal/fleet"
 	"schedact/internal/kernel"
 	"schedact/internal/sim"
+	"schedact/internal/stats"
 	"schedact/internal/trace"
 	"schedact/internal/uthread"
 
+	"schedact/internal/apps/micro"
 	"schedact/internal/apps/nbody"
 )
 
@@ -100,12 +102,41 @@ func StartDaemonSA(k *core.Kernel) {
 	sp.KernelSetDemand(0)
 }
 
+// statsSink, when non-nil, is attached as a close hook to every engine the
+// harness constructs (see SetStatsSink).
+var statsSink func(label string, reg *stats.Registry)
+
+// SetStatsSink installs fn as the stats sink for every engine the
+// experiment harness — and the micro-benchmarks it drives — constructs from
+// here on: each labelled run engine gets a close hook delivering its
+// private metrics registry to fn as the run is torn down. This replaces the
+// retired sim.StatsSink process-wide global: attachment is per engine at
+// construction time, so engines built outside the harness (chaos sweeps,
+// library users) are untouched. Runs close concurrently under the fleet
+// pool, so fn must be safe for concurrent calls. A nil fn uninstalls the
+// sink.
+func SetStatsSink(fn func(label string, reg *stats.Registry)) {
+	statsSink = fn
+	micro.StatsSink = fn
+}
+
+// engOpts builds the options for one labelled run engine, attaching the
+// stats-sink close hook when a sink is installed.
+func engOpts(label string) []sim.Option {
+	opts := []sim.Option{sim.WithLabel(label)}
+	if sink := statsSink; sink != nil {
+		opts = append(opts, sim.OnClose(func(e sim.Engine) {
+			sink(e.Label(), e.Metrics())
+		}))
+	}
+	return opts
+}
+
 // --- application launchers ---
 
 // seqTime runs the sequential implementation and returns its execution time.
 func seqTime(cfg nbody.Config) sim.Duration {
-	eng := sim.NewEngine()
-	eng.SetLabel("sequential")
+	eng := sim.NewEngine(engOpts("sequential")...)
 	defer eng.Close()
 	k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs})
 	StartDaemonNative(k)
@@ -121,15 +152,14 @@ func seqTime(cfg nbody.Config) sim.Duration {
 // kernels sized for the experiment. procs caps the application's
 // parallelism (Figure 1's x-axis); the machine always has MachineCPUs
 // processors.
-func launchOne(sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng *sim.Engine, run *nbody.Run) {
+func launchOne(sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng sim.Engine, run *nbody.Run) {
 	return launchOneIn(nil, sys, cfg, procs, tr)
 }
 
 // launchOneIn is launchOne with the run's engine drawing coroutine
 // goroutines from pool (nil = unpooled).
-func launchOneIn(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng *sim.Engine, run *nbody.Run) {
-	eng = pool.NewEngine()
-	eng.SetLabel(fmt.Sprintf("%s P=%d", sys, procs))
+func launchOneIn(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng sim.Engine, run *nbody.Run) {
+	eng = pool.NewEngine(engOpts(fmt.Sprintf("%s P=%d", sys, procs))...)
 	switch sys {
 	case SysTopaz:
 		k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs, Trace: tr})

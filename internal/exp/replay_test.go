@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestReplayEngineMatchesReference pins the record/replay engine against the
+// reference on real chaos workloads: a seed's run is recorded on the
+// reference engine, re-executed on a replay engine driven only by the
+// recorded tape, and the two fingerprints — which hash every trace record,
+// the final clock, and the full non-host metrics snapshot — must match
+// byte-for-byte. For the pinned seeds the reference fingerprint is also
+// checked against the committed table, so this test cannot pass by both
+// engines drifting together.
+//
+// By default a handful of seeds run (CI's chaos job sweeps all 64 via
+// SCHEDACT_REPLAY_SEEDS=64).
+func TestReplayEngineMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs are slow in -short mode")
+	}
+	n := int64(4)
+	if env := os.Getenv("SCHEDACT_REPLAY_SEEDS"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil || v < 1 {
+			t.Fatalf("bad SCHEDACT_REPLAY_SEEDS=%q: %v", env, err)
+		}
+		n = v
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		ref, replay := ReplayChaosSeed(seed)
+		if ref != replay {
+			t.Errorf("seed %d: replay fingerprint %v != reference %v", seed, replay, ref)
+		}
+		if want, pinned := pinnedFingerprints[seed]; pinned {
+			if got := fmt.Sprint(ref); got != want {
+				t.Errorf("seed %d: reference fingerprint %s != pinned %s", seed, got, want)
+			}
+		}
+	}
+}

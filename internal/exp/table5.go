@@ -50,8 +50,7 @@ func Table5() []Table5Row {
 // runPair runs two copies of the application concurrently on one machine
 // and returns the average execution time.
 func runPair(sys SystemName, cfg nbody.Config) sim.Duration {
-	eng := sim.NewEngine()
-	eng.SetLabel(fmt.Sprintf("table5 %s x2", sys))
+	eng := sim.NewEngine(engOpts(fmt.Sprintf("table5 %s x2", sys))...)
 	defer eng.Close()
 	var runs [2]*nbody.Run
 	switch sys {

@@ -43,7 +43,7 @@ type Stats struct {
 
 // Kernel is a simulated Topaz-like operating system instance.
 type Kernel struct {
-	Eng   *sim.Engine
+	Eng   sim.Engine
 	M     *machine.Machine
 	C     *machine.Costs
 	Trace *trace.Log
@@ -75,7 +75,7 @@ type cpuState struct {
 const NumPriorities = 8
 
 // New creates a kernel on a fresh machine.
-func New(eng *sim.Engine, cfg Config) *Kernel {
+func New(eng sim.Engine, cfg Config) *Kernel {
 	costs := cfg.Costs
 	if costs == nil {
 		costs = machine.DefaultCosts()

@@ -7,7 +7,7 @@ import (
 	"schedact/internal/sim"
 )
 
-func newTestKernel(t *testing.T, cpus int) (*sim.Engine, *Kernel) {
+func newTestKernel(t *testing.T, cpus int) (sim.Engine, *Kernel) {
 	t.Helper()
 	eng := sim.NewEngine()
 	t.Cleanup(eng.Close)

@@ -12,8 +12,7 @@ import (
 // the physical hand-off count collapses.
 func TestExecFastPathElidesSwitches(t *testing.T) {
 	run := func(disable bool) (end sim.Time, logical, physical uint64) {
-		eng, m := newTestMachine(t, 1)
-		eng.DisableElision = disable
+		eng, m := newTestMachine(t, 1, sim.WithElision(!disable))
 		ctx := m.NewContext("worker", func(c *Context) {
 			for i := 0; i < 50; i++ {
 				c.Exec(10 * sim.Microsecond)
@@ -24,7 +23,7 @@ func TestExecFastPathElidesSwitches(t *testing.T) {
 		if !ctx.Done() {
 			t.Fatal("context not done")
 		}
-		return eng.Now(), eng.Stats.LogicalResumes, eng.Stats.PhysicalSwitches
+		return eng.Now(), eng.Stats().LogicalResumes, eng.Stats().PhysicalSwitches
 	}
 	endSlow, lSlow, pSlow := run(true)
 	endFast, lFast, pFast := run(false)
@@ -49,8 +48,7 @@ func TestExecFastPathElidesSwitches(t *testing.T) {
 // redispatch — is identical to the slow path.
 func TestExecFastPathFallsBackUnderPreemption(t *testing.T) {
 	run := func(disable bool) (end sim.Time, banked sim.Duration) {
-		eng, m := newTestMachine(t, 1)
-		eng.DisableElision = disable
+		eng, m := newTestMachine(t, 1, sim.WithElision(!disable))
 		ctx := m.NewContext("worker", func(c *Context) {
 			c.Exec(100 * sim.Microsecond)
 		})

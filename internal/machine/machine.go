@@ -22,7 +22,7 @@ type CPUID int
 
 // Machine is a simulated shared-memory multiprocessor.
 type Machine struct {
-	Eng  *sim.Engine
+	Eng  sim.Engine
 	Cost *Costs
 	cpus []*CPU
 	Disk *Disk
@@ -34,7 +34,7 @@ type Machine struct {
 }
 
 // New creates a machine with n CPUs and the given cost profile.
-func New(eng *sim.Engine, n int, cost *Costs) *Machine {
+func New(eng sim.Engine, n int, cost *Costs) *Machine {
 	if n <= 0 {
 		panic("machine: need at least one CPU")
 	}

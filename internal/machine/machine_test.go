@@ -6,9 +6,9 @@ import (
 	"schedact/internal/sim"
 )
 
-func newTestMachine(t *testing.T, ncpu int) (*sim.Engine, *Machine) {
+func newTestMachine(t *testing.T, ncpu int, opts ...sim.Option) (sim.Engine, *Machine) {
 	t.Helper()
-	eng := sim.NewEngine()
+	eng := sim.NewEngine(opts...)
 	t.Cleanup(eng.Close)
 	return eng, New(eng, ncpu, DefaultCosts())
 }

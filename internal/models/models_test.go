@@ -11,7 +11,7 @@ import (
 
 // Both models must run unchanged on either virtual-processor binding — the
 // kernel has no knowledge of the concurrency model (§3.1).
-func onBoth(t *testing.T, cpus int, f func(t *testing.T, eng *sim.Engine, s *uthread.Sched)) {
+func onBoth(t *testing.T, cpus int, f func(t *testing.T, eng sim.Engine, s *uthread.Sched)) {
 	t.Run("kernel-threads", func(t *testing.T) {
 		eng := sim.NewEngine()
 		t.Cleanup(eng.Close)
@@ -29,7 +29,7 @@ func onBoth(t *testing.T, cpus int, f func(t *testing.T, eng *sim.Engine, s *uth
 }
 
 func TestCrewExecutesAllTasks(t *testing.T) {
-	onBoth(t, 3, func(t *testing.T, eng *sim.Engine, s *uthread.Sched) {
+	onBoth(t, 3, func(t *testing.T, eng sim.Engine, s *uthread.Sched) {
 		crew := NewCrew(s, 3)
 		ran := 0
 		for i := 0; i < 20; i++ {
@@ -54,7 +54,7 @@ func TestCrewExecutesAllTasks(t *testing.T) {
 }
 
 func TestCrewTasksSpawnSubtasks(t *testing.T) {
-	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *uthread.Sched) {
+	onBoth(t, 2, func(t *testing.T, eng sim.Engine, s *uthread.Sched) {
 		crew := NewCrew(s, 2)
 		leaves := 0
 		// A binary fan-out: each task at depth < 3 adds two children.
@@ -107,7 +107,7 @@ func TestCrewParallelismUsesProcessors(t *testing.T) {
 }
 
 func TestFutureForcedAfterResolution(t *testing.T) {
-	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *uthread.Sched) {
+	onBoth(t, 2, func(t *testing.T, eng sim.Engine, s *uthread.Sched) {
 		var got any
 		s.Spawn("main", func(th *uthread.Thread) {
 			f := NewFuture(th, "calc", func(ft *uthread.Thread) any {
@@ -129,7 +129,7 @@ func TestFutureForcedAfterResolution(t *testing.T) {
 }
 
 func TestFutureForcedBeforeResolutionBlocks(t *testing.T) {
-	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *uthread.Sched) {
+	onBoth(t, 2, func(t *testing.T, eng sim.Engine, s *uthread.Sched) {
 		var got any
 		var forcedAt sim.Time
 		s.Spawn("main", func(th *uthread.Thread) {
@@ -152,7 +152,7 @@ func TestFutureForcedBeforeResolutionBlocks(t *testing.T) {
 }
 
 func TestFutureChaining(t *testing.T) {
-	onBoth(t, 3, func(t *testing.T, eng *sim.Engine, s *uthread.Sched) {
+	onBoth(t, 3, func(t *testing.T, eng sim.Engine, s *uthread.Sched) {
 		total := 0
 		s.Spawn("main", func(th *uthread.Thread) {
 			// A small dataflow: c depends on a and b.

@@ -130,3 +130,45 @@ func BenchmarkEventQueueCancel(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkHookDispatch measures the hook seam's cost on the schedule+fire
+// hot path at constant queue depth. The no-hook case is the one every
+// ordinary run pays — a per-position bitmask test — and must stay at 0
+// allocs/op (TestHookDispatchDoesNotAllocate gates that in the tier-1 run);
+// the hooked cases price one PreFire observer and a full five-position
+// observer set, both dispatching through the engine's reused HookCtx.
+func BenchmarkHookDispatch(b *testing.B) {
+	const depth = 512
+	delays := benchDelays()
+	run := func(b *testing.B, install func(e Engine)) {
+		e := NewEngine()
+		defer e.Close()
+		install(e)
+		nop := func() {}
+		for i := 0; i < depth; i++ {
+			e.After(delays[i&1023], "bench", nop)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+			e.After(delays[i&1023], "bench", nop)
+		}
+	}
+	var sink uint64
+	b.Run("nohooks", func(b *testing.B) {
+		run(b, func(Engine) {})
+	})
+	b.Run("prefire", func(b *testing.B) {
+		run(b, func(e Engine) {
+			e.Hooks().Register(HookPreFire, HookFunc(func(ctx *HookCtx) { sink += ctx.Seq }))
+		})
+	})
+	b.Run("allpositions", func(b *testing.B) {
+		run(b, func(e Engine) {
+			for pos := HookPos(0); pos < numHookPos; pos++ {
+				e.Hooks().Register(pos, HookFunc(func(ctx *HookCtx) { sink += ctx.Seq }))
+			}
+		})
+	})
+}

@@ -70,12 +70,18 @@ func (p *CoroutinePanic) Error() string {
 //
 //   - the time-charge fast path (Sleep, InlineCharge) consumes a resume that
 //     is already the engine's next event in place, on the same goroutine,
-//     skipping both rendezvous — Stats.PhysicalSwitches counts only the
-//     hand-offs actually paid, while Stats.LogicalResumes counts them all;
+//     skipping both rendezvous — Stats().PhysicalSwitches counts only the
+//     hand-offs actually paid, while Stats().LogicalResumes counts them all;
 //   - on a pooled engine (Pool.NewEngine) the hosting goroutine comes from a
 //     warm pool and is re-armed for the next Engine.Go when the body ends.
+//
+// The machinery is engine-independent: a coroutine routes its queue
+// touches (scheduling resumes, the elision checks) through the small impl
+// seam, so it runs identically on the reference engine and the replay
+// engine.
 type Coroutine struct {
-	eng    *Engine
+	eng    impl            // owning engine (queue operations)
+	b      *engineBase     // the engine's shared state, cached off the hot path
 	name   string
 	hand   chan struct{}   // the hand-off token channel
 	spare  *spare          // pooled goroutine hosting the body, nil when unpooled
@@ -90,14 +96,14 @@ type Coroutine struct {
 // Go creates a coroutine that will execute fn. The coroutine does not start
 // until its first Unpark; this lets schedulers create execution contexts and
 // dispatch them later.
-func (e *Engine) Go(name string, fn func(*Coroutine)) *Coroutine {
-	if e.closed {
+func (b *engineBase) Go(name string, fn func(*Coroutine)) *Coroutine {
+	if b.closed {
 		panic("sim: Go on closed engine")
 	}
-	c := &Coroutine{eng: e, name: name}
-	e.live[c] = struct{}{}
-	if e.pool != nil {
-		e.pool.launch(c, fn)
+	c := &Coroutine{eng: b.self, b: b, name: name}
+	b.live[c] = struct{}{}
+	if b.pool != nil {
+		b.pool.launch(c, fn)
 	} else {
 		c.hand = make(chan struct{})
 		go c.run(fn)
@@ -112,7 +118,7 @@ func (c *Coroutine) run(fn func(*Coroutine)) {
 	<-c.hand // wait for first dispatch (or kill)
 	c.body(fn)
 	c.state = coDone
-	delete(c.eng.live, c)
+	delete(c.b.live, c)
 	c.hand <- struct{}{} // final hand-off back to the engine
 }
 
@@ -136,12 +142,12 @@ func (c *Coroutine) body(fn func(*Coroutine)) {
 // retire finishes the engine side of a coroutine's final hand-off: return
 // the hosting goroutine to the pool and re-raise any panic that unwound the
 // body. No-op while the coroutine is merely parked.
-func (e *Engine) retire(c *Coroutine) {
+func (b *engineBase) retire(c *Coroutine) {
 	if c.state != coDone {
 		return
 	}
 	if c.spare != nil {
-		e.pool.put(c.spare)
+		b.pool.put(c.spare)
 		c.spare = nil
 	}
 	if esc := c.escape; esc != nil {
@@ -174,7 +180,7 @@ func (c *Coroutine) Running() bool { return c.state == coRunning }
 // Park hands control back to the engine until some event calls Unpark.
 // It must be called from within the coroutine itself.
 func (c *Coroutine) Park(reason string) {
-	if c.eng.cur != c {
+	if c.b.cur != c {
 		panic(fmt.Sprintf("sim: Park(%q) on %s called from outside the coroutine", reason, c.name))
 	}
 	c.parkReason = reason
@@ -206,15 +212,18 @@ func (c *Coroutine) await() {
 // state are byte-identical to the parked path; only the goroutine rendezvous
 // are skipped.
 func (c *Coroutine) Sleep(d Duration) {
-	if c.eng.cur != c {
+	b := c.b
+	if b.cur != c {
 		panic(fmt.Sprintf("sim: Sleep on %s called from outside the coroutine", c.name))
 	}
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative Sleep %v on %s", d, c.name))
 	}
 	c.resumeScheduled = true
-	h := c.eng.schedule(c.eng.now.Add(d), kindWake, c.name, nil, c)
-	if c.eng.elide(h.ev, c) {
+	h := c.eng.scheduleEvent(b.now.Add(d), kindWake, c.name, nil, c)
+	ev := h.ev
+	if !b.noElide && ev.t <= b.limit && c.eng.nextEvent() == ev {
+		c.eng.consumeNext(ev, c)
 		return
 	}
 	c.Park("sleep")
@@ -236,15 +245,15 @@ func (c *Coroutine) Sleep(d Duration) {
 // this only matters to code doing goroutine-identity tricks, which simulated
 // code must not do.
 func (c *Coroutine) InlineCharge(h Handle, reason string) bool {
-	e := c.eng
-	if e.cur != c {
+	e, b := c.eng, c.b
+	if b.cur != c {
 		panic(fmt.Sprintf("sim: InlineCharge(%q) on %s called from outside the coroutine", reason, c.name))
 	}
 	ev := h.ev
 	if ev == nil || ev.gen != h.gen || ev.co != nil {
 		return false
 	}
-	if e.DisableElision || ev.t > e.limit || e.peek() != ev {
+	if b.noElide || ev.t > b.limit || e.nextEvent() != ev {
 		return false
 	}
 	// Park observably, then fire the callback exactly as the engine loop
@@ -252,19 +261,14 @@ func (c *Coroutine) InlineCharge(h Handle, reason string) bool {
 	// engine for the duration.
 	c.parkReason = reason
 	c.state = coParked
-	e.cur = nil
-	e.fire(ev)
+	b.cur = nil
+	e.fireNext(ev)
 	if c.resumeScheduled {
-		if next := e.peek(); next != nil && next.co == c && next.t <= e.limit {
+		if next := e.nextEvent(); next != nil && next.co == c && next.t <= b.limit {
 			// The callback rescheduled us and nothing fires in between:
 			// consume our own resume in place as well.
-			e.dequeue(next)
-			e.now = next.t
-			e.release(next)
-			e.Stats.Events++
-			e.Stats.LogicalResumes++
-			c.resumeScheduled = false
-			e.cur = c
+			e.consumeNext(next, c)
+			b.cur = c
 			c.state = coRunning
 			c.parkReason = ""
 			return true
@@ -282,7 +286,7 @@ func (c *Coroutine) InlineCharge(h Handle, reason string) bool {
 // callers own the lifecycle of the contexts they dispatch, and a double
 // unpark always indicates a scheduler bug.
 func (c *Coroutine) Unpark() {
-	c.UnparkAt(c.eng.now)
+	c.UnparkAt(c.b.now)
 }
 
 // UnparkAt schedules the coroutine to resume at time t.
@@ -297,7 +301,7 @@ func (c *Coroutine) UnparkAt(t Time) {
 		panic(fmt.Sprintf("sim: duplicate Unpark on coroutine %s", c.name))
 	}
 	c.resumeScheduled = true
-	c.eng.schedule(t, kindResume, c.name, nil, c)
+	c.eng.scheduleEvent(t, kindResume, c.name, nil, c)
 }
 
 // dispatch transfers control to the coroutine and blocks until it parks or
@@ -307,14 +311,15 @@ func (c *Coroutine) dispatch() {
 	if c.state == coDone {
 		return
 	}
-	prev := c.eng.cur
-	c.eng.cur = c
-	c.eng.Stats.LogicalResumes++
-	c.eng.Stats.PhysicalSwitches++
+	b := c.b
+	prev := b.cur
+	b.cur = c
+	b.st.LogicalResumes++
+	b.st.PhysicalSwitches++
 	c.hand <- struct{}{}
 	<-c.hand
-	c.eng.cur = prev
-	c.eng.retire(c)
+	b.cur = prev
+	b.retire(c)
 }
 
 // kill unwinds a parked or not-yet-started coroutine. Called from
@@ -326,9 +331,9 @@ func (c *Coroutine) kill() {
 	c.killed = true
 	c.hand <- struct{}{}
 	<-c.hand
-	c.eng.retire(c)
+	c.b.retire(c)
 }
 
 // Current reports the coroutine currently executing, or nil when the engine
 // is running a plain event callback.
-func (e *Engine) Current() *Coroutine { return e.cur }
+func (b *engineBase) Current() *Coroutine { return b.cur }

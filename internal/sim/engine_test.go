@@ -280,8 +280,8 @@ func TestStatsCountEvents(t *testing.T) {
 		e.After(Duration(i+1)*Microsecond, "ev", func() {})
 	}
 	e.Run()
-	if e.Stats.Events != 7 {
-		t.Fatalf("Stats.Events = %d, want 7", e.Stats.Events)
+	if e.Stats().Events != 7 {
+		t.Fatalf("Stats.Events = %d, want 7", e.Stats().Events)
 	}
 }
 
@@ -360,7 +360,7 @@ func TestHotPathAllocationFree(t *testing.T) {
 	if cancels > 0 {
 		t.Fatalf("schedule+cancel allocates %.1f objects/op, want 0", cancels)
 	}
-	if e.Stats.Reuses == 0 {
+	if e.Stats().Reuses == 0 {
 		t.Fatal("free list never reused an event record")
 	}
 }

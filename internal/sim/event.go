@@ -16,6 +16,7 @@ const (
 	locNone  = iota // not queued: free, fired, or cancelled
 	locWheel        // linked into a wheel slot list (slot says which)
 	locHeap         // in the overflow heap (index says where)
+	locMap          // in the replay engine's by-sequence map
 )
 
 // Event is a scheduled callback, ordered by time with ties broken by
@@ -24,7 +25,7 @@ const (
 // recycled for a later schedule. External code therefore never holds an
 // *Event; it holds a generation-checked Handle.
 type Event struct {
-	eng  *Engine
+	eng  impl // owning engine; routes Handle.Cancel to its queue
 	t    Time
 	seq  uint64 // tie-break within equal times; engine-global schedule order
 	gen  uint64 // bumped on every recycle; stale Handles become inert
@@ -33,7 +34,7 @@ type Event struct {
 	fn   func()     // callback, nil for coroutine dispatch events
 	co   *Coroutine // dispatch target; avoids a closure per resume
 
-	loc   int8   // locNone, locWheel, locHeap
+	loc   int8   // locNone, locWheel, locHeap, locMap
 	slot  int32  // wheel slot id when loc == locWheel
 	index int    // position in the overflow heap, -1 when not there
 	next  *Event // wheel slot list links (intrusive, allocation-free)
@@ -97,11 +98,7 @@ func (h Handle) Cancel() bool {
 	if ev == nil || ev.gen != h.gen || ev.loc == locNone {
 		return false
 	}
-	eng := ev.eng
-	eng.dequeue(ev)
-	eng.Stats.Cancels++
-	eng.release(ev)
-	return true
+	return ev.eng.cancelQueued(ev)
 }
 
 // eventHeap is an indexed min-heap of events ordered by (time, seq). It is

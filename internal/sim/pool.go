@@ -33,18 +33,18 @@ type Pool struct {
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{} }
 
-// NewEngine returns an engine whose coroutine goroutines are drawn from (and
-// returned to) the pool. A nil *Pool is valid and yields a plain unpooled
-// engine, so call sites can thread an optional pool without branching.
-func (p *Pool) NewEngine() *Engine {
-	e := NewEngine()
-	if p != nil {
-		if p.closed {
-			panic("sim: NewEngine on closed Pool")
-		}
-		e.pool = p
+// NewEngine returns a reference sequential engine whose coroutine
+// goroutines are drawn from (and returned to) the pool. A nil *Pool is valid
+// and yields a plain unpooled engine, so call sites can thread an optional
+// pool without branching.
+func (p *Pool) NewEngine(opts ...Option) Engine {
+	if p == nil {
+		return newSeqEngine(nil, buildConfig(opts))
 	}
-	return e
+	if p.closed {
+		panic("sim: NewEngine on closed Pool")
+	}
+	return newSeqEngine(p, buildConfig(opts))
 }
 
 // Idle reports how many warm goroutines are parked in the pool right now.

@@ -31,9 +31,8 @@ type runObs struct {
 // through InlineCharge, Unpark by plain events, and child spawning (which on
 // a pooled engine recycles goroutines mid-run).
 func interpret(program []byte, pool *Pool, disableElision bool) runObs {
-	e := pool.NewEngine()
+	e := pool.NewEngine(WithElision(!disableElision))
 	defer e.Close()
-	e.DisableElision = disableElision
 
 	var obs runObs
 	logf := func(format string, args ...any) {
@@ -104,13 +103,13 @@ func interpret(program []byte, pool *Pool, disableElision bool) runObs {
 	e.Run()
 
 	obs.end = e.Now()
-	obs.events = e.Stats.Events
-	obs.logical = e.Stats.LogicalResumes
-	obs.physical = e.Stats.PhysicalSwitches
-	obs.sched = e.Stats.Scheduled
-	obs.cancels = e.Stats.Cancels
-	obs.overfl = e.Stats.Overflows
-	obs.maxPend = e.Stats.MaxPending
+	obs.events = e.Stats().Events
+	obs.logical = e.Stats().LogicalResumes
+	obs.physical = e.Stats().PhysicalSwitches
+	obs.sched = e.Stats().Scheduled
+	obs.cancels = e.Stats().Cancels
+	obs.overfl = e.Stats().Overflows
+	obs.maxPend = e.Stats().MaxPending
 	return obs
 }
 
@@ -395,9 +394,8 @@ func TestClosedPoolRefusesEngines(t *testing.T) {
 // disabled the two counts match.
 func TestElisionCountsSwitches(t *testing.T) {
 	run := func(disable bool) (logical, physical uint64) {
-		e := NewEngine()
+		e := NewEngine(WithElision(!disable))
 		defer e.Close()
-		e.DisableElision = disable
 		c := e.Go("s", func(c *Coroutine) {
 			for i := 0; i < 100; i++ {
 				c.Sleep(Microsecond)
@@ -405,7 +403,7 @@ func TestElisionCountsSwitches(t *testing.T) {
 		})
 		c.Unpark()
 		e.Run()
-		return e.Stats.LogicalResumes, e.Stats.PhysicalSwitches
+		return e.Stats().LogicalResumes, e.Stats().PhysicalSwitches
 	}
 	l0, p0 := run(true)
 	if l0 != p0 {

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// replayScenario is a small mixed workload: timers, coroutine sleeps
+// (elidable), a cross-coroutine unpark, and a cancel.
+func replayScenario(e Engine) (fired *[]string) {
+	var log []string
+	c := e.Go("worker", func(c *Coroutine) {
+		for i := 0; i < 3; i++ {
+			c.Sleep(3 * Microsecond)
+			log = append(log, "wake")
+		}
+		c.Park("wait")
+		log = append(log, "unparked")
+	})
+	c.Unpark()
+	e.After(5*Microsecond, "tick", func() { log = append(log, "tick") })
+	doomed := e.After(40*Microsecond, "doomed", func() { log = append(log, "doomed") })
+	e.After(20*Microsecond, "wake-worker", func() { c.Unpark() })
+	e.RunFor(25 * Microsecond)
+	doomed.Cancel()
+	e.Run()
+	return &log
+}
+
+// record runs scenario on a fresh reference engine and returns the recording
+// plus the reference log.
+func recordScenario(t *testing.T, opts ...Option) (*Recording, []string) {
+	t.Helper()
+	e := NewEngine(opts...)
+	rec := Record(e)
+	log := replayScenario(e)
+	e.Close()
+	return rec.Recording(), *log
+}
+
+func TestReplayReproducesTimelineAndLog(t *testing.T) {
+	rec, refLog := recordScenario(t)
+	if rec.Len() == 0 {
+		t.Fatal("empty recording")
+	}
+	e := NewReplayEngine(rec)
+	defer e.Close()
+	log := replayScenario(e)
+	if strings.Join(*log, ",") != strings.Join(refLog, ",") {
+		t.Fatalf("replay log %v != reference %v", *log, refLog)
+	}
+	if got, want := e.(*ReplayEngine).Replayed(), rec.Len(); got != want {
+		t.Fatalf("Replayed() = %d, want the full tape (%d)", got, want)
+	}
+}
+
+// TestReplayStatsMatchReference pins that every deterministic counter —
+// including the recording-adopted Overflows — matches the recorded run.
+func TestReplayStatsMatchReference(t *testing.T) {
+	ref := NewEngine()
+	rec := Record(ref)
+	replayScenario(ref)
+	want := *ref.Stats()
+	ref.Close()
+
+	e := NewReplayEngine(rec.Recording())
+	replayScenario(e)
+	got := *e.Stats()
+	e.Close()
+	got.PhysicalSwitches = 0
+	want.PhysicalSwitches = 0 // host-side; legitimately varies
+	if got != want {
+		t.Fatalf("replay stats %+v != reference %+v", got, want)
+	}
+}
+
+// TestReplayAcrossElisionModes pins the core recordability claim from
+// hooks.go: the PreFire stream is the same with elision on or off, so a
+// recording captured in either mode replays in either mode.
+func TestReplayAcrossElisionModes(t *testing.T) {
+	for _, recorded := range []bool{true, false} {
+		for _, replayed := range []bool{true, false} {
+			rec, refLog := recordScenario(t, WithElision(recorded))
+			e := NewReplayEngine(rec, WithElision(replayed))
+			log := replayScenario(e)
+			e.Close()
+			if strings.Join(*log, ",") != strings.Join(refLog, ",") {
+				t.Fatalf("recorded elision=%v replayed elision=%v: log %v != %v",
+					recorded, replayed, *log, refLog)
+			}
+		}
+	}
+}
+
+func TestReplayOfPooledRun(t *testing.T) {
+	p := NewPool()
+	defer p.Close()
+	ref := p.NewEngine()
+	rec := Record(ref)
+	refLog := replayScenario(ref)
+	ref.Close()
+
+	e := NewReplayEngine(rec.Recording())
+	log := replayScenario(e)
+	e.Close()
+	if strings.Join(*log, ",") != strings.Join(*refLog, ",") {
+		t.Fatalf("replay of pooled run: log %v != %v", *log, *refLog)
+	}
+}
+
+// TestReplayDivergencePanics pins the auditor role: a workload that
+// schedules something the recording never fired dies loudly at the first
+// divergent firing, not with a silently different timeline.
+func TestReplayDivergencePanics(t *testing.T) {
+	ref := NewEngine()
+	rec := Record(ref)
+	ref.After(Microsecond, "a", func() {})
+	ref.After(2*Microsecond, "b", func() {})
+	ref.Run()
+	ref.Close()
+
+	e := NewReplayEngine(rec.Recording())
+	defer e.Close()
+	// Same coordinates as "a" but a different kind: head verification fails.
+	e.After(Microsecond, "mutated", func() {})
+	e.After(2*Microsecond, "b", func() {})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("divergent replay did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "replay diverged") {
+			t.Fatalf("panic = %v, want a replay-divergence message", r)
+		}
+	}()
+	e.Run()
+}
+
+func TestReplayMissingEventPanics(t *testing.T) {
+	ref := NewEngine()
+	rec := Record(ref)
+	ref.After(Microsecond, "a", func() {})
+	ref.Run()
+	ref.Close()
+
+	e := NewReplayEngine(rec.Recording())
+	defer e.Close()
+	// The replayed run never schedules anything: the tape's event is missing.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("replay with a missing event did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "no such event queued") {
+			t.Fatalf("panic = %v, want a missing-event message", r)
+		}
+	}()
+	e.Run()
+}
+
+// TestReplayDrivenPastRecordingPanics pins the other edge: a workload that
+// schedules more than the recording fired cannot silently stall — driving
+// past the tape's end with due events queued panics.
+func TestReplayDrivenPastRecordingPanics(t *testing.T) {
+	ref := NewEngine()
+	rec := Record(ref)
+	ref.After(Microsecond, "a", func() {})
+	ref.Run()
+	ref.Close()
+
+	e := NewReplayEngine(rec.Recording())
+	defer e.Close()
+	e.After(Microsecond, "a", func() {})
+	e.After(2*Microsecond, "extra", func() {})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("replay driven past its recording did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "past the end of its recording") {
+			t.Fatalf("panic = %v, want a past-the-end message", r)
+		}
+	}()
+	e.Run()
+}
+
+// TestRecordingSurvivesEngineClose pins that a Recording is inert data: the
+// recorded engine can be long gone and the tape still seeds replays.
+func TestRecordingSurvivesEngineClose(t *testing.T) {
+	rec, refLog := recordScenario(t)
+	for i := 0; i < 2; i++ {
+		e := NewReplayEngine(rec)
+		log := replayScenario(e)
+		e.Close()
+		if strings.Join(*log, ",") != strings.Join(refLog, ",") {
+			t.Fatalf("replay %d diverged: %v != %v", i, *log, refLog)
+		}
+	}
+}
+
+// TestReplayAdoptsOverflowCount pins the one adopted statistic: overflow
+// placement is a property of the reference queue, so the replay engine
+// reports the recording's count rather than zero.
+func TestReplayAdoptsOverflowCount(t *testing.T) {
+	ref := NewEngine()
+	rec := Record(ref)
+	// Far-future events overflow the timing wheel's horizon into the heap.
+	for i := 0; i < 8; i++ {
+		ref.After(Duration(i+1)*10*Second, "far", func() {})
+	}
+	ref.Run()
+	refOverflows := ref.Stats().Overflows
+	ref.Close()
+	if refOverflows == 0 {
+		t.Fatal("scenario did not overflow the wheel; test proves nothing")
+	}
+	e := NewReplayEngine(rec.Recording())
+	defer e.Close()
+	for i := 0; i < 8; i++ {
+		e.After(Duration(i+1)*10*Second, "far", func() {})
+	}
+	e.Run()
+	if got := e.Stats().Overflows; got != refOverflows {
+		t.Fatalf("replay Overflows = %d, want the recording's %d", got, refOverflows)
+	}
+}

@@ -7,7 +7,7 @@ import (
 	"schedact/internal/sim"
 )
 
-func newWorld(t *testing.T, cpus int) (*sim.Engine, *World) {
+func newWorld(t *testing.T, cpus int) (sim.Engine, *World) {
 	t.Helper()
 	eng := sim.NewEngine()
 	t.Cleanup(eng.Close)

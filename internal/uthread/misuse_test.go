@@ -62,7 +62,7 @@ func TestZeroVPsPanics(t *testing.T) {
 func TestMutexLockUnlockStress(t *testing.T) {
 	// Heavier churn across both bindings: lots of short critical sections
 	// with competing threads, verifying total work and exclusion.
-	onBoth(t, 3, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 3, func(t *testing.T, eng sim.Engine, s *Sched) {
 		m := s.NewMutex()
 		inside, total := 0, 0
 		for i := 0; i < 12; i++ {
@@ -90,7 +90,7 @@ func TestMutexLockUnlockStress(t *testing.T) {
 }
 
 func TestBarrierReuse(t *testing.T) {
-	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 2, func(t *testing.T, eng sim.Engine, s *Sched) {
 		b := s.NewBarrier(3)
 		rounds := make([]int, 3)
 		for i := 0; i < 3; i++ {

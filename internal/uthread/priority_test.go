@@ -9,7 +9,7 @@ import (
 )
 
 func TestHighPriorityRunsBeforeLowInQueue(t *testing.T) {
-	onBoth(t, 1, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 1, func(t *testing.T, eng sim.Engine, s *Sched) {
 		var order []string
 		// Spawned before Start: both queued; the high-priority one must be
 		// picked first even though the low one was pushed later (LIFO would
@@ -45,7 +45,7 @@ func TestForkInheritsAndOverridesPriority(t *testing.T) {
 // has one of them wake a blocked high-priority thread after 10ms of work.
 // It reports when the high-priority thread started and when the first
 // low-priority thread finished.
-func prioScenario(eng *sim.Engine, s *Sched, procs int) (highStart, firstLowDone *sim.Time) {
+func prioScenario(eng sim.Engine, s *Sched, procs int) (highStart, firstLowDone *sim.Time) {
 	highStart, firstLowDone = new(sim.Time), new(sim.Time)
 	cond := s.NewCond()
 	s.SpawnPrio("high", 5, func(h *Thread) {

@@ -10,7 +10,7 @@ import (
 // csRecoveryScenario puts a thread inside a ready-list critical section,
 // lets a rival space preempt its only processor mid-section, and returns
 // whether the thread eventually completed once the processor came back.
-func csRecoveryScenario(t *testing.T, opt Options) (completed *bool, sched *Sched, eng *sim.Engine) {
+func csRecoveryScenario(t *testing.T, opt Options) (completed *bool, sched *Sched, eng sim.Engine) {
 	t.Helper()
 	var k *core.Kernel
 	eng, k, sched = newSA(t, 1, opt)

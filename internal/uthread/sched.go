@@ -86,7 +86,7 @@ type Stats struct {
 
 // Sched is the user-level thread scheduler for one address space.
 type Sched struct {
-	eng  *sim.Engine
+	eng  sim.Engine
 	m    *machine.Machine
 	cost *machine.Costs
 	opt  Options
@@ -180,7 +180,7 @@ type vessel struct {
 	inTransit *Thread
 }
 
-func newSched(eng *sim.Engine, m *machine.Machine, opt Options) *Sched {
+func newSched(eng sim.Engine, m *machine.Machine, opt Options) *Sched {
 	return &Sched{
 		eng:      eng,
 		m:        m,
@@ -209,7 +209,7 @@ func (s *Sched) registerMetrics(space string) {
 }
 
 // Engine returns the simulation engine.
-func (s *Sched) Engine() *sim.Engine { return s.eng }
+func (s *Sched) Engine() sim.Engine { return s.eng }
 
 // Live reports threads created and not yet exited.
 func (s *Sched) Live() int { return s.live }

@@ -9,7 +9,7 @@ import (
 )
 
 // newKT builds original FastThreads on a native kernel.
-func newKT(t *testing.T, cpus, vps int, opt Options) (*sim.Engine, *kernel.Kernel, *Sched) {
+func newKT(t *testing.T, cpus, vps int, opt Options) (sim.Engine, *kernel.Kernel, *Sched) {
 	t.Helper()
 	eng := sim.NewEngine()
 	t.Cleanup(eng.Close)
@@ -20,7 +20,7 @@ func newKT(t *testing.T, cpus, vps int, opt Options) (*sim.Engine, *kernel.Kerne
 }
 
 // newSA builds modified FastThreads on the scheduler-activation kernel.
-func newSA(t *testing.T, cpus int, opt Options) (*sim.Engine, *core.Kernel, *Sched) {
+func newSA(t *testing.T, cpus int, opt Options) (sim.Engine, *core.Kernel, *Sched) {
 	t.Helper()
 	eng := sim.NewEngine()
 	t.Cleanup(eng.Close)
@@ -30,7 +30,7 @@ func newSA(t *testing.T, cpus int, opt Options) (*sim.Engine, *core.Kernel, *Sch
 }
 
 // run on both backends.
-func onBoth(t *testing.T, cpus int, f func(t *testing.T, eng *sim.Engine, s *Sched)) {
+func onBoth(t *testing.T, cpus int, f func(t *testing.T, eng sim.Engine, s *Sched)) {
 	t.Run("kernel-threads", func(t *testing.T) {
 		eng, _, s := newKT(t, cpus, cpus, Options{})
 		f(t, eng, s)
@@ -42,7 +42,7 @@ func onBoth(t *testing.T, cpus int, f func(t *testing.T, eng *sim.Engine, s *Sch
 }
 
 func TestSpawnedThreadRuns(t *testing.T) {
-	onBoth(t, 1, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 1, func(t *testing.T, eng sim.Engine, s *Sched) {
 		done := sim.Time(0)
 		s.Spawn("main", func(th *Thread) {
 			th.Exec(100 * sim.Microsecond)
@@ -60,7 +60,7 @@ func TestSpawnedThreadRuns(t *testing.T) {
 }
 
 func TestForkAndJoin(t *testing.T) {
-	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 2, func(t *testing.T, eng sim.Engine, s *Sched) {
 		var childDone, parentDone sim.Time
 		s.Spawn("main", func(th *Thread) {
 			child := th.Fork("child", func(c *Thread) {
@@ -87,7 +87,7 @@ func TestForkAndJoin(t *testing.T) {
 func TestForkIsCheapNoKernel(t *testing.T) {
 	// The heart of the paper's Table 1: a fork+schedule+run+exit cycle at
 	// user level costs tens of microseconds, not hundreds.
-	onBoth(t, 1, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 1, func(t *testing.T, eng sim.Engine, s *Sched) {
 		var elapsed sim.Duration
 		const iters = 100
 		s.Spawn("main", func(th *Thread) {
@@ -111,7 +111,7 @@ func TestForkIsCheapNoKernel(t *testing.T) {
 }
 
 func TestManyThreadsAllComplete(t *testing.T) {
-	onBoth(t, 4, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 4, func(t *testing.T, eng sim.Engine, s *Sched) {
 		count := 0
 		for i := 0; i < 50; i++ {
 			s.Spawn("w", func(th *Thread) {
@@ -128,7 +128,7 @@ func TestManyThreadsAllComplete(t *testing.T) {
 }
 
 func TestMutexMutualExclusion(t *testing.T) {
-	onBoth(t, 4, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 4, func(t *testing.T, eng sim.Engine, s *Sched) {
 		m := s.NewMutex()
 		inside, maxInside, total := 0, 0, 0
 		for i := 0; i < 8; i++ {
@@ -161,7 +161,7 @@ func TestMutexMutualExclusion(t *testing.T) {
 }
 
 func TestCondSignalWaitPingPong(t *testing.T) {
-	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 2, func(t *testing.T, eng sim.Engine, s *Sched) {
 		cond := s.NewCond()
 		var log []string
 		const rounds = 5
@@ -188,7 +188,7 @@ func TestCondSignalWaitPingPong(t *testing.T) {
 }
 
 func TestBarrier(t *testing.T) {
-	onBoth(t, 3, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 3, func(t *testing.T, eng sim.Engine, s *Sched) {
 		const n = 6
 		b := s.NewBarrier(n)
 		var after []sim.Time
@@ -216,7 +216,7 @@ func TestBarrier(t *testing.T) {
 }
 
 func TestYieldRoundRobins(t *testing.T) {
-	onBoth(t, 1, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 1, func(t *testing.T, eng sim.Engine, s *Sched) {
 		var order []string
 		s.Spawn("a", func(th *Thread) {
 			for i := 0; i < 3; i++ {
@@ -509,7 +509,7 @@ func TestDeterminismUThread(t *testing.T) {
 }
 
 func TestSleepWakesOnTime(t *testing.T) {
-	onBoth(t, 1, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 1, func(t *testing.T, eng sim.Engine, s *Sched) {
 		var slept sim.Duration
 		s.Spawn("sleeper", func(th *Thread) {
 			before := th.Now()
@@ -525,7 +525,7 @@ func TestSleepWakesOnTime(t *testing.T) {
 }
 
 func TestSleepDoesNotHoldProcessor(t *testing.T) {
-	onBoth(t, 1, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 1, func(t *testing.T, eng sim.Engine, s *Sched) {
 		var cpuDone, sleepDone sim.Time
 		s.Spawn("sleeper", func(th *Thread) {
 			th.Sleep(50 * sim.Millisecond)
@@ -547,7 +547,7 @@ func TestSleepDoesNotHoldProcessor(t *testing.T) {
 }
 
 func TestManySleepersInterleave(t *testing.T) {
-	onBoth(t, 2, func(t *testing.T, eng *sim.Engine, s *Sched) {
+	onBoth(t, 2, func(t *testing.T, eng sim.Engine, s *Sched) {
 		done := 0
 		for i := 0; i < 10; i++ {
 			d := sim.Duration(i+1) * 3 * sim.Millisecond
