@@ -30,6 +30,12 @@
 //
 // Chaos mode exits nonzero if any seed fails, so it can gate CI.
 //
+// Any mode can swap the per-run simulation engine; results are byte-identical,
+// only host wall-clock changes:
+//
+//	saexp -exp fig2 -engine par -lps 4   # conservative PDES engine, 4 LPs per run
+//	saexp -chaos -engine par             # the 64-seed sweep through the PDES engine
+//
 // Any invocation can be profiled with the standard runtime/pprof writers
 // (`make profile` wraps the chaos-sweep capture):
 //
@@ -64,12 +70,32 @@ func run() int {
 	seeds := flag.Int64("seeds", 64, "number of chaos seeds to sweep (with -chaos)")
 	firstSeed := flag.Int64("first-seed", 1, "first chaos seed (with -chaos)")
 	ablate := flag.String("ablate", "", "run one deliberately broken kernel under the auditor: nogrant or dropevent (with -chaos)")
-	workers := flag.Int("workers", fleet.DefaultWorkers(), "parallel run pool width for sweeps and experiment batteries (1 = sequential)")
+	workers := flag.Int("workers", 0, "parallel run pool width for sweeps and experiment batteries (1 = sequential; 0 = auto: one per CPU, divided by the per-run goroutine count with -engine par)")
+	engine := flag.String("engine", "seq", "simulation engine per run: seq (reference sequential) or par (conservative PDES; byte-identical results, queue work spread over -lps goroutines)")
+	lps := flag.Int("lps", 2, "logical processes per run with -engine par")
 	traceOut := flag.String("trace-out", "", "with -exp fig1: run the traced Figure 1 smoke configuration and write Chrome trace_event JSON to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation heap profile to this file at exit (go tool pprof)")
 	flag.Parse()
 
+	switch *engine {
+	case "seq":
+	case "par":
+		if *lps < 1 {
+			fmt.Fprintf(os.Stderr, "-lps %d: need at least one logical process\n", *lps)
+			return 2
+		}
+		exp.EngineLPs = *lps
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q (want seq or par)\n", *engine)
+		return 2
+	}
+	if *workers <= 0 {
+		// Fleet-level and intra-run parallelism multiply: with the PDES
+		// engine each run occupies 1 driver + lps LP goroutines, so divide
+		// the cores instead of oversubscribing them.
+		*workers = fleet.WorkersFor(1 + exp.EngineLPs)
+	}
 	exp.Workers = *workers
 
 	if *cpuProfile != "" {

@@ -33,15 +33,26 @@ const Iters = 200
 // hook-free.
 var StatsSink func(label string, reg *stats.Registry)
 
+// EngineOpts, when non-nil, supplies extra construction options for every
+// benchmark engine. The experiment harness installs it to thread its engine
+// selection (exp.EngineLPs → the conservative PDES engine) through to the
+// microbenchmarks; the timeline is identical for any engine, so this only
+// widens what the golden traces and fingerprints cover.
+var EngineOpts func() []sim.Option
+
 // newEngine builds one labelled benchmark engine, wiring the stats-sink
-// close hook when a sink is installed.
+// close hook when a sink is installed plus any harness-supplied options.
 func newEngine(label string) sim.Engine {
+	opts := []sim.Option{sim.WithLabel(label)}
 	if sink := StatsSink; sink != nil {
-		return sim.NewEngine(sim.WithLabel(label), sim.OnClose(func(e sim.Engine) {
+		opts = append(opts, sim.OnClose(func(e sim.Engine) {
 			sink(e.Label(), e.Metrics())
 		}))
 	}
-	return sim.NewEngine(sim.WithLabel(label))
+	if extra := EngineOpts; extra != nil {
+		opts = append(opts, extra()...)
+	}
+	return sim.NewEngine(opts...)
 }
 
 // System selects the thread system under measurement.

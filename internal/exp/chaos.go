@@ -130,9 +130,12 @@ func chaosLabel(seed int64) string { return fmt.Sprintf("chaos seed %d", seed) }
 
 // chaosOnce executes one audited, fault-injected mixed workload for seed.
 // pool, when non-nil, supplies warm coroutine goroutines (sim.Pool); it must
-// be owned by the calling worker. The timeline is identical either way.
+// be owned by the calling worker. The engine honors EngineLPs, so the chaos
+// battery sweeps the PDES engine when saexp -engine=par selects it. The
+// timeline is identical either way.
 func chaosOnce(pool *sim.Pool, seed int64, mutate func(*core.Kernel)) (chaos.Fingerprint, ChaosResult) {
-	return chaosOnceOn(pool.NewEngine(sim.WithLabel(chaosLabel(seed))), seed, mutate)
+	opts := append([]sim.Option{sim.WithLabel(chaosLabel(seed))}, parEngineOpts()...)
+	return chaosOnceOn(pool.NewEngine(opts...), seed, mutate)
 }
 
 // chaosOnceOn is chaosOnce on a caller-supplied engine — the seam the
@@ -197,6 +200,19 @@ func ReplayChaosSeed(seed int64) (ref, replay chaos.Fingerprint) {
 	ref, _ = chaosOnceOn(eng, seed, nil)
 	replay, _ = chaosOnceOn(sim.NewReplayEngine(rec.Recording(), sim.WithLabel(chaosLabel(seed))), seed, nil)
 	return ref, replay
+}
+
+// ParChaosSeed runs seed once on the reference engine and once on the
+// conservative PDES engine with lps logical processes (calibrated lookahead,
+// subject-hash affinity — the production configuration), and returns both
+// fingerprints. The fingerprint hashes every trace record, the final clock,
+// and the full non-host metrics snapshot, so a match proves the partitioned
+// engine reproduced the reference run byte for byte.
+func ParChaosSeed(seed int64, lps int) (ref, par chaos.Fingerprint) {
+	ref, _ = chaosOnceOn(sim.NewEngine(sim.WithLabel(chaosLabel(seed))), seed, nil)
+	opts := append([]sim.Option{sim.WithLabel(chaosLabel(seed))}, parEngineOptsN(lps)...)
+	par, _ = chaosOnceOn(sim.NewEngine(opts...), seed, nil)
+	return ref, par
 }
 
 // RunChaosSeed runs one seed twice — identical code path both times — and

@@ -12,6 +12,7 @@ import (
 	"schedact/internal/core"
 	"schedact/internal/fleet"
 	"schedact/internal/kernel"
+	"schedact/internal/machine"
 	"schedact/internal/sim"
 	"schedact/internal/stats"
 	"schedact/internal/trace"
@@ -110,9 +111,9 @@ var statsSink func(label string, reg *stats.Registry)
 // experiment harness — and the micro-benchmarks it drives — constructs from
 // here on: each labelled run engine gets a close hook delivering its
 // private metrics registry to fn as the run is torn down. This replaces the
-// retired sim.StatsSink process-wide global: attachment is per engine at
-// construction time, so engines built outside the harness (chaos sweeps,
-// library users) are untouched. Runs close concurrently under the fleet
+// retired process-wide global the sim package once exported: attachment is
+// per engine at construction time, so engines built outside the harness
+// (chaos sweeps, library users) are untouched. Runs close concurrently under the fleet
 // pool, so fn must be safe for concurrent calls. A nil fn uninstalls the
 // sink.
 func SetStatsSink(fn func(label string, reg *stats.Registry)) {
@@ -120,8 +121,56 @@ func SetStatsSink(fn func(label string, reg *stats.Registry)) {
 	micro.StatsSink = fn
 }
 
+// EngineLPs selects the engine the harness constructs for every run: 0 (the
+// default) keeps the reference sequential engine; n >= 1 selects the
+// conservative PDES engine with the run's event queue partitioned across n
+// logical processes (saexp -engine=par). The simulated results — figures,
+// tables, chaos fingerprints — are byte-identical for every value; only
+// host wall-clock changes.
+var EngineLPs int
+
+// The microbenchmarks construct their own engines; route the harness's
+// engine selection through to them (micro cannot import exp).
+func init() { micro.EngineOpts = parEngineOpts }
+
+// SubjectAffinity is the harness's static routing function for the PDES
+// engine: subjects — per-thread timers, per-CPU quanta, per-space daemons —
+// hash to a stable LP, so each simulated entity's far-future events file
+// into the same partition. Subjectless events have no statically known
+// target and route through the shared LP. Routing never affects the
+// timeline (sim.WithAffinity), so the hash needs no quality beyond spread.
+func SubjectAffinity(_ sim.Kind, subject string) int {
+	if subject == "" {
+		return -1
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(subject); i++ {
+		h = (h ^ uint32(subject[i])) * 16777619
+	}
+	return int(h & 0x7fffffff)
+}
+
+// parEngineOpts returns the PDES engine options selected by EngineLPs, or
+// nil for the reference engine.
+func parEngineOpts() []sim.Option { return parEngineOptsN(EngineLPs) }
+
+// parEngineOptsN is parEngineOpts for an explicit LP count. The lookahead
+// comes from the calibrated cost table: the minimum cross-CPU charge is the
+// guaranteed lower bound on cross-LP event latency in the simulated machine.
+func parEngineOptsN(n int) []sim.Option {
+	if n <= 0 {
+		return nil
+	}
+	return []sim.Option{
+		sim.WithLPs(n),
+		sim.WithLookahead(machine.DefaultCosts().CrossLPLookahead()),
+		sim.WithAffinity(SubjectAffinity),
+	}
+}
+
 // engOpts builds the options for one labelled run engine, attaching the
-// stats-sink close hook when a sink is installed.
+// stats-sink close hook when a sink is installed and the PDES partition
+// when EngineLPs selects one.
 func engOpts(label string) []sim.Option {
 	opts := []sim.Option{sim.WithLabel(label)}
 	if sink := statsSink; sink != nil {
@@ -129,7 +178,7 @@ func engOpts(label string) []sim.Option {
 			sink(e.Label(), e.Metrics())
 		}))
 	}
-	return opts
+	return append(opts, parEngineOpts()...)
 }
 
 // --- application launchers ---

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"schedact/internal/apps/micro"
+)
+
+// TestParEngineMatchesReference pins the conservative PDES engine against
+// the reference on real chaos workloads: each seed's fault-injected run
+// executes once on the reference engine and once on the partitioned engine,
+// and the two fingerprints — every trace record, the final clock, the full
+// non-host metrics snapshot — must match byte-for-byte. LP counts alternate
+// across seeds so the sweep covers the shared-LP-only and scattered shapes.
+// For the pinned seeds the reference fingerprint is also checked against the
+// committed table, so the test cannot pass by both engines drifting
+// together.
+//
+// By default a handful of seeds run (CI's chaos job sweeps all 64 via
+// SCHEDACT_PAR_SEEDS=64).
+func TestParEngineMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs are slow in -short mode")
+	}
+	n := int64(4)
+	if env := os.Getenv("SCHEDACT_PAR_SEEDS"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil || v < 1 {
+			t.Fatalf("bad SCHEDACT_PAR_SEEDS=%q: %v", env, err)
+		}
+		n = v
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		lps := 1 + int(seed)%4
+		ref, par := ParChaosSeed(seed, lps)
+		if ref != par {
+			t.Errorf("seed %d: par(%d LPs) fingerprint %v != reference %v", seed, lps, par, ref)
+		}
+		if want, pinned := pinnedFingerprints[seed]; pinned {
+			if got := fmt.Sprint(ref); got != want {
+				t.Errorf("seed %d: reference fingerprint %s != pinned %s", seed, got, want)
+			}
+		}
+	}
+}
+
+// TestGoldenTracesPar regenerates every committed golden trace — the
+// Table 1/4 microbenchmarks and the Figure 1 smoke runs — on the PDES
+// engine and diffs them against the same files the reference engine is
+// pinned to. No -update mode: the partitioned engine has no traces of its
+// own to bless, it must reproduce the reference's byte for byte.
+func TestGoldenTracesPar(t *testing.T) {
+	saved := EngineLPs
+	EngineLPs = 3
+	defer func() { EngineLPs = saved }()
+
+	cases := []struct {
+		name string
+		gen  func() string
+	}{
+		{"table1_fastthreads_kt", func() string { return goldenMicro(micro.FastThreadsKT) }},
+		{"table1_topaz_threads", func() string { return goldenMicro(micro.TopazThreads) }},
+		{"table1_ultrix_processes", func() string { return goldenMicro(micro.UltrixProcesses) }},
+		{"table4_fastthreads_sa", func() string { return goldenMicro(micro.FastThreadsSA) }},
+		{"figure1_topaz", func() string { return goldenFigure1(SysTopaz) }},
+		{"figure1_orig_fastthreads", func() string { return goldenFigure1(SysOrigFT) }},
+		{"figure1_new_fastthreads", func() string { return goldenFigure1(SysNewFT) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.name+".trace")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file %s: %v", path, err)
+			}
+			if got := tc.gen(); got != string(want) {
+				diffTraces(t, path, string(want), got)
+			}
+		})
+	}
+}

@@ -11,31 +11,23 @@ import (
 // never observes it: the panic is recovered by the coroutine wrapper.
 var ErrKilled = errors.New("sim: coroutine killed by engine shutdown")
 
-// StatsSink, when non-nil, receives every engine's metrics registry as the
-// engine closes, labelled with the engine's label.
-//
-// Deprecated: StatsSink is a process-wide global, so it is consulted by every
-// engine in the process and the installed closure must be safe for concurrent
-// calls. Register a per-engine close hook instead — sim.OnClose at
-// construction, or eng.Hooks().OnClose afterwards — which is confined to the
-// engine's own goroutine. The shim is kept for one release and is consulted
-// in Close before coroutines are unwound, after registered close hooks.
-var StatsSink func(label string, reg *stats.Registry)
-
 // Engine is a discrete-event simulator timeline: a clock, an ordered event
 // queue, and the coroutine machinery that runs simulated execution contexts
 // against it. Every layer of the stack — machine, kernel, core, uthread, the
 // chaos battery, the experiment harness — holds this interface, so engines
 // are interchangeable: the reference sequential engine (NewEngine), the
-// record/replay engine (NewReplayEngine), and future engines (an optimistic
-// PDES engine is the roadmap's next tenant) all slot in behind it.
+// record/replay engine (NewReplayEngine), and the conservative PDES engine
+// (NewEngine with WithLPs) all slot in behind it.
 //
 // Engine methods must only be called from the goroutine driving Run/Step, or
 // from inside event callbacks and coroutines (which, by the strict hand-off
 // discipline, is the same goroutine dynamically). An engine is not safe for
 // concurrent use; it does not need to be, since the whole point is a single
-// deterministic timeline. To use every core, run many engines — one per
-// independent run — under internal/fleet.
+// deterministic timeline. (The PDES engine runs queue maintenance on helper
+// goroutines internally, but its public surface keeps exactly this
+// single-driver contract.) To use every core, run many engines — one per
+// independent run — under internal/fleet, or partition one run across LPs
+// with WithLPs.
 //
 // Every implementation must provide the exact observable contract the
 // compliance suite (compliance_test.go) pins: the (time, seq) total order,
@@ -321,19 +313,15 @@ func (b *engineBase) cancelled(ev *Event) {
 	}
 }
 
-// beginClose runs the engine-independent half of Close: close hooks (and the
-// deprecated StatsSink shim) while every counter is final but coroutines
-// are still alive, then the coroutine unwind. Reports false when the engine
-// was already closed.
+// beginClose runs the engine-independent half of Close: close hooks while
+// every counter is final but coroutines are still alive, then the coroutine
+// unwind. Reports false when the engine was already closed.
 func (b *engineBase) beginClose() bool {
 	if b.closed {
 		return false
 	}
 	if b.hooks.active(HookClose) {
 		b.hooks.emit(HookClose, b.now, b.seq, "", "")
-	}
-	if StatsSink != nil {
-		StatsSink(b.label, b.metrics)
 	}
 	b.closed = true
 	for c := range b.live {
@@ -349,158 +337,48 @@ const maxTime = Time(1<<63 - 1)
 // whole repository's timelines are pinned against. Its hot path — schedule,
 // fire, cancel — is allocation-free in steady state and O(1) for the near
 // future: event records live on a free list and are recycled as they fire
-// or are cancelled, and the queue is a two-level timing wheel (see
-// wheel.go) whose slot lists splice in constant time, with the indexed heap
-// kept as the sorted overflow level for events beyond the ~67 ms horizon.
-// Cancellation removes the record outright from either structure (no
-// tombstones, so Pending is exact).
+// or are cancelled, and the queue is a timeline (timeline.go) — a two-level
+// timing wheel whose slot lists splice in constant time, with the indexed
+// heap kept as the sorted overflow level for events beyond the ~67 ms
+// horizon. Cancellation removes the record outright from either structure
+// (no tombstones, so Pending is exact).
 //
 // Code outside internal/sim holds the Engine interface, never this type
 // (make lint enforces the seam).
 type SeqEngine struct {
 	engineBase
-	wh wheel
-	pq eventHeap // sorted overflow: beyond the wheel horizon, or behind the window
+	tl timeline
 }
 
-// NewEngine returns a reference sequential engine at time zero with an
-// empty event queue.
+// NewEngine returns an engine at time zero with an empty event queue: the
+// reference sequential engine, or — when WithLPs selects one or more logical
+// processes — the conservative PDES engine (par.go), which reproduces the
+// reference timeline byte-identically.
 func NewEngine(opts ...Option) Engine {
-	return newSeqEngine(nil, buildConfig(opts))
+	c := buildConfig(opts)
+	if c.lps > 0 {
+		return newParEngine(nil, c)
+	}
+	return newSeqEngine(nil, c)
 }
 
 func newSeqEngine(pool *Pool, c config) *SeqEngine {
 	e := &SeqEngine{}
-	e.wh.reset()
+	e.tl.reset(&e.st.Overflows)
 	e.init(e, c)
 	e.pool = pool
 	return e
 }
 
 // Pending reports the number of events queued to fire.
-func (e *SeqEngine) Pending() int { return e.wh.count + len(e.pq) }
-
-// enqueue files a filled-in event record into the queue: level 0 for the
-// current chunk, level 1 within the horizon, the sorted heap past it (or
-// behind the window, after an idle jump).
-func (e *SeqEngine) enqueue(ev *Event) {
-	tk := tickOf(ev.t)
-	ch := tk >> l0Bits
-	switch {
-	case ch == e.wh.curChunk:
-		e.wh.pushL0(ev, tk)
-	case ch > e.wh.curChunk && ch <= e.wh.curChunk+l1Slots:
-		e.wh.pushL1(ev, ch)
-	default:
-		ev.loc = locHeap
-		e.pq.push(ev)
-		e.st.Overflows++
-	}
-}
-
-// dequeue removes a queued event from whichever structure holds it.
-func (e *SeqEngine) dequeue(ev *Event) {
-	if ev.loc == locHeap {
-		e.pq.remove(ev)
-	} else {
-		e.wh.remove(ev)
-	}
-	ev.loc = locNone
-}
-
-// advanceTo moves the level-0 window to chunk ch (strictly forward),
-// cascading that chunk's level-1 slot into level 0 and pulling overflow
-// events that now fall inside the wheel's extended horizon.
-func (e *SeqEngine) advanceTo(ch int64) {
-	w := &e.wh
-	w.curChunk = ch
-	w.scanTick = ch << l0Bits
-	w.sorted = -1
-	s := int(ch & l1Mask)
-	if w.occ1.has(s) {
-		lst := w.l1[s]
-		w.l1[s] = slotList{}
-		w.occ1.clear(s)
-		for ev := lst.head; ev != nil; {
-			next := ev.next
-			ev.next, ev.prev = nil, nil
-			w.count-- // enqueue re-counts it
-			e.enqueue(ev)
-			ev = next
-		}
-	}
-	base := ch << l0Bits
-	horizon := w.horizonTick()
-	for len(e.pq) > 0 {
-		tk := tickOf(e.pq[0].t)
-		if tk < base || tk >= horizon {
-			// Behind the window the heap top stays put: peek serves it
-			// directly, and everything deeper is later still.
-			break
-		}
-		e.enqueue(e.pq.pop())
-	}
-}
-
-// peek positions the wheel at the earliest queued event and returns it
-// without removing it, or nil when the queue is empty. The merged order
-// across wheel and overflow heap is the exact (time, seq) total order.
-func (e *SeqEngine) peek() *Event {
-	for {
-		var hp *Event
-		if len(e.pq) > 0 {
-			hp = e.pq[0]
-		}
-		if e.wh.count == 0 {
-			if hp == nil {
-				return nil
-			}
-			ch := tickOf(hp.t) >> l0Bits
-			if ch <= e.wh.curChunk {
-				return hp
-			}
-			// Jump the empty wheel to the heap top's chunk and adopt what
-			// fits, so the dense phase that follows schedules in O(1).
-			e.advanceTo(ch)
-			continue
-		}
-		if tk, ok := e.wh.nextL0(); ok {
-			if tk != e.wh.sorted {
-				e.wh.l0[tk&l0Mask].sort()
-				e.wh.sorted = tk
-			}
-			e.wh.scanTick = tk
-			wv := e.wh.l0[int(tk&l0Mask)].head
-			if hp != nil && hp.before(wv) {
-				return hp
-			}
-			return wv
-		}
-		// Current chunk drained: advance to the earliest of the next
-		// occupied level-1 chunk and the heap top's chunk.
-		target, ok := e.wh.nextL1()
-		if hp != nil {
-			hch := tickOf(hp.t) >> l0Bits
-			if hch <= e.wh.curChunk {
-				return hp
-			}
-			if !ok || hch < target {
-				target, ok = hch, true
-			}
-		}
-		if !ok {
-			panic("sim: wheel count positive but no event found")
-		}
-		e.advanceTo(target)
-	}
-}
+func (e *SeqEngine) Pending() int { return e.tl.count() }
 
 // schedule is the single hot-path entry: every At/After/coroutine resume
 // lands here. No formatting, no allocation in steady state.
 func (e *SeqEngine) schedule(t Time, kind Kind, subj string, fn func(), co *Coroutine) Handle {
 	ev := e.newEvent(t, kind, subj, fn, co)
-	e.enqueue(ev)
-	return e.scheduled(ev, e.wh.count+len(e.pq))
+	e.tl.enqueue(ev)
+	return e.scheduled(ev, e.tl.count())
 }
 
 // At schedules fn to run at absolute time t.
@@ -532,14 +410,14 @@ func (e *SeqEngine) AfterNamed(d Duration, kind Kind, subject string, fn func())
 // fire removes ev from the queue, advances the clock to its time, recycles
 // the record, and runs the callback.
 func (e *SeqEngine) fire(ev *Event) {
-	e.dequeue(ev)
+	e.tl.dequeue(ev)
 	e.finishFire(ev)
 }
 
 // Step fires the next event, advancing the clock to its time. It reports
 // false when the queue is empty.
 func (e *SeqEngine) Step() bool {
-	ev := e.peek()
+	ev := e.tl.peek()
 	if ev == nil {
 		return false
 	}
@@ -552,7 +430,7 @@ func (e *SeqEngine) Step() bool {
 func (e *SeqEngine) Run() {
 	e.limit = maxTime
 	for {
-		ev := e.peek()
+		ev := e.tl.peek()
 		if ev == nil {
 			return
 		}
@@ -565,7 +443,7 @@ func (e *SeqEngine) Run() {
 func (e *SeqEngine) RunUntil(t Time) {
 	e.limit = t
 	for {
-		ev := e.peek()
+		ev := e.tl.peek()
 		if ev == nil || ev.t > t {
 			break
 		}
@@ -588,25 +466,9 @@ func (e *SeqEngine) Close() {
 	}
 	// Invalidate outstanding handles to still-queued events before dropping
 	// the queue, so a stale Cancel after Close stays inert.
-	for s := range e.wh.l0 {
-		for ev := e.wh.l0[s].head; ev != nil; ev = ev.next {
-			ev.loc = locNone
-			ev.gen++
-		}
-	}
-	for s := range e.wh.l1 {
-		for ev := e.wh.l1[s].head; ev != nil; ev = ev.next {
-			ev.loc = locNone
-			ev.gen++
-		}
-	}
-	for _, ev := range e.pq {
-		ev.loc = locNone
-		ev.index = -1
+	for _, ev := range e.tl.drainAll(nil) {
 		ev.gen++
 	}
-	e.wh.reset()
-	e.pq = nil
 	e.free = nil
 }
 
@@ -616,17 +478,17 @@ func (e *SeqEngine) scheduleEvent(t Time, kind Kind, subj string, fn func(), co 
 	return e.schedule(t, kind, subj, fn, co)
 }
 
-func (e *SeqEngine) nextEvent() *Event { return e.peek() }
+func (e *SeqEngine) nextEvent() *Event { return e.tl.peek() }
 
 func (e *SeqEngine) fireNext(ev *Event) { e.fire(ev) }
 
 func (e *SeqEngine) consumeNext(ev *Event, c *Coroutine) {
-	e.dequeue(ev)
+	e.tl.dequeue(ev)
 	e.finishConsume(ev, c)
 }
 
 func (e *SeqEngine) cancelQueued(ev *Event) bool {
-	e.dequeue(ev)
+	e.tl.dequeue(ev)
 	e.cancelled(ev)
 	return true
 }

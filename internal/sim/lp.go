@@ -1,0 +1,115 @@
+package sim
+
+// The logical-process side of the conservative PDES engine (par.go).
+//
+// Each LP owns one timeline — the same wheel+heap structure the reference
+// engine uses as its whole queue — and runs a small command loop on its own
+// goroutine. The driver is the only sender; commands arrive on a bounded
+// channel and are processed strictly in order, so the LP's view of its
+// partition is always exactly the prefix of driver actions sent to it.
+//
+// Synchronization discipline (what keeps -race quiet and the timeline
+// deterministic): an event record is touched by at most one goroutine at a
+// time, with ownership transferred only through the channels. The driver
+// fills a record and sends it (lpEnq); from then on the LP owns the queue
+// fields (loc/slot/index/next/prev) until the record comes back in a
+// harvest/cancel/close reply, after which the driver owns it again. Fields
+// the driver reads while the LP holds the record — t, seq, gen, kind, subj,
+// lp — are written only by the driver. The engineBase (clock, stats, hooks,
+// free list, coroutines) is never touched from an LP goroutine.
+
+// LP command opcodes.
+const (
+	lpEnq     = iota // file cmd.ev into the timeline (async, no reply)
+	lpCancel         // remove cmd.ev from the timeline (sync)
+	lpHarvest        // pop everything with t <= cmd.upTo (sync)
+	lpClose          // drain everything and exit (sync)
+)
+
+// lpCmd is one driver→LP command.
+type lpCmd struct {
+	op   uint8
+	ev   *Event
+	upTo Time
+}
+
+// lpReply answers a synchronous command. Every reply carries a null message
+// in the Chandy–Misra sense: headT/headSeq are the (time, seq) of the LP's
+// remaining queue head — a promise that the LP holds nothing earlier — or
+// (maxTime, maxSeq) when the partition is empty. For harvest and close, evs
+// is the LP's scratch buffer; the driver must finish reading it before
+// sending the LP its next command, which hands the buffer back.
+type lpReply struct {
+	evs     []*Event
+	headT   Time
+	headSeq uint64
+}
+
+// maxSeq pairs with maxTime in an "empty partition" null message.
+const maxSeq = ^uint64(0)
+
+// logicalProcess is one PDES partition: a timeline plus the channel pair
+// connecting it to the driver. The struct spans the two goroutines but every
+// field has a single owner (see the file comment).
+type logicalProcess struct {
+	id    int
+	cmd   chan lpCmd
+	reply chan lpReply
+
+	// Driver-owned bookkeeping; the LP goroutine never touches these.
+	owned    int    // events currently filed in this LP
+	boundT   Time   // current null-message bound: the LP holds nothing
+	boundSeq uint64 // before (boundT, boundSeq)
+
+	// LP-goroutine-owned state after the goroutine starts.
+	tl  timeline
+	ovf uint64   // dummy overflow sink; the driver's shadow window is authoritative
+	buf []*Event // reply scratch; ownership alternates over the channels
+}
+
+// newLogicalProcess builds an LP ready for go l.run(). Called by the driver
+// before the goroutine starts, which orders the initialization.
+func newLogicalProcess(id, chanCap int) *logicalProcess {
+	l := &logicalProcess{
+		id:       id,
+		cmd:      make(chan lpCmd, chanCap),
+		reply:    make(chan lpReply, 1),
+		boundT:   maxTime,
+		boundSeq: maxSeq,
+	}
+	l.tl.reset(&l.ovf)
+	return l
+}
+
+// run is the LP goroutine: process commands until lpClose. Enqueues are
+// asynchronous — the driver streams them and the LP files them concurrently
+// with callback execution on the driver — while cancel/harvest/close
+// rendezvous through the reply channel (capacity 1, at most one outstanding
+// per LP, so the LP never blocks sending).
+func (l *logicalProcess) run() {
+	for c := range l.cmd {
+		switch c.op {
+		case lpEnq:
+			l.tl.enqueue(c.ev)
+		case lpCancel:
+			l.tl.dequeue(c.ev)
+			l.reply <- l.nullMessage(nil)
+		case lpHarvest:
+			l.buf = l.tl.popUpTo(c.upTo, l.buf[:0])
+			l.reply <- l.nullMessage(l.buf)
+		case lpClose:
+			l.buf = l.tl.drainAll(l.buf[:0])
+			l.reply <- lpReply{evs: l.buf}
+			return
+		}
+	}
+}
+
+// nullMessage builds a reply promising the LP's exact remaining lower bound.
+func (l *logicalProcess) nullMessage(evs []*Event) lpReply {
+	r := lpReply{evs: evs, headT: maxTime, headSeq: maxSeq}
+	if head := l.tl.peek(); head != nil {
+		r.headT, r.headSeq = head.t, head.seq
+	}
+	return r
+}

@@ -1,0 +1,342 @@
+package sim
+
+import "fmt"
+
+// ParEngine is the conservative PDES engine: one simulated run partitioned
+// across logical processes, behind the same Engine interface — and the same
+// observable timeline — as the reference SeqEngine.
+//
+// Partition. WithLPs(n) creates n LPs (lp.go), each owning one timeline on
+// its own goroutine. LP 0 is the shared partition: events whose target
+// cannot be statically determined route there. With n > 1, WithAffinity
+// spreads statically-routable events (per simulated CPU / context, in the
+// experiment wiring) across LPs 1..n-1. Near-future events — at or below the
+// harvested bound — stay driver-resident in a small heap, which preserves
+// the O(1) elision fast path for calibrated CPU charges.
+//
+// Protocol. The driver is the only goroutine that executes callbacks,
+// dispatches coroutines, emits hooks, and touches engineBase state; LPs only
+// file, sort, and advance their partitions. Cross-LP exchange is bounded
+// channels of timestamped events. Every synchronous reply carries a null
+// message — the exact (time, seq) of the LP's remaining head, a promise it
+// holds nothing earlier. The driver fires its local head only when that head
+// precedes every LP's bound; otherwise it harvests: all LPs whose bound
+// falls inside [minBound, minBound+lookahead] pop their window concurrently,
+// the popped events become driver-resident, and the returned null messages
+// raise the bounds. Bounds rise strictly on every empty harvest, so the
+// merge never deadlocks and never fires out of order: the global firing
+// order is the exact (time, seq) total order the reference engine produces.
+//
+// Lookahead. The window width comes from the calibrated cost table: the
+// minimum cross-CPU charge (IPI delivery, below the 19 µs trap) is a hard
+// lower bound on how soon one simulated CPU can affect another, so it is
+// guaranteed lookahead in the Chandy–Misra sense. Correctness never depends
+// on the value — the null-message bounds are exact — it only sizes the
+// batches, which is why the fuzz oracle may perturb it freely.
+//
+// Determinism. Everything observable reproduces the reference byte for
+// byte: firing order and clock (same total order), hook streams (emitted by
+// the driver at the same points), stats (callbacks, allocs, and releases
+// happen in identical order; MaxPending counts near + all LP partitions;
+// Overflows replays the reference wheel's placement rule against a shadow
+// window, see scheduleEvent), and therefore chaos fingerprints. Only the
+// host-class PhysicalSwitches-style metrics may differ, as for every engine.
+type ParEngine struct {
+	engineBase
+	near      eventHeap // driver-resident events, the merge frontier
+	lps       []*logicalProcess
+	ownedTot  int   // events currently filed across all LPs
+	shadow    int64 // replica of the reference wheel's curChunk (Overflows parity)
+	nearBound Time  // every LP has been harvested through this time
+	lookahead Duration
+	affinity  func(kind Kind, subject string) int
+	batch     []*logicalProcess // harvest fan-out scratch
+}
+
+// DefaultLookahead is the harvest window when WithLookahead is not given:
+// the cost table's 10 µs IPI charge — the cheapest way one simulated CPU
+// can affect another — rounded up a tick. The experiment harness passes the
+// authoritative value from machine.Costs.CrossLPLookahead; this constant
+// only keeps bare NewEngine(WithLPs(n)) sensible.
+const DefaultLookahead = 10 * Microsecond
+
+const defaultLPChanCap = 256
+
+func newParEngine(pool *Pool, c config) *ParEngine {
+	e := &ParEngine{lookahead: c.lookahead, affinity: c.affinity}
+	if e.lookahead <= 0 {
+		e.lookahead = DefaultLookahead
+	}
+	chanCap := c.lpChanCap
+	if chanCap <= 0 {
+		chanCap = defaultLPChanCap
+	}
+	e.init(e, c)
+	e.pool = pool
+	e.lps = make([]*logicalProcess, c.lps)
+	e.batch = make([]*logicalProcess, 0, c.lps)
+	for i := range e.lps {
+		l := newLogicalProcess(i, chanCap)
+		e.lps[i] = l
+		go l.run()
+	}
+	return e
+}
+
+// Pending reports the number of events queued to fire: the driver-resident
+// frontier plus every LP partition. Both counts are maintained on the
+// driver, so Pending is exact without a round trip.
+func (e *ParEngine) Pending() int { return len(e.near) + e.ownedTot }
+
+// route picks the LP for a fresh event, or -1 to keep it driver-resident.
+// Events inside the harvested window must stay driver-side (their LP would
+// already have promised not to hold anything that early); keeping them local
+// is also what preserves the O(1) elision path for short charges.
+func (e *ParEngine) route(ev *Event) int {
+	if ev.t <= e.nearBound {
+		return -1
+	}
+	if e.affinity != nil && len(e.lps) > 1 {
+		if a := e.affinity(ev.kind, ev.subj); a >= 0 {
+			return 1 + a%(len(e.lps)-1)
+		}
+	}
+	return 0
+}
+
+// schedule is the hot-path entry. The shadow window replays the reference
+// engine's overflow rule: SeqEngine counts an overflow when a schedule's
+// chunk misses [curChunk, curChunk+l1Slots], and its curChunk moves only in
+// peek — to max(curChunk, chunk(head)) (see timeline.peek). The driver
+// replays exactly that update on every peek, so the running Overflows count
+// — a fingerprinted metric — is byte-identical even though the real queues
+// are partitioned and each LP wheel advances on its own.
+func (e *ParEngine) schedule(t Time, kind Kind, subj string, fn func(), co *Coroutine) Handle {
+	ev := e.newEvent(t, kind, subj, fn, co)
+	if ch := tickOf(t) >> l0Bits; ch < e.shadow || ch > e.shadow+l1Slots {
+		e.st.Overflows++
+	}
+	if i := e.route(ev); i >= 0 {
+		l := e.lps[i]
+		ev.lp = int32(i)
+		l.owned++
+		e.ownedTot++
+		if t < l.boundT || (t == l.boundT && ev.seq < l.boundSeq) {
+			l.boundT, l.boundSeq = t, ev.seq
+		}
+		l.cmd <- lpCmd{op: lpEnq, ev: ev}
+	} else {
+		ev.lp = -1
+		ev.loc = locHeap
+		e.near.push(ev)
+	}
+	return e.scheduled(ev, len(e.near)+e.ownedTot)
+}
+
+// peek returns the engine's globally next event — driver-resident, with
+// every LP's null-message bound proving nothing earlier exists — or nil when
+// the whole engine is empty. It harvests as needed and advances the shadow
+// window exactly as the reference peek would.
+func (e *ParEngine) peek() *Event {
+	for {
+		var top *Event
+		if len(e.near) > 0 {
+			top = e.near[0]
+		}
+		var m *logicalProcess
+		if e.ownedTot > 0 {
+			for _, l := range e.lps {
+				if l.owned == 0 {
+					continue
+				}
+				if m == nil || l.boundT < m.boundT || (l.boundT == m.boundT && l.boundSeq < m.boundSeq) {
+					m = l
+				}
+			}
+		}
+		if m == nil || (top != nil && (top.t < m.boundT || (top.t == m.boundT && top.seq < m.boundSeq))) {
+			if top != nil {
+				if ch := tickOf(top.t) >> l0Bits; ch > e.shadow {
+					e.shadow = ch
+				}
+			}
+			return top
+		}
+		e.harvest(m.boundT.Add(e.lookahead))
+	}
+}
+
+// harvest pulls every event with time <= upTo out of the LPs into the
+// driver-resident frontier. Requests fan out first and replies collect
+// after, so the LPs pop and re-sort their windows concurrently — this is
+// where the engine's intra-run parallelism lives. LPs whose bound already
+// clears upTo are provably empty in the window and are not disturbed. Each
+// reply's null message replaces the LP's bound with its exact new head;
+// a bound either yields events or rises strictly past upTo, so the peek
+// loop always progresses.
+func (e *ParEngine) harvest(upTo Time) {
+	batch := e.batch[:0]
+	for _, l := range e.lps {
+		if l.owned > 0 && l.boundT <= upTo {
+			l.cmd <- lpCmd{op: lpHarvest, upTo: upTo}
+			batch = append(batch, l)
+		}
+	}
+	for _, l := range batch {
+		r := <-l.reply
+		for _, ev := range r.evs {
+			ev.lp = -1
+			ev.loc = locHeap
+			e.near.push(ev)
+		}
+		l.owned -= len(r.evs)
+		e.ownedTot -= len(r.evs)
+		l.boundT, l.boundSeq = r.headT, r.headSeq
+	}
+	e.batch = batch[:0]
+	if upTo > e.nearBound {
+		e.nearBound = upTo
+	}
+}
+
+// At schedules fn to run at absolute time t.
+func (e *ParEngine) At(t Time, kind Kind, fn func()) Handle {
+	return e.schedule(t, kind, "", fn, nil)
+}
+
+// AtNamed is At with a subject.
+func (e *ParEngine) AtNamed(t Time, kind Kind, subject string, fn func()) Handle {
+	return e.schedule(t, kind, subject, fn, nil)
+}
+
+// After schedules fn to run d after the current time.
+func (e *ParEngine) After(d Duration, kind Kind, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %q", d, kind))
+	}
+	return e.schedule(e.now.Add(d), kind, "", fn, nil)
+}
+
+// AfterNamed is After with a subject.
+func (e *ParEngine) AfterNamed(d Duration, kind Kind, subject string, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %s:%q", d, subject, kind))
+	}
+	return e.schedule(e.now.Add(d), kind, subject, fn, nil)
+}
+
+// fire removes ev — which peek just proved globally next — from the
+// frontier, advances the clock, and runs the callback.
+func (e *ParEngine) fire(ev *Event) {
+	e.near.remove(ev)
+	ev.loc = locNone
+	e.finishFire(ev)
+}
+
+// Step fires the next event, advancing the clock to its time. It reports
+// false when the queue is empty.
+func (e *ParEngine) Step() bool {
+	ev := e.peek()
+	if ev == nil {
+		return false
+	}
+	e.limit = ev.t
+	e.fire(ev)
+	return true
+}
+
+// Run fires events until the queue is empty.
+func (e *ParEngine) Run() {
+	e.limit = maxTime
+	for {
+		ev := e.peek()
+		if ev == nil {
+			return
+		}
+		e.fire(ev)
+	}
+}
+
+// RunUntil fires events with time <= t, then sets the clock to t. Events
+// scheduled at exactly t do fire.
+func (e *ParEngine) RunUntil(t Time) {
+	e.limit = t
+	for {
+		ev := e.peek()
+		if ev == nil || ev.t > t {
+			break
+		}
+		e.fire(ev)
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the clock by d, firing all events in the window.
+func (e *ParEngine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Close shuts the engine down: close hooks fire, coroutines unwind, every
+// LP drains its partition and its goroutine exits, and outstanding handles
+// turn inert. Close is idempotent.
+func (e *ParEngine) Close() {
+	if !e.beginClose() {
+		return
+	}
+	for _, l := range e.lps {
+		l.cmd <- lpCmd{op: lpClose}
+	}
+	for _, l := range e.lps {
+		r := <-l.reply
+		for _, ev := range r.evs {
+			ev.gen++
+		}
+		close(l.cmd)
+		l.owned = 0
+	}
+	e.ownedTot = 0
+	for _, ev := range e.near {
+		ev.loc = locNone
+		ev.index = -1
+		ev.gen++
+	}
+	e.near = nil
+	e.lps = nil
+	e.free = nil
+}
+
+// --- impl ---
+
+func (e *ParEngine) scheduleEvent(t Time, kind Kind, subj string, fn func(), co *Coroutine) Handle {
+	return e.schedule(t, kind, subj, fn, co)
+}
+
+func (e *ParEngine) nextEvent() *Event { return e.peek() }
+
+func (e *ParEngine) fireNext(ev *Event) { e.fire(ev) }
+
+func (e *ParEngine) consumeNext(ev *Event, c *Coroutine) {
+	e.near.remove(ev)
+	ev.loc = locNone
+	e.finishConsume(ev, c)
+}
+
+// cancelQueued removes a still-queued event. A driver-resident event comes
+// straight out of the frontier; an LP-resident one takes a synchronous round
+// trip, whose reply doubles as a fresh null message for the partition.
+func (e *ParEngine) cancelQueued(ev *Event) bool {
+	if ev.lp >= 0 {
+		l := e.lps[ev.lp]
+		l.cmd <- lpCmd{op: lpCancel, ev: ev}
+		r := <-l.reply
+		l.owned--
+		e.ownedTot--
+		l.boundT, l.boundSeq = r.headT, r.headSeq
+		ev.lp = -1
+	} else {
+		e.near.remove(ev)
+	}
+	ev.loc = locNone
+	e.cancelled(ev)
+	return true
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// hookRec is one recorded hook invocation; the full ordered stream across
+// all five positions is the engine's complete observable history.
+type hookRec struct {
+	pos  HookPos
+	t    Time
+	seq  uint64
+	kind Kind
+	subj string
+}
+
+// recordHooks registers a recorder at every hook position and returns the
+// growing stream.
+func recordHooks(e Engine) *[]hookRec {
+	recs := new([]hookRec)
+	h := HookFunc(func(ctx *HookCtx) {
+		*recs = append(*recs, hookRec{ctx.Pos, ctx.Time, ctx.Seq, ctx.Kind, ctx.Subject})
+	})
+	for pos := HookPos(0); pos < numHookPos; pos++ {
+		e.Hooks().Register(pos, h)
+	}
+	return recs
+}
+
+// lockstepWorkload seeds e with a self-driving random workload: callbacks
+// that reschedule themselves across all delay regimes, cancel random
+// handles, spawn sleeping coroutines, and scatter subjects (which the par
+// affinity maps to LPs). The rng is consumed only from inside the timeline
+// — callbacks and coroutine bodies — so two engines firing in the same order
+// make identical decisions.
+func lockstepWorkload(e Engine, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var handles []Handle
+	budget := 300
+	delay := func() Duration {
+		switch rng.Intn(8) {
+		case 0, 1, 2: // sub-tick to a few ticks
+			return Duration(rng.Intn(3000))
+		case 3, 4: // L0/L1 window
+			return Duration(rng.Intn(500)) * Microsecond
+		case 5, 6: // around the horizon
+			return Duration(rng.Intn(80)) * Millisecond
+		default: // far overflow
+			return Duration(rng.Intn(3)) * Second
+		}
+	}
+	var act func()
+	act = func() {
+		if budget <= 0 {
+			return
+		}
+		budget--
+		switch rng.Intn(8) {
+		case 0, 1, 2: // chain: reschedule self under a scattered subject
+			h := e.AfterNamed(delay(), "act", fmt.Sprintf("s%d", rng.Intn(5)), act)
+			handles = append(handles, h)
+		case 3: // branch: two chains keep the queue from draining early
+			handles = append(handles, e.After(delay(), "act", act))
+			handles = append(handles, e.AfterNamed(delay(), "act", "b", act))
+		case 4: // cancel an arbitrary, possibly stale, handle
+			if len(handles) > 0 {
+				handles[rng.Intn(len(handles))].Cancel()
+			}
+		case 5: // coroutine: sleeps exercise elision against the par frontier
+			c := e.Go(fmt.Sprintf("co%d", budget), func(c *Coroutine) {
+				for i := 0; i < 3; i++ {
+					c.Sleep(delay())
+				}
+			})
+			c.UnparkAt(e.Now().Add(delay()))
+		default: // leaf event
+			e.After(delay(), "leaf", func() {})
+		}
+	}
+	for i := 0; i < 12; i++ {
+		budget--
+		handles = append(handles, e.After(delay(), "act", act))
+	}
+}
+
+// TestParLockstepMatchesSeq drives the reference engine and the PDES engine
+// through the same workload one firing at a time, comparing clock, Pending,
+// and the complete hook stream — schedule, cancel, pre-fire, post-fire —
+// after every single Step. This is the finest-grained equivalence pin: a
+// divergence fails at the exact firing where it appears, not at end of run.
+func TestParLockstepMatchesSeq(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 7, 42, 1991} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			a := NewEngine()
+			defer a.Close()
+			b := NewEngine(parOracleOpts(3, 2, 5*Microsecond)...)
+			defer b.Close()
+			ra, rb := recordHooks(a), recordHooks(b)
+			lockstepWorkload(a, seed)
+			lockstepWorkload(b, seed)
+
+			done := 0 // hook-stream records compared so far
+			for step := 0; ; step++ {
+				oka, okb := a.Step(), b.Step()
+				if oka != okb {
+					t.Fatalf("step %d: seq Step=%v, par Step=%v", step, oka, okb)
+				}
+				if a.Now() != b.Now() {
+					t.Fatalf("step %d: Now %v vs %v", step, a.Now(), b.Now())
+				}
+				if a.Pending() != b.Pending() {
+					t.Fatalf("step %d: Pending %d vs %d", step, a.Pending(), b.Pending())
+				}
+				if len(*ra) != len(*rb) {
+					t.Fatalf("step %d: hook stream length %d vs %d", step, len(*ra), len(*rb))
+				}
+				for ; done < len(*ra); done++ {
+					if (*ra)[done] != (*rb)[done] {
+						t.Fatalf("step %d: hook record %d: seq %+v, par %+v", step, done, (*ra)[done], (*rb)[done])
+					}
+				}
+				if !oka {
+					break
+				}
+			}
+			sa, sb := *a.Stats(), *b.Stats()
+			sa.PhysicalSwitches, sb.PhysicalSwitches = 0, 0
+			if sa != sb {
+				t.Fatalf("final stats diverge:\n seq %+v\n par %+v", sa, sb)
+			}
+		})
+	}
+}
+
+// parVsSeq interprets one coroutine program on the reference engine and on
+// the PDES engine (unpooled and pooled) under the given partition shape, and
+// fails on any observable difference: event log, final clock, or any
+// simulated stat — including Overflows, which pins the shadow window, and
+// MaxPending, which pins the partitioned queue accounting.
+func parVsSeq(t *testing.T, program []byte, lps, chanCap int, lookahead Duration) {
+	t.Helper()
+	ref := interpret(program, nil, false)
+	n := 0
+	parOpts := []Option{
+		WithLPs(lps), WithLPChannelCap(chanCap), WithLookahead(lookahead),
+		WithAffinity(func(Kind, string) int { n++; return n }),
+	}
+	got := interpret(program, nil, false, parOpts...)
+	if diff := ref.same(got); diff != "" {
+		t.Fatalf("par(lps=%d cap=%d la=%v) diverged from seq: %s", lps, chanCap, lookahead, diff)
+	}
+	pool := NewPool()
+	defer pool.Close()
+	pooled := interpret(program, pool, false, parOpts...)
+	if diff := ref.same(pooled); diff != "" {
+		t.Fatalf("pooled par(lps=%d cap=%d la=%v) diverged from seq: %s", lps, chanCap, lookahead, diff)
+	}
+}
+
+// TestParVsSeqPrograms is the deterministic slice of the par-vs-seq oracle:
+// random coroutine programs across partition shapes, the PDES analogue of
+// TestPooledLockstepMatchesUnpooled.
+func TestParVsSeqPrograms(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		program := make([]byte, 4+rng.Intn(60))
+		rng.Read(program)
+		lps := 1 + int(seed)%4
+		chanCap := 1 + int(seed)%5
+		lookahead := Duration(1+seed*7%150) * Microsecond
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			parVsSeq(t, program, lps, chanCap, lookahead)
+		})
+	}
+}
+
+// FuzzParVsSeqOracle lets the fuzzer search the joint space of coroutine
+// program × partition shape: LP count, channel capacity, and lookahead are
+// fuzzed alongside the program, all within legal bounds — lookahead is a
+// batching knob, so any positive perturbation must leave every observable
+// untouched.
+func FuzzParVsSeqOracle(f *testing.F) {
+	f.Add([]byte{2, 0, 16, 3, 40, 5, 1, 1, 6, 2, 80, 7, 33}, uint8(1), uint8(0), uint8(9))
+	f.Add([]byte{0, 9, 9, 9}, uint8(2), uint8(1), uint8(0))
+	f.Add([]byte{3, 5, 0, 0, 5, 18, 18, 26, 42}, uint8(3), uint8(7), uint8(255))
+	f.Add([]byte{1, 255, 255, 7, 7, 7, 2, 2, 2}, uint8(0), uint8(3), uint8(100))
+	f.Fuzz(func(t *testing.T, program []byte, lpsB, capB, laB uint8) {
+		if len(program) > 256 {
+			program = program[:256]
+		}
+		lps := 1 + int(lpsB)%4
+		chanCap := 1 + int(capB)%8
+		lookahead := Duration(1+int(laB)) * Microsecond
+		parVsSeq(t, program, lps, chanCap, lookahead)
+	})
+}
+
+// TestParCloseInvalidatesLPHandles pins Close semantics specific to the
+// partitioned queue: handles to events filed deep inside LP timelines turn
+// inert, every LP goroutine exits, and a second Close is a no-op.
+func TestParCloseInvalidatesLPHandles(t *testing.T) {
+	e := NewEngine(WithLPs(4), WithAffinity(func(_ Kind, s string) int { return len(s) }))
+	var hs []Handle
+	for i := 0; i < 100; i++ {
+		hs = append(hs, e.AfterNamed(Duration(i+1)*Millisecond, "far", fmt.Sprintf("s%0*d", i%7, 0), func() {
+			t.Error("event fired across Close")
+		}))
+	}
+	e.RunUntil(Time(Microsecond)) // harvest nothing, just start the merge
+	e.Close()
+	e.Close()
+	for i, h := range hs {
+		if h.Active() {
+			t.Fatalf("handle %d still active after Close", i)
+		}
+		if h.Cancel() {
+			t.Fatalf("handle %d cancelled after Close", i)
+		}
+	}
+}
