@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race race-par bench bench-json bench-diff fuzz replay saexp chaos chaos-par cover trace-demo profile
+.PHONY: check build vet lint test race race-par bench bench-json bench-diff fuzz replay saexp chaos chaos-warm chaos-par cover trace-demo profile
 
 # -benchtime for bench/bench-json; set BENCHTIME=1x for a smoke run.
 BENCHTIME ?= 1s
@@ -47,7 +47,7 @@ test:
 # engines across cores; race-check both, plus a real parallel sweep.
 race:
 	$(GO) test -race ./internal/sim/... ./internal/fleet/...
-	$(GO) test -race -run 'TestParallelSweepMatchesSequential|TestChaosSweepShort' ./internal/exp/
+	$(GO) test -race -run 'TestParallelSweepMatchesSequential|TestChaosSweepShort|TestWarmContext|TestChaosSweepCheckpointResume' ./internal/exp/
 
 # PDES-engine race job: the par oracle battery plus real chaos workloads
 # driven through the LP protocol under the race detector. Separate from
@@ -82,15 +82,27 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzWheelVsHeapOracle -fuzztime 15s -fuzzminimizetime 5s ./internal/sim/
 	$(GO) test -run xxx -fuzz FuzzPooledVsUnpooled -fuzztime 15s -fuzzminimizetime 5s ./internal/sim/
 	$(GO) test -run xxx -fuzz FuzzParVsSeqOracle -fuzztime 15s -fuzzminimizetime 5s ./internal/sim/
+	$(GO) test -run xxx -fuzz FuzzEngineReset -fuzztime 15s -fuzzminimizetime 5s ./internal/sim/
 	$(GO) test -run xxx -fuzz FuzzUpcallDowncall -fuzztime 15s ./internal/core/
 
 saexp:
 	$(GO) build -o bin/saexp ./cmd/saexp
 
 # Seeded fault-injection sweep with the invariant auditor armed; nonzero
-# exit on any violation, lost thread, or nondeterministic replay.
+# exit on any violation, lost thread, or nondeterministic replay. Override
+# the range with SEEDS/FIRST (e.g. `make chaos SEEDS=256 FIRST=100`); set
+# CHAOS_CHECKPOINT to a path to make the sweep resumable across invocations.
+SEEDS ?= 64
+FIRST ?= 1
+CHAOS_CHECKPOINT ?=
 chaos:
-	$(GO) run ./cmd/saexp -chaos -seeds 64
+	$(GO) run ./cmd/saexp -chaos -seeds $(SEEDS) -first $(FIRST) $(if $(CHAOS_CHECKPOINT),-checkpoint $(CHAOS_CHECKPOINT))
+
+# Warm/cold equivalence oracle over the full sweep width: every seed's
+# fingerprint from a recycled RunContext compared against a cold run's, plus
+# the golden traces replayed on one recycled engine.
+chaos-warm:
+	SCHEDACT_WARM_SEEDS=64 $(GO) test -run 'TestWarmContextMatchesCold|TestGoldenTracesWarmEngine' -count=1 ./internal/exp/
 
 # Record/replay pin: every sweep seed recorded on the reference engine and
 # re-executed on the tape-driven replay engine, fingerprints compared.

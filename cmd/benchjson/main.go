@@ -22,6 +22,11 @@
 //	benchjson -old BENCH.json -new run.json               # fails >25% ns/op growth
 //	benchjson -old BENCH.json -new run.json -threshold 0.4
 //	benchjson -old BENCH.json -new run.json -soft         # report-only (CI's 1-core runner)
+//	benchjson -old BENCH.json -new run.json -metric seeds/sec   # throughput gate
+//
+// The gate is direction-aware: for "/sec" metrics (seeds/sec, runs/sec)
+// higher is better, so a benchmark regresses when the value SHRINKS past the
+// threshold; for every other unit (ns/op, B/op, allocs/op) growth regresses.
 package main
 
 import (
@@ -55,7 +60,7 @@ type Doc struct {
 func main() {
 	oldPath := flag.String("old", "", "baseline document for compare mode (e.g. BENCH.json)")
 	newPath := flag.String("new", "", "candidate document for compare mode")
-	metric := flag.String("metric", "ns/op", "metric to gate on in compare mode (higher = worse)")
+	metric := flag.String("metric", "ns/op", "metric to gate on in compare mode (\"/sec\" units gate on shrinkage, all others on growth)")
 	threshold := flag.Float64("threshold", 0.25, "relative growth of -metric above which a benchmark counts as regressed")
 	soft := flag.Bool("soft", false, "compare mode reports deltas but always exits 0")
 	flag.Parse()
@@ -159,6 +164,11 @@ func compareMain(w io.Writer, oldPath, newPath, metric string, threshold float64
 // key identifies a benchmark across documents.
 func key(r Result) string { return r.Pkg + " " + r.Name }
 
+// higherIsBetter reports the gate direction for a metric: rate units
+// ("seeds/sec", "runs/sec", "MB/sec") improve upward, everything else
+// (ns/op, B/op, allocs/op) improves downward.
+func higherIsBetter(metric string) bool { return strings.HasSuffix(metric, "/sec") }
+
 // compare writes one line per benchmark present in either document and
 // returns how many exceeded the threshold on the gate metric.
 func compare(w io.Writer, oldDoc, newDoc Doc, metric string, threshold float64) (regressed int) {
@@ -187,8 +197,12 @@ func compare(w io.Writer, oldDoc, newDoc Doc, metric string, threshold float64) 
 			continue
 		}
 		delta := (nv - ov) / ov
+		worse := delta > threshold
+		if higherIsBetter(metric) {
+			worse = delta < -threshold
+		}
 		mark := ""
-		if delta > threshold {
+		if worse {
 			regressed++
 			mark = "  REGRESSED"
 		}

@@ -87,6 +87,33 @@ func TestCompareImprovementPasses(t *testing.T) {
 	}
 }
 
+// docOfMetric is docOf for an arbitrary unit.
+func docOfMetric(metric string, pairs map[string]float64) Doc {
+	d := Doc{}
+	for name, v := range pairs {
+		d.Results = append(d.Results, Result{
+			Pkg: "p", Name: name, Iterations: 1,
+			Metrics: map[string]float64{metric: v},
+		})
+	}
+	return d
+}
+
+// TestCompareThroughputDirection pins the direction-aware gate: for a "/sec"
+// metric (seeds/sec) a SHRINKING value regresses and a growing one passes —
+// the mirror image of the ns/op gate.
+func TestCompareThroughputDirection(t *testing.T) {
+	oldDoc := docOfMetric("seeds/sec", map[string]float64{"BenchmarkSweepSlow": 20, "BenchmarkSweepFast": 20})
+	newDoc := docOfMetric("seeds/sec", map[string]float64{"BenchmarkSweepSlow": 10, "BenchmarkSweepFast": 40})
+	var buf strings.Builder
+	if r := compare(&buf, oldDoc, newDoc, "seeds/sec", 0.25); r != 1 {
+		t.Fatalf("regressed = %d, want 1 (only the halved sweep)\n%s", r, buf.String())
+	}
+	if !strings.Contains(buf.String(), "BenchmarkSweepSlow") || strings.Contains(buf.String(), "BenchmarkSweepFast  REGRESSED") {
+		t.Fatalf("wrong benchmark flagged:\n%s", buf.String())
+	}
+}
+
 func TestCompareMainSoftGate(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := filepath.Join(dir, "old.json")

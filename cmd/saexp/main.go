@@ -24,9 +24,18 @@
 //
 //	saexp -chaos              # 64-seed fault-injection sweep, auditor armed
 //	saexp -chaos -seeds 256   # more seeds
+//	saexp -chaos -first 100 -seeds 64    # a different seed range (-first-seed works too)
 //	saexp -chaos -workers 8   # pool width (default GOMAXPROCS; 1 = sequential)
+//	saexp -chaos -checkpoint sweep.json  # resumable: re-invoking skips completed seeds
 //	saexp -chaos -ablate nogrant    # demo: auditor catches a broken allocator
 //	saexp -chaos -ablate dropevent  # demo: auditor catches dropped events
+//
+// Each sweep worker owns one warm run context recycled across its seeds, so
+// wide sweeps pay construction once per worker, not once per seed; per-seed
+// results are byte-identical to cold runs either way. With -checkpoint the
+// sweep streams progress to a JSON file and a re-invocation with the same
+// -first-seed resumes after the seeds already done (growing -seeds extends a
+// finished sweep).
 //
 // Chaos mode exits nonzero if any seed fails, so it can gate CI.
 //
@@ -68,7 +77,9 @@ func run() int {
 	statsOut := flag.Bool("stats", false, "dump each simulation run's counter registry as it finishes")
 	chaosMode := flag.Bool("chaos", false, "run the seeded fault-injection sweep instead of an experiment")
 	seeds := flag.Int64("seeds", 64, "number of chaos seeds to sweep (with -chaos)")
-	firstSeed := flag.Int64("first-seed", 1, "first chaos seed (with -chaos)")
+	firstSeed := flag.Int64("first-seed", 1, "first chaos seed (with -chaos; -first is an alias)")
+	flag.Int64Var(firstSeed, "first", 1, "alias for -first-seed")
+	checkpoint := flag.String("checkpoint", "", "chaos sweep progress file: resumes a sweep with the same -first-seed, extends it when -seeds grows (with -chaos)")
 	ablate := flag.String("ablate", "", "run one deliberately broken kernel under the auditor: nogrant or dropevent (with -chaos)")
 	workers := flag.Int("workers", 0, "parallel run pool width for sweeps and experiment batteries (1 = sequential; 0 = auto: one per CPU, divided by the per-run goroutine count with -engine par)")
 	engine := flag.String("engine", "seq", "simulation engine per run: seq (reference sequential) or par (conservative PDES; byte-identical results, queue work spread over -lps goroutines)")
@@ -137,7 +148,7 @@ func run() int {
 	}
 
 	if *chaosMode {
-		return runChaos(*seeds, *firstSeed, *workers, *ablate)
+		return runChaos(*seeds, *firstSeed, *workers, *ablate, *checkpoint)
 	}
 
 	out := os.Stdout
@@ -279,11 +290,12 @@ func runTraceOut(path string) int {
 
 // runChaos executes the chaos sweep (or a single ablated demonstration run)
 // and returns the process exit code: 0 only if every seed passed.
-func runChaos(seeds, first int64, workers int, ablate string) int {
+func runChaos(seeds, first int64, workers int, ablate, checkpoint string) int {
 	out := os.Stdout
 	switch ablate {
 	case "":
-		if exp.ChaosSweep(out, first, seeds, workers) > 0 {
+		ag := exp.ChaosSweepOpts(out, first, seeds, exp.SweepOptions{Workers: workers, Checkpoint: checkpoint})
+		if ag.Failed > 0 {
 			return 1
 		}
 		return 0

@@ -40,6 +40,14 @@ var StatsSink func(label string, reg *stats.Registry)
 // widens what the golden traces and fingerprints cover.
 var EngineOpts func() []sim.Option
 
+// WarmEngine, when non-nil, supplies every benchmark engine instead of
+// fresh construction: the provider hands back a recycled engine already
+// Reset for the given label, and the benchmark leaves it open when done
+// (the provider owns the lifecycle, so no close hooks fire per benchmark).
+// The warm-golden regression tests install this to prove the microbenchmark
+// timelines are identical on a recycled engine.
+var WarmEngine func(label string) sim.Engine
+
 // newEngine builds one labelled benchmark engine, wiring the stats-sink
 // close hook when a sink is installed plus any harness-supplied options.
 func newEngine(label string) sim.Engine {
@@ -53,6 +61,17 @@ func newEngine(label string) sim.Engine {
 		opts = append(opts, extra()...)
 	}
 	return sim.NewEngine(opts...)
+}
+
+// engineFor acquires the engine for one benchmark: a recycled one from
+// WarmEngine (release is then a no-op — the provider keeps it alive), or a
+// fresh newEngine whose release closes it.
+func engineFor(label string) (sim.Engine, func()) {
+	if warm := WarmEngine; warm != nil {
+		return warm(label), func() {}
+	}
+	eng := newEngine(label)
+	return eng, func() { eng.Close() }
 }
 
 // System selects the thread system under measurement.
@@ -123,23 +142,23 @@ func RunAblation(costs *machine.Costs) Result {
 
 // --- user-level thread benchmarks ---
 
-func newUT(sys System, costs *machine.Costs, opt uthread.Options, tr *trace.Log) (sim.Engine, *uthread.Sched) {
-	eng := newEngine(fmt.Sprintf("micro %s", sys))
+func newUT(sys System, costs *machine.Costs, opt uthread.Options, tr *trace.Log) (sim.Engine, func(), *uthread.Sched) {
+	eng, release := engineFor(fmt.Sprintf("micro %s", sys))
 	opt.Trace = tr
 	switch sys {
 	case FastThreadsKT:
 		k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs, Trace: tr})
-		return eng, uthread.OnKernelThreads(k, k.NewSpace("bench", false), 1, opt)
+		return eng, release, uthread.OnKernelThreads(k, k.NewSpace("bench", false), 1, opt)
 	case FastThreadsSA:
 		k := core.New(eng, core.Config{CPUs: 1, Costs: costs, Trace: tr})
-		return eng, uthread.OnActivations(k, "bench", 0, 1, opt)
+		return eng, release, uthread.OnActivations(k, "bench", 0, 1, opt)
 	}
 	panic("micro: not a user-level system")
 }
 
 func utNullFork(sys System, costs *machine.Costs, opt uthread.Options, tr *trace.Log) sim.Duration {
-	eng, s := newUT(sys, costs, opt, tr)
-	defer eng.Close()
+	eng, release, s := newUT(sys, costs, opt, tr)
+	defer release()
 	var per sim.Duration
 	s.Spawn("parent", func(th *uthread.Thread) {
 		// One iteration: fork the null thread, yield so it runs next
@@ -161,8 +180,8 @@ func utNullFork(sys System, costs *machine.Costs, opt uthread.Options, tr *trace
 }
 
 func utSignalWait(sys System, costs *machine.Costs, opt uthread.Options, tr *trace.Log) sim.Duration {
-	eng, s := newUT(sys, costs, opt, tr)
-	defer eng.Close()
+	eng, release, s := newUT(sys, costs, opt, tr)
+	defer release()
 	a, b := s.NewCond(), s.NewCond()
 	var per sim.Duration
 	s.Spawn("waiter", func(th *uthread.Thread) {
@@ -193,8 +212,8 @@ func utSignalWait(sys System, costs *machine.Costs, opt uthread.Options, tr *tra
 // --- kernel thread / process benchmarks ---
 
 func ktNullFork(heavy bool, costs *machine.Costs, tr *trace.Log) sim.Duration {
-	eng := newEngine(fmt.Sprintf("micro nullfork heavy=%v", heavy))
-	defer eng.Close()
+	eng, release := engineFor(fmt.Sprintf("micro nullfork heavy=%v", heavy))
+	defer release()
 	k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs, Trace: tr})
 	sp := k.NewSpace("bench", heavy)
 	var per sim.Duration
@@ -213,8 +232,8 @@ func ktNullFork(heavy bool, costs *machine.Costs, tr *trace.Log) sim.Duration {
 }
 
 func ktSignalWait(heavy bool, costs *machine.Costs, tr *trace.Log) sim.Duration {
-	eng := newEngine(fmt.Sprintf("micro signalwait heavy=%v", heavy))
-	defer eng.Close()
+	eng, release := engineFor(fmt.Sprintf("micro signalwait heavy=%v", heavy))
+	defer release()
 	k := kernel.New(eng, kernel.Config{CPUs: 1, Costs: costs, Trace: tr})
 	sp := k.NewSpace("bench", heavy)
 	a, b := k.NewCond(), k.NewCond()
@@ -272,8 +291,8 @@ func UpcallSignalWait(costs *machine.Costs) sim.Duration {
 	if costs == nil {
 		costs = machine.DefaultCosts()
 	}
-	eng := newEngine("micro upcall-signalwait")
-	defer eng.Close()
+	eng, release := engineFor("micro upcall-signalwait")
+	defer release()
 	k := core.New(eng, core.Config{CPUs: 2, Costs: costs})
 	s := uthread.OnActivations(k, "bench", 0, 2, uthread.Options{})
 	a, b := k.NewKernelEvent(), k.NewKernelEvent()

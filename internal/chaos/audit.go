@@ -78,6 +78,8 @@ type Auditor struct {
 	Checks     uint64
 
 	k       *core.Kernel
+	tr      *trace.Log
+	every   sim.Duration
 	window  []trace.Record
 	wnext   int
 	lastT   sim.Time
@@ -104,7 +106,7 @@ type streamCounts struct {
 // reports just carry no window), and, when every > 0, arms a periodic
 // boundary check. Registers chaos.audit_* metrics on the engine.
 func Attach(k *core.Kernel, tr *trace.Log, every sim.Duration) *Auditor {
-	a := &Auditor{k: k}
+	a := &Auditor{k: k, tr: tr, every: every}
 	// I8 needs the complete stream: a filtered log hides records by
 	// category, so the conservation ledger would undercount.
 	a.streamOK = tr != nil && !tr.Filtered()
@@ -125,22 +127,52 @@ func Attach(k *core.Kernel, tr *trace.Log, every sim.Duration) *Auditor {
 	reg := k.Eng.Metrics()
 	reg.Func("chaos.audit_checks", func() uint64 { return a.Checks })
 	reg.Func("chaos.audit_violations", func() uint64 { return uint64(len(a.Violations)) })
-	if every > 0 {
-		var tick func()
-		tick = func() {
-			if a.stopped {
-				return
-			}
-			a.Check()
-			k.Eng.After(every, "chaos-audit", tick)
-		}
-		k.Eng.After(every, "chaos-audit", tick)
-	}
+	a.arm()
 	return a
+}
+
+func (a *Auditor) arm() {
+	if a.every <= 0 {
+		return
+	}
+	k := a.k
+	var tick func()
+	tick = func() {
+		if a.stopped {
+			return
+		}
+		a.Check()
+		k.Eng.After(a.every, "chaos-audit", tick)
+	}
+	k.Eng.After(a.every, "chaos-audit", tick)
 }
 
 // Stop disarms the periodic check chain (explicit Check calls still work).
 func (a *Auditor) Stop() { a.stopped = true }
+
+// Reset restarts a warm auditor for a fresh run on the same kernel and log:
+// the I8 ledger re-bases on the kernel's (just-Reset) counters, the window
+// and violation list clear, and the periodic check chain re-arms (the
+// engine's Reset disarmed the old one). The trace observer installed at
+// Attach stays — observers survive Log.Reset — as do the audit metrics.
+func (a *Auditor) Reset() {
+	a.Violations = a.Violations[:0]
+	a.Checks = 0
+	a.window = a.window[:0]
+	a.wnext = 0
+	a.lastT = 0
+	a.stopped = false
+	a.audits = a.audits[:0]
+	a.streamOK = a.tr != nil && !a.tr.Filtered()
+	a.stream = streamCounts{}
+	a.base = streamCounts{
+		blocks:   a.k.Stats.Blocks,
+		unblocks: a.k.Stats.Unblocks,
+		upcalls:  a.k.Stats.Upcalls,
+		grants:   a.k.Stats.Grants,
+	}
+	a.arm()
+}
 
 // Err returns the first violation as an error, or nil.
 func (a *Auditor) Err() error {

@@ -43,6 +43,16 @@ func NewFingerprinter(tr *trace.Log) *Fingerprinter {
 	return f
 }
 
+// Reset rewinds a warm fingerprinter to its freshly-attached state so the
+// next run hashes from the FNV offset basis. The trace observer installed at
+// construction stays (observers survive Log.Reset).
+func (f *Fingerprinter) Reset() {
+	f.h = fnvOffset
+	f.Entries = 0
+	f.val = 0
+	f.done = false
+}
+
 func (f *Fingerprinter) u64(v uint64) {
 	for i := 0; i < 8; i++ {
 		f.h ^= v & 0xff

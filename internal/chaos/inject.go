@@ -22,16 +22,19 @@ type Injector struct {
 	tr      *trace.Log // the instrumented kernel's log; injections announce themselves on it
 	stopped bool
 
-	Stats struct {
-		Preempts         uint64 // processors forcibly revoked
-		PreemptMisses    uint64 // storm hits on unallocated/idle processors
-		Rebalances       uint64 // forced reallocations
-		Evictions        uint64 // pages evicted
-		UpcallDelays     uint64 // upcalls stretched
-		DiskPerturbs     uint64 // disk requests stretched
-		QuantumJitters   uint64 // quanta jittered
-		InterloperPulses uint64 // interloper demand pulses
-	}
+	Stats InjectorStats
+}
+
+// InjectorStats counts the faults an injector actually landed.
+type InjectorStats struct {
+	Preempts         uint64 // processors forcibly revoked
+	PreemptMisses    uint64 // storm hits on unallocated/idle processors
+	Rebalances       uint64 // forced reallocations
+	Evictions        uint64 // pages evicted
+	UpcallDelays     uint64 // upcalls stretched
+	DiskPerturbs     uint64 // disk requests stretched
+	QuantumJitters   uint64 // quanta jittered
+	InterloperPulses uint64 // interloper demand pulses
 }
 
 // New creates an injector for the engine. Instrument the kernels under test
@@ -52,6 +55,19 @@ func New(eng sim.Engine, p Plan) *Injector {
 // hooks return zero, so a harness can drain in-flight work undisturbed (the
 // wedge check must distinguish "still finishing" from "lost a thread").
 func (in *Injector) Stop() { in.stopped = true }
+
+// Reset re-aims a warm injector at a fresh plan: the PRNG reseeds exactly as
+// New would, stats zero, and the stopped latch clears. Call after the engine
+// has been Reset (which disarmed every old timer chain) and re-instrument
+// the new run's kernels; the metric registrations made at construction keep
+// reading this injector's stats.
+func (in *Injector) Reset(p Plan) {
+	in.Plan = p
+	in.rng.Seed(p.Seed ^ 0x5deece66d)
+	in.tr = nil
+	in.stopped = false
+	in.Stats = InjectorStats{}
+}
 
 // emit announces an injection on the instrumented kernel's trace, so replay
 // windows and Chrome exports show the fault alongside its consequences.

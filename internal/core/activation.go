@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"schedact/internal/machine"
+	"schedact/internal/sim"
 )
 
 // actState tracks an activation through its life.
@@ -52,6 +53,13 @@ type Activation struct {
 	// level never knew it existed).
 	entered bool
 	events  []Event
+
+	// cost and slot are the current delivery's parameters, read by body —
+	// the vessel entry closure, built once per Activation struct and reused
+	// across recycles so a steady-state deliver allocates no closure.
+	cost sim.Duration
+	slot *cpuSlot
+	body func(*machine.Context)
 
 	// UserData is a slot for the client's per-vessel bookkeeping (e.g.
 	// which user-level thread is running in this context). The kernel never
@@ -135,4 +143,5 @@ func (a *Activation) Discard() {
 	delete(a.sp.acts, a.id)
 	a.k.poolFree++
 	a.k.Stats.Discards++
+	a.k.retire(a)
 }

@@ -67,15 +67,32 @@ type Kernel struct {
 	rotation uint64 // leftover-processor rotation index; advances on time, not per rebalance
 	policy   Policy // nil = space-sharing default
 
+	// Physical recycling of activation machinery, decoupled from poolFree
+	// (which is the *modelled* pool and drives the fingerprinted
+	// ActCreates/ActRecycles split): a discarded activation parks on
+	// retiring until its vessel context can be reclaimed — its coroutine
+	// unwound, its Context struct returned to the machine arena — after
+	// which the Activation struct itself waits on actFree for the next
+	// deliver. nameBuf builds vessel names without fmt.
+	actFree  []*Activation
+	retiring []*Activation
+	nameBuf  []byte
+
 	// scratch holds buffers reused across allocator runs so the steady-state
 	// rebalance path does not allocate. Valid only within one synchronous
 	// kernel entry: hotTargets overwrites target on each call, and none of
-	// its callers hold the map across another targets computation.
+	// its callers hold the map across another targets computation; grantEvs
+	// and stopEvs are consumed (copied into an activation's own event
+	// vector, or appended to a caller's batch) before the next grantSlot or
+	// stopHosted call overwrites them.
 	scratch struct {
 		target    map[*Space]int
 		elig      []*Space
 		unsat     []*Space
 		claimants []*Space
+		grantEvs  []Event
+		stopEvs   []Event
+		notifyEvs []Event
 	}
 
 	// Fault-injection and ablation hooks; see chaos.go.
@@ -118,6 +135,99 @@ func New(eng sim.Engine, cfg Config) *Kernel {
 	reg.Func("core.blocks", func() uint64 { return k.Stats.Blocks })
 	reg.Func("core.unblocks", func() uint64 { return k.Stats.Unblocks })
 	return k
+}
+
+// Reset returns the kernel — and the machine under it — to its construction
+// state for a fresh run with cfg. The owning engine must have been Reset
+// first, so every coroutine from the previous run is already dead; vessel
+// contexts still staged on the retiring list are reclaimed into the warm
+// arenas on the way. Metric registrations made at construction stay valid
+// (they read k.Stats through the receiver), so Reset must only ever be
+// called on the same engine the kernel was built on.
+func (k *Kernel) Reset(cfg Config) {
+	costs := cfg.Costs
+	if costs == nil {
+		costs = machine.DefaultCosts()
+	}
+	k.M.Reset(cfg.CPUs, costs)
+	k.M.Trace = cfg.Trace
+	k.C = costs
+	k.Trace = cfg.Trace
+	k.Stats = Stats{}
+	for len(k.slots) < cfg.CPUs {
+		k.slots = append(k.slots, &cpuSlot{})
+	}
+	k.slots = k.slots[:cfg.CPUs]
+	for i, s := range k.slots {
+		*s = cpuSlot{cpu: k.M.CPU(machine.CPUID(i))}
+	}
+	for i := range k.spaces {
+		k.spaces[i] = nil
+	}
+	k.spaces = k.spaces[:0]
+	k.actSeq = 0
+	k.poolFree = 0
+	k.inRebal = false
+	k.rotation = 0
+	k.policy = nil
+	clear(k.scratch.target)
+	k.scratch.elig = k.scratch.elig[:0]
+	k.scratch.unsat = k.scratch.unsat[:0]
+	k.scratch.claimants = k.scratch.claimants[:0]
+	k.scratch.grantEvs = k.scratch.grantEvs[:0]
+	k.scratch.stopEvs = k.scratch.stopEvs[:0]
+	k.scratch.notifyEvs = k.scratch.notifyEvs[:0]
+	k.UpcallPerturb = nil
+	k.AblateNoGrant = false
+	k.AblateDropEvent = false
+	k.sweepRetiring()
+}
+
+// sweepRetiring tries to reclaim each retired activation's vessel: when the
+// machine can take the context back (root coroutine done or destroyable),
+// the Activation struct moves to the warm free list; otherwise it stays
+// staged for a later sweep. Called at every deliver — the next vessel birth
+// funds the previous vessel's funeral — and from Reset, when everything
+// left is reclaimable.
+func (k *Kernel) sweepRetiring() {
+	if len(k.retiring) == 0 {
+		return
+	}
+	kept := k.retiring[:0]
+	for _, a := range k.retiring {
+		// A vessel that entered user code may have lent its root coroutine
+		// out: a handler preempted mid-upcall rides the Preempted event to
+		// another vessel and keeps executing there, long after this
+		// activation was discarded. Its body also re-reads the activation
+		// after the handler returns. Such vessels reclaim only once the
+		// root coroutine has actually finished; a stillborn vessel's root
+		// never reached user code, so it is unwindable as soon as no resume
+		// is pending.
+		if a.entered && !a.ctx.Done() {
+			kept = append(kept, a)
+			continue
+		}
+		if !k.M.FreeContext(a.ctx) {
+			kept = append(kept, a)
+			continue
+		}
+		a.ctx = nil
+		a.sp = nil
+		a.slot = nil
+		if a.entered {
+			// The upcall handler saw a.events; the array must not be
+			// rewritten under a client that kept the slice.
+			a.events = nil
+		} else {
+			a.events = a.events[:0]
+		}
+		a.UserData = nil
+		k.actFree = append(k.actFree, a)
+	}
+	for i := len(kept); i < len(k.retiring); i++ {
+		k.retiring[i] = nil
+	}
+	k.retiring = kept
 }
 
 // Spaces returns all address spaces in creation order.

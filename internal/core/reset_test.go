@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"schedact/internal/sim"
+)
+
+// driveSpaceShare runs one space that immediately asks for want processors
+// total and checks it gets them, leaving every vessel parked idle.
+func driveSpaceShare(t *testing.T, eng sim.Engine, k *Kernel, want int) {
+	t.Helper()
+	c := &recClient{eng: eng}
+	var sp *Space
+	first := true
+	c.handler = func(act *Activation, events []Event) {
+		if first {
+			first = false
+			if want > 1 {
+				sp.AddMoreProcessors(act, want-1)
+			}
+		}
+		c.eng.Current().Park("vessel-idle")
+	}
+	sp = k.NewSpace("app", 0, c)
+	sp.Start()
+	eng.Run()
+	if got := k.Allocated(sp); got != want {
+		t.Fatalf("Allocated = %d, want %d", got, want)
+	}
+	checkInv(t, k)
+}
+
+// TestKernelResetMatchesFresh reuses one kernel across three runs with
+// different CPU counts — exercising both the slot-grow and slot-truncate
+// paths of Reset — and pins each warm run's Stats against a fresh kernel
+// running the identical workload.
+func TestKernelResetMatchesFresh(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	driveSpaceShare(t, eng, k, 2)
+
+	// Dirty the chaos/ablation hooks so Reset has something to clear.
+	k.UpcallPerturb = func() sim.Duration { return 0 }
+	k.AblateNoGrant = true
+	k.AblateDropEvent = true
+
+	// Grow: 2 -> 4 processors appends new slots.
+	eng.Reset()
+	k.Reset(Config{CPUs: 4})
+	if k.Stats != (Stats{}) {
+		t.Fatalf("Stats after Reset = %+v, want zero", k.Stats)
+	}
+	if len(k.Spaces()) != 0 {
+		t.Fatalf("Spaces after Reset = %d, want 0", len(k.Spaces()))
+	}
+	if k.UpcallPerturb != nil || k.AblateNoGrant || k.AblateDropEvent {
+		t.Fatal("chaos/ablation hooks survived Reset")
+	}
+	driveSpaceShare(t, eng, k, 4)
+	warm := k.Stats
+	feng, fk := newTestKernel(t, 4)
+	driveSpaceShare(t, feng, fk, 4)
+	if warm != fk.Stats {
+		t.Fatalf("warm 4-CPU Stats %+v != fresh %+v", warm, fk.Stats)
+	}
+
+	// Shrink: 4 -> 1 processor truncates the slot slice.
+	eng.Reset()
+	k.Reset(Config{CPUs: 1})
+	driveSpaceShare(t, eng, k, 1)
+	warm = k.Stats
+	feng1, fk1 := newTestKernel(t, 1)
+	driveSpaceShare(t, feng1, fk1, 1)
+	if warm != fk1.Stats {
+		t.Fatalf("warm 1-CPU Stats %+v != fresh %+v", warm, fk1.Stats)
+	}
+}
+
+// TestVMResetClearsState faults through the pager (with the entry page out,
+// so the delayed-upcall path fires too), resets the whole stack, and checks
+// the pager is back to birth state and reproduces the run exactly.
+func TestVMResetClearsState(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	vm := k.NewVM()
+
+	run := func() {
+		c := &ioTestClient{t: t, eng: eng, k: k}
+		sp := k.NewSpace("app", 0, c)
+		vm.SetEntryPage(sp, 100) // never preloaded: notification must wait
+		c.worker = k.M.NewWorker("T", nil)
+		c.thread = eng.Go("T", func(co *sim.Coroutine) {
+			vm.Touch(c.cur, 1) // resident: free
+			vm.Touch(c.cur, 7) // fault
+		})
+		sp.Start()
+		eng.Run()
+		checkInv(t, k)
+	}
+
+	vm.Preload(1)
+	run()
+	first := vm.Stats
+	if first.Faults != 1 || first.DelayedUpcalls != 1 {
+		t.Fatalf("workload did not fault as expected: %+v", first)
+	}
+	if !vm.Resident(7) || !vm.Resident(100) {
+		t.Fatal("fetched pages should be resident after the run")
+	}
+
+	eng.Reset()
+	k.Reset(Config{CPUs: 2})
+	vm.Reset()
+	if vm.Stats.Faults != 0 || vm.Stats.Coalesced != 0 || vm.Stats.DelayedUpcalls != 0 {
+		t.Fatalf("VM stats after Reset = %+v, want zero", vm.Stats)
+	}
+	if vm.Resident(1) || vm.Resident(7) || vm.Resident(100) {
+		t.Fatal("pages still resident after Reset")
+	}
+
+	// The warm pager must reproduce the cold run bit for bit.
+	vm.Preload(1)
+	run()
+	if vm.Stats != first {
+		t.Fatalf("warm VM stats %+v != cold %+v", vm.Stats, first)
+	}
+}

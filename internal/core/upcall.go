@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"schedact/internal/machine"
 	"schedact/internal/sim"
@@ -37,6 +38,9 @@ func (k *Kernel) deliver(slot *cpuSlot, sp *Space, events []Event, cost sim.Dura
 	if slot.sp != sp {
 		panic(fmt.Sprintf("core: deliver to %q on cpu%d allocated to someone else", sp.Name, slot.cpu.ID()))
 	}
+	// A vessel birth is the moment to pay for past funerals: reclaim any
+	// retired activations whose contexts are now unwindable.
+	k.sweepRetiring()
 	// Any upcall is a chance to deliver notifications that had to be
 	// delayed while the space had no processors.
 	events = append(events, sp.drainPending()...)
@@ -55,32 +59,56 @@ func (k *Kernel) deliver(slot *cpuSlot, sp *Space, events []Event, cost sim.Dura
 	} else {
 		k.Stats.ActCreates++
 	}
-	act := &Activation{k: k, sp: sp, id: k.actSeq, state: actRunning, events: events}
+	var act *Activation
+	if n := len(k.actFree); n > 0 {
+		act = k.actFree[n-1]
+		k.actFree[n-1] = nil
+		k.actFree = k.actFree[:n-1]
+		act.sp = sp
+		act.id = k.actSeq
+		act.state = actRunning
+		act.entered = false
+	} else {
+		act = &Activation{k: k, sp: sp, id: k.actSeq, state: actRunning}
+	}
+	// The activation owns its event vector: callers pass scratch that dies
+	// with this call, and the upcall handler reads act.events through the
+	// body closure built once per struct.
+	act.events = append(act.events[:0], events...)
+	act.cost = cost
+	if act.body == nil {
+		a := act
+		a.body = func(c *machine.Context) {
+			c.Exec(a.cost)
+			if a.state != actRunning {
+				// Preempted at the very instant the upcall cost completed: the
+				// exec-done event had already scheduled this coroutine's resume,
+				// so the preemption banked nothing and the kernel treated the
+				// activation as stillborn — discarded, events requeued. User
+				// code must not run in a dead vessel.
+				return
+			}
+			a.entered = true
+			a.sp.client.Upcall(a, a.events)
+			if a.state == actRunning && a.k.slotFor(a.slot.cpu).act == a {
+				panic(fmt.Sprintf("core: upcall handler for act%d returned while still holding cpu%d", a.id, a.slot.cpu.ID()))
+			}
+		}
+	}
+	act.slot = slot
 	sp.acts[act.id] = act
 	slot.act = act
 	slot.idle = false
 	k.Stats.Upcalls++
-	for _, ev := range events {
+	for _, ev := range act.events {
 		k.Stats.UpcallEvents[ev.Kind]++
 	}
-	evn, evc, evd := packEvs(events)
+	evn, evc, evd := packEvs(act.events)
 	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindUpcall, Name: sp.Name, A: int64(act.id), B: evn, C: evc, D: evd})
-	act.ctx = k.M.NewContext(fmt.Sprintf("%s:act%d", sp.Name, act.id), func(c *machine.Context) {
-		c.Exec(cost)
-		if act.state != actRunning {
-			// Preempted at the very instant the upcall cost completed: the
-			// exec-done event had already scheduled this coroutine's resume,
-			// so the preemption banked nothing and the kernel treated the
-			// activation as stillborn — discarded, events requeued. User
-			// code must not run in a dead vessel.
-			return
-		}
-		act.entered = true
-		sp.client.Upcall(act, events)
-		if act.state == actRunning && k.slotFor(slot.cpu).act == act {
-			panic(fmt.Sprintf("core: upcall handler for act%d returned while still holding cpu%d", act.id, slot.cpu.ID()))
-		}
-	})
+	k.nameBuf = append(k.nameBuf[:0], sp.Name...)
+	k.nameBuf = append(k.nameBuf, ":act"...)
+	k.nameBuf = strconv.AppendInt(k.nameBuf, int64(act.id), 10)
+	act.ctx = k.M.NewContext(string(k.nameBuf), act.body)
 	act.ctx.Owner = act
 	slot.since = k.Eng.Now()
 	slot.cpu.Dispatch(act.ctx)
@@ -94,7 +122,12 @@ func (k *Kernel) grantSlot(slot *cpuSlot, sp *Space, extra []Event) {
 	}
 	slot.sp = sp
 	k.Stats.Grants++
-	events := append([]Event{{Kind: EvAddProcessor}}, extra...)
+	// Scratch, not a fresh slice: deliver copies the vector into the
+	// activation before returning, so the buffer is free again by the time
+	// any caller issues the next grant.
+	events := append(k.scratch.grantEvs[:0], Event{Kind: EvAddProcessor})
+	events = append(events, extra...)
+	k.scratch.grantEvs = events
 	k.deliver(slot, sp, events, k.C.SAUpcallWork+k.C.IPI)
 }
 
@@ -114,19 +147,33 @@ func (k *Kernel) stopHosted(slot *cpuSlot) []Event {
 	slot.act = nil
 	if !act.entered {
 		act.state = actDiscarded
-		delete(act.sp.acts, act.id)
+		sp := act.sp
+		delete(sp.acts, act.id)
 		k.poolFree++
-		var keep []Event
+		keep := k.scratch.stopEvs[:0]
 		for _, ev := range act.events {
 			if ev.Kind != EvAddProcessor {
 				keep = append(keep, ev)
 			}
 		}
-		k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindStillborn, Name: act.sp.Name, A: int64(act.id), B: int64(len(keep))})
+		k.scratch.stopEvs = keep
+		k.retire(act)
+		k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindStillborn, Name: sp.Name, A: int64(act.id), B: int64(len(keep))})
 		return keep
 	}
 	act.state = actStopped
-	return []Event{{Kind: EvPreempted, Act: act}}
+	evs := append(k.scratch.stopEvs[:0], Event{Kind: EvPreempted, Act: act})
+	k.scratch.stopEvs = evs
+	return evs
+}
+
+// retire stages a discarded activation for physical reclamation: its vessel
+// coroutine is unwound and its structs recycled at a later sweepRetiring,
+// once the machine confirms nothing can ever run in the vessel again. This
+// is bookkeeping only — the modelled pool is the poolFree counter, which
+// the callers already credited.
+func (k *Kernel) retire(act *Activation) {
+	k.retiring = append(k.retiring, act)
 }
 
 // takeSlot involuntarily removes a processor from its space: the hosted
@@ -162,13 +209,15 @@ func (k *Kernel) releaseSlot(slot *cpuSlot, act *Activation) {
 	slot.cpu.Release(act.ctx)
 	slot.sp.Usage += k.Eng.Now().Sub(slot.since)
 	act.state = actDiscarded
-	delete(act.sp.acts, act.id)
+	sp := act.sp
+	delete(sp.acts, act.id)
 	k.poolFree++
+	k.retire(act)
 	slot.sp = nil
 	slot.act = nil
 	slot.idle = false
 	k.Stats.Takes++
-	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindYield, Name: act.sp.Name, A: int64(act.id)})
+	k.Trace.Emit(trace.Record{T: k.Eng.Now(), CPU: int32(slot.cpu.ID()), Kind: trace.KindYield, Name: sp.Name, A: int64(act.id)})
 }
 
 // takeFromSpace removes n processors from victim (idle-volunteered slots
@@ -221,9 +270,15 @@ func (k *Kernel) notify(sp *Space, events []Event) {
 	}
 	for _, s := range k.slots {
 		if s.sp == sp && s.act != nil {
+			// events may alias the stopEvs scratch (ChaosPreempt passes
+			// takeSlot's return straight here), and interruptSlot is about to
+			// overwrite that scratch — merge into notify's own buffer first.
+			merged := append(k.scratch.notifyEvs[:0], events...)
 			evs := k.interruptSlot(s)
+			merged = append(merged, evs...)
+			k.scratch.notifyEvs = merged
 			k.Stats.DoublePreempts++
-			k.deliver(s, sp, append(events, evs...), k.C.SAUpcallWork+k.C.IPI)
+			k.deliver(s, sp, merged, k.C.SAUpcallWork+k.C.IPI)
 			return
 		}
 	}

@@ -51,6 +51,19 @@ func (k *Kernel) NewVM() *VM {
 	}
 }
 
+// Reset returns the pager to its construction state for a fresh run: all
+// pages non-resident, no fetches in flight, no entry pages registered, stats
+// zeroed. Call only after the owning kernel (and engine) have been Reset, so
+// no faulting thread still holds a completion callback.
+func (vm *VM) Reset() {
+	clear(vm.resident)
+	clear(vm.faulting)
+	clear(vm.entryPage)
+	vm.Stats.Faults = 0
+	vm.Stats.Coalesced = 0
+	vm.Stats.DelayedUpcalls = 0
+}
+
 // Preload marks pages resident (program load / warm start).
 func (vm *VM) Preload(pages ...int) {
 	for _, p := range pages {

@@ -22,6 +22,26 @@ func BenchmarkChaosSweep(b *testing.B) {
 	b.ReportMetric(float64(seedsPer)*float64(b.N)/b.Elapsed().Seconds(), "seeds/sec")
 }
 
+// BenchmarkWarmChaosRun measures the steady-state warm path: one RunContext,
+// recycled for every iteration, each iteration one full fault-injected run
+// (seed varies so the workload shape does too). This is the fleet worker's
+// inner loop; its allocs/op is the number the bench-smoke steady-state
+// allocation gate (TestWarmRunSteadyStateAllocs) holds a ceiling over —
+// construction cost is excluded by building the context before the timer.
+func BenchmarkWarmChaosRun(b *testing.B) {
+	rc := NewRunContext()
+	defer rc.Close()
+	rc.runOnce(1, nil) // absorb first-run warmup (pool spin-up, arena growth)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, r := rc.runOnce(int64(1+i%16), nil); len(r.Violations) != 0 {
+			b.Fatalf("seed %d: %d violations", r.Seed, len(r.Violations))
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+}
+
 // BenchmarkChaosSweepPar is BenchmarkChaosSweep on the conservative PDES
 // engine (2 LPs, production lookahead and affinity): the same seeds, the
 // same byte-identical fingerprints, measured through the partitioned queue

@@ -1,15 +1,18 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"time"
 
 	"schedact/internal/chaos"
 	"schedact/internal/core"
 	"schedact/internal/fleet"
 	"schedact/internal/sim"
+	"schedact/internal/stats"
 	"schedact/internal/trace"
 	"schedact/internal/uthread"
 )
@@ -240,69 +243,363 @@ func RunChaosSeedAblated(seed int64, mutate func(*core.Kernel)) ChaosResult {
 	return r
 }
 
-// ChaosSweep runs seeds first..first+n-1 through RunChaosSeed on a pool of
-// workers (0 = one per CPU), reporting one line per seed to w — in seed
-// order, regardless of which worker finished first — plus full violation
-// reports for failures, sweep throughput, and per-worker failure
-// attribution. It returns the number of failed seeds.
+// RunContext is a warm, reusable chaos-run stack: one engine (with its
+// coroutine-goroutine pool), trace log, kernel, pager, auditor,
+// fingerprinter, latency deriver, and injector, all constructed once and
+// recycled through the Reset seam for run after run. A fleet worker owns one
+// RunContext and drives thousands of seeds through it with no steady-state
+// construction: every layer returns to its birth state in place, and the
+// long-lived trace observers and metric registrations carry over.
 //
-// Each seed runs on its own engine, trace log, and injector, so the
-// per-seed fingerprints are byte-identical to a sequential (-workers 1)
-// sweep; only wall-clock time and the worker column vary with the pool.
+// Equivalence contract: a warm run's fingerprint is byte-identical to a
+// cold chaosOnce run of the same seed — RunSeed replicates the cold path's
+// construction order exactly, so every event sequence number, trace record,
+// and counter matches (pinned by TestWarmContextMatchesCold and the golden
+// warm-engine tests).
+type RunContext struct {
+	pool *sim.Pool
+	eng  sim.Engine
+	rng  *rand.Rand
+	tr   *trace.Log
+	k    *core.Kernel
+	vm   *core.VM
+	aud  *chaos.Auditor
+	fpr  *chaos.Fingerprinter
+	lat  *trace.Latencies
+	inj  *chaos.Injector
+
+	// mark is the metric registry's high-water cursor after construction;
+	// runOnce truncates back to it so per-run registrations (per-space
+	// uthread counters) never pile up dedup-suffixed duplicates across
+	// recycles — a cold engine sees each name exactly once, so a warm one
+	// must too or the fingerprint's metric fold diverges.
+	mark int
+}
+
+// NewRunContext builds a warm run stack. The construction order mirrors the
+// registration order of a cold run (engine, machine+kernel, auditor,
+// fingerprinter, latency deriver, injector), so the metric names — and with
+// them the fingerprint's final fold — are identical to a cold engine's.
+// The context honors EngineLPs at construction, like every cold run.
+func NewRunContext() *RunContext {
+	pool := sim.NewPool()
+	opts := append([]sim.Option{sim.WithLabel("chaos warm context")}, parEngineOpts()...)
+	rc := &RunContext{
+		pool: pool,
+		eng:  pool.NewEngine(opts...),
+		rng:  rand.New(rand.NewSource(0)),
+		tr:   trace.New(8192),
+	}
+	rc.k = core.New(rc.eng, core.Config{CPUs: 2, Trace: rc.tr})
+	rc.vm = rc.k.NewVM()
+	rc.aud = chaos.Attach(rc.k, rc.tr, 250*sim.Microsecond)
+	rc.fpr = chaos.NewFingerprinter(rc.tr)
+	rc.lat = trace.NewLatencies(rc.tr, rc.eng.Metrics())
+	rc.inj = chaos.New(rc.eng, chaos.Plan{})
+	rc.mark = rc.eng.Metrics().Mark()
+	return rc
+}
+
+// Close tears the warm stack down: the engine closes (unwinding any
+// coroutines left from the last run) and the goroutine pool retires.
+func (rc *RunContext) Close() {
+	if rc == nil {
+		return
+	}
+	rc.eng.Close()
+	rc.pool.Close()
+}
+
+// runOnce executes one audited, fault-injected mixed workload for seed on
+// the warm stack. It is chaosOnceOn with construction replaced by Reset,
+// statement for statement — every call that schedules an event or draws
+// from the seed RNG happens in the cold order, so the timeline is
+// byte-identical. The engine stays open; the fingerprint is finalized
+// directly (a cold run folds it in a close hook at the same point: after
+// the final audit, before any coroutine is unwound).
+func (rc *RunContext) runOnce(seed int64, mutate func(*core.Kernel)) (chaos.Fingerprint, ChaosResult) {
+	rc.eng.Reset(sim.WithLabel(chaosLabel(seed)))
+	rc.eng.Metrics().Truncate(rc.mark)
+	rc.tr.Reset()
+	rc.rng.Seed(seed)
+	rc.k.Reset(core.Config{CPUs: 2 + rc.rng.Intn(4), Trace: rc.tr})
+	if mutate != nil {
+		mutate(rc.k)
+	}
+	StartDaemonSA(rc.k)
+	rc.vm.Reset()
+	rc.aud.Reset()
+	rc.fpr.Reset()
+	rc.lat.Reset()
+	rc.inj.Reset(chaos.NewPlan(seed))
+	rc.inj.InstrumentSA(rc.k)
+	rc.inj.InstrumentVM(rc.vm)
+	wl := BuildMixedWorkload(rc.k, rc.vm, rc.rng)
+
+	eng, aud := rc.eng, rc.aud
+	for step := 0; step < chaosStormSteps && !wl.Done() && len(aud.Violations) == 0; step++ {
+		eng.RunFor(sim.Millisecond)
+	}
+	rc.inj.Stop()
+	for step := 0; step < chaosDrainSteps && !wl.Done() && len(aud.Violations) == 0; step++ {
+		eng.RunFor(sim.Millisecond)
+	}
+	aud.Check()
+	r := ChaosResult{
+		Seed:     seed,
+		Finished: wl.Finished(),
+		Total:    wl.Total,
+		End:      eng.Now(),
+		Preempts: rc.inj.Stats.Preempts,
+	}
+	// The auditor is recycled next run, so failures must be copied out —
+	// a cold run hands over its one-shot auditor's slice instead.
+	if len(aud.Violations) > 0 {
+		r.Violations = append([]chaos.Violation(nil), aud.Violations...)
+	}
+	return rc.fpr.Finish(eng), r
+}
+
+// RunSeed runs one seed twice on the warm stack — run and replay, exactly
+// like RunChaosSeed — and folds both fingerprints into the result.
+func (rc *RunContext) RunSeed(seed int64) ChaosResult {
+	rep := rc.RunSeedReport(seed)
+	return rep.ChaosResult
+}
+
+// SeedReport is one seed's sweep contribution: the verdict plus the first
+// run's latency histograms, copied out of the warm context so a streaming
+// aggregator can merge them after the context has moved on to other seeds.
+type SeedReport struct {
+	ChaosResult
+	UpcallDispatch stats.Histogram
+	ReadyWait      stats.Histogram
+	BlockUnblock   stats.Histogram
+}
+
+// RunSeedReport is RunSeed capturing the first (canonical) run's latency
+// histograms alongside the verdict.
+func (rc *RunContext) RunSeedReport(seed int64) SeedReport {
+	fpA, r := rc.runOnce(seed, nil)
+	rep := SeedReport{
+		UpcallDispatch: rc.lat.UpcallDispatch,
+		ReadyWait:      rc.lat.ReadyWait,
+		BlockUnblock:   rc.lat.BlockUnblock,
+	}
+	fpB, _ := rc.runOnce(seed, nil)
+	r.Fingerprint = fpA
+	r.Replay = fpB
+	rep.ChaosResult = r
+	return rep
+}
+
+// SweepOptions parameterizes ChaosSweepOpts beyond the seed range.
+type SweepOptions struct {
+	// Workers is the fleet pool width (0 = one per CPU).
+	Workers int
+	// Checkpoint, when non-empty, is a JSON file recording sweep progress.
+	// A sweep finding a checkpoint with the same first seed resumes after
+	// the seeds already done — re-invoking with a larger -seeds extends a
+	// finished sweep — and updates the file as results stream in, so an
+	// interrupted wide sweep loses at most the in-flight seeds.
+	Checkpoint string
+}
+
+// maxFailedSeeds bounds the failed-seed list a sweep aggregate retains (and
+// checkpoints); the failure count is exact regardless.
+const maxFailedSeeds = 64
+
+// SweepAggregate is the streaming sweep state: everything the sweep reports
+// is folded here in seed order with bounded memory — a rolling fleet
+// fingerprint over the per-seed fingerprints, exact failure attribution by
+// seed (bounded list), and merged cross-run latency histograms. It is also
+// the checkpoint payload.
+type SweepAggregate struct {
+	First  int64   `json:"first"`
+	Done   int64   `json:"done"`          // seeds completed: first..first+Done-1
+	Failed int64   `json:"failed"`        // exact failure count
+	Seeds  []int64 `json:"failed_seeds"`  // first maxFailedSeeds failing seeds
+	Fleet  uint64  `json:"fleet_fnv"`     // rolling FNV-1a over (seed, fingerprint)
+	Runs   uint64  `json:"threads_total"` // workload threads across first runs
+	// Merged latency distributions from each seed's first run.
+	UpcallDispatch stats.Histogram `json:"upcall_dispatch"`
+	ReadyWait      stats.Histogram `json:"ready_wait"`
+	BlockUnblock   stats.Histogram `json:"block_unblock"`
+}
+
+// fold streams one seed's report into the aggregate. Reports must arrive in
+// seed order (fleet.Run's emit contract) so the rolling fingerprint is
+// well-defined.
+func (ag *SweepAggregate) fold(rep *SeedReport) {
+	ag.Done++
+	if !rep.OK() {
+		ag.Failed++
+		if len(ag.Seeds) < maxFailedSeeds {
+			ag.Seeds = append(ag.Seeds, rep.Seed)
+		}
+	}
+	h := ag.Fleet
+	if h == 0 {
+		h = 14695981039346656037
+	}
+	for _, v := range [2]uint64{uint64(rep.Seed), uint64(rep.Fingerprint)} {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	ag.Fleet = h
+	ag.Runs += uint64(rep.Total)
+	ag.UpcallDispatch.Merge(&rep.UpcallDispatch)
+	ag.ReadyWait.Merge(&rep.ReadyWait)
+	ag.BlockUnblock.Merge(&rep.BlockUnblock)
+}
+
+// loadCheckpoint reads a sweep checkpoint; a missing file, unparsable
+// content, or a different first seed yields a zero aggregate for first.
+func loadCheckpoint(path string, first int64) *SweepAggregate {
+	ag := &SweepAggregate{First: first}
+	if path == "" {
+		return ag
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return ag
+	}
+	var loaded SweepAggregate
+	if json.Unmarshal(raw, &loaded) != nil || loaded.First != first || loaded.Done < 0 {
+		return ag
+	}
+	return &loaded
+}
+
+// save writes the aggregate to path atomically enough for a crash-resumable
+// checkpoint (full rewrite; the file is small and self-contained).
+func (ag *SweepAggregate) save(path string) {
+	if path == "" {
+		return
+	}
+	raw, err := json.MarshalIndent(ag, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// checkpointEvery is how many streamed results separate checkpoint writes
+// (the final state is always written).
+const checkpointEvery = 16
+
+// ChaosSweep runs seeds first..first+n-1 on a pool of workers (0 = one per
+// CPU) and returns the number of failed seeds. See ChaosSweepOpts.
 func ChaosSweep(w io.Writer, first, n int64, workers int) (failed int) {
+	return int(ChaosSweepOpts(w, first, n, SweepOptions{Workers: workers}).Failed)
+}
+
+// ChaosSweepOpts is the chaos battery's sweep driver: seeds first..first+n-1
+// fan across a fleet of workers, each owning one warm RunContext recycled
+// across all its seeds, and results stream back in seed order — one line per
+// seed, full violation reports for failures, and a bounded-memory aggregate
+// (rolling fleet fingerprint, failure attribution by seed, merged latency
+// histograms) that doubles as the checkpoint payload.
+//
+// Each seed still executes on a private engine/trace/injector stack (one per
+// worker, recycled), so per-seed fingerprints are byte-identical to a
+// sequential sweep and to cold one-shot runs; only wall-clock and the worker
+// column vary with the pool.
+func ChaosSweepOpts(w io.Writer, first, n int64, opt SweepOptions) *SweepAggregate {
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = fleet.DefaultWorkers()
 	}
-	fprintf(w, "chaos sweep: %d seeds starting at %d on %d worker(s) (auditor on, each seed run twice)\n",
-		n, first, workers)
+	ag := loadCheckpoint(opt.Checkpoint, first)
+	if ag.Done > n {
+		// The checkpoint covers more than this request; report what was
+		// asked for without re-running (failure count reflects the full
+		// checkpointed range, which contains the requested one).
+		fprintf(w, "chaos sweep: seeds %d..%d already done per checkpoint %s (%d done, %d failed)\n",
+			first, first+n-1, opt.Checkpoint, ag.Done, ag.Failed)
+		return ag
+	}
+	todo := n - ag.Done
+	fprintf(w, "chaos sweep: seeds %d..%d on %d worker(s), warm run contexts (auditor on, each seed run twice)\n",
+		first, first+n-1, workers)
+	if ag.Done > 0 {
+		fprintf(w, "  resuming from checkpoint %s: %d/%d seeds done, %d failed; continuing at seed %d\n",
+			opt.Checkpoint, ag.Done, n, ag.Failed, first+ag.Done)
+	}
+	if todo == 0 {
+		reportSweep(w, ag, n, 0, 0)
+		return ag
+	}
 	start := time.Now()
-	type tally struct{ runs, failed int }
-	byWorker := make([]tally, workers)
-	// One coroutine-goroutine pool per worker: each pool is confined to the
-	// worker goroutine that owns it, and successive seeds on that worker
-	// reuse warm goroutines instead of spawning thousands. Fleet clamps the
-	// pool width to the job count, so unused slots just stay nil.
-	pools := make([]*sim.Pool, workers)
+	base := first + ag.Done
+	// One warm RunContext per worker: the slot is created by — and stays
+	// confined to — the worker goroutine that owns it, so successive seeds
+	// recycle the whole engine/kernel/chaos stack with no cross-worker
+	// sharing. Fleet clamps the pool width to the job count, so unused
+	// slots just stay nil.
+	ctxs := make([]*RunContext, workers)
 	defer func() {
-		for _, p := range pools {
-			p.Close()
+		for _, rc := range ctxs {
+			rc.Close()
 		}
 	}()
-	fleet.Run(workers, int(n), func(job, worker int) ChaosResult {
-		if pools[worker] == nil {
-			pools[worker] = sim.NewPool()
+	sinceSave := 0
+	fleet.Run(workers, int(todo), func(job, worker int) SeedReport {
+		if ctxs[worker] == nil {
+			ctxs[worker] = NewRunContext()
 		}
-		return runChaosSeedIn(pools[worker], first+int64(job))
-	}, func(res fleet.Result[ChaosResult]) {
-		r := res.Value
+		return ctxs[worker].RunSeedReport(base + int64(job))
+	}, func(res fleet.Result[SeedReport]) {
+		rep := res.Value
 		status := "ok"
-		byWorker[res.Worker].runs++
-		if !r.OK() {
+		if !rep.OK() {
 			status = "FAIL"
-			failed++
-			byWorker[res.Worker].failed++
 		}
 		fprintf(w, "  seed %3d  w%-2d fp %v  preempts %4d  threads %2d/%2d  t=%8.0fms  %s\n",
-			r.Seed, res.Worker, r.Fingerprint, r.Preempts, r.Finished, r.Total, r.End.Ms(), status)
-		if r.Fingerprint != r.Replay {
-			fprintf(w, "       nondeterministic: replay fingerprint %v\n", r.Replay)
+			rep.Seed, res.Worker, rep.Fingerprint, rep.Preempts, rep.Finished, rep.Total, rep.End.Ms(), status)
+		if rep.Fingerprint != rep.Replay {
+			fprintf(w, "       nondeterministic: replay fingerprint %v\n", rep.Replay)
 		}
-		for _, v := range r.Violations {
+		for _, v := range rep.Violations {
 			fprintf(w, "%v", v.Error())
 		}
-	})
-	elapsed := time.Since(start)
-	fprintf(w, "chaos sweep: %d seeds in %.2fs (%.1f seeds/sec)\n",
-		n, elapsed.Seconds(), float64(n)/elapsed.Seconds())
-	for wi, t := range byWorker {
-		if t.failed > 0 {
-			fprintf(w, "  worker %d: %d seeds, %d FAILED\n", wi, t.runs, t.failed)
+		ag.fold(&rep)
+		if sinceSave++; sinceSave >= checkpointEvery {
+			sinceSave = 0
+			ag.save(opt.Checkpoint)
 		}
-	}
-	if failed == 0 {
-		fprintf(w, "chaos sweep: all %d seeds passed\n", n)
+	})
+	ag.save(opt.Checkpoint)
+	reportSweep(w, ag, n, todo, time.Since(start))
+	return ag
+}
+
+// reportSweep renders the sweep tail: throughput over the seeds actually
+// run this session against the total requested range, the rolling fleet
+// fingerprint, merged latency quantiles, and failures attributed by seed.
+func reportSweep(w io.Writer, ag *SweepAggregate, n, ran int64, elapsed time.Duration) {
+	if ran > 0 && elapsed > 0 {
+		fprintf(w, "chaos sweep: %d/%d seeds done (%d run in %.2fs, %.1f seeds/sec); fleet fingerprint %016x\n",
+			ag.Done, n, ran, elapsed.Seconds(), float64(ran)/elapsed.Seconds(), ag.Fleet)
 	} else {
-		fprintf(w, "chaos sweep: %d of %d seeds FAILED\n", failed, n)
+		fprintf(w, "chaos sweep: %d/%d seeds done; fleet fingerprint %016x\n", ag.Done, n, ag.Fleet)
 	}
-	return failed
+	if ag.UpcallDispatch.N > 0 {
+		fprintf(w, "  latency (merged over first runs): upcall-dispatch p50=%dns p99=%dns  ready-wait p50=%dns p99=%dns  block-unblock p50=%dns p99=%dns\n",
+			ag.UpcallDispatch.Quantile(0.50), ag.UpcallDispatch.Quantile(0.99),
+			ag.ReadyWait.Quantile(0.50), ag.ReadyWait.Quantile(0.99),
+			ag.BlockUnblock.Quantile(0.50), ag.BlockUnblock.Quantile(0.99))
+	}
+	if ag.Failed == 0 {
+		fprintf(w, "chaos sweep: all %d seeds passed\n", ag.Done)
+		return
+	}
+	fprintf(w, "chaos sweep: %d of %d seeds FAILED — failing seeds: %v", ag.Failed, ag.Done, ag.Seeds)
+	if int64(len(ag.Seeds)) < ag.Failed {
+		fprintf(w, " (first %d shown)", len(ag.Seeds))
+	}
+	fprintf(w, "\n")
 }

@@ -209,6 +209,13 @@ func launchOne(sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng 
 // goroutines from pool (nil = unpooled).
 func launchOneIn(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng sim.Engine, run *nbody.Run) {
 	eng = pool.NewEngine(engOpts(fmt.Sprintf("%s P=%d", sys, procs))...)
+	return eng, launchOnEngine(eng, sys, cfg, procs, tr)
+}
+
+// launchOnEngine is launchOneIn's kernel-and-application half on a
+// caller-supplied engine — the seam the warm-golden tests use to drive the
+// Figure 1 workloads on one recycled engine instead of a fresh one per run.
+func launchOnEngine(eng sim.Engine, sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (run *nbody.Run) {
 	switch sys {
 	case SysTopaz:
 		k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs, Trace: tr})
@@ -231,7 +238,7 @@ func launchOneIn(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int, tr
 	default:
 		panic("exp: unknown system " + sys)
 	}
-	return eng, run
+	return run
 }
 
 // StatsTrace, when set, gives every launched application run a private

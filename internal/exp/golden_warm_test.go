@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schedact/internal/apps/micro"
+	"schedact/internal/sim"
+	"schedact/internal/trace"
+)
+
+// TestGoldenTracesWarmEngine replays every golden case — the four Table 1/4
+// microbenchmark systems and the three Figure 1 smoke runs — on ONE engine
+// recycled through Reset, and diffs each dump against the same committed
+// canonical files TestGoldenTraces pins. A cold run and a warm run must be
+// textually indistinguishable: any Reset leak that shifts a single event
+// sequence number, timestamp, or dispatch decision breaks the very first
+// affected line. Together with TestWarmContextMatchesCold this is the
+// tentpole's equivalence proof across both the chaos and golden workloads.
+func TestGoldenTracesWarmEngine(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens are blessed by TestGoldenTraces; the warm replay only verifies")
+	}
+	eng := sim.NewEngine(sim.WithLabel("warm goldens"))
+	defer eng.Close()
+
+	// Hand the microbenchmarks the recycled engine: each acquisition resets
+	// it under the benchmark's own label, exactly where a cold run would
+	// construct a fresh one.
+	micro.WarmEngine = func(label string) sim.Engine {
+		eng.Reset(sim.WithLabel(label))
+		return eng
+	}
+	defer func() { micro.WarmEngine = nil }()
+
+	warmFigure1 := func(sys SystemName) string {
+		tr := trace.New(goldenEntries)
+		eng.Reset(sim.WithLabel(fmt.Sprintf("%s P=%d", sys, 2)))
+		run := launchOnEngine(eng, sys, nbodySmoke(), 2, tr)
+		eng.RunUntil(sim.Time(2 * sim.Second))
+		var b strings.Builder
+		fmt.Fprintf(&b, "# golden figure-1 trace: %s P=2, 2s horizon\n", sys)
+		fmt.Fprintf(&b, "# done=%v elapsed=%v retained=%d lost=%d\n",
+			run.Done, run.Elapsed(), len(tr.Entries()), tr.Lost())
+		tr.Dump(&b)
+		return b.String()
+	}
+
+	cases := []struct {
+		name string
+		gen  func() string
+	}{
+		{"table1_fastthreads_kt", func() string { return goldenMicro(micro.FastThreadsKT) }},
+		{"table1_topaz_threads", func() string { return goldenMicro(micro.TopazThreads) }},
+		{"table1_ultrix_processes", func() string { return goldenMicro(micro.UltrixProcesses) }},
+		{"table4_fastthreads_sa", func() string { return goldenMicro(micro.FastThreadsSA) }},
+		{"figure1_topaz", func() string { return warmFigure1(SysTopaz) }},
+		{"figure1_orig_fastthreads", func() string { return warmFigure1(SysOrigFT) }},
+		{"figure1_new_fastthreads", func() string { return warmFigure1(SysNewFT) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.name+".trace")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file %s (create with TestGoldenTraces -update): %v", path, err)
+			}
+			if got := tc.gen(); got != string(want) {
+				diffTraces(t, path+" (warm engine)", string(want), got)
+			}
+		})
+	}
+}

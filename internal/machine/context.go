@@ -32,31 +32,91 @@ type Context struct {
 	// Owner is an opaque back-pointer for the scheduling layer (kernel
 	// thread, activation, process record).
 	Owner any
+
+	// fn is the current incarnation's body; wrap is the coroutine wrapper
+	// built once per Context struct and reused across recycles, reading fn
+	// indirectly so NewContext on a recycled context allocates no closure.
+	fn   func(*Context)
+	wrap func(*sim.Coroutine)
 }
 
 // NewContext creates an execution context whose root coroutine runs fn. The
 // context starts off-CPU with fn not yet started; the first Dispatch starts
 // it. The root coroutine's worker is bound to the context for its lifetime
 // unless the scheduling layer explicitly rebinds.
+//
+// The Context struct is drawn from the machine's recycle arena when a
+// previous context was returned via FreeContext, so a scheduler that
+// reclaims its dead vessels runs with a bounded working set of contexts no
+// matter how many it creates.
 func (m *Machine) NewContext(name string, fn func(*Context)) *Context {
-	ctx := &Context{m: m, name: name}
-	ctx.rootW = Worker{m: m, name: name + ":root"}
-	ctx.co = m.Eng.Go(name, func(co *sim.Coroutine) {
-		ctx.rootW.wantCPU = false // started; parks manage this from here on
-		fn(ctx)
-		ctx.done = true
-		if ctx.w == &ctx.rootW {
-			ctx.rootW.Unbind()
+	var ctx *Context
+	if n := len(m.ctxFree); n > 0 {
+		ctx = m.ctxFree[n-1]
+		m.ctxFree[n-1] = nil
+		m.ctxFree = m.ctxFree[:n-1]
+		ctx.name = name
+		ctx.done = false
+		ctx.rootW.name = name + ":root"
+	} else {
+		ctx = &Context{m: m, name: name}
+		ctx.rootW = Worker{m: m, name: name + ":root"}
+		ctx.wrap = func(co *sim.Coroutine) {
+			ctx.rootW.wantCPU = false // started; parks manage this from here on
+			ctx.fn(ctx)
+			ctx.done = true
+			if ctx.w == &ctx.rootW {
+				ctx.rootW.Unbind()
+			}
+			if ctx.cpu != nil {
+				ctx.cpu.Release(ctx)
+			}
 		}
-		if ctx.cpu != nil {
-			ctx.cpu.Release(ctx)
-		}
-	})
+	}
+	ctx.fn = fn
+	ctx.co = m.Eng.Go(name, ctx.wrap)
 	ctx.rootW.co = ctx.co
 	ctx.rootW.vp = ctx
 	ctx.rootW.wantCPU = true // the start dispatch resumes the root
 	ctx.w = &ctx.rootW
 	return ctx
+}
+
+// FreeContext unwinds a context that will never be dispatched again and
+// returns its struct to the machine's recycle arena. It reports false —
+// touching nothing — when the context cannot be reclaimed yet: its root
+// coroutine is running or has a resume in flight, it is still on a CPU, or
+// its hosted worker is mid-charge. Such contexts stay parked until
+// Engine.Close reaps them, exactly as before arenas existed; reclamation is
+// an optimization, never an obligation.
+func (m *Machine) FreeContext(ctx *Context) bool {
+	co := ctx.co
+	if co == nil || ctx.cpu != nil || co.Running() || ctx.MidExec() {
+		return false
+	}
+	if !co.Done() {
+		if co.ResumeScheduled() {
+			return false
+		}
+		co.Destroy()
+	}
+	if w := ctx.w; w != nil {
+		w.vp = nil
+		ctx.w = nil
+	}
+	ctx.co = nil
+	ctx.done = false
+	ctx.Owner = nil
+	ctx.fn = nil
+	rw := &ctx.rootW
+	rw.co = nil
+	rw.vp = nil
+	rw.remaining = 0
+	rw.execStart = 0
+	rw.execEv = sim.Handle{}
+	rw.wantCPU = false
+	m.ctxFree = append(m.ctxFree, ctx)
+	return true
 }
 
 // Name reports the context's debug name.

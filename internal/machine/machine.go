@@ -31,6 +31,11 @@ type Machine struct {
 	// (disk I/O scheduling). The owning kernel sets it alongside its own
 	// log so all layers share one stream.
 	Trace *trace.Log
+
+	// ctxFree is the recycled-context arena (see FreeContext). Entries hold
+	// no run state — their coroutines are dead and detached — so the arena
+	// stays warm across Reset.
+	ctxFree []*Context
 }
 
 // New creates a machine with n CPUs and the given cost profile.
@@ -67,6 +72,38 @@ func New(eng sim.Engine, n int, cost *Costs) *Machine {
 	})
 	reg.Func("machine.disk_ios", func() uint64 { return m.Disk.Requests })
 	return m
+}
+
+// Reset returns the machine to its construction state with n CPUs and the
+// given cost profile, for reuse on a fresh run. The owning engine must have
+// been Reset first (all root coroutines are dead by then); CPU structs and
+// the recycled-context arena stay warm, so a steady-state reset allocates
+// only when n exceeds every previous CPU count. Metric registrations made at
+// construction remain valid: they close over the machine, not over any run's
+// state.
+func (m *Machine) Reset(n int, cost *Costs) {
+	if n <= 0 {
+		panic("machine: need at least one CPU")
+	}
+	m.Cost = cost
+	for len(m.cpus) < n {
+		m.cpus = append(m.cpus, &CPU{m: m, id: CPUID(len(m.cpus))})
+	}
+	m.cpus = m.cpus[:n]
+	for _, p := range m.cpus {
+		p.cur = nil
+		p.busySince = 0
+		p.TotalBusy = 0
+		p.Dispatches = 0
+		p.Preempts = 0
+	}
+	d := m.Disk
+	d.Latency = cost.DiskLatency
+	d.Contended = false
+	d.Perturb = nil
+	d.freeAt = 0
+	d.Requests = 0
+	m.Trace = nil
 }
 
 // NumCPUs reports the number of processors.

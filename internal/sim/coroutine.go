@@ -304,6 +304,35 @@ func (c *Coroutine) UnparkAt(t Time) {
 	c.eng.scheduleEvent(t, kindResume, c.name, nil, c)
 }
 
+// Destroy unwinds a parked or never-started coroutine immediately, running no
+// more of its body (deferred functions in the body do run, as on Close). The
+// unwind is a pure goroutine rendezvous: no events are scheduled or
+// cancelled, the clock and the trace are untouched, and no resume statistics
+// move — so destroying an abandoned context mid-run cannot perturb a
+// deterministic timeline. Schedulers use this to reclaim execution contexts
+// (and their pooled goroutines) that will never be dispatched again, instead
+// of leaving them parked until Engine.Close.
+//
+// Destroy panics on a coroutine with a resume already scheduled: the pending
+// resume would fire against a dead coroutine and be absorbed without
+// counting, diverging from a run that dispatched it. Callers must check
+// ResumeScheduled first and leave such contexts for Close to reap. Destroying
+// a running coroutine panics; a done coroutine (or one on a closed engine)
+// is a no-op.
+func (c *Coroutine) Destroy() {
+	b := c.b
+	if b.closed || c.state == coDone {
+		return
+	}
+	if c.state == coRunning || b.cur == c {
+		panic(fmt.Sprintf("sim: Destroy on running coroutine %s", c.name))
+	}
+	if c.resumeScheduled {
+		panic(fmt.Sprintf("sim: Destroy on coroutine %s with a resume scheduled", c.name))
+	}
+	c.kill()
+}
+
 // dispatch transfers control to the coroutine and blocks until it parks or
 // finishes. It runs in the engine goroutine, inside the resume event.
 func (c *Coroutine) dispatch() {
@@ -323,7 +352,7 @@ func (c *Coroutine) dispatch() {
 }
 
 // kill unwinds a parked or not-yet-started coroutine. Called from
-// Engine.Close only.
+// Engine.Close, Engine.Reset, and Coroutine.Destroy only.
 func (c *Coroutine) kill() {
 	if c.state == coDone || c.state == coRunning {
 		return

@@ -79,6 +79,22 @@ type Engine interface {
 	// After Close the engine must not be used. Close is idempotent.
 	Close()
 
+	// Reset returns the engine to its construction state for reuse on a
+	// fresh run, without tearing down what is expensive to rebuild: the
+	// clock, sequence counter, queue, and every counter return to zero and
+	// all live coroutines are unwound (outstanding Handles turn inert, the
+	// event free list is dropped so a warm run's Reuses count matches a
+	// cold engine's exactly) — while the metrics registry, hook
+	// registrations, goroutine pool, LP partition, and allocated queue
+	// capacity survive. Close hooks do NOT fire: the run is being recycled,
+	// not finished. Options are applied as at construction (label and
+	// elision default when not given); options that would re-partition the
+	// engine (WithLPs with a different count, WithLPChannelCap) panic.
+	// Reset on a closed engine panics; resetting an idle engine twice is
+	// harmless. A run that unwound with a *CoroutinePanic may be Reset and
+	// the engine reused.
+	Reset(opts ...Option)
+
 	// Label reports the engine's label (WithLabel).
 	Label() string
 	// Metrics returns the engine's shared stats registry. Every scheduling
@@ -158,6 +174,7 @@ type engineBase struct {
 	metrics *stats.Registry
 	hooks   Hooks
 	st      EngineStats
+	drain   []*Event // Reset drain scratch, reused across resets
 }
 
 // init wires the base to its implementation and applies construction
@@ -330,6 +347,57 @@ func (b *engineBase) beginClose() bool {
 	return true
 }
 
+// beginReset runs the engine-independent head of Reset: validity checks and
+// the coroutine unwind. Unlike beginClose, no close hooks fire and the
+// engine stays open. After a *CoroutinePanic escaped a drive call, cur may
+// still point at the (now done) coroutine; only a genuinely running
+// coroutine — a Reset issued from inside simulated code — is rejected.
+func (b *engineBase) beginReset() {
+	if b.closed {
+		panic("sim: Reset on closed engine")
+	}
+	if b.cur != nil && b.cur.state == coRunning {
+		panic("sim: Reset from inside a coroutine")
+	}
+	for c := range b.live {
+		c.kill()
+	}
+}
+
+// resetBase reinitializes the shared engine state for a fresh run: clock,
+// sequence counter, fire ceiling, and every stat return to zero, the event
+// free list is dropped (a warm run must serve its first allocations fresh,
+// so the fingerprinted Reuses count matches a cold engine's exactly), and
+// the construction options are re-applied. The metrics registry, hook
+// registrations, live-set map, and goroutine pool survive — re-registering
+// metrics would corrupt the registry's dedup names, and the pool's warm
+// goroutines are the point of resetting instead of closing.
+func (b *engineBase) resetBase(c config) {
+	b.now, b.limit, b.seq = 0, 0, 0
+	b.cur = nil
+	for i := range b.free {
+		b.free[i] = nil
+	}
+	b.free = b.free[:0]
+	b.st = EngineStats{}
+	b.label = c.label
+	b.noElide = c.noElide
+	for _, fn := range c.onClose {
+		b.hooks.OnClose(fn)
+	}
+}
+
+// drainInert invalidates a batch of drained event records — every
+// outstanding Handle to them turns inert — and drops the references so the
+// records are collectable even while the scratch buffer is retained.
+// Shared by the Reset paths.
+func drainInert(evs []*Event) {
+	for i, ev := range evs {
+		ev.gen++
+		evs[i] = nil
+	}
+}
+
 // maxTime is the fire ceiling of an unbounded Run call.
 const maxTime = Time(1<<63 - 1)
 
@@ -470,6 +538,20 @@ func (e *SeqEngine) Close() {
 		ev.gen++
 	}
 	e.free = nil
+}
+
+// Reset returns the engine to its construction state for reuse; see
+// Engine.Reset for the contract.
+func (e *SeqEngine) Reset(opts ...Option) {
+	c := buildConfig(opts)
+	if c.lps > 0 || c.lpChanCap > 0 {
+		panic("sim: Reset cannot re-partition an engine (WithLPs/WithLPChannelCap apply at construction only)")
+	}
+	e.beginReset()
+	e.drain = e.tl.drainAll(e.drain[:0])
+	drainInert(e.drain)
+	e.resetBase(c)
+	e.tl.reset(&e.st.Overflows)
 }
 
 // --- impl ---

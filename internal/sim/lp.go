@@ -23,6 +23,7 @@ const (
 	lpEnq     = iota // file cmd.ev into the timeline (async, no reply)
 	lpCancel         // remove cmd.ev from the timeline (sync)
 	lpHarvest        // pop everything with t <= cmd.upTo (sync)
+	lpReset          // drain everything, rewind the timeline, keep running (sync)
 	lpClose          // drain everything and exit (sync)
 )
 
@@ -97,6 +98,14 @@ func (l *logicalProcess) run() {
 		case lpHarvest:
 			l.buf = l.tl.popUpTo(c.upTo, l.buf[:0])
 			l.reply <- l.nullMessage(l.buf)
+		case lpReset:
+			// Engine.Reset: hand the whole partition back to the driver (which
+			// invalidates the records) and rewind the wheel to time zero, but
+			// keep the goroutine alive for the next run. The empty-partition
+			// null message re-seeds the driver's bound.
+			l.buf = l.tl.drainAll(l.buf[:0])
+			l.tl.reset(&l.ovf)
+			l.reply <- lpReply{evs: l.buf, headT: maxTime, headSeq: maxSeq}
 		case lpClose:
 			l.buf = l.tl.drainAll(l.buf[:0])
 			l.reply <- lpReply{evs: l.buf}

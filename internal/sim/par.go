@@ -305,6 +305,51 @@ func (e *ParEngine) Close() {
 	e.free = nil
 }
 
+// Reset returns the engine to its construction state for reuse; see
+// Engine.Reset for the contract. The LP partition survives: each LP drains
+// its timeline back to the driver (which turns the records' handles inert)
+// and rewinds to time zero without its goroutine exiting, so a warm run
+// re-files events into the same channels and wheels. WithLookahead and
+// WithAffinity may be re-specified (they are driver-side batching/routing
+// knobs that never affect the timeline); when omitted the current values
+// are kept. WithLPs must match the existing partition (or be omitted).
+func (e *ParEngine) Reset(opts ...Option) {
+	c := buildConfig(opts)
+	if c.lps != 0 && c.lps != len(e.lps) {
+		panic("sim: Reset cannot re-partition an engine (WithLPs applies at construction only)")
+	}
+	if c.lpChanCap > 0 {
+		panic("sim: Reset cannot resize LP channels (WithLPChannelCap applies at construction only)")
+	}
+	e.beginReset()
+	for _, l := range e.lps {
+		l.cmd <- lpCmd{op: lpReset}
+	}
+	for _, l := range e.lps {
+		r := <-l.reply
+		drainInert(r.evs)
+		l.owned = 0
+		l.boundT, l.boundSeq = r.headT, r.headSeq
+	}
+	e.ownedTot = 0
+	for i, ev := range e.near {
+		ev.loc = locNone
+		ev.index = -1
+		ev.gen++
+		e.near[i] = nil
+	}
+	e.near = e.near[:0]
+	e.shadow = 0
+	e.nearBound = 0
+	e.resetBase(c)
+	if c.lookahead > 0 {
+		e.lookahead = c.lookahead
+	}
+	if c.affinity != nil {
+		e.affinity = c.affinity
+	}
+}
+
 // --- impl ---
 
 func (e *ParEngine) scheduleEvent(t Time, kind Kind, subj string, fn func(), co *Coroutine) Handle {

@@ -78,9 +78,10 @@ func (r *Recorder) Recording() *Recording {
 // reproduces organically from re-execution.
 type ReplayEngine struct {
 	engineBase
-	tape  []tapeEntry
-	pos   int // next tape entry to fire
-	byseq map[uint64]*Event
+	tape         []tapeEntry
+	pos          int // next tape entry to fire
+	byseq        map[uint64]*Event
+	recOverflows uint64 // the recording's overflow count, re-adopted on Reset
 }
 
 // NewReplayEngine returns an engine that replays rec. The caller drives it
@@ -88,7 +89,7 @@ type ReplayEngine struct {
 // the engine panics on the first detected divergence rather than silently
 // inventing a different timeline.
 func NewReplayEngine(rec *Recording, opts ...Option) Engine {
-	e := &ReplayEngine{tape: rec.tape, byseq: make(map[uint64]*Event)}
+	e := &ReplayEngine{tape: rec.tape, byseq: make(map[uint64]*Event), recOverflows: rec.overflows}
 	e.init(e, buildConfig(opts))
 	e.st.Overflows = rec.overflows
 	return e
@@ -237,6 +238,26 @@ func (e *ReplayEngine) Close() {
 	e.byseq = nil
 	e.free = nil
 	e.tape = nil
+}
+
+// Reset rewinds the engine to the start of its tape for another replay of
+// the same recording; see Engine.Reset for the shared contract. Queued
+// events from the abandoned run turn inert and the recording's overflow
+// count is re-adopted, exactly as at construction.
+func (e *ReplayEngine) Reset(opts ...Option) {
+	c := buildConfig(opts)
+	if c.lps > 0 || c.lpChanCap > 0 {
+		panic("sim: Reset cannot re-partition an engine (WithLPs/WithLPChannelCap apply at construction only)")
+	}
+	e.beginReset()
+	for seq, ev := range e.byseq {
+		ev.loc = locNone
+		ev.gen++
+		delete(e.byseq, seq)
+	}
+	e.pos = 0
+	e.resetBase(c)
+	e.st.Overflows = e.recOverflows
 }
 
 // --- impl ---

@@ -83,6 +83,25 @@ func (h *Histogram) Observe(ns int64) {
 	h.Buckets[i]++
 }
 
+// Reset zeroes the histogram for reuse on a fresh run. Registrations remain
+// valid: they read through the pointer, so a registered histogram resets in
+// place without touching the registry.
+func (h *Histogram) Reset() {
+	*h = Histogram{}
+}
+
+// Merge folds other into h: counts, sums, and buckets add bucket-wise, so a
+// streaming sweep aggregator can maintain one fleet-wide distribution from
+// per-run histograms it immediately recycles. Quantile estimates of the
+// merged histogram are exactly those of observing both streams into one.
+func (h *Histogram) Merge(other *Histogram) {
+	h.N += other.N
+	h.SumNs += other.SumNs
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
 // Quantile returns the q-th quantile (0 < q <= 1) as the upper bound of
 // the bucket containing it, in nanoseconds — an estimate within 2x, which
 // is what fixed power-of-two buckets buy. Zero when empty.
@@ -235,6 +254,31 @@ func (r *Registry) Len() int {
 		return 0
 	}
 	return len(r.names)
+}
+
+// Mark returns a cursor over the registration sequence for Truncate: every
+// metric registered before the call survives a later Truncate(mark), every
+// one registered after is dropped by it.
+func (r *Registry) Mark() int { return r.Len() }
+
+// Truncate unregisters every metric registered after mark (a value from
+// Mark), restoring the registry to that earlier state. Warm run contexts use
+// this between runs: construction-time registrations (engine, kernel, chaos
+// instruments) persist across the mark while per-run ones (per-space
+// scheduler counters) are dropped and re-registered fresh, so a recycled
+// engine's snapshot carries exactly the names a cold engine's would.
+func (r *Registry) Truncate(mark int) {
+	if r == nil || mark >= len(r.names) {
+		return
+	}
+	if mark < 0 {
+		mark = 0
+	}
+	for _, name := range r.names[mark:] {
+		delete(r.read, name)
+		delete(r.host, name)
+	}
+	r.names = r.names[:mark]
 }
 
 // Snapshot reads every metric, sorted by name so layers group together and

@@ -47,6 +47,18 @@ func NewLatencies(l *Log, reg *stats.Registry) *Latencies {
 	return la
 }
 
+// Reset zeroes the histograms and in-flight pairing state for reuse on a
+// fresh run. The deriver stays attached to its log (observers survive
+// Log.Reset) and its metric registrations keep reading the same histograms.
+func (la *Latencies) Reset() {
+	la.UpcallDispatch.Reset()
+	la.ReadyWait.Reset()
+	la.BlockUnblock.Reset()
+	clear(la.upcallAt)
+	clear(la.readyAt)
+	clear(la.blockAt)
+}
+
 func (la *Latencies) record(r Record) {
 	switch r.Kind {
 	case KindUpcall:

@@ -38,6 +38,17 @@ func New(max int) *Log {
 	return l
 }
 
+// Reset clears the retained records, the lost count, and any category
+// filter, keeping the ring's capacity and — deliberately — the observer
+// list: long-lived stream consumers (auditor, fingerprinter, latency
+// deriver) attach once per log and reset their own state per run, so a warm
+// run re-records through the same observer chain a cold run would build.
+func (l *Log) Reset() {
+	l.list = l.list[:0]
+	l.lost = 0
+	l.filter = nil
+}
+
 // Filter restricts the log to the given categories (Record.Cat values).
 // Call before recording.
 func (l *Log) Filter(cats ...string) *Log {
