@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race race-par bench bench-json bench-diff fuzz replay saexp chaos chaos-warm chaos-par cover trace-demo profile
+.PHONY: check build vet lint test race race-par bench bench-json bench-diff fuzz replay saexp chaos chaos-warm chaos-par scenarios cover trace-demo profile
 
 # -benchtime for bench/bench-json; set BENCHTIME=1x for a smoke run.
 BENCHTIME ?= 1s
@@ -115,6 +115,18 @@ replay:
 chaos-par:
 	SCHEDACT_PAR_SEEDS=64 $(GO) test -run TestParEngineMatchesReference -count=1 ./internal/exp/
 	$(GO) run ./cmd/saexp -chaos -seeds 64 -engine par
+
+# Scenario-layer gate: the whole spec pipeline (strict parsing, validation
+# paths, round-trip, resume keys, compile orderings, checkpoint envelope),
+# then the canonical specs compiled and run with their fingerprints diffed
+# against the pinned per-seed table, and finally the CLI surface smoked
+# end-to-end — -list, and a custom spec fed through -scenario on stdin.
+scenarios:
+	$(GO) test -count=1 ./internal/scenario/
+	$(GO) test -run 'TestScenario|TestFingerprintsPinned|TestExperimentOutputsDeterministic' -count=1 ./internal/exp/
+	$(GO) run ./cmd/saexp -list
+	echo '{"name":"ci-smoke","workload":{"kind":"nbody","nbody":{"n":16,"steps":2}},"machine":{"cpus":2},"binding":{"systems":["new-ft"],"procs":[1,2]}}' \
+		| $(GO) run ./cmd/saexp -scenario -
 
 # CPU + heap profile of the chaos sweep (the macro hot path) at -workers 1,
 # so the profile is the engine, not the fleet. View with

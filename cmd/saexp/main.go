@@ -20,6 +20,19 @@
 //
 //	saexp -exp fig1 -trace-out /tmp/fig1.json   # load in chrome://tracing or ui.perfetto.dev
 //
+// Scenario mode runs a declarative spec — a built-in by name, a JSON file,
+// or stdin — through the same compiled pipeline the batteries use:
+//
+//	saexp -list                    # all built-in scenarios and experiments, one line each
+//	saexp -scenario fig1           # a built-in spec by name
+//	saexp -scenario my.json        # a custom spec from a file
+//	cat my.json | saexp -scenario -  # ... or from stdin
+//	saexp -scenario chaos64 -checkpoint sweep.json   # any compiled sweep can checkpoint/resume
+//
+// A checkpoint file is keyed by the spec that wrote it: re-invoking the same
+// spec resumes after the jobs already done, while a checkpoint written by a
+// different spec is rejected instead of silently merged.
+//
 // Chaos mode (separate from -exp):
 //
 //	saexp -chaos              # 64-seed fault-injection sweep, auditor armed
@@ -64,6 +77,7 @@ import (
 	"schedact/internal/core"
 	"schedact/internal/exp"
 	"schedact/internal/fleet"
+	"schedact/internal/scenario"
 	"schedact/internal/stats"
 )
 
@@ -79,7 +93,9 @@ func run() int {
 	seeds := flag.Int64("seeds", 64, "number of chaos seeds to sweep (with -chaos)")
 	firstSeed := flag.Int64("first-seed", 1, "first chaos seed (with -chaos; -first is an alias)")
 	flag.Int64Var(firstSeed, "first", 1, "alias for -first-seed")
-	checkpoint := flag.String("checkpoint", "", "chaos sweep progress file: resumes a sweep with the same -first-seed, extends it when -seeds grows (with -chaos)")
+	checkpoint := flag.String("checkpoint", "", "sweep progress file (with -chaos or -scenario): resumes the same spec, extends it when the seed range grows; a different spec's checkpoint is rejected")
+	scenarioSrc := flag.String("scenario", "", "run a declarative scenario: a built-in name (see -list), a spec JSON file, or - for stdin")
+	list := flag.Bool("list", false, "list the built-in scenarios and experiments, one line each, and exit")
 	ablate := flag.String("ablate", "", "run one deliberately broken kernel under the auditor: nogrant or dropevent (with -chaos)")
 	workers := flag.Int("workers", 0, "parallel run pool width for sweeps and experiment batteries (1 = sequential; 0 = auto: one per CPU, divided by the per-run goroutine count with -engine par)")
 	engine := flag.String("engine", "seq", "simulation engine per run: seq (reference sequential) or par (conservative PDES; byte-identical results, queue work spread over -lps goroutines)")
@@ -101,6 +117,9 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "unknown engine %q (want seq or par)\n", *engine)
 		return 2
 	}
+	// Scenario mode resolves its own width (explicit flag > spec hint >
+	// auto), so remember whether -workers was explicit before normalizing.
+	rawWorkers := *workers
 	if *workers <= 0 {
 		// Fleet-level and intra-run parallelism multiply: with the PDES
 		// engine each run occupies 1 driver + lps LP goroutines, so divide
@@ -145,6 +164,13 @@ func run() int {
 			return 2
 		}
 		return runTraceOut(*traceOut)
+	}
+
+	if *list {
+		return runList()
+	}
+	if *scenarioSrc != "" {
+		return runScenario(*scenarioSrc, rawWorkers, *checkpoint)
 	}
 
 	if *chaosMode {
@@ -288,13 +314,67 @@ func runTraceOut(path string) int {
 	return 0
 }
 
+// runList prints every built-in scenario and micro experiment with a
+// one-line description.
+func runList() int {
+	fmt.Println("built-in scenarios (saexp -scenario NAME; also accepts a spec JSON file or - for stdin):")
+	for _, s := range scenario.Builtins() {
+		fmt.Printf("  %-12s %s\n", s.Name, s.Description)
+	}
+	fmt.Println()
+	fmt.Println("micro experiments (saexp -exp NAME; no scenario spec — these measure primitive latencies):")
+	for _, e := range [][2]string{
+		{"table1", "Table 1: thread operation latencies (µs), kernel threads vs orig FastThreads"},
+		{"table4", "Table 4: thread operation latencies (µs) with scheduler activations"},
+		{"csablation", "§5.1 ablation: zero-overhead critical sections vs explicit flagging"},
+		{"upcall", "§5.2: signal-wait latency through the kernel (upcall round trip)"},
+		{"breakeven", "break-even work quantum where scheduler activations beat kernel threads"},
+		{"all", "every experiment and application battery in sequence"},
+	} {
+		fmt.Printf("  %-12s %s\n", e[0], e[1])
+	}
+	return 0
+}
+
+// runScenario compiles and runs one declarative scenario: a built-in by
+// name, a spec JSON file, or stdin. Exit code 0 only if every job (and, for
+// chaos programs, every seed) passed.
+func runScenario(src string, workers int, checkpoint string) int {
+	var sp scenario.Spec
+	var err error
+	if src == "-" {
+		sp, err = scenario.Read(os.Stdin)
+	} else if builtin, ok := scenario.Lookup(src); ok {
+		sp = builtin
+	} else {
+		sp, err = scenario.LoadFile(src)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pr, err := exp.RunSpec(os.Stdout, sp, exp.RunOptions{Workers: workers, Checkpoint: checkpoint})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if pr.Sweep != nil && pr.Sweep.Failed > 0 {
+		return 1
+	}
+	return 0
+}
+
 // runChaos executes the chaos sweep (or a single ablated demonstration run)
 // and returns the process exit code: 0 only if every seed passed.
 func runChaos(seeds, first int64, workers int, ablate, checkpoint string) int {
 	out := os.Stdout
 	switch ablate {
 	case "":
-		ag := exp.ChaosSweepOpts(out, first, seeds, exp.SweepOptions{Workers: workers, Checkpoint: checkpoint})
+		ag, err := exp.ChaosSweepOpts(out, first, seeds, exp.SweepOptions{Workers: workers, Checkpoint: checkpoint})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
 		if ag.Failed > 0 {
 			return 1
 		}

@@ -1,15 +1,9 @@
 package exp
 
 import (
-	"fmt"
 	"io"
 
-	"schedact/internal/apps/nbody"
-	"schedact/internal/core"
-	"schedact/internal/fleet"
-	"schedact/internal/machine"
-	"schedact/internal/sim"
-	"schedact/internal/uthread"
+	"schedact/internal/scenario"
 )
 
 // AllocatorAblationResult compares the §4.1 space-sharing allocator against
@@ -26,48 +20,23 @@ type AllocatorAblationResult struct {
 }
 
 // AllocatorAblation runs two new-FastThreads copies under both processor
-// allocation policies. Space sharing divides the machine fairly and evenly;
+// allocation policies (the compiled scenario.Alloc spec: policy axis
+// {space, fcfs}). Space sharing divides the machine fairly and evenly;
 // first-come starves the late arriver, showing why the policy (not just the
 // mechanism) matters.
 func AllocatorAblation() AllocatorAblationResult {
-	cfg := nbody.DefaultConfig()
-	seq := seqTime(cfg)
-	var res AllocatorAblationResult
-	type cell struct{ speedup, spread float64 }
-	cells := fleet.Map(Workers, 2, func(job, _ int) cell {
-		fcfs := job == 1
-		eng := sim.NewEngine(engOpts(fmt.Sprintf("alloc-ablation fcfs=%v", fcfs))...)
-		k := core.New(eng, core.Config{CPUs: MachineCPUs})
-		if fcfs {
-			k.SetPolicy(core.FirstComeFCFS)
-		}
-		StartDaemonSA(k)
-		var runs [2]*nbody.Run
-		for i := range runs {
-			s := uthread.OnActivations(k, fmt.Sprintf("nbody%d", i), 0, MachineCPUs, uthread.Options{})
-			runs[i] = nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
-			s.Start()
-		}
-		eng.RunUntil(RunLimit)
-		var sum, diff sim.Duration
-		for _, r := range runs {
-			if !r.Done {
-				panic("exp: allocator ablation run did not finish")
-			}
-			sum += r.Elapsed()
-		}
-		diff = runs[0].Elapsed() - runs[1].Elapsed()
+	pr := runCanonical(scenario.Alloc())
+	cell := func(o AppOutcome) (speedup, spread float64) {
+		avg := avgDuration(o.Els)
+		diff := o.Els[0] - o.Els[1]
 		if diff < 0 {
 			diff = -diff
 		}
-		avg := sum / 2
-		eng.Close()
-		return cell{speedup: float64(seq) / float64(avg), spread: float64(diff) / float64(avg)}
-	})
-	res.SpaceSharing.SpeedupAvg = cells[0].speedup
-	res.SpaceSharing.Spread = cells[0].spread
-	res.FirstCome.SpeedupAvg = cells[1].speedup
-	res.FirstCome.Spread = cells[1].spread
+		return float64(pr.Baseline) / float64(avg), float64(diff) / float64(avg)
+	}
+	var res AllocatorAblationResult
+	res.SpaceSharing.SpeedupAvg, res.SpaceSharing.Spread = cell(pr.Outcomes[0])
+	res.FirstCome.SpeedupAvg, res.FirstCome.Spread = cell(pr.Outcomes[1])
 	return res
 }
 
@@ -82,80 +51,28 @@ type HysteresisAblationResult struct {
 
 // HysteresisAblation runs a bursty application — 5ms of computation, then a
 // 10ms I/O — against a processor-hungry competitor, with the idle-spin
-// hysteresis longer and shorter than the application's idle gaps. With
+// hysteresis longer and shorter than the application's idle gaps (the
+// compiled scenario.Hysteresis spec: hysteresis axis {15ms, 5µs}). With
 // hysteresis covering the gap, the processor stays put; without it, every
 // gap surrenders the processor to the competitor and it must be stolen
 // back moments later.
 func HysteresisAblation() HysteresisAblationResult {
-	run := func(h sim.Duration) (uint64, uint64) {
-		eng := sim.NewEngine(engOpts(fmt.Sprintf("hysteresis-ablation h=%v", h))...)
-		defer eng.Close()
-		costs := machine.DefaultCosts()
-		costs.DiskLatency = sim.Ms(10)
-		k := core.New(eng, core.Config{CPUs: 2, Costs: costs})
-		hungry := uthread.OnActivations(k, "hungry", 0, 2, uthread.Options{})
-		for i := 0; i < 2; i++ {
-			hungry.Spawn("spin", func(t *uthread.Thread) { t.Exec(3 * sim.Second) })
-		}
-		hungry.Start()
-		bursty := uthread.OnActivations(k, "bursty", 0, 1, uthread.Options{Hysteresis: h})
-		done := false
-		bursty.Spawn("burst", func(t *uthread.Thread) {
-			for i := 0; i < 100; i++ {
-				t.Exec(sim.Ms(5))
-				t.BlockIO()
-			}
-			done = true
-		})
-		bursty.Start()
-		for !done && eng.Now() < RunLimit {
-			eng.RunFor(10 * sim.Millisecond)
-		}
-		if !done {
-			panic("exp: hysteresis ablation run did not finish")
-		}
-		return k.Stats.Takes, k.Stats.Upcalls
-	}
-	settings := []sim.Duration{sim.Ms(15), sim.Us(5)} // the first covers the 10ms gap
-	type cell struct{ takes, upcalls uint64 }
-	cells := fleet.Map(Workers, len(settings), func(job, _ int) cell {
-		var c cell
-		c.takes, c.upcalls = run(settings[job])
-		return c
-	})
+	pr := runCanonical(scenario.Hysteresis())
 	var res HysteresisAblationResult
-	res.WithHysteresis.Takes, res.WithHysteresis.Upcalls = cells[0].takes, cells[0].upcalls
-	res.WithoutHysteresis.Takes, res.WithoutHysteresis.Upcalls = cells[1].takes, cells[1].upcalls
+	res.WithHysteresis.Takes, res.WithHysteresis.Upcalls = pr.Outcomes[0].Takes, pr.Outcomes[0].Upcalls
+	res.WithoutHysteresis.Takes, res.WithoutHysteresis.Upcalls = pr.Outcomes[1].Takes, pr.Outcomes[1].Upcalls
 	return res
 }
 
 // Figure2Tuned re-runs the new-FastThreads Figure 2 series under the tuned
-// cost profile (§5.2's projected production implementation): with upcalls
-// at kernel-thread cost, the scheduler-activation system's advantage under
-// memory pressure widens.
+// cost profile (§5.2's projected production implementation, the compiled
+// scenario.Fig2Tuned spec): with upcalls at kernel-thread cost, the
+// scheduler-activation system's advantage under memory pressure widens.
 func Figure2Tuned() Series {
+	pr := runCanonical(scenario.Fig2Tuned())
 	s := Series{System: "new FastThreads (tuned upcalls)"}
-	pools := newWorkerPools(Workers, len(MemoryPoints))
-	defer pools.Close()
-	ys := fleet.Map(Workers, len(MemoryPoints), func(job, worker int) float64 {
-		pct := MemoryPoints[job]
-		cfg := nbody.DefaultConfig()
-		cfg.MemFraction = pct / 100
-		eng := pools.get(worker).NewEngine(engOpts(fmt.Sprintf("fig2-tuned mem=%.0f%%", pct))...)
-		k := core.New(eng, core.Config{CPUs: MachineCPUs, Costs: machine.TunedCosts()})
-		StartDaemonSA(k)
-		sched := uthread.OnActivations(k, "nbody", 0, MachineCPUs, uthread.Options{})
-		run := nbody.Launch(nbody.UThreadSystem{S: sched}, cfg)
-		sched.Start()
-		eng.RunUntil(RunLimit)
-		if !run.Done {
-			panic("exp: tuned figure2 run did not finish")
-		}
-		defer eng.Close()
-		return sim.Duration(run.Elapsed()).Seconds()
-	})
-	for i, pct := range MemoryPoints {
-		s.Points = append(s.Points, Point{X: pct, Y: ys[i]})
+	for i, j := range pr.Prog.Jobs {
+		s.Points = append(s.Points, Point{X: j.MemPct, Y: pr.Outcomes[i].Els[0].Seconds()})
 	}
 	return s
 }

@@ -1,16 +1,11 @@
 package exp
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
 	"math/rand"
-	"os"
-	"time"
 
 	"schedact/internal/chaos"
 	"schedact/internal/core"
-	"schedact/internal/fleet"
 	"schedact/internal/sim"
 	"schedact/internal/stats"
 	"schedact/internal/trace"
@@ -268,6 +263,13 @@ type RunContext struct {
 	lat  *trace.Latencies
 	inj  *chaos.Injector
 
+	// Scenario overrides (set between runs; zero keeps the canonical pinned
+	// shape). CPUs fixes the machine size instead of drawing 2..5 from the
+	// seed RNG; Storm and Drain resize the phases in virtual milliseconds.
+	CPUs  int
+	Storm int
+	Drain int
+
 	// mark is the metric registry's high-water cursor after construction;
 	// runOnce truncates back to it so per-run registrations (per-space
 	// uthread counters) never pile up dedup-suffixed duplicates across
@@ -285,10 +287,12 @@ func NewRunContext() *RunContext {
 	pool := sim.NewPool()
 	opts := append([]sim.Option{sim.WithLabel("chaos warm context")}, parEngineOpts()...)
 	rc := &RunContext{
-		pool: pool,
-		eng:  pool.NewEngine(opts...),
-		rng:  rand.New(rand.NewSource(0)),
-		tr:   trace.New(8192),
+		pool:  pool,
+		eng:   pool.NewEngine(opts...),
+		rng:   rand.New(rand.NewSource(0)),
+		tr:    trace.New(8192),
+		Storm: chaosStormSteps,
+		Drain: chaosDrainSteps,
 	}
 	rc.k = core.New(rc.eng, core.Config{CPUs: 2, Trace: rc.tr})
 	rc.vm = rc.k.NewVM()
@@ -322,7 +326,11 @@ func (rc *RunContext) runOnce(seed int64, mutate func(*core.Kernel)) (chaos.Fing
 	rc.eng.Metrics().Truncate(rc.mark)
 	rc.tr.Reset()
 	rc.rng.Seed(seed)
-	rc.k.Reset(core.Config{CPUs: 2 + rc.rng.Intn(4), Trace: rc.tr})
+	cpus := rc.CPUs
+	if cpus == 0 {
+		cpus = 2 + rc.rng.Intn(4) // the canonical seeded draw
+	}
+	rc.k.Reset(core.Config{CPUs: cpus, Trace: rc.tr})
 	if mutate != nil {
 		mutate(rc.k)
 	}
@@ -337,11 +345,11 @@ func (rc *RunContext) runOnce(seed int64, mutate func(*core.Kernel)) (chaos.Fing
 	wl := BuildMixedWorkload(rc.k, rc.vm, rc.rng)
 
 	eng, aud := rc.eng, rc.aud
-	for step := 0; step < chaosStormSteps && !wl.Done() && len(aud.Violations) == 0; step++ {
+	for step := 0; step < rc.Storm && !wl.Done() && len(aud.Violations) == 0; step++ {
 		eng.RunFor(sim.Millisecond)
 	}
 	rc.inj.Stop()
-	for step := 0; step < chaosDrainSteps && !wl.Done() && len(aud.Violations) == 0; step++ {
+	for step := 0; step < rc.Drain && !wl.Done() && len(aud.Violations) == 0; step++ {
 		eng.RunFor(sim.Millisecond)
 	}
 	aud.Check()
@@ -393,16 +401,20 @@ func (rc *RunContext) RunSeedReport(seed int64) SeedReport {
 	return rep
 }
 
-// SweepOptions parameterizes ChaosSweepOpts beyond the seed range.
-type SweepOptions struct {
-	// Workers is the fleet pool width (0 = one per CPU).
-	Workers int
-	// Checkpoint, when non-empty, is a JSON file recording sweep progress.
-	// A sweep finding a checkpoint with the same first seed resumes after
-	// the seeds already done — re-invoking with a larger -seeds extends a
-	// finished sweep — and updates the file as results stream in, so an
-	// interrupted wide sweep loses at most the in-flight seeds.
-	Checkpoint string
+// RunSeedReportMutated is RunSeedReport against a mutated (deliberately
+// broken) kernel: a single run, no replay check — the fingerprint is copied
+// into Replay so OK() judges only invariants and completion. The scenario
+// layer's ablated chaos sweeps (faults.ablate) run through this.
+func (rc *RunContext) RunSeedReportMutated(seed int64, mutate func(*core.Kernel)) SeedReport {
+	fp, r := rc.runOnce(seed, mutate)
+	r.Fingerprint = fp
+	r.Replay = fp
+	return SeedReport{
+		ChaosResult:    r,
+		UpcallDispatch: rc.lat.UpcallDispatch,
+		ReadyWait:      rc.lat.ReadyWait,
+		BlockUnblock:   rc.lat.BlockUnblock,
+	}
 }
 
 // maxFailedSeeds bounds the failed-seed list a sweep aggregate retains (and
@@ -438,168 +450,9 @@ func (ag *SweepAggregate) fold(rep *SeedReport) {
 			ag.Seeds = append(ag.Seeds, rep.Seed)
 		}
 	}
-	h := ag.Fleet
-	if h == 0 {
-		h = 14695981039346656037
-	}
-	for _, v := range [2]uint64{uint64(rep.Seed), uint64(rep.Fingerprint)} {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= 1099511628211
-			v >>= 8
-		}
-	}
-	ag.Fleet = h
+	ag.Fleet = fnvFold(ag.Fleet, uint64(rep.Seed), uint64(rep.Fingerprint))
 	ag.Runs += uint64(rep.Total)
 	ag.UpcallDispatch.Merge(&rep.UpcallDispatch)
 	ag.ReadyWait.Merge(&rep.ReadyWait)
 	ag.BlockUnblock.Merge(&rep.BlockUnblock)
-}
-
-// loadCheckpoint reads a sweep checkpoint; a missing file, unparsable
-// content, or a different first seed yields a zero aggregate for first.
-func loadCheckpoint(path string, first int64) *SweepAggregate {
-	ag := &SweepAggregate{First: first}
-	if path == "" {
-		return ag
-	}
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return ag
-	}
-	var loaded SweepAggregate
-	if json.Unmarshal(raw, &loaded) != nil || loaded.First != first || loaded.Done < 0 {
-		return ag
-	}
-	return &loaded
-}
-
-// save writes the aggregate to path atomically enough for a crash-resumable
-// checkpoint (full rewrite; the file is small and self-contained).
-func (ag *SweepAggregate) save(path string) {
-	if path == "" {
-		return
-	}
-	raw, err := json.MarshalIndent(ag, "", "  ")
-	if err != nil {
-		return
-	}
-	_ = os.WriteFile(path, append(raw, '\n'), 0o644)
-}
-
-// checkpointEvery is how many streamed results separate checkpoint writes
-// (the final state is always written).
-const checkpointEvery = 16
-
-// ChaosSweep runs seeds first..first+n-1 on a pool of workers (0 = one per
-// CPU) and returns the number of failed seeds. See ChaosSweepOpts.
-func ChaosSweep(w io.Writer, first, n int64, workers int) (failed int) {
-	return int(ChaosSweepOpts(w, first, n, SweepOptions{Workers: workers}).Failed)
-}
-
-// ChaosSweepOpts is the chaos battery's sweep driver: seeds first..first+n-1
-// fan across a fleet of workers, each owning one warm RunContext recycled
-// across all its seeds, and results stream back in seed order — one line per
-// seed, full violation reports for failures, and a bounded-memory aggregate
-// (rolling fleet fingerprint, failure attribution by seed, merged latency
-// histograms) that doubles as the checkpoint payload.
-//
-// Each seed still executes on a private engine/trace/injector stack (one per
-// worker, recycled), so per-seed fingerprints are byte-identical to a
-// sequential sweep and to cold one-shot runs; only wall-clock and the worker
-// column vary with the pool.
-func ChaosSweepOpts(w io.Writer, first, n int64, opt SweepOptions) *SweepAggregate {
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = fleet.DefaultWorkers()
-	}
-	ag := loadCheckpoint(opt.Checkpoint, first)
-	if ag.Done > n {
-		// The checkpoint covers more than this request; report what was
-		// asked for without re-running (failure count reflects the full
-		// checkpointed range, which contains the requested one).
-		fprintf(w, "chaos sweep: seeds %d..%d already done per checkpoint %s (%d done, %d failed)\n",
-			first, first+n-1, opt.Checkpoint, ag.Done, ag.Failed)
-		return ag
-	}
-	todo := n - ag.Done
-	fprintf(w, "chaos sweep: seeds %d..%d on %d worker(s), warm run contexts (auditor on, each seed run twice)\n",
-		first, first+n-1, workers)
-	if ag.Done > 0 {
-		fprintf(w, "  resuming from checkpoint %s: %d/%d seeds done, %d failed; continuing at seed %d\n",
-			opt.Checkpoint, ag.Done, n, ag.Failed, first+ag.Done)
-	}
-	if todo == 0 {
-		reportSweep(w, ag, n, 0, 0)
-		return ag
-	}
-	start := time.Now()
-	base := first + ag.Done
-	// One warm RunContext per worker: the slot is created by — and stays
-	// confined to — the worker goroutine that owns it, so successive seeds
-	// recycle the whole engine/kernel/chaos stack with no cross-worker
-	// sharing. Fleet clamps the pool width to the job count, so unused
-	// slots just stay nil.
-	ctxs := make([]*RunContext, workers)
-	defer func() {
-		for _, rc := range ctxs {
-			rc.Close()
-		}
-	}()
-	sinceSave := 0
-	fleet.Run(workers, int(todo), func(job, worker int) SeedReport {
-		if ctxs[worker] == nil {
-			ctxs[worker] = NewRunContext()
-		}
-		return ctxs[worker].RunSeedReport(base + int64(job))
-	}, func(res fleet.Result[SeedReport]) {
-		rep := res.Value
-		status := "ok"
-		if !rep.OK() {
-			status = "FAIL"
-		}
-		fprintf(w, "  seed %3d  w%-2d fp %v  preempts %4d  threads %2d/%2d  t=%8.0fms  %s\n",
-			rep.Seed, res.Worker, rep.Fingerprint, rep.Preempts, rep.Finished, rep.Total, rep.End.Ms(), status)
-		if rep.Fingerprint != rep.Replay {
-			fprintf(w, "       nondeterministic: replay fingerprint %v\n", rep.Replay)
-		}
-		for _, v := range rep.Violations {
-			fprintf(w, "%v", v.Error())
-		}
-		ag.fold(&rep)
-		if sinceSave++; sinceSave >= checkpointEvery {
-			sinceSave = 0
-			ag.save(opt.Checkpoint)
-		}
-	})
-	ag.save(opt.Checkpoint)
-	reportSweep(w, ag, n, todo, time.Since(start))
-	return ag
-}
-
-// reportSweep renders the sweep tail: throughput over the seeds actually
-// run this session against the total requested range, the rolling fleet
-// fingerprint, merged latency quantiles, and failures attributed by seed.
-func reportSweep(w io.Writer, ag *SweepAggregate, n, ran int64, elapsed time.Duration) {
-	if ran > 0 && elapsed > 0 {
-		fprintf(w, "chaos sweep: %d/%d seeds done (%d run in %.2fs, %.1f seeds/sec); fleet fingerprint %016x\n",
-			ag.Done, n, ran, elapsed.Seconds(), float64(ran)/elapsed.Seconds(), ag.Fleet)
-	} else {
-		fprintf(w, "chaos sweep: %d/%d seeds done; fleet fingerprint %016x\n", ag.Done, n, ag.Fleet)
-	}
-	if ag.UpcallDispatch.N > 0 {
-		fprintf(w, "  latency (merged over first runs): upcall-dispatch p50=%dns p99=%dns  ready-wait p50=%dns p99=%dns  block-unblock p50=%dns p99=%dns\n",
-			ag.UpcallDispatch.Quantile(0.50), ag.UpcallDispatch.Quantile(0.99),
-			ag.ReadyWait.Quantile(0.50), ag.ReadyWait.Quantile(0.99),
-			ag.BlockUnblock.Quantile(0.50), ag.BlockUnblock.Quantile(0.99))
-	}
-	if ag.Failed == 0 {
-		fprintf(w, "chaos sweep: all %d seeds passed\n", ag.Done)
-		return
-	}
-	fprintf(w, "chaos sweep: %d of %d seeds FAILED — failing seeds: %v", ag.Failed, ag.Done, ag.Seeds)
-	if int64(len(ag.Seeds)) < ag.Failed {
-		fprintf(w, " (first %d shown)", len(ag.Seeds))
-	}
-	fprintf(w, "\n")
 }

@@ -184,13 +184,13 @@ func engOpts(label string) []sim.Option {
 // --- application launchers ---
 
 // seqTime runs the sequential implementation and returns its execution time.
-func seqTime(cfg nbody.Config) sim.Duration {
+func seqTime(cfg nbody.Config, limit sim.Time) sim.Duration {
 	eng := sim.NewEngine(engOpts("sequential")...)
 	defer eng.Close()
 	k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs})
 	StartDaemonNative(k)
 	r := nbody.RunSequential(k.NewSpace("seq", false), cfg)
-	eng.RunUntil(RunLimit)
+	eng.RunUntil(limit)
 	if !r.Done {
 		panic("exp: sequential run did not finish")
 	}
@@ -288,7 +288,7 @@ func (ps workerPools) Close() {
 
 // runOne executes one application instance to completion and returns its
 // execution time. pool may be nil (unpooled).
-func runOne(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int) sim.Duration {
+func runOne(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int, limit sim.Time) sim.Duration {
 	var tr *trace.Log
 	if StatsTrace {
 		tr = trace.New(64)
@@ -298,7 +298,7 @@ func runOne(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int) sim.Dur
 	if tr != nil {
 		trace.NewLatencies(tr, eng.Metrics())
 	}
-	eng.RunUntil(RunLimit)
+	eng.RunUntil(limit)
 	if !run.Done {
 		panic(fmt.Sprintf("exp: %s run (P=%d) did not finish within the run limit", sys, procs))
 	}

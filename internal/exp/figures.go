@@ -5,8 +5,7 @@ import (
 	"io"
 	"strconv"
 
-	"schedact/internal/apps/nbody"
-	"schedact/internal/fleet"
+	"schedact/internal/scenario"
 	"schedact/internal/sim"
 )
 
@@ -31,29 +30,17 @@ type Figure1Result struct {
 // Figure1 reproduces Figure 1: N-body speedup versus number of processors
 // at 100% memory, uniprogrammed (plus the kernel daemons), for Topaz
 // threads, original FastThreads, and modified FastThreads on scheduler
-// activations. Speedup is relative to the sequential implementation.
+// activations. Speedup is relative to the sequential implementation. The
+// battery is the compiled scenario.Fig1 spec: 18 independent runs fanned
+// across the fleet, each on a private engine, series assembled in job order.
 func Figure1() Figure1Result {
-	cfg := nbody.DefaultConfig()
-	seq := seqTime(cfg)
-	res := Figure1Result{Sequential: seq}
-	// 18 independent runs (3 systems × 6 processor counts), fanned across
-	// the pool; each owns a private engine, so the measured times — and the
-	// series assembled from them in job order — match a sequential sweep
-	// exactly. Runs on the same worker share a warm coroutine-goroutine pool.
-	pools := newWorkerPools(Workers, len(Systems)*MachineCPUs)
-	defer pools.Close()
-	els := fleet.Map(Workers, len(Systems)*MachineCPUs, func(job, worker int) sim.Duration {
-		return runOne(pools.get(worker), Systems[job/MachineCPUs], cfg, job%MachineCPUs+1)
-	})
-	for si, sys := range Systems {
-		s := Series{System: sys}
-		for p := 1; p <= MachineCPUs; p++ {
-			el := els[si*MachineCPUs+p-1]
-			s.Points = append(s.Points, Point{X: float64(p), Y: float64(seq) / float64(el)})
-		}
-		res.Series = append(res.Series, s)
+	pr := runCanonical(scenario.Fig1())
+	return Figure1Result{
+		Sequential: pr.Baseline,
+		Series: assembleSeries(pr,
+			func(j scenario.Job) float64 { return float64(j.Procs) },
+			func(_ scenario.Job, o AppOutcome) float64 { return float64(pr.Baseline) / float64(o.Els[0]) }),
 	}
-	return res
 }
 
 // Figure2Result holds the execution-time-vs-memory experiment.
@@ -67,25 +54,12 @@ var MemoryPoints = []float64{100, 90, 80, 70, 60, 50, 40}
 // Figure2 reproduces Figure 2: N-body execution time versus the amount of
 // available memory on 6 processors. Cache misses block in the kernel for
 // 50ms; with original FastThreads the blocked virtual processor is lost to
-// the application.
+// the application. The battery is the compiled scenario.Fig2 spec.
 func Figure2() Figure2Result {
-	var res Figure2Result
-	nm := len(MemoryPoints)
-	pools := newWorkerPools(Workers, len(Systems)*nm)
-	defer pools.Close()
-	els := fleet.Map(Workers, len(Systems)*nm, func(job, worker int) sim.Duration {
-		cfg := nbody.DefaultConfig()
-		cfg.MemFraction = MemoryPoints[job%nm] / 100
-		return runOne(pools.get(worker), Systems[job/nm], cfg, MachineCPUs)
-	})
-	for si, sys := range Systems {
-		s := Series{System: sys}
-		for mi, pct := range MemoryPoints {
-			s.Points = append(s.Points, Point{X: pct, Y: sim.Duration(els[si*nm+mi]).Seconds()})
-		}
-		res.Series = append(res.Series, s)
-	}
-	return res
+	pr := runCanonical(scenario.Fig2())
+	return Figure2Result{Series: assembleSeries(pr,
+		func(j scenario.Job) float64 { return j.MemPct },
+		func(_ scenario.Job, o AppOutcome) float64 { return o.Els[0].Seconds() })}
 }
 
 // RenderFigure1 writes the Figure 1 series as a table.

@@ -1,15 +1,9 @@
 package exp
 
 import (
-	"fmt"
 	"io"
 
-	"schedact/internal/apps/nbody"
-	"schedact/internal/core"
-	"schedact/internal/fleet"
-	"schedact/internal/kernel"
-	"schedact/internal/sim"
-	"schedact/internal/uthread"
+	"schedact/internal/scenario"
 )
 
 // Table5Row is one cell of Table 5: the speedup of the N-body application
@@ -29,65 +23,20 @@ var table5Paper = map[SystemName]float64{
 
 // Table5 reproduces Table 5: two copies of the N-body application run
 // concurrently; execution times are averaged and speedup computed against
-// the sequential implementation.
+// the sequential implementation. The battery is the compiled
+// scenario.Table5 spec — one multiprogrammed cell per system.
 func Table5() []Table5Row {
-	cfg := nbody.DefaultConfig()
-	seq := seqTime(cfg)
-	avgs := fleet.Map(Workers, len(Systems), func(job, _ int) sim.Duration {
-		return runPair(Systems[job], cfg)
-	})
+	pr := runCanonical(scenario.Table5())
 	var rows []Table5Row
-	for i, sys := range Systems {
+	for i, j := range pr.Prog.Jobs {
+		sys := systemOf(j.System)
 		rows = append(rows, Table5Row{
 			System:  sys,
-			Speedup: float64(seq) / float64(avgs[i]),
+			Speedup: float64(pr.Baseline) / float64(avgDuration(pr.Outcomes[i].Els)),
 			Paper:   table5Paper[sys],
 		})
 	}
 	return rows
-}
-
-// runPair runs two copies of the application concurrently on one machine
-// and returns the average execution time.
-func runPair(sys SystemName, cfg nbody.Config) sim.Duration {
-	eng := sim.NewEngine(engOpts(fmt.Sprintf("table5 %s x2", sys))...)
-	defer eng.Close()
-	var runs [2]*nbody.Run
-	switch sys {
-	case SysTopaz:
-		k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs})
-		StartDaemonNative(k)
-		for i := range runs {
-			sp := k.NewSpace(fmt.Sprintf("nbody%d", i), false)
-			sp.CPUCap = MachineCPUs
-			runs[i] = nbody.Launch(nbody.KThreadSystem{K: k, SP: sp}, cfg)
-		}
-	case SysOrigFT:
-		k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs})
-		StartDaemonNative(k)
-		for i := range runs {
-			s := uthread.OnKernelThreads(k, k.NewSpace(fmt.Sprintf("nbody%d", i), false), MachineCPUs, uthread.Options{})
-			runs[i] = nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
-			s.Start()
-		}
-	case SysNewFT:
-		k := core.New(eng, core.Config{CPUs: MachineCPUs})
-		StartDaemonSA(k)
-		for i := range runs {
-			s := uthread.OnActivations(k, fmt.Sprintf("nbody%d", i), 0, MachineCPUs, uthread.Options{})
-			runs[i] = nbody.Launch(nbody.UThreadSystem{S: s}, cfg)
-			s.Start()
-		}
-	}
-	eng.RunUntil(RunLimit)
-	var sum sim.Duration
-	for i, r := range runs {
-		if !r.Done {
-			panic(fmt.Sprintf("exp: table5 %s copy %d did not finish", sys, i))
-		}
-		sum += r.Elapsed()
-	}
-	return sum / 2
 }
 
 // RenderTable5 writes Table 5.

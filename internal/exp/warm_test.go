@@ -108,20 +108,23 @@ func TestChaosSweepCheckpointResume(t *testing.T) {
 	ck := filepath.Join(t.TempDir(), "sweep.json")
 	var partial, resumed, oneshot strings.Builder
 
-	agA := ChaosSweepOpts(&partial, 1, 3, SweepOptions{Workers: 2, Checkpoint: ck})
-	if agA.Done != 3 || agA.Failed != 0 {
-		t.Fatalf("partial sweep: done=%d failed=%d\n%s", agA.Done, agA.Failed, partial.String())
+	agA, err := ChaosSweepOpts(&partial, 1, 3, SweepOptions{Workers: 2, Checkpoint: ck})
+	if err != nil || agA.Done != 3 || agA.Failed != 0 {
+		t.Fatalf("partial sweep: err=%v done=%d failed=%d\n%s", err, agA.Done, agA.Failed, partial.String())
 	}
-	agB := ChaosSweepOpts(&resumed, 1, 6, SweepOptions{Workers: 2, Checkpoint: ck})
-	if agB.Done != 6 || agB.Failed != 0 {
-		t.Fatalf("resumed sweep: done=%d failed=%d\n%s", agB.Done, agB.Failed, resumed.String())
+	agB, err := ChaosSweepOpts(&resumed, 1, 6, SweepOptions{Workers: 2, Checkpoint: ck})
+	if err != nil || agB.Done != 6 || agB.Failed != 0 {
+		t.Fatalf("resumed sweep: err=%v done=%d failed=%d\n%s", err, agB.Done, agB.Failed, resumed.String())
 	}
 	if !strings.Contains(resumed.String(), "resuming from checkpoint") ||
 		strings.Contains(resumed.String(), "seed   1 ") {
 		t.Fatalf("resumed sweep re-ran checkpointed seeds:\n%s", resumed.String())
 	}
 
-	agC := ChaosSweepOpts(&oneshot, 1, 6, SweepOptions{Workers: 2})
+	agC, err := ChaosSweepOpts(&oneshot, 1, 6, SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if agB.Fleet != agC.Fleet {
 		t.Fatalf("fleet fingerprint: resumed %016x != one-shot %016x", agB.Fleet, agC.Fleet)
 	}
@@ -132,9 +135,9 @@ func TestChaosSweepCheckpointResume(t *testing.T) {
 
 	// A third invocation finds everything done and runs nothing.
 	var done strings.Builder
-	agD := ChaosSweepOpts(&done, 1, 6, SweepOptions{Workers: 2, Checkpoint: ck})
-	if agD.Done != 6 {
-		t.Fatalf("finished sweep re-ran: done=%d\n%s", agD.Done, done.String())
+	agD, err := ChaosSweepOpts(&done, 1, 6, SweepOptions{Workers: 2, Checkpoint: ck})
+	if err != nil || agD.Done != 6 {
+		t.Fatalf("finished sweep re-ran: err=%v done=%d\n%s", err, agD.Done, done.String())
 	}
 	if strings.Contains(done.String(), "  seed ") {
 		t.Fatalf("finished sweep re-ran seeds:\n%s", done.String())

@@ -1,0 +1,135 @@
+package scenario
+
+import "sort"
+
+// The canonical specs: every battery of the paper's evaluation that the
+// experiment harness runs (Figure 1/2, Table 5, the ablation grid, the
+// chaos sweep) expressed as the declarative spec it compiles from. The
+// harness's exported battery functions (exp.Figure1, exp.ChaosSweep, ...)
+// are assemblies over these — there is no second, hand-written path — so
+// the compiled pipeline is pinned by the same fingerprint and golden-trace
+// oracles as the original code.
+
+// firefly returns the simulated CVAX Firefly machine shape the paper's
+// application experiments run on.
+func firefly() Machine { return Machine{CPUs: 6} }
+
+// allSystems lists the three §5.3 systems in the paper's presentation
+// order.
+func allSystems() []string { return []string{SysTopaz, SysOrigFT, SysNewFT} }
+
+// memoryAxis is Figure 2's x-axis: % of memory available.
+func memoryAxis() []float64 { return []float64{100, 90, 80, 70, 60, 50, 40} }
+
+// Fig1 is Figure 1: N-body speedup versus processors at 100% memory,
+// uniprogrammed, all three systems, speedup against the sequential
+// implementation.
+func Fig1() Spec {
+	return Spec{
+		Name:        "fig1",
+		Description: "Figure 1: N-body speedup vs processors (3 systems x P=1..6, sequential baseline)",
+		Workload:    Workload{Kind: KindNbody, Baseline: true},
+		Machine:     firefly(),
+		Binding:     Binding{Systems: allSystems(), Procs: []int{1, 2, 3, 4, 5, 6}},
+	}
+}
+
+// Fig2 is Figure 2: N-body execution time versus available memory on 6
+// processors, all three systems.
+func Fig2() Spec {
+	return Spec{
+		Name:        "fig2",
+		Description: "Figure 2: N-body execution time vs % memory available (3 systems x 7 points)",
+		Workload:    Workload{Kind: KindNbody, MemoryPct: memoryAxis()},
+		Machine:     firefly(),
+		Binding:     Binding{Systems: allSystems()},
+	}
+}
+
+// Fig2Tuned is the Figure 2 extra series: new FastThreads under the tuned
+// upcall cost profile (§5.2's projected production implementation).
+func Fig2Tuned() Spec {
+	return Spec{
+		Name:        "fig2tuned",
+		Description: "Figure 2 extra series: new FastThreads with tuned upcalls across the memory axis",
+		Workload:    Workload{Kind: KindNbody, MemoryPct: memoryAxis()},
+		Machine:     Machine{CPUs: 6, Costs: CostsTuned},
+		Binding:     Binding{Systems: []string{SysNewFT}},
+	}
+}
+
+// Table5 is Table 5: two multiprogrammed copies of the application on 6
+// processors, speedup against the sequential implementation.
+func Table5() Spec {
+	return Spec{
+		Name:        "table5",
+		Description: "Table 5: speedup with multiprogramming level 2 (3 systems, sequential baseline)",
+		Workload:    Workload{Kind: KindNbody, Copies: 2, Baseline: true},
+		Machine:     firefly(),
+		Binding:     Binding{Systems: allSystems()},
+	}
+}
+
+// Alloc is the §4.1 allocator ablation: the space-sharing policy against
+// first-come-first-served on the Table 5 multiprogrammed workload.
+func Alloc() Spec {
+	return Spec{
+		Name:        "alloc",
+		Description: "§4.1 ablation: space-sharing vs first-come allocation, 2 multiprogrammed copies",
+		Workload:    Workload{Kind: KindNbody, Copies: 2, Baseline: true},
+		Machine:     firefly(),
+		Binding:     Binding{Systems: []string{SysNewFT}, Policy: []string{PolicySpace, PolicyFCFS}},
+	}
+}
+
+// Hysteresis is the §4.2 idle-hysteresis ablation: the bursty workload
+// against a processor-hungry competitor with the idle spin longer and
+// shorter than the application's I/O gaps.
+func Hysteresis() Spec {
+	return Spec{
+		Name:        "hysteresis",
+		Description: "§4.2 ablation: idle-processor hysteresis vs re-allocation churn (bursty workload)",
+		Workload:    Workload{Kind: KindBursty},
+		Machine:     Machine{CPUs: 2, DiskLatencyMs: 10},
+		Binding:     Binding{Systems: []string{SysNewFT}, HysteresisUs: []float64{15000, 5}},
+	}
+}
+
+// ChaosSpec is the chaos battery for an arbitrary seed range: the
+// fault-injected, audited, replay-checked mixed workload, one job per
+// seed.
+func ChaosSpec(first, seeds int64) Spec {
+	return Spec{
+		Name:        "chaos",
+		Description: "chaos sweep: fault-injected mixed workload, auditor armed, each seed replay-checked",
+		Workload:    Workload{Kind: KindMix},
+		Machine:     Machine{}, // CPUs drawn 2..5 from each seed's RNG
+		Faults:      &Faults{FirstSeed: first, Seeds: seeds},
+	}
+}
+
+// Chaos64 is the canonical 64-seed CI sweep.
+func Chaos64() Spec {
+	s := ChaosSpec(1, 64)
+	s.Name = "chaos64"
+	s.Description = "the canonical 64-seed chaos sweep (CI gate)"
+	return s
+}
+
+// Builtins returns every built-in scenario, sorted by name. The slice and
+// its specs are fresh copies; callers may mutate them.
+func Builtins() []Spec {
+	specs := []Spec{Fig1(), Fig2(), Fig2Tuned(), Table5(), Alloc(), Hysteresis(), Chaos64()}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs
+}
+
+// Lookup returns the built-in scenario with the given name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range Builtins() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

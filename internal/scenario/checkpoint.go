@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// checkpointFile is the on-disk envelope: the resume key of the spec that
+// wrote it plus the runner's opaque progress payload. Keying the file by
+// ResumeKey is what makes resume safe: a checkpoint can only continue the
+// sweep that produced it.
+type checkpointFile struct {
+	SpecKey string          `json:"spec_key"`
+	Name    string          `json:"scenario"` // informational: the writing spec's name
+	Payload json.RawMessage `json:"payload"`
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint into payload.
+// A missing file returns (false, nil) — a fresh start. A file whose spec
+// key differs from key returns an error: the checkpoint belongs to a
+// different scenario (or a different shape of this one), and resuming
+// would silently merge incompatible results. An unparsable payload is also
+// an error — the file claims to match this spec but cannot be trusted.
+func LoadCheckpoint(path, key string, payload any) (found bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return false, fmt.Errorf("checkpoint %s: not a scenario checkpoint: %w", path, err)
+	}
+	if f.SpecKey != key {
+		name := f.Name
+		if name == "" {
+			name = "unknown scenario"
+		}
+		return false, fmt.Errorf("checkpoint %s: written by a different spec (%s, key %s; this spec's key is %s) — delete it or point -checkpoint elsewhere",
+			path, name, f.SpecKey, key)
+	}
+	if err := json.Unmarshal(f.Payload, payload); err != nil {
+		return false, fmt.Errorf("checkpoint %s: corrupt payload: %w", path, err)
+	}
+	return true, nil
+}
+
+// SaveCheckpoint writes payload to path under the spec's resume key. The
+// write is a full rewrite (the file is small and self-contained), atomic
+// enough for a crash-resumable checkpoint.
+func SaveCheckpoint(path, key, name string, payload any) error {
+	body, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	raw, err := json.MarshalIndent(checkpointFile{SpecKey: key, Name: name, Payload: body}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return nil
+}

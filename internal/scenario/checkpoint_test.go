@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type testPayload struct {
+	Done int   `json:"done"`
+	Fps  []int `json:"fps"`
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	key := ResumeKey(Chaos64())
+
+	// Missing file: fresh start, no error.
+	var got testPayload
+	if found, err := LoadCheckpoint(path, key, &got); err != nil || found {
+		t.Fatalf("missing file: found=%v err=%v", found, err)
+	}
+
+	want := testPayload{Done: 3, Fps: []int{7, 8, 9}}
+	if err := SaveCheckpoint(path, key, "chaos64", want); err != nil {
+		t.Fatal(err)
+	}
+	found, err := LoadCheckpoint(path, key, &got)
+	if err != nil || !found {
+		t.Fatalf("load: found=%v err=%v", found, err)
+	}
+	if got.Done != want.Done || len(got.Fps) != 3 || got.Fps[2] != 9 {
+		t.Fatalf("payload mangled: %+v", got)
+	}
+}
+
+// TestCheckpointRejectsOtherSpec: a checkpoint written under one spec key
+// must not resume a spec with a different key, and the error says so.
+func TestCheckpointRejectsOtherSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := SaveCheckpoint(path, ResumeKey(Chaos64()), "chaos64", testPayload{Done: 64}); err != nil {
+		t.Fatal(err)
+	}
+	other := ChaosSpec(100, 64) // different first_seed -> different key
+	var got testPayload
+	found, err := LoadCheckpoint(path, ResumeKey(other), &got)
+	if err == nil || found {
+		t.Fatalf("stale checkpoint accepted: found=%v err=%v", found, err)
+	}
+	for _, want := range []string{"different spec", "chaos64", ResumeKey(other)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestCheckpointCorrupt: garbage files and garbage payloads are errors, not
+// silent fresh starts.
+func TestCheckpointCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	key := ResumeKey(Chaos64())
+
+	bad := filepath.Join(dir, "garbage.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	var got testPayload
+	if _, err := LoadCheckpoint(bad, key, &got); err == nil {
+		t.Fatal("garbage envelope accepted")
+	}
+
+	// Valid envelope, matching key, payload of the wrong shape.
+	mistyped := filepath.Join(dir, "mistyped.json")
+	if err := SaveCheckpoint(mistyped, key, "chaos64", map[string]any{"done": "three"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(mistyped, key, &got); err == nil {
+		t.Fatal("mistyped payload accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package scenario
+
+import "testing"
+
+// TestCompileFig1Order pins the lowering order the pinned batteries depend
+// on: systems outer, procs inner — job i runs Systems[i/6] at P = i%6+1.
+func TestCompileFig1Order(t *testing.T) {
+	p, err := Compile(Fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Jobs) != 18 {
+		t.Fatalf("fig1: want 18 jobs, got %d", len(p.Jobs))
+	}
+	systems := allSystems()
+	for i, j := range p.Jobs {
+		if j.Index != i {
+			t.Fatalf("job %d: index %d", i, j.Index)
+		}
+		if want := systems[i/6]; j.System != want {
+			t.Errorf("job %d: system %q, want %q", i, j.System, want)
+		}
+		if want := i%6 + 1; j.Procs != want {
+			t.Errorf("job %d: procs %d, want %d", i, j.Procs, want)
+		}
+		if j.Copies != 1 || j.MemPct != 100 || j.Policy != PolicySpace {
+			t.Errorf("job %d: defaults not applied: %+v", i, j)
+		}
+	}
+}
+
+// TestCompileFig2Order: systems outer, memory axis inner.
+func TestCompileFig2Order(t *testing.T) {
+	p, err := Compile(Fig2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mems := memoryAxis()
+	if len(p.Jobs) != 3*len(mems) {
+		t.Fatalf("fig2: want %d jobs, got %d", 3*len(mems), len(p.Jobs))
+	}
+	for i, j := range p.Jobs {
+		if want := allSystems()[i/len(mems)]; j.System != want {
+			t.Errorf("job %d: system %q, want %q", i, j.System, want)
+		}
+		if want := mems[i%len(mems)]; j.MemPct != want {
+			t.Errorf("job %d: mem %g, want %g", i, j.MemPct, want)
+		}
+		if j.Procs != 6 {
+			t.Errorf("job %d: procs %d, want machine.cpus=6", i, j.Procs)
+		}
+	}
+}
+
+// TestCompileGrids pins job counts and axis values for the remaining
+// canonical app scenarios.
+func TestCompileGrids(t *testing.T) {
+	t5, _ := Compile(Table5())
+	if len(t5.Jobs) != 3 || t5.Jobs[0].Copies != 2 {
+		t.Fatalf("table5: want 3 jobs of 2 copies, got %+v", t5.Jobs)
+	}
+	al, _ := Compile(Alloc())
+	if len(al.Jobs) != 2 || al.Jobs[0].Policy != PolicySpace || al.Jobs[1].Policy != PolicyFCFS {
+		t.Fatalf("alloc: want [space fcfs], got %+v", al.Jobs)
+	}
+	hy, _ := Compile(Hysteresis())
+	if len(hy.Jobs) != 2 || hy.Jobs[0].HysteresisUs != 15000 || hy.Jobs[1].HysteresisUs != 5 {
+		t.Fatalf("hysteresis: want [15000 5] µs, got %+v", hy.Jobs)
+	}
+	ft, _ := Compile(Fig2Tuned())
+	if len(ft.Jobs) != len(memoryAxis()) || ft.Jobs[0].System != SysNewFT {
+		t.Fatalf("fig2tuned: want %d new-ft jobs, got %+v", len(memoryAxis()), ft.Jobs)
+	}
+}
+
+// TestCompileChaosOrder: mix lowers to one job per seed in seed order.
+func TestCompileChaosOrder(t *testing.T) {
+	p, err := Compile(ChaosSpec(5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Chaos() {
+		t.Fatal("chaos program not marked chaos")
+	}
+	if len(p.Jobs) != 4 {
+		t.Fatalf("want 4 jobs, got %d", len(p.Jobs))
+	}
+	for i, j := range p.Jobs {
+		if want := int64(5 + i); j.Seed != want {
+			t.Errorf("job %d: seed %d, want %d", i, j.Seed, want)
+		}
+	}
+}
+
+// TestCompileRejectsInvalid: Compile refuses what Validate refuses.
+func TestCompileRejectsInvalid(t *testing.T) {
+	s := Fig1()
+	s.Machine.CPUs = 0
+	if _, err := Compile(s); err == nil {
+		t.Fatal("invalid spec compiled")
+	}
+}
+
+// TestHashStability: the hash distinguishes specs and ignores nothing.
+func TestHashStability(t *testing.T) {
+	if Hash(Fig1()) != Hash(Fig1()) {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash(Fig1()) == Hash(Fig2()) {
+		t.Fatal("distinct specs hash equal")
+	}
+}

@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Hash returns the spec's identity as a 64-bit FNV-1a over its canonical
+// JSON encoding. Two specs hash equal iff they would compile into the same
+// program (struct field order fixes the encoding, so the hash is stable
+// across processes and platforms).
+func Hash(s Spec) uint64 {
+	raw, err := json.Marshal(s)
+	if err != nil {
+		panic("scenario: hash: " + err.Error())
+	}
+	return fnv64(raw)
+}
+
+// ResumeKey returns the checkpoint identity of a spec: the hash with the
+// extendable sweep extent — and the wall-clock-only worker hint — zeroed
+// out. A checkpoint written under one key may only resume a spec with the
+// same key; growing faults.seeds (extending a finished sweep) or changing
+// limits.workers keeps the key, while any change that would alter per-job
+// results — workload, machine, binding, seed origin, storm shape — moves
+// it, and the runner rejects the stale checkpoint instead of silently
+// merging incompatible results.
+func ResumeKey(s Spec) string {
+	if s.Faults != nil {
+		f := *s.Faults
+		f.Seeds = 0
+		s.Faults = &f
+	}
+	s.Limits.Workers = 0
+	return fmt.Sprintf("%016x", Hash(s))
+}
+
+// fnv64 is FNV-1a over raw.
+func fnv64(raw []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range raw {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Parse decodes one Spec from JSON. Decoding is strict — an unknown field
+// is an error, because a typo'd axis name ("proc" for "procs") that decoded
+// silently would run a very different experiment than the author wrote.
+// The returned spec is parsed but not yet validated; call Validate (or
+// Compile, which validates) before running it.
+func Parse(raw []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", humanizeJSONErr(err))
+	}
+	// Trailing garbage after the spec object is almost always a pasted-in
+	// second document; refuse rather than silently ignore it.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Spec{}, fmt.Errorf("scenario: trailing data after the spec object")
+	}
+	return s, nil
+}
+
+// Read decodes one Spec from r (Parse on the full contents).
+func Read(r io.Reader) (Spec, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(raw)
+}
+
+// LoadFile decodes one Spec from a JSON file.
+func LoadFile(path string) (Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(raw)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Marshal renders a Spec as indented JSON (the canonical file form; Parse
+// round-trips it to an equal Spec).
+func Marshal(s Spec) []byte {
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Spec contains only marshalable kinds; this is unreachable short
+		// of memory corruption.
+		panic("scenario: marshal: " + err.Error())
+	}
+	return append(raw, '\n')
+}
+
+// humanizeJSONErr rewrites encoding/json's decode errors into the same
+// field-path style Validate uses, so "json: unknown field" and type
+// mismatches read like validation failures.
+func humanizeJSONErr(err error) error {
+	if te, ok := err.(*json.UnmarshalTypeError); ok {
+		path := te.Field
+		if path == "" {
+			path = "(document)"
+		}
+		return fmt.Errorf("%s: want %s, got %s", path, te.Type, te.Value)
+	}
+	if msg := err.Error(); strings.HasPrefix(msg, "json: unknown field ") {
+		return fmt.Errorf("unknown field %s (strict parsing; check spelling against the spec schema)",
+			strings.TrimPrefix(msg, "json: unknown field "))
+	}
+	return err
+}
