@@ -283,9 +283,14 @@ type RunContext struct {
 // fingerprinter, latency deriver, injector), so the metric names — and with
 // them the fingerprint's final fold — are identical to a cold engine's.
 // The context honors EngineLPs at construction, like every cold run.
-func NewRunContext() *RunContext {
+func NewRunContext() *RunContext { return NewRunContextLPs(EngineLPs) }
+
+// NewRunContextLPs is NewRunContext with an explicit LP selection — the seam
+// the scenario runner threads a spec-bound engine through, so concurrent
+// programs never mutate the EngineLPs global.
+func NewRunContextLPs(lps int) *RunContext {
 	pool := sim.NewPool()
-	opts := append([]sim.Option{sim.WithLabel("chaos warm context")}, parEngineOpts()...)
+	opts := append([]sim.Option{sim.WithLabel("chaos warm context")}, parEngineOptsN(lps)...)
 	rc := &RunContext{
 		pool:  pool,
 		eng:   pool.NewEngine(opts...),

@@ -171,23 +171,29 @@ func parEngineOptsN(n int) []sim.Option {
 // engOpts builds the options for one labelled run engine, attaching the
 // stats-sink close hook when a sink is installed and the PDES partition
 // when EngineLPs selects one.
-func engOpts(label string) []sim.Option {
+func engOpts(label string) []sim.Option { return engOptsLPs(label, EngineLPs) }
+
+// engOptsLPs is engOpts for an explicit LP count — the seam the scenario
+// runner threads a spec-bound engine selection through, so concurrent
+// programs never mutate (or race on) the EngineLPs global.
+func engOptsLPs(label string, lps int) []sim.Option {
 	opts := []sim.Option{sim.WithLabel(label)}
 	if sink := statsSink; sink != nil {
 		opts = append(opts, sim.OnClose(func(e sim.Engine) {
 			sink(e.Label(), e.Metrics())
 		}))
 	}
-	return append(opts, parEngineOpts()...)
+	return append(opts, parEngineOptsN(lps)...)
 }
 
 // --- application launchers ---
 
-// seqTime runs the sequential implementation and returns its execution time.
-func seqTime(cfg nbody.Config, limit sim.Time) sim.Duration {
-	eng := sim.NewEngine(engOpts("sequential")...)
+// seqTime runs the sequential implementation on a cpus-processor machine
+// and returns its execution time.
+func seqTime(cfg nbody.Config, cpus int, limit sim.Time, lps int) sim.Duration {
+	eng := sim.NewEngine(engOptsLPs("sequential", lps)...)
 	defer eng.Close()
-	k := kernel.New(eng, kernel.Config{CPUs: MachineCPUs})
+	k := kernel.New(eng, kernel.Config{CPUs: cpus})
 	StartDaemonNative(k)
 	r := nbody.RunSequential(k.NewSpace("seq", false), cfg)
 	eng.RunUntil(limit)
@@ -202,13 +208,13 @@ func seqTime(cfg nbody.Config, limit sim.Time) sim.Duration {
 // parallelism (Figure 1's x-axis); the machine always has MachineCPUs
 // processors.
 func launchOne(sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng sim.Engine, run *nbody.Run) {
-	return launchOneIn(nil, sys, cfg, procs, tr)
+	return launchOneIn(nil, sys, cfg, procs, tr, EngineLPs)
 }
 
 // launchOneIn is launchOne with the run's engine drawing coroutine
-// goroutines from pool (nil = unpooled).
-func launchOneIn(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int, tr *trace.Log) (eng sim.Engine, run *nbody.Run) {
-	eng = pool.NewEngine(engOpts(fmt.Sprintf("%s P=%d", sys, procs))...)
+// goroutines from pool (nil = unpooled) and an explicit LP selection.
+func launchOneIn(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int, tr *trace.Log, lps int) (eng sim.Engine, run *nbody.Run) {
+	eng = pool.NewEngine(engOptsLPs(fmt.Sprintf("%s P=%d", sys, procs), lps)...)
 	return eng, launchOnEngine(eng, sys, cfg, procs, tr)
 }
 
@@ -288,12 +294,12 @@ func (ps workerPools) Close() {
 
 // runOne executes one application instance to completion and returns its
 // execution time. pool may be nil (unpooled).
-func runOne(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int, limit sim.Time) sim.Duration {
+func runOne(pool *sim.Pool, sys SystemName, cfg nbody.Config, procs int, limit sim.Time, lps int) sim.Duration {
 	var tr *trace.Log
 	if StatsTrace {
 		tr = trace.New(64)
 	}
-	eng, run := launchOneIn(pool, sys, cfg, procs, tr)
+	eng, run := launchOneIn(pool, sys, cfg, procs, tr, lps)
 	defer eng.Close()
 	if tr != nil {
 		trace.NewLatencies(tr, eng.Metrics())

@@ -70,36 +70,42 @@ func RunSpec(w io.Writer, sp scenario.Spec, opt RunOptions) (*ProgramResult, err
 
 // RunProgram executes a compiled program on the fleet, streaming per-job
 // lines to w (results fold in job order regardless of pool width). A spec
-// that binds an engine overrides the harness engine selection for the
-// duration of the run; the canonical specs leave it unbound so saexp
-// -engine still applies.
+// that binds an engine overrides the harness engine selection for its own
+// run — the selection is threaded through the runner, never written to the
+// EngineLPs global, so concurrent programs cannot race on it; the canonical
+// specs leave it unbound so saexp -engine still applies.
 func RunProgram(w io.Writer, prog *scenario.Program, opt RunOptions) (*ProgramResult, error) {
-	if e := prog.Spec.Binding.Engine; e != "" {
-		saved := EngineLPs
-		defer func() { EngineLPs = saved }()
-		if e == scenario.EnginePar {
-			EngineLPs = prog.Spec.Binding.EffLPs()
-		} else {
-			EngineLPs = 0
-		}
-	}
+	lps := resolveLPs(prog.Spec)
 	if prog.Chaos() {
-		return runChaosProgram(w, prog, opt)
+		return runChaosProgram(w, prog, opt, lps)
 	}
-	return runAppProgram(w, prog, opt)
+	return runAppProgram(w, prog, opt, lps)
+}
+
+// resolveLPs picks the per-run engine for one program: the spec's binding
+// when it names an engine (par → its LP count, seq → the reference engine),
+// otherwise the harness selection (saexp -engine).
+func resolveLPs(sp scenario.Spec) int {
+	switch sp.Binding.Engine {
+	case scenario.EnginePar:
+		return sp.Binding.EffLPs()
+	case scenario.EngineSeq:
+		return 0
+	}
+	return EngineLPs
 }
 
 // resolveWorkers picks the fleet width: explicit option, then the spec's
 // hint, then auto (accounting for the per-run goroutine count under the
-// PDES engine selected at call time).
-func resolveWorkers(optWorkers int, sp scenario.Spec) int {
+// program's resolved engine).
+func resolveWorkers(optWorkers int, sp scenario.Spec, lps int) int {
 	if optWorkers > 0 {
 		return optWorkers
 	}
 	if sp.Limits.Workers > 0 {
 		return sp.Limits.Workers
 	}
-	return fleet.WorkersFor(1 + EngineLPs)
+	return fleet.WorkersFor(1 + lps)
 }
 
 // runLimitFor returns the virtual-time bound for one run under the spec.
@@ -155,13 +161,13 @@ func foldOutcome(h uint64, j scenario.Job, o AppOutcome) uint64 {
 // runAppProgram fans the program's application jobs across the fleet, one
 // private engine per run, warm coroutine pools per worker, results folded
 // in job order.
-func runAppProgram(w io.Writer, prog *scenario.Program, opt RunOptions) (*ProgramResult, error) {
+func runAppProgram(w io.Writer, prog *scenario.Program, opt RunOptions, lps int) (*ProgramResult, error) {
 	sp := prog.Spec
-	workers := resolveWorkers(opt.Workers, sp)
+	workers := resolveWorkers(opt.Workers, sp, lps)
 	limit := runLimitFor(sp)
 	pr := &ProgramResult{Prog: prog}
 	if sp.Workload.Baseline {
-		pr.Baseline = seqTime(nbodyConfigFor(sp, scenario.Job{MemPct: 100}), limit)
+		pr.Baseline = seqTime(nbodyConfigFor(sp, scenario.Job{MemPct: 100}), sp.Machine.CPUs, limit, lps)
 	}
 	var progress appProgress
 	if opt.Checkpoint != "" {
@@ -183,7 +189,7 @@ func runAppProgram(w io.Writer, prog *scenario.Program, opt RunOptions) (*Progra
 		defer pools.Close()
 		sinceSave := 0
 		fleet.Run(workers, todo, func(job, worker int) AppOutcome {
-			return runAppJob(pools.get(worker), sp, prog.Jobs[base+job], limit)
+			return runAppJob(pools.get(worker), sp, prog.Jobs[base+job], limit, lps)
 		}, func(res fleet.Result[AppOutcome]) {
 			j := prog.Jobs[base+res.Job]
 			progress.Outcomes = append(progress.Outcomes, res.Value)
@@ -284,18 +290,21 @@ func costsFor(sp scenario.Spec) *machine.Costs {
 
 // runAppJob executes one application job on a private engine and returns
 // its outcome.
-func runAppJob(pool *sim.Pool, sp scenario.Spec, job scenario.Job, limit sim.Time) AppOutcome {
+func runAppJob(pool *sim.Pool, sp scenario.Spec, job scenario.Job, limit sim.Time, lps int) AppOutcome {
 	if sp.Workload.Kind == scenario.KindBursty {
-		return runBurstyJob(pool, sp, job, limit)
+		return runBurstyJob(pool, sp, job, limit, lps)
 	}
 	cfg := nbodyConfigFor(sp, job)
 	costs := costsFor(sp)
-	if job.Copies == 1 && costs == nil && job.Policy == scenario.PolicySpace {
+	if job.Copies == 1 && costs == nil && job.Policy == scenario.PolicySpace &&
+		sp.Machine.CPUs == MachineCPUs {
 		// The uniprogrammed default-machine cell: the launcher the traced
-		// smoke runs and warm-golden tests also drive.
-		return AppOutcome{Els: []sim.Duration{runOne(pool, systemOf(job.System), cfg, job.Procs, limit)}}
+		// smoke runs and warm-golden tests also drive. launchOnEngine
+		// hardcodes the MachineCPUs machine, so any other machine shape must
+		// take the general path below.
+		return AppOutcome{Els: []sim.Duration{runOne(pool, systemOf(job.System), cfg, job.Procs, limit, lps)}}
 	}
-	return runCellJob(pool, sp, job, cfg, costs, limit)
+	return runCellJob(pool, sp, job, cfg, costs, limit, lps)
 }
 
 // runCellJob is the general application cell: Copies instances of the
@@ -303,8 +312,8 @@ func runAppJob(pool *sim.Pool, sp scenario.Spec, job scenario.Job, limit sim.Tim
 // allocation policy, and the spec's cost table. One copy on the default
 // table is exactly launchOnEngine's construction; the multiprogrammed cells
 // are Table 5's and the allocator ablation's.
-func runCellJob(pool *sim.Pool, sp scenario.Spec, job scenario.Job, cfg nbody.Config, costs *machine.Costs, limit sim.Time) AppOutcome {
-	eng := pool.NewEngine(engOpts(job.Label)...)
+func runCellJob(pool *sim.Pool, sp scenario.Spec, job scenario.Job, cfg nbody.Config, costs *machine.Costs, limit sim.Time, lps int) AppOutcome {
+	eng := pool.NewEngine(engOptsLPs(job.Label, lps)...)
 	defer eng.Close()
 	name := func(i int) string {
 		if job.Copies == 1 {
@@ -357,8 +366,8 @@ func runCellJob(pool *sim.Pool, sp scenario.Spec, job scenario.Job, cfg nbody.Co
 // sharing the machine with a processor-hungry competitor, the idle-spin
 // hysteresis set by the job. The measurement is re-allocation churn (kernel
 // takes and upcalls), not elapsed time.
-func runBurstyJob(pool *sim.Pool, sp scenario.Spec, job scenario.Job, limit sim.Time) AppOutcome {
-	eng := pool.NewEngine(engOpts(job.Label)...)
+func runBurstyJob(pool *sim.Pool, sp scenario.Spec, job scenario.Job, limit sim.Time, lps int) AppOutcome {
+	eng := pool.NewEngine(engOptsLPs(job.Label, lps)...)
 	defer eng.Close()
 	costs := costsFor(sp)
 	if costs == nil {
@@ -470,11 +479,11 @@ func ChaosSweepOpts(w io.Writer, first, n int64, opt SweepOptions) (*SweepAggreg
 
 // runChaosProgram drives a compiled chaos program: one warm RunContext per
 // worker, results folded in seed order, checkpoints keyed by the spec.
-func runChaosProgram(w io.Writer, prog *scenario.Program, opt RunOptions) (*ProgramResult, error) {
+func runChaosProgram(w io.Writer, prog *scenario.Program, opt RunOptions, lps int) (*ProgramResult, error) {
 	sp := prog.Spec
 	f := sp.Faults
 	first, n := f.FirstSeed, f.Seeds
-	workers := resolveWorkers(opt.Workers, sp)
+	workers := resolveWorkers(opt.Workers, sp, lps)
 	mutate := chaosMutator(f.Ablate)
 	ag := &SweepAggregate{First: first}
 	if opt.Checkpoint != "" {
@@ -525,7 +534,7 @@ func runChaosProgram(w io.Writer, prog *scenario.Program, opt RunOptions) (*Prog
 	sinceSave := 0
 	fleet.Run(workers, int(todo), func(job, worker int) SeedReport {
 		if ctxs[worker] == nil {
-			ctxs[worker] = newRunContextFor(sp)
+			ctxs[worker] = newRunContextFor(sp, lps)
 		}
 		seed := base + int64(job)
 		if mutate != nil {
@@ -564,10 +573,11 @@ func runChaosProgram(w io.Writer, prog *scenario.Program, opt RunOptions) (*Prog
 }
 
 // newRunContextFor builds a warm chaos context honoring the spec's machine
-// and storm overrides; the canonical spec leaves them zero, keeping the
-// pinned seeded shape (CPUs drawn 2..5, 20s storm, 5s drain).
-func newRunContextFor(sp scenario.Spec) *RunContext {
-	rc := NewRunContext()
+// and storm overrides and the program's resolved engine; the canonical spec
+// leaves them zero, keeping the pinned seeded shape (CPUs drawn 2..5, 20s
+// storm, 5s drain).
+func newRunContextFor(sp scenario.Spec, lps int) *RunContext {
+	rc := NewRunContextLPs(lps)
 	rc.CPUs = sp.Machine.CPUs
 	if sp.Faults.StormMs > 0 {
 		rc.Storm = sp.Faults.StormMs

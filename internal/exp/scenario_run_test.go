@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"schedact/internal/scenario"
+	"schedact/internal/sim"
 )
 
 // TestScenarioChaosMatchesPinnedTable diffs the scenario pipeline against
@@ -89,6 +90,87 @@ func miniAppSpec(name string) scenario.Spec {
 			Systems: []string{scenario.SysOrigFT, scenario.SysNewFT},
 			Procs:   []int{1, 2},
 		},
+	}
+}
+
+// TestScenarioHonorsMachineCPUs pins the machine-shape contract for the
+// uniprogrammed default-machine cell (single copy, default costs, space
+// policy): the compiled job must simulate the spec's machine.cpus, not the
+// fast-path launcher's hardcoded 6-CPU Firefly. The workload runs long
+// enough for the periodic daemon to fire, so a cramped machine measurably
+// slows the application and an ignored CPU count shows up as equal timings.
+func TestScenarioHonorsMachineCPUs(t *testing.T) {
+	spec := func(cpus int) scenario.Spec {
+		return scenario.Spec{
+			Name:     "cpu-shape",
+			Workload: scenario.Workload{Kind: scenario.KindNbody, Nbody: &scenario.NbodyOverrides{N: 48, Steps: 3}},
+			Machine:  scenario.Machine{CPUs: cpus},
+			Binding: scenario.Binding{
+				Systems: []string{scenario.SysNewFT},
+				Procs:   []int{2},
+			},
+		}
+	}
+	run := func(cpus int) sim.Duration {
+		pr, err := RunSpec(io.Discard, spec(cpus), RunOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pr.Outcomes) != 1 || len(pr.Outcomes[0].Els) != 1 {
+			t.Fatalf("cpus=%d: unexpected outcomes %+v", cpus, pr.Outcomes)
+		}
+		return pr.Outcomes[0].Els[0]
+	}
+	cramped, roomy := run(2), run(MachineCPUs)
+	if cramped == roomy {
+		t.Fatalf("machine.cpus ignored: 2-CPU and %d-CPU machines both measured %v", MachineCPUs, cramped)
+	}
+	if cramped < roomy {
+		t.Errorf("2-CPU machine (%v) should be slower than the %d-CPU machine (%v)", cramped, MachineCPUs, roomy)
+	}
+}
+
+// TestScenarioEngineBindingIsLocal pins the engine-binding contract: a spec
+// that binds an engine threads the selection through its own run and never
+// writes the EngineLPs global (concurrent programs must not race on it),
+// and the PDES-bound run stays byte-identical to the sequential one.
+func TestScenarioEngineBindingIsLocal(t *testing.T) {
+	// resolveLPs: the binding wins over the harness selection in both
+	// directions, and an unbound spec inherits it.
+	saved := EngineLPs
+	defer func() { EngineLPs = saved }()
+	EngineLPs = 3
+	unbound := miniAppSpec("mini-eng")
+	if got := resolveLPs(unbound); got != 3 {
+		t.Fatalf("unbound spec should inherit EngineLPs=3, got %d", got)
+	}
+	seqBound := miniAppSpec("mini-eng")
+	seqBound.Binding.Engine = scenario.EngineSeq
+	if got := resolveLPs(seqBound); got != 0 {
+		t.Fatalf("seq-bound spec should resolve to the reference engine, got %d LPs", got)
+	}
+	parBound := miniAppSpec("mini-eng")
+	parBound.Binding.Engine = scenario.EnginePar
+	parBound.Binding.LPs = 2
+	if got := resolveLPs(parBound); got != 2 {
+		t.Fatalf("par-bound spec should resolve to its own LP count, got %d", got)
+	}
+
+	EngineLPs = 0
+	prSeq, err := RunSpec(io.Discard, miniAppSpec("mini-eng"), RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prPar, err := RunSpec(io.Discard, parBound, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EngineLPs != 0 {
+		t.Fatalf("RunSpec mutated the EngineLPs global to %d", EngineLPs)
+	}
+	if prPar.Fingerprint != prSeq.Fingerprint {
+		t.Errorf("par-bound program fingerprint %016x != sequential %016x (engines must be byte-identical)",
+			prPar.Fingerprint, prSeq.Fingerprint)
 	}
 }
 

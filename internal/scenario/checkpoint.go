@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // checkpointFile is the on-disk envelope: the resume key of the spec that
@@ -49,8 +50,9 @@ func LoadCheckpoint(path, key string, payload any) (found bool, err error) {
 }
 
 // SaveCheckpoint writes payload to path under the spec's resume key. The
-// write is a full rewrite (the file is small and self-contained), atomic
-// enough for a crash-resumable checkpoint.
+// file is replaced atomically (temp file in the same directory, then
+// rename), so a crash mid-write leaves the previous checkpoint intact
+// instead of a truncated file LoadCheckpoint would reject.
 func SaveCheckpoint(path, key, name string, payload any) error {
 	body, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
@@ -60,7 +62,22 @@ func SaveCheckpoint(path, key, name string, payload any) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint %s: %w", path, err)
 	}
-	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once the rename lands
+	_, err = tmp.Write(append(raw, '\n'))
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(tmp.Name(), 0o644) // CreateTemp defaults to 0600
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
 		return fmt.Errorf("checkpoint %s: %w", path, err)
 	}
 	return nil

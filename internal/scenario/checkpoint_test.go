@@ -55,6 +55,35 @@ func TestCheckpointRejectsOtherSpec(t *testing.T) {
 	}
 }
 
+// TestCheckpointAtomicOverwrite: SaveCheckpoint replaces an existing file
+// via temp-file-and-rename — repeated updates keep the latest payload and
+// leave no temp droppings next to the checkpoint.
+func TestCheckpointAtomicOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	key := ResumeKey(Chaos64())
+	for i := 1; i <= 3; i++ {
+		if err := SaveCheckpoint(path, key, "chaos64", testPayload{Done: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got testPayload
+	if found, err := LoadCheckpoint(path, key, &got); err != nil || !found || got.Done != 3 {
+		t.Fatalf("overwrite lost the latest payload: found=%v done=%d err=%v", found, got.Done, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "ck.json" {
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("checkpoint dir should hold only ck.json, got %v", names)
+	}
+}
+
 // TestCheckpointCorrupt: garbage files and garbage payloads are errors, not
 // silent fresh starts.
 func TestCheckpointCorrupt(t *testing.T) {

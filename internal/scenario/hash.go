@@ -6,9 +6,10 @@ import (
 )
 
 // Hash returns the spec's identity as a 64-bit FNV-1a over its canonical
-// JSON encoding. Two specs hash equal iff they would compile into the same
-// program (struct field order fixes the encoding, so the hash is stable
-// across processes and platforms).
+// JSON encoding. It covers every field — including presentation-only ones
+// like Description — so any textual change moves it (struct field order
+// fixes the encoding, so the hash is stable across processes and
+// platforms). ResumeKey is the compile-relevant identity.
 func Hash(s Spec) uint64 {
 	raw, err := json.Marshal(s)
 	if err != nil {
@@ -18,13 +19,14 @@ func Hash(s Spec) uint64 {
 }
 
 // ResumeKey returns the checkpoint identity of a spec: the hash with the
-// extendable sweep extent — and the wall-clock-only worker hint — zeroed
-// out. A checkpoint written under one key may only resume a spec with the
-// same key; growing faults.seeds (extending a finished sweep) or changing
-// limits.workers keeps the key, while any change that would alter per-job
-// results — workload, machine, binding, seed origin, storm shape — moves
-// it, and the runner rejects the stale checkpoint instead of silently
-// merging incompatible results.
+// extendable sweep extent, the wall-clock-only worker hint, and the
+// cosmetic description zeroed out. A checkpoint written under one key may
+// only resume a spec with the same key; growing faults.seeds (extending a
+// finished sweep), changing limits.workers, or editing the description
+// keeps the key, while any change that would alter per-job results —
+// workload, machine, binding, seed origin, storm shape — moves it, and the
+// runner rejects the stale checkpoint instead of silently merging
+// incompatible results.
 func ResumeKey(s Spec) string {
 	if s.Faults != nil {
 		f := *s.Faults
@@ -32,6 +34,7 @@ func ResumeKey(s Spec) string {
 		s.Faults = &f
 	}
 	s.Limits.Workers = 0
+	s.Description = ""
 	return fmt.Sprintf("%016x", Hash(s))
 }
 

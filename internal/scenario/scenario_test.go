@@ -101,8 +101,9 @@ func TestResumeKey(t *testing.T) {
 	key := ResumeKey(base)
 
 	same := []func(Spec) Spec{
-		func(s Spec) Spec { s.Faults.Seeds = 4096; return s }, // wider sweep
-		func(s Spec) Spec { s.Limits.Workers = 13; return s }, // wall-clock only
+		func(s Spec) Spec { s.Faults.Seeds = 4096; return s },    // wider sweep
+		func(s Spec) Spec { s.Limits.Workers = 13; return s },    // wall-clock only
+		func(s Spec) Spec { s.Description = "edited"; return s }, // cosmetic
 	}
 	for i, mut := range same {
 		s := ChaosSpec(1, 64) // fresh copy: Faults is a pointer

@@ -149,18 +149,20 @@ func Validate(s Spec) error {
 			bad("binding.lps", "must be 1..16 (got %d)", lps)
 		}
 	}
+	if len(s.Binding.Policy) > 0 && (kind != KindNbody || !onlyNewFT(s.Binding.Systems)) {
+		bad("binding.policy", "an allocation-policy axis needs the nbody workload on new-ft only")
+	}
+	seenPolicy := make(map[string]bool, len(s.Binding.Policy))
 	for i, pol := range s.Binding.Policy {
 		switch pol {
 		case PolicySpace, PolicyFCFS:
-			if kind != KindNbody || !onlyNewFT(s.Binding.Systems) {
-				bad("binding.policy", "an allocation-policy axis needs the nbody workload on new-ft only")
-			}
 		default:
 			bad(fmt.Sprintf("binding.policy[%d]", i), "unknown policy %q (want space or fcfs)", pol)
 		}
-		if i == 0 && len(s.Binding.Policy) > 2 {
-			bad("binding.policy", "at most one of each policy (got %d entries)", len(s.Binding.Policy))
+		if seenPolicy[pol] {
+			bad(fmt.Sprintf("binding.policy[%d]", i), "duplicate policy %q (at most one of each)", pol)
 		}
+		seenPolicy[pol] = true
 	}
 	switch {
 	case kind == KindBursty && len(s.Binding.HysteresisUs) == 0:

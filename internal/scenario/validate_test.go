@@ -59,6 +59,18 @@ func TestValidateMalformed(t *testing.T) {
 		}), "binding.policy[0]", `"lottery"`},
 		{"policy needs new-ft only", nb(func(s *Spec) { s.Binding.Policy = []string{PolicyFCFS} }),
 			"binding.policy", "new-ft only"},
+		{"duplicate space policy", nb(func(s *Spec) {
+			s.Binding.Systems = []string{SysNewFT}
+			s.Binding.Policy = []string{PolicySpace, PolicySpace}
+		}), "binding.policy[1]", "duplicate"},
+		{"duplicate fcfs policy", nb(func(s *Spec) {
+			s.Binding.Systems = []string{SysNewFT}
+			s.Binding.Policy = []string{PolicyFCFS, PolicyFCFS}
+		}), "binding.policy[1]", "duplicate"},
+		{"triple policy", nb(func(s *Spec) {
+			s.Binding.Systems = []string{SysNewFT}
+			s.Binding.Policy = []string{PolicySpace, PolicyFCFS, PolicySpace}
+		}), "binding.policy[2]", "duplicate"},
 		{"hysteresis on nbody", nb(func(s *Spec) { s.Binding.HysteresisUs = []float64{5} }),
 			"binding.hysteresis_us", "bursty"},
 		{"bursty needs hysteresis", Spec{Name: "x", Workload: Workload{Kind: KindBursty},
