@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race race-par bench bench-json bench-diff fuzz replay saexp chaos chaos-warm chaos-par scenarios cover trace-demo profile
+.PHONY: check build vet lint test race race-par bench bench-json bench-diff fuzz replay saexp chaos chaos-warm chaos-par scenarios shard-smoke cover trace-demo profile
 
 # -benchtime for bench/bench-json; set BENCHTIME=1x for a smoke run.
 BENCHTIME ?= 1s
@@ -127,6 +127,30 @@ scenarios:
 	$(GO) run ./cmd/saexp -list
 	echo '{"name":"ci-smoke","workload":{"kind":"nbody","nbody":{"n":16,"steps":2}},"machine":{"cpus":2},"binding":{"systems":["new-ft"],"procs":[1,2]}}' \
 		| $(GO) run ./cmd/saexp -scenario -
+
+# Sharded-sweep smoke: the canonical 64-seed chaos sweep run as 4 shard
+# processes by the self-exec driver — with shard 1 first killed mid-run so
+# the driver's crash-resume path really executes — then the merged verdict
+# lines (latency quantiles, pass/fail) diffed against a single-process run,
+# and the per-seed JSONL results checked for full seed coverage. The
+# fleet-fingerprint lines are excluded from the diff deliberately: a k-shard
+# merge reports the hierarchical digest-of-digests, not the flat chain
+# (DESIGN.md §9); flat per-seed identity is pinned by the shard=1 tests.
+SHARD_SMOKE_DIR ?= /tmp/schedact-shard-smoke
+shard-smoke: saexp
+	rm -rf $(SHARD_SMOKE_DIR) && mkdir -p $(SHARD_SMOKE_DIR)
+	./bin/saexp -scenario chaos64 > $(SHARD_SMOKE_DIR)/unsharded.txt
+	-timeout -s KILL 0.15 ./bin/saexp -scenario chaos64 -shard 1/4 -workers 1 \
+		-checkpoint $(SHARD_SMOKE_DIR)/ck.shard1of4 -checkpoint-every 2 \
+		-results $(SHARD_SMOKE_DIR)/seeds.jsonl.shard1of4 > /dev/null 2>&1
+	./bin/saexp -scenario chaos64 -shard-exec 4 -checkpoint $(SHARD_SMOKE_DIR)/ck \
+		-results $(SHARD_SMOKE_DIR)/seeds.jsonl > $(SHARD_SMOKE_DIR)/sharded.txt
+	grep -E 'latency|seeds passed|seeds FAILED' $(SHARD_SMOKE_DIR)/unsharded.txt > $(SHARD_SMOKE_DIR)/want.txt
+	grep -E 'latency|seeds passed|seeds FAILED' $(SHARD_SMOKE_DIR)/sharded.txt > $(SHARD_SMOKE_DIR)/got.txt
+	diff $(SHARD_SMOKE_DIR)/want.txt $(SHARD_SMOKE_DIR)/got.txt
+	@seeds=$$(cat $(SHARD_SMOKE_DIR)/seeds.jsonl.shard*of4 | grep -o '"seed":[0-9]*' | sort -u | wc -l); \
+		echo "shard-smoke: $$seeds distinct seeds in JSONL results"; test "$$seeds" -eq 64
+	@echo "shard-smoke: 4-process sharded sweep (shard 1 killed and resumed) matches the single-process run"
 
 # CPU + heap profile of the chaos sweep (the macro hot path) at -workers 1,
 # so the profile is the engine, not the fleet. View with

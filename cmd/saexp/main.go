@@ -95,6 +95,12 @@ func run() int {
 	flag.Int64Var(firstSeed, "first", 1, "alias for -first-seed")
 	checkpoint := flag.String("checkpoint", "", "sweep progress file (with -chaos or -scenario): resumes the same spec, extends it when the seed range grows; a different spec's checkpoint is rejected")
 	scenarioSrc := flag.String("scenario", "", "run a declarative scenario: a built-in name (see -list), a spec JSON file, or - for stdin")
+	shard := flag.String("shard", "", "with -scenario on a mix sweep: run one shard i/n of the seed range (e.g. -shard 2/4); the shard checkpoints under its own key and merges back with -merge")
+	shardExec := flag.Int("shard-exec", 0, "with -scenario on a mix sweep: split the sweep into n shards, run each in its own child process (bounded by -shard-parallel, crashed shards resumed from their checkpoints), then merge and report")
+	shardParallel := flag.Int("shard-parallel", 0, "concurrent shard processes with -shard-exec (0 = auto: min(shards, CPUs))")
+	mergeMode := flag.Bool("merge", false, "merge finished shard checkpoint files (positional arguments) into one sweep report and exit nonzero if any merged seed failed")
+	results := flag.String("results", "", "with -scenario on a mix sweep: append one JSON line per seed to this file (JSONL; see DESIGN.md §9)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "results between checkpoint writes with -checkpoint (0 = default 16; shard drivers lower it so a killed shard loses less progress)")
 	list := flag.Bool("list", false, "list the built-in scenarios and experiments, one line each, and exit")
 	ablate := flag.String("ablate", "", "run one deliberately broken kernel under the auditor: nogrant or dropevent (with -chaos)")
 	workers := flag.Int("workers", 0, "parallel run pool width for sweeps and experiment batteries (1 = sequential; 0 = auto: one per CPU, divided by the per-run goroutine count with -engine par)")
@@ -169,8 +175,35 @@ func run() int {
 	if *list {
 		return runList()
 	}
+	if *mergeMode {
+		return runMerge(flag.Args())
+	}
+	if *shardExec > 0 {
+		if *scenarioSrc == "" {
+			fmt.Fprintln(os.Stderr, "-shard-exec needs -scenario")
+			return 2
+		}
+		if *shard != "" {
+			fmt.Fprintln(os.Stderr, "-shard-exec and -shard are mutually exclusive (the driver assigns shards itself)")
+			return 2
+		}
+		return runShardExec(*scenarioSrc, *shardExec, shardExecOpts{
+			checkpoint: *checkpoint,
+			results:    *results,
+			workers:    rawWorkers,
+			engine:     *engine,
+			lps:        *lps,
+			parallel:   *shardParallel,
+			every:      *checkpointEvery,
+		})
+	}
 	if *scenarioSrc != "" {
-		return runScenario(*scenarioSrc, rawWorkers, *checkpoint)
+		return runScenario(*scenarioSrc, *shard, exp.RunOptions{
+			Workers:         rawWorkers,
+			Checkpoint:      *checkpoint,
+			CheckpointEvery: *checkpointEvery,
+			Results:         *results,
+		})
 	}
 
 	if *chaosMode {
@@ -336,24 +369,45 @@ func runList() int {
 	return 0
 }
 
-// runScenario compiles and runs one declarative scenario: a built-in by
-// name, a spec JSON file, or stdin. Exit code 0 only if every job (and, for
-// chaos programs, every seed) passed.
-func runScenario(src string, workers int, checkpoint string) int {
-	var sp scenario.Spec
-	var err error
+// loadSpec resolves a scenario source: "-" for stdin, a built-in name, or
+// a spec JSON file.
+func loadSpec(src string) (scenario.Spec, error) {
 	if src == "-" {
-		sp, err = scenario.Read(os.Stdin)
-	} else if builtin, ok := scenario.Lookup(src); ok {
-		sp = builtin
-	} else {
-		sp, err = scenario.LoadFile(src)
+		return scenario.Read(os.Stdin)
 	}
+	if builtin, ok := scenario.Lookup(src); ok {
+		return builtin, nil
+	}
+	return scenario.LoadFile(src)
+}
+
+// parseShard parses a -shard value "i/n" into its 1-based index and count.
+func parseShard(s string) (index, of int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &index, &of); err != nil || s != fmt.Sprintf("%d/%d", index, of) {
+		return 0, 0, fmt.Errorf("-shard %q: want i/n (e.g. 2/4)", s)
+	}
+	return index, of, nil
+}
+
+// runScenario compiles and runs one declarative scenario: a built-in by
+// name, a spec JSON file, or stdin — restricted to one shard when -shard
+// is given. Exit code 0 only if every job (and, for chaos programs, every
+// seed) passed.
+func runScenario(src, shard string, opt exp.RunOptions) int {
+	sp, err := loadSpec(src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	pr, err := exp.RunSpec(os.Stdout, sp, exp.RunOptions{Workers: workers, Checkpoint: checkpoint})
+	if shard != "" {
+		index, of, err := parseShard(shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		sp = scenario.WithShard(sp, index, of)
+	}
+	pr, err := exp.RunSpec(os.Stdout, sp, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2

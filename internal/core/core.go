@@ -200,10 +200,14 @@ func (k *Kernel) sweepRetiring() {
 		// another vessel and keeps executing there, long after this
 		// activation was discarded. Its body also re-reads the activation
 		// after the handler returns. Such vessels reclaim only once the
-		// root coroutine has actually finished; a stillborn vessel's root
-		// never reached user code, so it is unwindable as soon as no resume
-		// is pending.
-		if a.entered && !a.ctx.Done() {
+		// root coroutine has actually exited — RootExited, not the done
+		// flag, because an engine Reset unwinds coroutines without running
+		// the epilogue that sets done, and a vessel kept on that stale flag
+		// would sit here forever, growing this list (and the scan every
+		// deliver pays) across all the warm runs of a sweep. A stillborn
+		// vessel's root never reached user code, so it is unwindable as
+		// soon as no resume is pending.
+		if a.entered && !a.ctx.RootExited() {
 			kept = append(kept, a)
 			continue
 		}

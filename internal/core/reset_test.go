@@ -76,6 +76,58 @@ func TestKernelResetMatchesFresh(t *testing.T) {
 	}
 }
 
+// TestResetDrainsRetiringVessels pins the reset-time drain of the retiring
+// list. A vessel that entered user code and was then discarded stays on
+// k.retiring until its root coroutine exits; an engine Reset kills that
+// coroutine by unwinding its stack, which skips the body epilogue that sets
+// the context's done flag. If the sweep keys on the flag instead of the
+// coroutine, the entry survives every Reset and the per-deliver scan grows
+// without bound across a warm sweep — the superlinear slowdown the chaos64
+// profile caught (sweepRetiring at 75% of total CPU by seed 50).
+func TestResetDrainsRetiringVessels(t *testing.T) {
+	eng, k := newTestKernel(t, 2)
+	// Space A parks a vessel on each processor inside user code and, like a
+	// real thread package, Discards any preempted activation whose state
+	// rides in on a later upcall. Space B's arrival makes the allocator take
+	// a processor from A, so a discarded vessel — entered, its root
+	// coroutine still parked in the handler — lands on the retiring list
+	// and stays there: parked is not exited.
+	c := &recClient{eng: eng}
+	var spA *Space
+	first := true
+	c.handler = func(act *Activation, events []Event) {
+		if first {
+			first = false
+			spA.AddMoreProcessors(act, 1)
+		}
+		for _, ev := range events {
+			if ev.Kind == EvPreempted {
+				ev.Act.Discard()
+			}
+		}
+		eng.Current().Park("vessel-idle")
+	}
+	spA = k.NewSpace("a", 0, c)
+	spA.Start()
+	eng.Run()
+	if got := k.Allocated(spA); got != 2 {
+		t.Fatalf("Allocated(a) = %d, want 2", got)
+	}
+	spB := k.NewSpace("b", 0, &recClient{eng: eng})
+	spB.Start()
+	eng.Run()
+	checkInv(t, k)
+	if len(k.retiring) == 0 {
+		t.Fatal("workload left no vessel retiring; the test no longer exercises the reset drain")
+	}
+
+	eng.Reset()
+	k.Reset(Config{CPUs: 2})
+	if n := len(k.retiring); n != 0 {
+		t.Fatalf("%d vessel(s) still retiring after Reset; each warm run of a sweep would leak its drain-time vessels", n)
+	}
+}
+
 // TestVMResetClearsState faults through the pager (with the entry page out,
 // so the delayed-upcall path fires too), resets the whole stack, and checks
 // the pager is back to birth state and reproduces the run exactly.

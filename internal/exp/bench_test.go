@@ -3,6 +3,8 @@ package exp
 import (
 	"io"
 	"testing"
+
+	"schedact/internal/scenario"
 )
 
 // BenchmarkChaosSweep measures end-to-end chaos-battery throughput — full
@@ -17,6 +19,29 @@ func BenchmarkChaosSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if failed := ChaosSweep(io.Discard, 1, seedsPer, 1); failed != 0 {
 			b.Fatalf("%d chaos seeds failed", failed)
+		}
+	}
+	b.ReportMetric(float64(seedsPer)*float64(b.N)/b.Elapsed().Seconds(), "seeds/sec")
+}
+
+// BenchmarkChaosSweepSampled is BenchmarkChaosSweep with the replay check
+// off (faults.replay: off) through the scenario pipeline: each seed runs
+// once instead of twice, so seeds/sec should roughly double — the per-run
+// hot-path cut a million-run sweep buys with the spec knob. Comparing this
+// benchmark's seeds/sec against BenchmarkChaosSweep's is the honest cost of
+// the replay-divergence check.
+func BenchmarkChaosSweepSampled(b *testing.B) {
+	const seedsPer = 4
+	spec := scenario.ChaosSpec(1, seedsPer)
+	spec.Faults.Replay = scenario.ReplayOff
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pr, err := RunSpec(io.Discard, spec, RunOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pr.Sweep.Failed != 0 {
+			b.Fatalf("%d chaos seeds failed", pr.Sweep.Failed)
 		}
 	}
 	b.ReportMetric(float64(seedsPer)*float64(b.N)/b.Elapsed().Seconds(), "seeds/sec")

@@ -143,7 +143,11 @@ func chaosOnce(pool *sim.Pool, seed int64, mutate func(*core.Kernel)) (chaos.Fin
 func chaosOnceOn(eng sim.Engine, seed int64, mutate func(*core.Kernel)) (fp chaos.Fingerprint, r ChaosResult) {
 	rng := rand.New(rand.NewSource(seed))
 	defer eng.Close()
-	tr := trace.New(8192)
+	// Every chaos consumer — auditor, fingerprinter, latency deriver —
+	// hangs off Observe (the auditor keeps its own violation window), so
+	// the log retains nothing: no consumer reads it after the run, and the
+	// stream mode skips the ring append on the hottest per-record path.
+	tr := trace.NewStream()
 	k := core.New(eng, core.Config{CPUs: 2 + rng.Intn(4), Trace: tr})
 	if mutate != nil {
 		mutate(k)
@@ -295,7 +299,8 @@ func NewRunContextLPs(lps int) *RunContext {
 		pool:  pool,
 		eng:   pool.NewEngine(opts...),
 		rng:   rand.New(rand.NewSource(0)),
-		tr:    trace.New(8192),
+		tr:    trace.NewStream(), // observer-only, like the cold path
+
 		Storm: chaosStormSteps,
 		Drain: chaosDrainSteps,
 	}
@@ -393,15 +398,27 @@ type SeedReport struct {
 // RunSeedReport is RunSeed capturing the first (canonical) run's latency
 // histograms alongside the verdict.
 func (rc *RunContext) RunSeedReport(seed int64) SeedReport {
+	return rc.RunSeedReportReplay(seed, true)
+}
+
+// RunSeedReportReplay is RunSeedReport with the replay-divergence check
+// optional: with replay false the seed runs once and its fingerprint is
+// copied into Replay, so OK() judges only invariants and completion. The
+// fleet fingerprint and the histograms come from the first run either way,
+// so sampling replay (faults.replay) moves no aggregate — only how many
+// seeds would catch a nondeterminism leak.
+func (rc *RunContext) RunSeedReportReplay(seed int64, replay bool) SeedReport {
 	fpA, r := rc.runOnce(seed, nil)
 	rep := SeedReport{
 		UpcallDispatch: rc.lat.UpcallDispatch,
 		ReadyWait:      rc.lat.ReadyWait,
 		BlockUnblock:   rc.lat.BlockUnblock,
 	}
-	fpB, _ := rc.runOnce(seed, nil)
 	r.Fingerprint = fpA
-	r.Replay = fpB
+	r.Replay = fpA
+	if replay {
+		r.Replay, _ = rc.runOnce(seed, nil)
+	}
 	rep.ChaosResult = r
 	return rep
 }
@@ -432,7 +449,13 @@ const maxFailedSeeds = 64
 // seed (bounded list), and merged cross-run latency histograms. It is also
 // the checkpoint payload.
 type SweepAggregate struct {
-	First  int64   `json:"first"`
+	First int64 `json:"first"`
+	// Want is the planned sweep width (seed count) of the writing run —
+	// for a shard, the shard's own subrange width. MergeShards requires
+	// Done == Want on every input: a shard checkpoint mid-sweep is not a
+	// mergeable result. Checkpoints from before this field decode as 0 and
+	// resume fine; they only cannot merge.
+	Want   int64   `json:"want,omitempty"`
 	Done   int64   `json:"done"`          // seeds completed: first..first+Done-1
 	Failed int64   `json:"failed"`        // exact failure count
 	Seeds  []int64 `json:"failed_seeds"`  // first maxFailedSeeds failing seeds

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// resultsWriter streams chaos seed results to an append-only JSONL file:
+// one self-contained JSON object per seed, in fold (seed) order, flushed
+// whenever the sweep checkpoints so the durable lines never trail the
+// checkpoint. Batch consumers (the shard driver's callers, downstream
+// analysis) tail these files instead of parsing the human report. Across a
+// crash-resume the file keeps its old lines and seeds re-run after the
+// last checkpoint may repeat; consumers dedupe by seed, last line wins.
+type resultsWriter struct {
+	f   *os.File
+	w   *bufio.Writer
+	err error // first write error; surfaced by close
+}
+
+// seedLine is the JSONL schema for one seed.
+type seedLine struct {
+	Seed        int64  `json:"seed"`
+	Fingerprint string `json:"fingerprint"`
+	Replay      string `json:"replay"`
+	OK          bool   `json:"ok"`
+	Violations  int    `json:"violations,omitempty"`
+	Finished    int    `json:"finished"`
+	Total       int    `json:"total"`
+	EndMs       int64  `json:"end_ms"`
+	Preempts    uint64 `json:"preempts"`
+}
+
+// openResults opens path for appending (nil writer when path is empty —
+// every method is a no-op on a nil receiver).
+func openResults(path string) (*resultsWriter, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("results %s: %w", path, err)
+	}
+	return &resultsWriter{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// add appends one seed's line.
+func (rw *resultsWriter) add(rep *SeedReport) {
+	if rw == nil || rw.err != nil {
+		return
+	}
+	line := seedLine{
+		Seed:        rep.Seed,
+		Fingerprint: rep.Fingerprint.String(),
+		Replay:      rep.Replay.String(),
+		OK:          rep.OK(),
+		Violations:  len(rep.Violations),
+		Finished:    rep.Finished,
+		Total:       rep.Total,
+		EndMs:       int64(rep.End.Ms()), // whole virtual milliseconds
+		Preempts:    rep.Preempts,
+	}
+	raw, err := json.Marshal(line)
+	if err == nil {
+		_, err = rw.w.Write(append(raw, '\n'))
+	}
+	if err != nil {
+		rw.err = err
+	}
+}
+
+// flush pushes buffered lines to the file.
+func (rw *resultsWriter) flush() {
+	if rw == nil || rw.err != nil {
+		return
+	}
+	rw.err = rw.w.Flush()
+}
+
+// close flushes and closes, returning the first error the writer hit.
+func (rw *resultsWriter) close() error {
+	if rw == nil {
+		return nil
+	}
+	flushErr := rw.w.Flush()
+	closeErr := rw.f.Close()
+	switch {
+	case rw.err != nil:
+		return fmt.Errorf("results %s: %w", rw.f.Name(), rw.err)
+	case flushErr != nil:
+		return fmt.Errorf("results %s: %w", rw.f.Name(), flushErr)
+	case closeErr != nil:
+		return fmt.Errorf("results %s: %w", rw.f.Name(), closeErr)
+	}
+	return nil
+}

@@ -36,6 +36,16 @@ type RunOptions struct {
 	// done (growing faults.seeds extends a finished sweep), and a
 	// checkpoint written by a different spec is rejected, not merged.
 	Checkpoint string
+	// CheckpointEvery overrides how many streamed results separate
+	// checkpoint writes (0 = the default, checkpointEvery). Shard drivers
+	// lower it so a killed shard loses less progress.
+	CheckpointEvery int
+	// Results, when non-empty, appends one JSON line per chaos seed to
+	// this file as results stream in (batch consumers tail it instead of
+	// parsing the human report). The file is append-only across resumes;
+	// seeds re-run after a crash may repeat, so consumers dedupe by seed,
+	// last line wins.
+	Results string
 }
 
 // AppOutcome is one application job's measurement: the execution time of
@@ -136,6 +146,14 @@ func fnvFold(h uint64, vals ...uint64) uint64 {
 // (the final state is always written).
 const checkpointEvery = 16
 
+// saveEvery resolves the option against the default.
+func saveEvery(opt RunOptions) int {
+	if opt.CheckpointEvery > 0 {
+		return opt.CheckpointEvery
+	}
+	return checkpointEvery
+}
+
 // --- application programs ---
 
 // appProgress is the application-program checkpoint payload: outcomes for
@@ -187,7 +205,7 @@ func runAppProgram(w io.Writer, prog *scenario.Program, opt RunOptions, lps int)
 		base := progress.Done
 		pools := newWorkerPools(workers, todo)
 		defer pools.Close()
-		sinceSave := 0
+		sinceSave, every := 0, saveEvery(opt)
 		fleet.Run(workers, todo, func(job, worker int) AppOutcome {
 			return runAppJob(pools.get(worker), sp, prog.Jobs[base+job], limit, lps)
 		}, func(res fleet.Result[AppOutcome]) {
@@ -197,7 +215,7 @@ func runAppProgram(w io.Writer, prog *scenario.Program, opt RunOptions, lps int)
 			progress.Fleet = foldOutcome(progress.Fleet, j, res.Value)
 			fprintf(w, "  %-28s w%-2d %s\n", j.Label, res.Worker, renderOutcome(pr.Baseline, res.Value))
 			if opt.Checkpoint != "" {
-				if sinceSave++; sinceSave >= checkpointEvery {
+				if sinceSave++; sinceSave >= every {
 					sinceSave = 0
 					_ = scenario.SaveCheckpoint(opt.Checkpoint, prog.Key, sp.Name, &progress)
 				}
@@ -470,7 +488,7 @@ func ChaosSweep(w io.Writer, first, n int64, workers int) (failed int) {
 // sequential sweep and to cold one-shot runs; only wall-clock and the
 // worker column vary with the pool.
 func ChaosSweepOpts(w io.Writer, first, n int64, opt SweepOptions) (*SweepAggregate, error) {
-	pr, err := RunSpec(w, scenario.ChaosSpec(first, n), RunOptions(opt))
+	pr, err := RunSpec(w, scenario.ChaosSpec(first, n), RunOptions{Workers: opt.Workers, Checkpoint: opt.Checkpoint})
 	if err != nil {
 		return nil, err
 	}
@@ -478,13 +496,19 @@ func ChaosSweepOpts(w io.Writer, first, n int64, opt SweepOptions) (*SweepAggreg
 }
 
 // runChaosProgram drives a compiled chaos program: one warm RunContext per
-// worker, results folded in seed order, checkpoints keyed by the spec.
+// worker, results folded in seed order, checkpoints keyed by the spec. A
+// sharded spec runs only its own seed subrange (the compiled jobs), under
+// its shard-suffixed resume key.
 func runChaosProgram(w io.Writer, prog *scenario.Program, opt RunOptions, lps int) (*ProgramResult, error) {
 	sp := prog.Spec
 	f := sp.Faults
 	first, n := f.FirstSeed, f.Seeds
+	if sh := sp.Shard; sh != nil {
+		first, n = scenario.ShardRange(first, n, sh.Index, sh.Of)
+	}
 	workers := resolveWorkers(opt.Workers, sp, lps)
 	mutate := chaosMutator(f.Ablate)
+	replayEvery := f.EffReplayEvery()
 	ag := &SweepAggregate{First: first}
 	if opt.Checkpoint != "" {
 		var saved SweepAggregate
@@ -507,16 +531,26 @@ func runChaosProgram(w io.Writer, prog *scenario.Program, opt RunOptions, lps in
 			first, first+n-1, opt.Checkpoint, ag.Done, ag.Failed)
 		return result(), nil
 	}
+	ag.Want = n
 	todo := n - ag.Done
-	fprintf(w, "chaos sweep: seeds %d..%d on %d worker(s), warm run contexts (auditor on, each seed run twice)\n",
-		first, first+n-1, workers)
+	fprintf(w, "chaos sweep: seeds %d..%d on %d worker(s), warm run contexts (auditor on, %s)\n",
+		first, first+n-1, workers, replayMode(replayEvery))
 	if ag.Done > 0 {
 		fprintf(w, "  resuming from checkpoint %s: %d/%d seeds done, %d failed; continuing at seed %d\n",
 			opt.Checkpoint, ag.Done, n, ag.Failed, first+ag.Done)
 	}
 	if todo == 0 {
+		if opt.Checkpoint != "" { // record Want even when nothing runs
+			if err := scenario.SaveCheckpoint(opt.Checkpoint, prog.Key, sp.Name, ag); err != nil {
+				return nil, err
+			}
+		}
 		reportSweep(w, ag, n, 0, 0)
 		return result(), nil
+	}
+	results, err := openResults(opt.Results)
+	if err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	base := first + ag.Done
@@ -531,7 +565,7 @@ func runChaosProgram(w io.Writer, prog *scenario.Program, opt RunOptions, lps in
 			rc.Close()
 		}
 	}()
-	sinceSave := 0
+	sinceSave, every := 0, saveEvery(opt)
 	fleet.Run(workers, int(todo), func(job, worker int) SeedReport {
 		if ctxs[worker] == nil {
 			ctxs[worker] = newRunContextFor(sp, lps)
@@ -540,7 +574,7 @@ func runChaosProgram(w io.Writer, prog *scenario.Program, opt RunOptions, lps in
 		if mutate != nil {
 			return ctxs[worker].RunSeedReportMutated(seed, mutate)
 		}
-		return ctxs[worker].RunSeedReport(seed)
+		return ctxs[worker].RunSeedReportReplay(seed, replaySeed(seed, replayEvery))
 	}, func(res fleet.Result[SeedReport]) {
 		rep := res.Value
 		status := "ok"
@@ -556,20 +590,50 @@ func runChaosProgram(w io.Writer, prog *scenario.Program, opt RunOptions, lps in
 			fprintf(w, "%v", v.Error())
 		}
 		ag.fold(&rep)
+		results.add(&rep)
 		if opt.Checkpoint != "" {
-			if sinceSave++; sinceSave >= checkpointEvery {
+			if sinceSave++; sinceSave >= every {
 				sinceSave = 0
+				results.flush() // lines for checkpointed seeds are durable too
 				_ = scenario.SaveCheckpoint(opt.Checkpoint, prog.Key, sp.Name, ag)
 			}
 		}
 	})
 	if opt.Checkpoint != "" {
 		if err := scenario.SaveCheckpoint(opt.Checkpoint, prog.Key, sp.Name, ag); err != nil {
+			results.close()
 			return nil, err
 		}
 	}
+	if err := results.close(); err != nil {
+		return nil, err
+	}
 	reportSweep(w, ag, n, todo, time.Since(start))
 	return result(), nil
+}
+
+// replaySeed decides whether one seed gets the replay-divergence second
+// run under the spec's replay period (see scenario.ParseReplay): a pure
+// function of the seed, so shards and resumed sweeps sample identically.
+func replaySeed(seed, every int64) bool {
+	switch {
+	case every == 1:
+		return true
+	case every <= 0:
+		return false
+	}
+	return seed%every == 0
+}
+
+// replayMode renders the replay period for the sweep header line.
+func replayMode(every int64) string {
+	switch {
+	case every == 1:
+		return "each seed run twice"
+	case every <= 0:
+		return "replay off"
+	}
+	return fmt.Sprintf("replay sampled on seeds divisible by %d", every)
 }
 
 // newRunContextFor builds a warm chaos context honoring the spec's machine

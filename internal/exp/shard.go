@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"schedact/internal/scenario"
+)
+
+// Shard merging: a sharded sweep runs each contiguous seed subrange in its
+// own process against its own checkpoint (key "<base>#<i>/<n>"), and this
+// file folds the finished shard aggregates back into one report.
+//
+// Merged-fingerprint semantics: the per-shard Fleet is a rolling FNV-1a
+// chain over (seed, fingerprint) pairs, which is deliberately
+// order-sensitive and therefore cannot be rechained across shard
+// boundaries from the per-shard digests alone. The merged fingerprint is
+// hierarchical instead: for a single shard it is that shard's Fleet —
+// byte-identical to the unsharded sweep (and the pinned 64-seed table);
+// for k > 1 shards it is an FNV-1a fold over each shard's (First, Done,
+// Fleet) triple in shard order, so it pins the same per-seed data but is a
+// digest of shard digests (a k-shard sweep and the unsharded sweep yield
+// different fingerprint values for identical underlying results — compare
+// like against like). Everything else merged — Done, Failed, failed-seed
+// attribution, thread counts, latency histograms — is exact and identical
+// to the unsharded sweep's aggregate.
+
+// ShardAggregate pairs one shard's finished aggregate with the resume key
+// of the checkpoint that carried it.
+type ShardAggregate struct {
+	Key string
+	Agg SweepAggregate
+}
+
+// MergedSweep is the fold of a complete shard set: the combined aggregate
+// (Fleet holds the hierarchical merged fingerprint described above) plus
+// the shard layout it was derived from.
+type MergedSweep struct {
+	BaseKey string // the shards' shared base resume key
+	Shards  int
+	SweepAggregate
+}
+
+// MergeShards folds finished shard aggregates into one sweep report. It
+// verifies the shards belong together and are complete before touching any
+// data: every key must be a shard key sharing one base (foreign spec keys
+// are rejected), the indexes must cover 1..n exactly once, every shard
+// must be finished (Done == Want), and the seed ranges must tile the sweep
+// contiguously — an overlap or gap is an error, not a silent merge.
+func MergeShards(shards []ShardAggregate) (*MergedSweep, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("merge: no shard aggregates")
+	}
+	type piece struct {
+		idx int
+		agg *SweepAggregate
+	}
+	var base string
+	var of int
+	pieces := make([]piece, 0, len(shards))
+	seen := make(map[int]bool, len(shards))
+	for i := range shards {
+		sh := &shards[i]
+		b, idx, n, sharded := scenario.SplitShardKey(sh.Key)
+		if !sharded {
+			return nil, fmt.Errorf("merge: %q is not a shard checkpoint key", sh.Key)
+		}
+		if base == "" {
+			base, of = b, n
+		}
+		if b != base {
+			return nil, fmt.Errorf("merge: shard %d/%d belongs to a different spec (base key %s, want %s)", idx, n, b, base)
+		}
+		if n != of {
+			return nil, fmt.Errorf("merge: shard %d/%d mixed into a %d-way merge", idx, n, of)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("merge: shard %d/%d supplied twice", idx, of)
+		}
+		seen[idx] = true
+		if sh.Agg.Want <= 0 || sh.Agg.Done != sh.Agg.Want {
+			return nil, fmt.Errorf("merge: shard %d/%d is incomplete (%d/%d seeds done) — finish or resume it first",
+				idx, of, sh.Agg.Done, sh.Agg.Want)
+		}
+		pieces = append(pieces, piece{idx: idx, agg: &sh.Agg})
+	}
+	if len(pieces) != of {
+		missing := make([]int, 0, of)
+		for i := 1; i <= of; i++ {
+			if !seen[i] {
+				missing = append(missing, i)
+			}
+		}
+		return nil, fmt.Errorf("merge: %d of %d shards supplied; missing shard(s) %v", len(pieces), of, missing)
+	}
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].idx < pieces[j].idx })
+	for i := 1; i < len(pieces); i++ {
+		prev, cur := pieces[i-1].agg, pieces[i].agg
+		if want := prev.First + prev.Done; cur.First != want {
+			rel := "gap"
+			if cur.First < want {
+				rel = "overlap"
+			}
+			return nil, fmt.Errorf("merge: seed-range %s between shard %d (seeds %d..%d) and shard %d (first seed %d)",
+				rel, pieces[i-1].idx, prev.First, prev.First+prev.Done-1, pieces[i].idx, cur.First)
+		}
+	}
+
+	m := &MergedSweep{BaseKey: base, Shards: of}
+	m.First = pieces[0].agg.First
+	for _, p := range pieces {
+		ag := p.agg
+		m.Want += ag.Want
+		m.Done += ag.Done
+		m.Failed += ag.Failed
+		for _, s := range ag.Seeds {
+			if len(m.Seeds) < maxFailedSeeds {
+				m.Seeds = append(m.Seeds, s)
+			}
+		}
+		m.Runs += ag.Runs
+		m.UpcallDispatch.Merge(&ag.UpcallDispatch)
+		m.ReadyWait.Merge(&ag.ReadyWait)
+		m.BlockUnblock.Merge(&ag.BlockUnblock)
+	}
+	if of == 1 {
+		m.Fleet = pieces[0].agg.Fleet // flat: byte-identical to unsharded
+	} else {
+		for _, p := range pieces {
+			m.Fleet = fnvFold(m.Fleet, uint64(p.agg.First), uint64(p.agg.Done), p.agg.Fleet)
+		}
+	}
+	return m, nil
+}
+
+// LoadShardAggregate reads one shard checkpoint file into a ShardAggregate
+// without needing the spec: the envelope carries the shard's resume key.
+func LoadShardAggregate(path string) (ShardAggregate, error) {
+	var sh ShardAggregate
+	key, _, err := scenario.PeekCheckpoint(path, &sh.Agg)
+	if err != nil {
+		return sh, err
+	}
+	sh.Key = key
+	return sh, nil
+}
+
+// MergeShardFiles loads shard checkpoint files, merges them, and renders
+// the merged report to w: one line per shard, then the same sweep tail an
+// unsharded run prints (with the hierarchical merged fingerprint on the
+// fingerprint line when more than one shard merged).
+func MergeShardFiles(w io.Writer, paths []string) (*MergedSweep, error) {
+	shards := make([]ShardAggregate, 0, len(paths))
+	for _, path := range paths {
+		sh, err := LoadShardAggregate(path)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, sh)
+	}
+	m, err := MergeShards(shards)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(shards, func(i, j int) bool {
+		_, ii, _, _ := scenario.SplitShardKey(shards[i].Key)
+		_, jj, _, _ := scenario.SplitShardKey(shards[j].Key)
+		return ii < jj
+	})
+	for _, sh := range shards {
+		_, idx, of, _ := scenario.SplitShardKey(sh.Key)
+		fprintf(w, "  shard %d/%d  seeds %d..%d  %d done  %d failed  fleet %016x\n",
+			idx, of, sh.Agg.First, sh.Agg.First+sh.Agg.Done-1, sh.Agg.Done, sh.Agg.Failed, sh.Agg.Fleet)
+	}
+	reportSweep(w, &m.SweepAggregate, m.Done, 0, 0)
+	return m, nil
+}

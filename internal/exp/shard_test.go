@@ -1,0 +1,361 @@
+package exp
+
+import (
+	"io"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"schedact/internal/chaos"
+	"schedact/internal/scenario"
+)
+
+// miniSweepSpec is a seconds-cheap multi-seed chaos spec (short storm) for
+// shard/merge plumbing tests: verdicts and per-seed data are deterministic,
+// only the sweep is far shorter than the canonical battery.
+func miniSweepSpec(name string, first, seeds int64) scenario.Spec {
+	return scenario.Spec{
+		Name:     name,
+		Workload: scenario.Workload{Kind: scenario.KindMix},
+		Faults:   &scenario.Faults{FirstSeed: first, Seeds: seeds, StormMs: 50, DrainMs: 50},
+	}
+}
+
+// TestShardOneWayMatchesPinnedTable pins the tentpole's byte-identity
+// anchor: a 1-way shard of the canonical chaos spec produces the same fleet
+// fingerprint as the unsharded sweep — the pinned-table fold — and merging
+// its single checkpoint passes that fingerprint through flat (no
+// hierarchical re-fold for k=1).
+func TestShardOneWayMatchesPinnedTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos runs are slow in -short mode")
+	}
+	n := int64(len(pinnedFingerprints))
+	var want uint64
+	for seed := int64(1); seed <= n; seed++ {
+		fp, err := strconv.ParseUint(pinnedFingerprints[seed], 16, 64)
+		if err != nil {
+			t.Fatalf("pinned fingerprint for seed %d is not hex: %v", seed, err)
+		}
+		want = fnvFold(want, uint64(seed), fp)
+	}
+	ck := filepath.Join(t.TempDir(), "shard.json")
+	pr, err := RunSpec(io.Discard, scenario.WithShard(scenario.ChaosSpec(1, n), 1, 1),
+		RunOptions{Workers: 2, Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Sweep == nil || pr.Sweep.Failed != 0 || pr.Sweep.Done != n || pr.Sweep.Want != n {
+		t.Fatalf("1-way shard sweep: %+v", pr.Sweep)
+	}
+	if pr.Fingerprint != want {
+		t.Errorf("1-way shard fingerprint %016x != pinned-table fold %016x — sharding must not move per-seed results",
+			pr.Fingerprint, want)
+	}
+	m, err := MergeShardFiles(io.Discard, []string{ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fleet != want {
+		t.Errorf("single-shard merge fingerprint %016x != flat fleet %016x (k=1 must pass through)", m.Fleet, want)
+	}
+}
+
+// TestShardedSweepMergesToUnsharded runs one mini sweep unsharded and as 3
+// shard processes' worth of checkpoints, then merges: every k-independent
+// aggregate (Done, Failed, failure attribution, thread counts, histograms)
+// must equal the unsharded sweep's exactly, and the k>1 merged fingerprint
+// must equal the documented hierarchical fold over the per-shard digests.
+func TestShardedSweepMergesToUnsharded(t *testing.T) {
+	spec := miniSweepSpec("mini-sharded", 3, 5)
+	whole, err := RunSpec(io.Discard, spec, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const of = 3
+	dir := t.TempDir()
+	paths := make([]string, of)
+	shards := make([]ShardAggregate, of)
+	for i := 1; i <= of; i++ {
+		paths[i-1] = filepath.Join(dir, "shard"+strconv.Itoa(i)+".json")
+		pr, err := RunSpec(io.Discard, scenario.WithShard(spec, i, of),
+			RunOptions{Workers: 1, Checkpoint: paths[i-1]})
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", i, of, err)
+		}
+		first, width := scenario.ShardRange(3, 5, i, of)
+		if pr.Sweep.First != first || pr.Sweep.Done != width || pr.Sweep.Want != width {
+			t.Fatalf("shard %d/%d ran seeds %d+%d (want %d), planned %d+%d",
+				i, of, pr.Sweep.First, pr.Sweep.Done, pr.Sweep.Want, first, width)
+		}
+		sh, err := LoadShardAggregate(paths[i-1])
+		if err != nil {
+			t.Fatalf("shard %d/%d checkpoint: %v", i, of, err)
+		}
+		shards[i-1] = sh
+	}
+
+	m, err := MergeShards(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := whole.Sweep
+	if m.First != ws.First || m.Done != ws.Done || m.Want != ws.Want ||
+		m.Failed != ws.Failed || !reflect.DeepEqual(m.Seeds, ws.Seeds) || m.Runs != ws.Runs {
+		t.Fatalf("merged aggregate drifted from the unsharded sweep:\nmerged    %+v\nunsharded %+v",
+			m.SweepAggregate, *ws)
+	}
+	if !reflect.DeepEqual(m.UpcallDispatch, ws.UpcallDispatch) ||
+		!reflect.DeepEqual(m.ReadyWait, ws.ReadyWait) ||
+		!reflect.DeepEqual(m.BlockUnblock, ws.BlockUnblock) {
+		t.Fatal("merged latency histograms differ from the unsharded sweep's")
+	}
+	// The k>1 fingerprint is the documented hierarchical fold, in shard
+	// order, over each shard's (First, Done, Fleet).
+	var want uint64
+	for _, sh := range shards {
+		want = fnvFold(want, uint64(sh.Agg.First), uint64(sh.Agg.Done), sh.Agg.Fleet)
+	}
+	if m.Fleet != want {
+		t.Fatalf("merged fingerprint %016x != hierarchical fold %016x", m.Fleet, want)
+	}
+
+	// Merging is input-order independent: shards arrive however the caller
+	// globbed them.
+	reversed := []ShardAggregate{shards[2], shards[0], shards[1]}
+	m2, err := MergeShards(reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, m2) {
+		t.Fatal("merge result depends on input order")
+	}
+
+	// MergeShardFiles reads the same data straight from the files and
+	// renders per-shard lines plus the standard sweep tail.
+	var b strings.Builder
+	m3, err := MergeShardFiles(&b, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, m3) {
+		t.Fatal("MergeShardFiles disagrees with MergeShards over the same checkpoints")
+	}
+	if !strings.Contains(b.String(), "shard 1/3") || !strings.Contains(b.String(), "fleet fingerprint") {
+		t.Fatalf("merge report missing shard lines or sweep tail:\n%s", b.String())
+	}
+}
+
+// mkShard fabricates one finished shard aggregate for merge-verification
+// tests.
+func mkShard(key string, first, want int64, fleet uint64) ShardAggregate {
+	return ShardAggregate{Key: key, Agg: SweepAggregate{First: first, Want: want, Done: want, Fleet: fleet}}
+}
+
+// TestMergeShardsRejectsBadSets drives MergeShards over every malformed
+// shard set it guards against: a silent bad merge would report a sweep that
+// never ran.
+func TestMergeShardsRejectsBadSets(t *testing.T) {
+	cases := []struct {
+		name   string
+		shards []ShardAggregate
+		msg    string
+	}{
+		{"empty", nil, "no shard aggregates"},
+		{"unsharded key", []ShardAggregate{mkShard("abcd", 1, 2, 7)}, "not a shard checkpoint key"},
+		{"foreign base", []ShardAggregate{mkShard("aa#1/2", 1, 2, 7), mkShard("bb#2/2", 3, 2, 7)},
+			"different spec"},
+		{"mixed of", []ShardAggregate{mkShard("aa#1/2", 1, 2, 7), mkShard("aa#2/3", 3, 2, 7)},
+			"mixed into a 2-way merge"},
+		{"duplicate", []ShardAggregate{mkShard("aa#1/2", 1, 2, 7), mkShard("aa#1/2", 1, 2, 7)},
+			"supplied twice"},
+		{"incomplete", []ShardAggregate{
+			mkShard("aa#1/2", 1, 2, 7),
+			{Key: "aa#2/2", Agg: SweepAggregate{First: 3, Want: 2, Done: 1}},
+		}, "incomplete"},
+		{"pre-want checkpoint", []ShardAggregate{
+			mkShard("aa#1/2", 1, 2, 7),
+			{Key: "aa#2/2", Agg: SweepAggregate{First: 3, Done: 2}},
+		}, "incomplete"},
+		{"missing shard", []ShardAggregate{mkShard("aa#1/3", 1, 2, 7), mkShard("aa#3/3", 5, 2, 7)},
+			"missing shard(s) [2]"},
+		{"gap", []ShardAggregate{mkShard("aa#1/2", 1, 2, 7), mkShard("aa#2/2", 4, 2, 7)}, "gap"},
+		{"overlap", []ShardAggregate{mkShard("aa#1/2", 1, 2, 7), mkShard("aa#2/2", 2, 2, 7)}, "overlap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := MergeShards(tc.shards)
+			if err == nil {
+				t.Fatal("bad shard set merged without error")
+			}
+			if !strings.Contains(err.Error(), tc.msg) {
+				t.Fatalf("error %q does not mention %q", err, tc.msg)
+			}
+		})
+	}
+}
+
+// TestMergeShardsFoldsAggregates checks the merge arithmetic on fabricated
+// shards — counts and failure lists sum exactly, the failed-seed list stays
+// capped, and the k=1 fingerprint passes through flat.
+func TestMergeShardsFoldsAggregates(t *testing.T) {
+	a := mkShard("aa#1/2", 1, 40, 0x1111)
+	b := mkShard("aa#2/2", 41, 40, 0x2222)
+	a.Agg.Failed, b.Agg.Failed = 40, 40
+	for s := int64(1); s <= 40; s++ {
+		a.Agg.Seeds = append(a.Agg.Seeds, s)
+		b.Agg.Seeds = append(b.Agg.Seeds, 40+s)
+	}
+	a.Agg.Runs, b.Agg.Runs = 100, 200
+	m, err := MergeShards([]ShardAggregate{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BaseKey != "aa" || m.Shards != 2 || m.First != 1 || m.Want != 80 || m.Done != 80 || m.Runs != 300 {
+		t.Fatalf("merged shape wrong: %+v", m)
+	}
+	// The failure count is exact; the attribution list caps like a live
+	// sweep's would, keeping the earliest seeds.
+	if m.Failed != 80 {
+		t.Fatalf("merged Failed = %d, want 80 (count must stay exact past the cap)", m.Failed)
+	}
+	if len(m.Seeds) != maxFailedSeeds || m.Seeds[0] != 1 || m.Seeds[maxFailedSeeds-1] != int64(maxFailedSeeds) {
+		t.Fatalf("merged failed-seed list: len %d, first %d, last %d; want %d capped from seed 1",
+			len(m.Seeds), m.Seeds[0], m.Seeds[len(m.Seeds)-1], maxFailedSeeds)
+	}
+	if want := fnvFold(fnvFold(0, 1, 40, 0x1111), 41, 40, 0x2222); m.Fleet != want {
+		t.Fatalf("merged fingerprint %016x != fold %016x", m.Fleet, want)
+	}
+
+	solo, err := MergeShards([]ShardAggregate{mkShard("aa#1/1", 1, 5, 0xbeef)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Fleet != 0xbeef {
+		t.Fatalf("1-way merge fingerprint %016x, want the shard's flat fleet", solo.Fleet)
+	}
+}
+
+// TestSweepAggregateFailureCap is the satellite pinning failure attribution
+// at and beyond maxFailedSeeds: the count stays exact while the seed list
+// caps at the first maxFailedSeeds failures.
+func TestSweepAggregateFailureCap(t *testing.T) {
+	var ag SweepAggregate
+	ag.First = 1
+	failures := int64(maxFailedSeeds + 6)
+	for seed := int64(1); seed <= failures+2; seed++ {
+		rep := SeedReport{ChaosResult: ChaosResult{Seed: seed, Total: 3}}
+		if seed > failures {
+			rep.Finished = rep.Total // the last two seeds pass
+		}
+		ag.fold(&rep)
+	}
+	if ag.Done != failures+2 || ag.Failed != failures {
+		t.Fatalf("done %d failed %d, want %d and %d (exact beyond the cap)", ag.Done, ag.Failed, failures+2, failures)
+	}
+	if len(ag.Seeds) != maxFailedSeeds {
+		t.Fatalf("failed-seed list holds %d entries, cap is %d", len(ag.Seeds), maxFailedSeeds)
+	}
+	for i, s := range ag.Seeds {
+		if s != int64(i+1) {
+			t.Fatalf("attribution slot %d names seed %d, want %d (first failures win)", i, s, i+1)
+		}
+	}
+	if ag.Runs != uint64(failures+2)*3 {
+		t.Fatalf("thread total %d, want %d", ag.Runs, (failures+2)*3)
+	}
+}
+
+// TestSweepAggregateCheckpointRoundTrip is the satellite pinning the
+// aggregate's checkpoint encoding: an aggregate with merged histograms,
+// failure attribution, and a planned width survives SaveCheckpoint /
+// LoadCheckpoint bit for bit (a lossy field here silently corrupts every
+// resumed sweep).
+func TestSweepAggregateCheckpointRoundTrip(t *testing.T) {
+	var ag SweepAggregate
+	ag.First, ag.Want = 7, 3
+	for seed := int64(7); seed <= 9; seed++ {
+		rep := SeedReport{ChaosResult: ChaosResult{Seed: seed, Finished: 2, Total: 2, Preempts: 5}}
+		if seed == 8 {
+			rep.Total = 3 // fail one seed
+		}
+		rep.UpcallDispatch.Observe(1000 * seed)
+		rep.UpcallDispatch.Observe(250)
+		rep.ReadyWait.Observe(50_000)
+		rep.BlockUnblock.Observe(3_000_000)
+		rep.Fingerprint = chaos.Fingerprint(0xdead0000 + uint64(seed))
+		rep.Replay = rep.Fingerprint
+		ag.fold(&rep)
+	}
+	path := filepath.Join(t.TempDir(), "agg.json")
+	if err := scenario.SaveCheckpoint(path, "key#1/2", "mini", &ag); err != nil {
+		t.Fatal(err)
+	}
+	var got SweepAggregate
+	found, err := scenario.LoadCheckpoint(path, "key#1/2", &got)
+	if err != nil || !found {
+		t.Fatalf("load: found=%v err=%v", found, err)
+	}
+	if !reflect.DeepEqual(got, ag) {
+		t.Fatalf("aggregate did not round-trip:\nsaved  %+v\nloaded %+v", ag, got)
+	}
+	// The envelope's key and name surface through PeekCheckpoint (the merge
+	// path reads shard identity from there).
+	key, name, err := scenario.PeekCheckpoint(path, &SweepAggregate{})
+	if err != nil || key != "key#1/2" || name != "mini" {
+		t.Fatalf("peek = (%q, %q, %v)", key, name, err)
+	}
+}
+
+// TestReplaySamplingKeepsAggregates pins the perf knob's safety contract:
+// faults.replay moves only how many seeds get the replay-divergence check —
+// the fleet fingerprint, verdicts, and histograms all come from the first
+// run and must be identical across full, sampled, and off.
+func TestReplaySamplingKeepsAggregates(t *testing.T) {
+	run := func(mode string) *SweepAggregate {
+		spec := miniSweepSpec("mini-replay", 1, 4)
+		spec.Faults.Replay = mode
+		pr, err := RunSpec(io.Discard, spec, RunOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("replay %q: %v", mode, err)
+		}
+		return pr.Sweep
+	}
+	full := run(scenario.ReplayFull)
+	for _, mode := range []string{scenario.ReplayOff, "sample:2"} {
+		got := run(mode)
+		if got.Fleet != full.Fleet {
+			t.Errorf("replay %q moved the fleet fingerprint: %016x vs %016x", mode, got.Fleet, full.Fleet)
+		}
+		if got.Done != full.Done || got.Failed != full.Failed || got.Runs != full.Runs ||
+			!reflect.DeepEqual(got.Seeds, full.Seeds) {
+			t.Errorf("replay %q moved verdicts: %+v vs %+v", mode, got, full)
+		}
+		if !reflect.DeepEqual(got.UpcallDispatch, full.UpcallDispatch) {
+			t.Errorf("replay %q moved the first-run histograms", mode)
+		}
+	}
+}
+
+// TestReplaySeedDecision pins the sampling rule as a pure function of the
+// seed — shards and crash-resumed sweeps must sample the same seeds.
+func TestReplaySeedDecision(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		if !replaySeed(seed, 1) {
+			t.Fatalf("full replay skipped seed %d", seed)
+		}
+		if replaySeed(seed, 0) {
+			t.Fatalf("replay off replayed seed %d", seed)
+		}
+		if got, want := replaySeed(seed, 4), seed%4 == 0; got != want {
+			t.Fatalf("sample:4 seed %d: replay=%v want %v", seed, got, want)
+		}
+	}
+	if !strings.Contains(replayMode(1), "twice") ||
+		!strings.Contains(replayMode(0), "off") ||
+		!strings.Contains(replayMode(4), "divisible by 4") {
+		t.Fatalf("replay header lines drifted: %q / %q / %q", replayMode(1), replayMode(0), replayMode(4))
+	}
+}

@@ -131,6 +131,12 @@ func (c *Context) OnCPU() bool { return c.cpu != nil }
 // Done reports whether the root coroutine has finished.
 func (c *Context) Done() bool { return c.done }
 
+// RootExited reports whether the root coroutine will never run again: it
+// returned naturally (Done), or an engine Reset killed it by unwinding the
+// stack — which skips the body epilogue that sets done, so done alone
+// understates reclaimability after a reset.
+func (c *Context) RootExited() bool { return c.co == nil || c.co.Done() }
+
 // Machine returns the owning machine.
 func (c *Context) Machine() *Machine { return c.m }
 

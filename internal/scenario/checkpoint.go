@@ -49,6 +49,27 @@ func LoadCheckpoint(path, key string, payload any) (found bool, err error) {
 	return true, nil
 }
 
+// PeekCheckpoint reads a checkpoint envelope without verifying its spec
+// key, returning the key and scenario name the writer recorded alongside
+// the decoded payload. The merge path uses this: shard checkpoints carry
+// their own shard identities in the key ("<base>#<i>/<n>"), and the merge
+// verifies base equality and index coverage across files rather than
+// matching one expected key.
+func PeekCheckpoint(path string, payload any) (key, name string, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", "", fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return "", "", fmt.Errorf("checkpoint %s: not a scenario checkpoint: %w", path, err)
+	}
+	if err := json.Unmarshal(f.Payload, payload); err != nil {
+		return "", "", fmt.Errorf("checkpoint %s: corrupt payload: %w", path, err)
+	}
+	return f.SpecKey, f.Name, nil
+}
+
 // SaveCheckpoint writes payload to path under the spec's resume key. The
 // file is replaced atomically (temp file in the same directory, then
 // rename), so a crash mid-write leaves the previous checkpoint intact

@@ -51,8 +51,12 @@ func Compile(s Spec) (*Program, error) {
 	p := &Program{Spec: s, Hash: Hash(s), Key: ResumeKey(s)}
 	if s.Workload.Kind == KindMix {
 		f := s.Faults
-		for i := int64(0); i < f.Seeds; i++ {
-			seed := f.FirstSeed + i
+		first, seeds := f.FirstSeed, f.Seeds
+		if sh := s.Shard; sh != nil {
+			first, seeds = ShardRange(first, seeds, sh.Index, sh.Of)
+		}
+		for i := int64(0); i < seeds; i++ {
+			seed := first + i
 			p.Jobs = append(p.Jobs, Job{
 				Index: len(p.Jobs),
 				Label: fmt.Sprintf("seed %d", seed),

@@ -27,15 +27,31 @@ func Hash(s Spec) uint64 {
 // workload, machine, binding, seed origin, storm shape — moves it, and the
 // runner rejects the stale checkpoint instead of silently merging
 // incompatible results.
+//
+// A sharded spec's key is "<base>#<index>/<of>" where base is the hash
+// with the shard cleared — shards of one sweep share a base (so a merge
+// can verify they belong together) but no shard checkpoint can resume
+// another shard. Unlike the unsharded key, the base of a sharded spec
+// keeps faults.seeds: shard subranges are a function of the total width,
+// so growing a sharded sweep must invalidate its shard checkpoints rather
+// than resume them against shifted ranges.
 func ResumeKey(s Spec) string {
+	shard := s.Shard
+	s.Shard = nil
 	if s.Faults != nil {
 		f := *s.Faults
-		f.Seeds = 0
+		if shard == nil {
+			f.Seeds = 0
+		}
 		s.Faults = &f
 	}
 	s.Limits.Workers = 0
 	s.Description = ""
-	return fmt.Sprintf("%016x", Hash(s))
+	key := fmt.Sprintf("%016x", Hash(s))
+	if shard != nil {
+		key += fmt.Sprintf("%s%d/%d", shardKeySep, shard.Index, shard.Of)
+	}
+	return key
 }
 
 // fnv64 is FNV-1a over raw.

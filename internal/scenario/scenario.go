@@ -19,6 +19,12 @@
 // future submission service) without dragging the engine along.
 package scenario
 
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
 // Workload kinds.
 const (
 	// KindNbody is the paper's N-body application (§5.3): Figure 1/2,
@@ -67,6 +73,13 @@ const (
 	AblateDropEvent = "dropevent"
 )
 
+// Replay modes (Faults.Replay).
+const (
+	ReplayFull = "full" // every seed re-run and fingerprint-compared (default)
+	ReplayOff  = "off"  // no replay check
+	// "sample:N" replays only seeds divisible by N; see ParseReplay.
+)
+
 // Spec is one declarative scenario. The zero value of every optional field
 // means "the canonical default"; Validate reports structural errors with
 // the offending field path, and Compile lowers a valid Spec into jobs.
@@ -84,6 +97,22 @@ type Spec struct {
 	// workload only).
 	Faults *Faults `json:"faults,omitempty"`
 	Limits Limits  `json:"limits,omitempty"`
+	// Shard, when non-nil, selects one contiguous slice of a mix sweep's
+	// seed range (shard Index of Of); Compile lowers only that slice, and
+	// the shard identity folds into ResumeKey so shard checkpoints cannot
+	// cross-resume. Shards of the same sweep merge with exp.MergeShards.
+	Shard *Shard `json:"shard,omitempty"`
+}
+
+// Shard identifies one slice of a sharded mix sweep: shards partition
+// faults.seeds into Of contiguous subranges (sizes differing by at most
+// one, earlier shards taking the remainder), and shard Index runs the
+// Index-th of them. Valid only for KindMix.
+type Shard struct {
+	// Index is the 1-based shard number, 1..Of.
+	Index int `json:"index"`
+	// Of is the total shard count the sweep is split into.
+	Of int `json:"of"`
 }
 
 // Workload describes what the simulated machine runs.
@@ -171,6 +200,14 @@ type Faults struct {
 	// or dropevent) — the auditor-has-teeth demonstration. Ablated runs
 	// execute once (no replay check) and are expected to fail.
 	Ablate string `json:"ablate,omitempty"`
+	// Replay controls the replay-divergence check (each seed re-run and
+	// its fingerprint compared): "full" (or empty — the canonical default)
+	// replays every seed, "sample:N" replays only seeds divisible by N,
+	// "off" replays none. The fleet fingerprint folds only the first run,
+	// so sampling moves no fingerprint — only how many seeds would catch a
+	// nondeterminism leak. The replay decision is a pure function of the
+	// seed, so shards and resumed sweeps sample identically.
+	Replay string `json:"replay,omitempty"`
 }
 
 // Limits bounds a run.
@@ -234,4 +271,38 @@ func (b Binding) EffLPs() int {
 		return 2
 	}
 	return b.LPs
+}
+
+// ParseReplay parses a Faults.Replay value into the replay period: 1 means
+// every seed replays (full — also the default for the empty string), 0
+// means none (off), and N > 1 means only seeds divisible by N replay
+// (sample:N). Unknown values are an error (Validate reports them by path).
+func ParseReplay(mode string) (every int64, err error) {
+	switch mode {
+	case "", ReplayFull:
+		return 1, nil
+	case ReplayOff:
+		return 0, nil
+	}
+	if rest, ok := strings.CutPrefix(mode, "sample:"); ok {
+		n, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("bad sample period %q (want sample:N with N >= 1)", rest)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("unknown replay mode %q (want full, off, or sample:N)", mode)
+}
+
+// EffReplayEvery returns the effective replay period (see ParseReplay); an
+// invalid mode falls back to full — Validate rejects it before a run.
+func (f *Faults) EffReplayEvery() int64 {
+	if f == nil {
+		return 1
+	}
+	every, err := ParseReplay(f.Replay)
+	if err != nil {
+		return 1
+	}
+	return every
 }

@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sharding partitions a mix sweep's seed range into contiguous subranges so
+// independent processes can each run one slice against its own checkpoint
+// and a merge step can fold the per-shard aggregates back into one report.
+// The partition is a pure function of (first_seed, seeds, of), so every
+// process — and every retry after a crash — computes the same slices.
+
+// ShardRange returns the seed subrange of shard index (1-based) of n over
+// the sweep first..first+seeds-1: shards are contiguous, cover the range
+// exactly, and differ in width by at most one (earlier shards take the
+// remainder). n must be 1..seeds and index 1..n — Validate enforces this
+// for specs; out-of-range arguments panic.
+func ShardRange(first, seeds int64, index, of int) (shardFirst, shardSeeds int64) {
+	if of < 1 || int64(of) > seeds || index < 1 || index > of {
+		panic(fmt.Sprintf("scenario: shard %d/%d of %d seeds out of range", index, of, seeds))
+	}
+	q, r := seeds/int64(of), seeds%int64(of)
+	i := int64(index - 1)
+	shardFirst = first + i*q + min(i, r)
+	shardSeeds = q
+	if i < r {
+		shardSeeds++
+	}
+	return shardFirst, shardSeeds
+}
+
+// WithShard returns a copy of the spec restricted to shard index of n.
+func WithShard(s Spec, index, of int) Spec {
+	s.Shard = &Shard{Index: index, Of: of}
+	return s
+}
+
+// shardKeySep separates the base resume key from the shard suffix in a
+// sharded spec's ResumeKey ("<base>#<index>/<of>").
+const shardKeySep = "#"
+
+// SplitShardKey splits a resume key into its base key and shard identity.
+// Unsharded keys return (key, 0, 0, false).
+func SplitShardKey(key string) (base string, index, of int, sharded bool) {
+	var i, n int
+	if idx := strings.IndexByte(key, shardKeySep[0]); idx >= 0 {
+		if _, err := fmt.Sscanf(key[idx:], "#%d/%d", &i, &n); err == nil &&
+			i >= 1 && n >= i && key[idx:] == fmt.Sprintf("#%d/%d", i, n) {
+			return key[:idx], i, n, true
+		}
+	}
+	return key, 0, 0, false
+}

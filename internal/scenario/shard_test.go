@@ -1,0 +1,272 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestShardRangeTilesTheSweep pins the partition contract: for any shard
+// count, the subranges are contiguous, cover first..first+seeds-1 exactly,
+// and differ in width by at most one with earlier shards taking the
+// remainder.
+func TestShardRangeTilesTheSweep(t *testing.T) {
+	cases := []struct {
+		first, seeds int64
+		of           int
+	}{
+		{1, 64, 4}, {1, 64, 1}, {1, 64, 64}, {1, 7, 3}, {0, 10, 4},
+		{100, 13, 5}, {1, 1, 1}, {5, 1000000, 7},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("%d+%d/%d", tc.first, tc.seeds, tc.of)
+		next := tc.first
+		q := tc.seeds / int64(tc.of)
+		var total int64
+		for i := 1; i <= tc.of; i++ {
+			first, width := ShardRange(tc.first, tc.seeds, i, tc.of)
+			if first != next {
+				t.Fatalf("%s: shard %d starts at %d, want %d (contiguity)", name, i, first, next)
+			}
+			if width != q && width != q+1 {
+				t.Fatalf("%s: shard %d has width %d, want %d or %d", name, i, width, q, q+1)
+			}
+			next += width
+			total += width
+		}
+		if total != tc.seeds {
+			t.Fatalf("%s: shards cover %d seeds, want %d", name, total, tc.seeds)
+		}
+		if next != tc.first+tc.seeds {
+			t.Fatalf("%s: shards end at %d, want %d", name, next, tc.first+tc.seeds)
+		}
+		// Earlier shards take the remainder: widths are non-increasing.
+		_, prev := ShardRange(tc.first, tc.seeds, 1, tc.of)
+		for i := 2; i <= tc.of; i++ {
+			_, w := ShardRange(tc.first, tc.seeds, i, tc.of)
+			if w > prev {
+				t.Fatalf("%s: shard %d wider (%d) than shard %d (%d)", name, i, w, i-1, prev)
+			}
+			prev = w
+		}
+	}
+}
+
+// TestShardRangeOutOfRangePanics: Validate guards specs; raw out-of-range
+// arguments are a programming error and must not silently mis-partition.
+func TestShardRangeOutOfRangePanics(t *testing.T) {
+	cases := []struct{ index, of int }{{0, 4}, {5, 4}, {1, 0}, {1, 65}}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ShardRange(1, 64, %d, %d) did not panic", tc.index, tc.of)
+				}
+			}()
+			ShardRange(1, 64, tc.index, tc.of)
+		}()
+	}
+}
+
+// TestShardCompileEquivalence pins the tentpole's compile contract: the
+// concatenated job lists of every shard of a sweep are, seed for seed and
+// label for label, the unsharded sweep's job list.
+func TestShardCompileEquivalence(t *testing.T) {
+	base := ChaosSpec(5, 13) // deliberately uneven: 13 seeds across 4 shards
+	whole, err := Compile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const of = 4
+	var got []Job
+	for i := 1; i <= of; i++ {
+		p, err := Compile(WithShard(base, i, of))
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", i, of, err)
+		}
+		for j, job := range p.Jobs {
+			if job.Index != j {
+				t.Fatalf("shard %d/%d job %d: index %d (each shard's jobs must index from 0)", i, of, j, job.Index)
+			}
+		}
+		got = append(got, p.Jobs...)
+	}
+	if len(got) != len(whole.Jobs) {
+		t.Fatalf("shards compiled %d jobs, unsharded sweep has %d", len(got), len(whole.Jobs))
+	}
+	for i := range got {
+		if got[i].Seed != whole.Jobs[i].Seed || got[i].Label != whole.Jobs[i].Label {
+			t.Fatalf("job %d: shard-concat (seed %d, %q) != unsharded (seed %d, %q)",
+				i, got[i].Seed, got[i].Label, whole.Jobs[i].Seed, whole.Jobs[i].Label)
+		}
+	}
+}
+
+// TestResumeKeyShardIdentity pins the checkpoint-identity rules for shards:
+// shards of one sweep share a base key but differ in suffix (no
+// cross-resume), growing a sharded sweep moves the base (subranges shift),
+// and the whole key round-trips through SplitShardKey.
+func TestResumeKeyShardIdentity(t *testing.T) {
+	s := ChaosSpec(1, 64)
+	k1 := ResumeKey(WithShard(s, 1, 4))
+	k2 := ResumeKey(WithShard(s, 2, 4))
+	b1, i1, n1, ok1 := SplitShardKey(k1)
+	b2, i2, n2, ok2 := SplitShardKey(k2)
+	if !ok1 || !ok2 {
+		t.Fatalf("shard keys did not parse as sharded: %q, %q", k1, k2)
+	}
+	if b1 != b2 {
+		t.Fatalf("shards of one sweep have different bases: %q vs %q", b1, b2)
+	}
+	if k1 == k2 {
+		t.Fatalf("distinct shards share key %q — a shard checkpoint could resume another shard", k1)
+	}
+	if i1 != 1 || n1 != 4 || i2 != 2 || n2 != 4 {
+		t.Fatalf("shard identities did not round-trip: got %d/%d and %d/%d", i1, n1, i2, n2)
+	}
+	if !strings.HasSuffix(k1, "#1/4") {
+		t.Fatalf("shard key %q should carry the #index/of suffix", k1)
+	}
+
+	// Growing the sweep must move the base: shard subranges are a function
+	// of the total width.
+	grown := ChaosSpec(1, 128)
+	if gb, _, _, _ := SplitShardKey(ResumeKey(WithShard(grown, 1, 4))); gb == b1 {
+		t.Fatal("growing faults.seeds kept the sharded base key — stale shard checkpoints would resume against shifted ranges")
+	}
+	// ...while the unsharded key deliberately ignores the extent (a finished
+	// sweep is extendable in place).
+	if ResumeKey(s) != ResumeKey(grown) {
+		t.Fatal("unsharded resume key must not depend on faults.seeds")
+	}
+	// The unsharded key is not mistaken for a shard key.
+	if _, _, _, sharded := SplitShardKey(ResumeKey(s)); sharded {
+		t.Fatalf("unsharded key %q parsed as sharded", ResumeKey(s))
+	}
+	// Worker hints and descriptions stay cosmetic for shards too.
+	tweaked := WithShard(s, 1, 4)
+	tweaked.Limits.Workers = 7
+	tweaked.Description = "edited"
+	if ResumeKey(tweaked) != k1 {
+		t.Fatal("workers/description moved a shard's resume key")
+	}
+	// The replay mode is NOT cosmetic: sampled and full sweeps judge seeds
+	// differently, so their checkpoints must not cross-resume.
+	sampled := ChaosSpec(1, 64)
+	sampled.Faults = &Faults{FirstSeed: 1, Seeds: 64, Replay: "sample:4"}
+	if ResumeKey(sampled) == ResumeKey(s) {
+		t.Fatal("faults.replay did not move the resume key")
+	}
+}
+
+// TestSplitShardKeyRejectsMalformed: only exact "#i/n" suffixes with
+// 1 <= i <= n parse as shard identities; anything else is a plain key.
+func TestSplitShardKeyRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"abcd",          // no separator
+		"abcd#",         // empty suffix
+		"abcd#0/4",      // index below 1
+		"abcd#5/4",      // index above of
+		"abcd#2/4xyz",   // trailing junk
+		"abcd#2.5/4",    // non-integer
+		"abcd#-1/4",     // negative
+		"abcd#2/4/6",    // extra field
+		"abcd# 2/4",     // embedded space
+		"abcd#02/4 #$%", // junk after a zero-padded near-miss
+	}
+	for _, key := range bad {
+		if base, i, n, sharded := SplitShardKey(key); sharded {
+			t.Errorf("SplitShardKey(%q) = (%q, %d, %d, true), want unsharded", key, base, i, n)
+		} else if base != key {
+			t.Errorf("SplitShardKey(%q) rewrote the base to %q", key, base)
+		}
+	}
+	if base, i, n, sharded := SplitShardKey("abcd#12/12"); !sharded || base != "abcd" || i != 12 || n != 12 {
+		t.Errorf("SplitShardKey(abcd#12/12) = (%q, %d, %d, %v)", base, i, n, sharded)
+	}
+}
+
+// TestValidateShardAndReplay extends the malformed-spec table to the two
+// new fields.
+func TestValidateShardAndReplay(t *testing.T) {
+	mix := func(mut func(*Spec)) Spec {
+		s := ChaosSpec(1, 8)
+		mut(&s)
+		return s
+	}
+	reject := []struct {
+		name string
+		spec Spec
+		path string
+		msg  string
+	}{
+		{"shard on nbody", func() Spec { s := Fig1(); s.Shard = &Shard{Index: 1, Of: 2}; return s }(),
+			"shard", "mix"},
+		{"shard of zero", mix(func(s *Spec) { s.Shard = &Shard{Index: 1, Of: 0} }), "shard.of", ">= 1"},
+		{"shard index zero", mix(func(s *Spec) { s.Shard = &Shard{Index: 0, Of: 4} }), "shard.index", "1..shard.of=4"},
+		{"shard index past of", mix(func(s *Spec) { s.Shard = &Shard{Index: 5, Of: 4} }), "shard.index", "1..shard.of=4"},
+		{"more shards than seeds", mix(func(s *Spec) { s.Shard = &Shard{Index: 1, Of: 9} }), "shard.of", "more shards than seeds"},
+		{"replay gibberish", mix(func(s *Spec) { s.Faults.Replay = "sometimes" }), "faults.replay", "unknown replay mode"},
+		{"replay sample zero", mix(func(s *Spec) { s.Faults.Replay = "sample:0" }), "faults.replay", "sample period"},
+		{"replay sample junk", mix(func(s *Spec) { s.Faults.Replay = "sample:x" }), "faults.replay", "sample period"},
+	}
+	for _, tc := range reject {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.spec)
+			if err == nil {
+				t.Fatalf("spec accepted: %+v", tc.spec)
+			}
+			verr, ok := err.(ValidationError)
+			if !ok {
+				t.Fatalf("not a ValidationError: %T %v", err, err)
+			}
+			found := false
+			for _, fe := range verr {
+				if fe.Path == tc.path && strings.Contains(fe.Msg, tc.msg) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no error at path %q containing %q; got: %v", tc.path, tc.msg, err)
+			}
+		})
+	}
+	accept := []Spec{
+		mix(func(s *Spec) { s.Shard = &Shard{Index: 1, Of: 8} }),
+		mix(func(s *Spec) { s.Shard = &Shard{Index: 8, Of: 8} }),
+		mix(func(s *Spec) { s.Faults.Replay = ReplayFull }),
+		mix(func(s *Spec) { s.Faults.Replay = ReplayOff }),
+		mix(func(s *Spec) { s.Faults.Replay = "sample:3" }),
+	}
+	for _, s := range accept {
+		if err := Validate(s); err != nil {
+			t.Errorf("valid spec rejected: %v", err)
+		}
+	}
+}
+
+// TestParseReplayPeriods pins the mode → period mapping the runner and the
+// shard children both rely on (the replay decision must be a pure function
+// of the seed, so every process must agree on the period).
+func TestParseReplayPeriods(t *testing.T) {
+	cases := []struct {
+		mode  string
+		every int64
+	}{
+		{"", 1}, {ReplayFull, 1}, {ReplayOff, 0}, {"sample:1", 1}, {"sample:4", 4}, {"sample:1000", 1000},
+	}
+	for _, tc := range cases {
+		every, err := ParseReplay(tc.mode)
+		if err != nil || every != tc.every {
+			t.Errorf("ParseReplay(%q) = (%d, %v), want (%d, nil)", tc.mode, every, err, tc.every)
+		}
+	}
+	f := &Faults{Replay: "sample:4"}
+	if f.EffReplayEvery() != 4 {
+		t.Errorf("EffReplayEvery(sample:4) = %d", f.EffReplayEvery())
+	}
+	var nilFaults *Faults
+	if nilFaults.EffReplayEvery() != 1 {
+		t.Error("nil Faults should default to full replay")
+	}
+}

@@ -202,6 +202,23 @@ func Validate(s Spec) error {
 		default:
 			bad("faults.ablate", "unknown ablation %q (want nogrant or dropevent)", f.Ablate)
 		}
+		if _, err := ParseReplay(f.Replay); err != nil {
+			bad("faults.replay", "%v", err)
+		}
+	}
+
+	// Shard.
+	if sh := s.Shard; sh != nil {
+		switch {
+		case kind != KindMix:
+			bad("shard", "only mix sweeps shard (contiguous seed subranges)")
+		case sh.Of < 1:
+			bad("shard.of", "must be >= 1 (got %d)", sh.Of)
+		case sh.Index < 1 || sh.Index > sh.Of:
+			bad("shard.index", "must be 1..shard.of=%d (got %d)", sh.Of, sh.Index)
+		case s.Faults != nil && s.Faults.Seeds >= 1 && int64(sh.Of) > s.Faults.Seeds:
+			bad("shard.of", "more shards than seeds (%d > %d)", sh.Of, s.Faults.Seeds)
+		}
 	}
 
 	// Limits.

@@ -23,9 +23,16 @@ type Log struct {
 	Live      io.Writer // if non-nil, entries are written as they arrive
 	list      []Record
 	lost      uint64
-	filter    map[string]bool // if non-nil, only these categories are kept
+	noRetain  bool // observer-only: records flow to observers/Live, none kept
+	filterOn  bool // a category filter is installed (see Filter)
+	kindMask  uint64          // bit per Kind: set = kept (typed kinds only)
+	msgCats   map[string]bool // KindMsg categories kept (dynamic, in Name)
 	observers []func(Record)
 }
+
+// kindMask is a bit per Kind; this trips at compile time if the enum ever
+// outgrows the word.
+var _ [64 - int(kindCount)]struct{}
 
 // New returns a log retaining at most max entries (0 = unbounded). A
 // bounded log preallocates its ring up front, so steady-state recording
@@ -38,31 +45,61 @@ func New(max int) *Log {
 	return l
 }
 
+// NewStream returns an observer-only log: records flow through the
+// observer chain (and Live, if set) but none are retained — Entries stays
+// empty. Runs whose every consumer hangs off Observe (the chaos sweep's
+// auditor, fingerprinter, and latency deriver) use this to skip the ring
+// append and half-drop copies on the hottest per-record path; runs that
+// read the log afterwards (golden traces, satrace, the Chrome exporter)
+// keep a retaining New log.
+func NewStream() *Log { return &Log{noRetain: true} }
+
 // Reset clears the retained records, the lost count, and any category
-// filter, keeping the ring's capacity and — deliberately — the observer
-// list: long-lived stream consumers (auditor, fingerprinter, latency
-// deriver) attach once per log and reset their own state per run, so a warm
-// run re-records through the same observer chain a cold run would build.
+// filter, keeping the ring's capacity, the retention mode, and —
+// deliberately — the observer list: long-lived stream consumers (auditor,
+// fingerprinter, latency deriver) attach once per log and reset their own
+// state per run, so a warm run re-records through the same observer chain
+// a cold run would build.
 func (l *Log) Reset() {
 	l.list = l.list[:0]
 	l.lost = 0
-	l.filter = nil
+	l.filterOn = false
+	l.kindMask = 0
+	l.msgCats = nil
 }
 
 // Filter restricts the log to the given categories (Record.Cat values).
-// Call before recording.
+// Call before recording. The filter compiles to a Kind bitmask — every
+// typed kind whose constant category matches is one set bit — so the
+// per-record check is a shift and mask, not a map lookup; only KindMsg
+// records (dynamic category) still consult a category set.
 func (l *Log) Filter(cats ...string) *Log {
-	l.filter = make(map[string]bool, len(cats))
+	l.filterOn = true
+	l.kindMask = 0
+	l.msgCats = make(map[string]bool, len(cats))
 	for _, c := range cats {
-		l.filter[c] = true
+		l.msgCats[c] = true
+		for k := Kind(0); k < kindCount; k++ {
+			if k != KindMsg && kindCats[k] == c {
+				l.kindMask |= 1 << k
+			}
+		}
 	}
 	return l
+}
+
+// keeps reports whether the installed filter keeps r.
+func (l *Log) keeps(r Record) bool {
+	if r.Kind == KindMsg {
+		return l.msgCats[r.Name]
+	}
+	return l.kindMask&(1<<r.Kind) != 0
 }
 
 // Filtered reports whether a category filter is installed. Consumers that
 // derive conservation checks from the stream (the chaos auditor) must see
 // every record and disable themselves on filtered logs.
-func (l *Log) Filtered() bool { return l != nil && l.filter != nil }
+func (l *Log) Filtered() bool { return l != nil && l.filterOn }
 
 // Observe registers fn to receive every retained record as it is recorded.
 // Observers run synchronously in recording order, after the category filter
@@ -83,14 +120,22 @@ func (l *Log) Emit(r Record) {
 	if l == nil {
 		return
 	}
-	if l.filter != nil && !l.filter[r.Cat()] {
+	if l.filterOn && !l.keeps(r) {
 		return
 	}
+	l.emit(r)
+}
+
+// emit is Emit past the filter: observers, live mirror, retention.
+func (l *Log) emit(r Record) {
 	for _, fn := range l.observers {
 		fn(r)
 	}
 	if l.Live != nil {
 		fmt.Fprintln(l.Live, r)
+	}
+	if l.noRetain {
+		return
 	}
 	if l.Max > 0 && len(l.list) >= l.Max {
 		// Drop the oldest half rather than shifting one-by-one.
@@ -114,10 +159,13 @@ func (l *Log) Add(t sim.Time, cpu int, cat, format string, args ...any) {
 	if l == nil {
 		return
 	}
-	if l.filter != nil && !l.filter[cat] {
+	// One filter check, before the message renders (a KindMsg record's
+	// category is its Name, so the record itself is not needed to decide);
+	// emit then skips the re-check Emit would perform.
+	if l.filterOn && !l.msgCats[cat] {
 		return
 	}
-	l.Emit(Record{T: t, CPU: int32(cpu), Kind: KindMsg, Name: cat, Aux: fmt.Sprintf(format, args...)})
+	l.emit(Record{T: t, CPU: int32(cpu), Kind: KindMsg, Name: cat, Aux: fmt.Sprintf(format, args...)})
 }
 
 // Logf is Add under its historical name.

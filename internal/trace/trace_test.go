@@ -78,6 +78,98 @@ func TestFilterKeepsOnlySelected(t *testing.T) {
 	}
 }
 
+// TestFilterBitmaskMatchesCategories: the compiled Kind bitmask must agree
+// with the constant category table for every typed kind, and multi-category
+// filters union their masks. KindMsg records (dynamic category) still
+// filter by name.
+func TestFilterBitmaskMatchesCategories(t *testing.T) {
+	l := New(0).Filter("chaos", "upcall")
+	for k := Kind(0); k < kindCount; k++ {
+		if k == KindMsg {
+			continue
+		}
+		want := kindCats[k] == "chaos" || kindCats[k] == "upcall"
+		if got := l.keeps(Record{Kind: k}); got != want {
+			t.Errorf("kind %d (cat %q): keeps=%v want %v", k, kindCats[k], got, want)
+		}
+	}
+	// Dynamic KindMsg categories filter by Name, independent of the mask.
+	if !l.keeps(Record{Kind: KindMsg, Name: "chaos"}) || l.keeps(Record{Kind: KindMsg, Name: "dispatch"}) {
+		t.Fatal("KindMsg records must filter by their dynamic category")
+	}
+	// All four chaos kinds land, nothing else does.
+	l.Emit(Record{Kind: KindChaosPreempt, A: 1})
+	l.Emit(Record{Kind: KindChaosRebalance})
+	l.Emit(Record{Kind: KindDispatch, Name: "t"})
+	l.Add(0, 0, "note", "dropped before rendering")
+	l.Add(0, 0, "upcall", "kept")
+	if n := len(l.Entries()); n != 3 {
+		t.Fatalf("entries = %d, want 3 (2 chaos + 1 upcall msg)", n)
+	}
+}
+
+// TestStreamRetainsNothing pins the observer-only retention mode the chaos
+// sweep runs under: every record reaches observers (and Live) exactly once,
+// nothing is retained, nothing counts as lost, and Reset preserves the mode
+// and the observer chain for warm reuse.
+func TestStreamRetainsNothing(t *testing.T) {
+	l := NewStream()
+	var seen []int64
+	l.Observe(func(r Record) { seen = append(seen, r.A) })
+	var live strings.Builder
+	l.Live = &live
+	for i := 0; i < 100; i++ {
+		l.Emit(Record{Kind: KindULReady, Name: "t", A: int64(i)})
+	}
+	if len(seen) != 100 {
+		t.Fatalf("observer saw %d records, want 100", len(seen))
+	}
+	for i, v := range seen {
+		if v != int64(i) {
+			t.Fatalf("observer order broken at %d: got %d", i, v)
+		}
+	}
+	if len(l.Entries()) != 0 {
+		t.Fatalf("stream log retained %d entries", len(l.Entries()))
+	}
+	if l.Lost() != 0 {
+		t.Fatalf("stream log counted %d lost — nothing retained means nothing dropped", l.Lost())
+	}
+	if live.Len() == 0 {
+		t.Fatal("live mirror missed the stream")
+	}
+	// Reset keeps the mode and observers (warm contexts recycle the log).
+	l.Reset()
+	l.Emit(Record{Kind: KindULReady, Name: "t", A: 7})
+	if len(seen) != 101 {
+		t.Fatal("observer chain lost across Reset")
+	}
+	if len(l.Entries()) != 0 {
+		t.Fatal("Reset dropped the no-retention mode")
+	}
+}
+
+// TestStreamEmitAllocationFree extends the zero-allocation guarantee to the
+// stream mode — it skips the ring entirely, so it must allocate nothing
+// from the first record on (no warm-up append growth).
+func TestStreamEmitAllocationFree(t *testing.T) {
+	l := NewStream()
+	var count int
+	l.Observe(func(r Record) { count++ })
+	name := "matrix"
+	var i int64
+	avg := testing.AllocsPerRun(1000, func() {
+		l.Emit(Record{T: sim.Time(i), CPU: 1, Kind: KindActBlock, Name: name, A: i, Aux: "io-blocked"})
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("stream Emit allocates %.1f allocs/op, want 0", avg)
+	}
+	if count == 0 {
+		t.Fatal("observer never ran")
+	}
+}
+
 func TestLiveWriter(t *testing.T) {
 	var b strings.Builder
 	l := New(0)
